@@ -1,0 +1,31 @@
+//! # algebrizer — binding Q ASTs into XTRA trees
+//!
+//! The Algebrizer is the front half of Hyper-Q's Query Translator (paper
+//! §3.2). Parsing produced an *untyped* AST; this crate performs the
+//! semantic analysis the paper calls **binding**:
+//!
+//! * variable references are resolved through the scope hierarchy of
+//!   Figure 3 ([`scopes`]) and, at the bottom, through the **metadata
+//!   interface** to the backend catalog ([`mdi`]) — with the configurable
+//!   caching layer the evaluation section measures;
+//! * each Q operator is mapped to a semantically equivalent (sometimes
+//!   much more complicated) relational expression: q-sql templates become
+//!   Filter/Project/Aggregate stacks, and the as-of join becomes a left
+//!   outer join over a window function on its right input, exactly as in
+//!   paper Figure 2 ([`bind`]);
+//! * operator properties are derived bottom-up and inputs are *checked*
+//!   (e.g. `aj` requires its join columns in both inputs);
+//! * Q literals are mapped onto the SQL type system ([`literal`]).
+//!
+//! Functions are stored as source text and re-algebrized (unrolled) at
+//! invocation, so no UDFs need to be created in the backend — the §5 case
+//! study calls this out as important for analysts without CREATE rights.
+
+pub mod bind;
+pub mod literal;
+pub mod mdi;
+pub mod scopes;
+
+pub use bind::{BindOutput, Binder, Bound, MaterializationPolicy, ResultShape, SideStatement};
+pub use mdi::{CachingMdi, Mdi, MdiStats, StaticMdi, TableMeta};
+pub use scopes::{Scopes, VarDef};

@@ -1,0 +1,172 @@
+//! Mapping Q literals onto the SQL type system.
+//!
+//! Paper §3.2.2: "int types get mapped to equivalent integer types,
+//! symbol type gets mapped to varchar, whereas string literals get mapped
+//! to text constants." Temporal values change epoch/resolution: Q times
+//! are milliseconds, SQL times microseconds; Q timestamps are nanoseconds,
+//! SQL timestamps microseconds.
+
+use qlang::value::{Atom, Value};
+use qlang::{QError, QResult};
+use xtra::{Datum, SqlType};
+
+/// Convert a Q atom to a SQL datum.
+pub fn atom_to_datum(a: &Atom) -> QResult<Datum> {
+    if a.is_null() {
+        return Ok(Datum::Null(atom_sql_type(a)));
+    }
+    Ok(match a {
+        Atom::Bool(b) => Datum::Bool(*b),
+        Atom::Byte(b) => Datum::I16(*b as i16),
+        Atom::Short(v) => Datum::I16(*v),
+        Atom::Int(v) => Datum::I32(*v),
+        Atom::Long(v) => Datum::I64(*v),
+        Atom::Real(v) => Datum::F32(*v),
+        Atom::Float(v) => Datum::F64(*v),
+        Atom::Char(c) => Datum::Str(c.to_string()),
+        Atom::Symbol(s) => Datum::Str(s.clone()),
+        // Q date: days since 2000-01-01 — same epoch as our SQL side.
+        Atom::Date(d) => Datum::Date(*d),
+        // Q time: ms since midnight → µs.
+        Atom::Time(t) => Datum::Time(*t as i64 * 1000),
+        // Q timestamp: ns since 2000-01-01 → µs (truncating).
+        Atom::Timestamp(ts) => Datum::Timestamp(ts / 1000),
+    })
+}
+
+/// SQL type a Q atom maps to.
+pub fn atom_sql_type(a: &Atom) -> SqlType {
+    match a {
+        Atom::Bool(_) => SqlType::Bool,
+        Atom::Byte(_) | Atom::Short(_) => SqlType::Int2,
+        Atom::Int(_) => SqlType::Int4,
+        Atom::Long(_) => SqlType::Int8,
+        Atom::Real(_) => SqlType::Float4,
+        Atom::Float(_) => SqlType::Float8,
+        Atom::Char(_) => SqlType::Varchar,
+        Atom::Symbol(_) => SqlType::Varchar,
+        Atom::Date(_) => SqlType::Date,
+        Atom::Time(_) => SqlType::Time,
+        Atom::Timestamp(_) => SqlType::Timestamp,
+    }
+}
+
+/// Convert a Q value to a list of datums (for `IN` lists and constant
+/// list variables). Atoms become singleton lists.
+pub fn value_to_datums(v: &Value) -> QResult<Vec<Datum>> {
+    match v {
+        Value::Atom(a) => Ok(vec![atom_to_datum(a)?]),
+        Value::Chars(s) => Ok(vec![Datum::Str(s.clone())]),
+        _ => {
+            let n = v
+                .len()
+                .ok_or_else(|| QError::type_err(format!("cannot bind {} as a constant", v.type_name())))?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                match v.index(i) {
+                    Some(Value::Atom(a)) => out.push(atom_to_datum(&a)?),
+                    Some(Value::Chars(s)) => out.push(Datum::Str(s)),
+                    Some(other) => {
+                        return Err(QError::type_err(format!(
+                            "nested {} not supported as a constant",
+                            other.type_name()
+                        )))
+                    }
+                    None => {}
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Convert a Q value to a single datum; Q strings become text constants.
+pub fn value_to_datum(v: &Value) -> QResult<Datum> {
+    match v {
+        Value::Atom(a) => atom_to_datum(a),
+        Value::Chars(s) => Ok(Datum::Str(s.clone())),
+        other => Err(QError::type_err(format!(
+            "expected a scalar constant, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Translate a Q `like` glob (`*`, `?`) to a SQL LIKE pattern (`%`, `_`),
+/// escaping pre-existing SQL wildcards.
+pub fn glob_to_like(pattern: &str) -> String {
+    let mut out = String::with_capacity(pattern.len());
+    for c in pattern.chars() {
+        match c {
+            '*' => out.push('%'),
+            '?' => out.push('_'),
+            '%' => out.push_str("\\%"),
+            '_' => out.push_str("\\_"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_map_to_varchar() {
+        let d = atom_to_datum(&Atom::Symbol("GOOG".into())).unwrap();
+        assert_eq!(d, Datum::Str("GOOG".into()));
+        assert_eq!(atom_sql_type(&Atom::Symbol("x".into())), SqlType::Varchar);
+    }
+
+    #[test]
+    fn integers_map_by_width() {
+        assert_eq!(atom_to_datum(&Atom::Short(1)).unwrap(), Datum::I16(1));
+        assert_eq!(atom_to_datum(&Atom::Int(1)).unwrap(), Datum::I32(1));
+        assert_eq!(atom_to_datum(&Atom::Long(1)).unwrap(), Datum::I64(1));
+    }
+
+    #[test]
+    fn nulls_map_to_typed_sql_nulls() {
+        assert_eq!(atom_to_datum(&Atom::Long(i64::MIN)).unwrap(), Datum::Null(SqlType::Int8));
+        assert_eq!(
+            atom_to_datum(&Atom::Symbol(String::new())).unwrap(),
+            Datum::Null(SqlType::Varchar)
+        );
+        assert_eq!(atom_to_datum(&Atom::Float(f64::NAN)).unwrap(), Datum::Null(SqlType::Float8));
+    }
+
+    #[test]
+    fn temporal_resolution_conversion() {
+        // 09:30:00.000 = 34_200_000 ms → 34_200_000_000 µs.
+        assert_eq!(atom_to_datum(&Atom::Time(34_200_000)).unwrap(), Datum::Time(34_200_000_000));
+        // ns → µs truncation.
+        assert_eq!(atom_to_datum(&Atom::Timestamp(1_234_567_891)).unwrap(), Datum::Timestamp(1_234_567));
+        assert_eq!(atom_to_datum(&Atom::Date(6021)).unwrap(), Datum::Date(6021));
+    }
+
+    #[test]
+    fn symbol_lists_become_datum_lists() {
+        let v = Value::Symbols(vec!["GOOG".into(), "IBM".into()]);
+        let ds = value_to_datums(&v).unwrap();
+        assert_eq!(ds, vec![Datum::Str("GOOG".into()), Datum::Str("IBM".into())]);
+    }
+
+    #[test]
+    fn q_strings_are_text_constants() {
+        assert_eq!(value_to_datum(&Value::Chars("abc".into())).unwrap(), Datum::Str("abc".into()));
+    }
+
+    #[test]
+    fn tables_are_not_constants() {
+        let t = Value::Table(Box::new(qlang::Table::default()));
+        assert!(value_to_datum(&t).is_err());
+    }
+
+    #[test]
+    fn glob_translation() {
+        assert_eq!(glob_to_like("GO*"), "GO%");
+        assert_eq!(glob_to_like("?BM"), "_BM");
+        assert_eq!(glob_to_like("50%"), "50\\%");
+    }
+}

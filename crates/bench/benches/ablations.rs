@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices the paper calls out.
+//!
+//! * **A — metadata caching** (§6: "experiments are conducted with
+//!   metadata caching enabled"): translation with the cache on vs off.
+//! * **B — column pruning** (§3.3 Performance): translation+execution
+//!   over 500-column tables with pruning on vs off.
+//! * **C — materialization policy** (§4.3): logical inlining vs physical
+//!   temp tables for the paper's Example 3 function.
+//! * **D — ordering elision** (§3.3 Transparency): scalar aggregation
+//!   over an ordered subquery with elision on vs off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperq::{loader, HyperQSession, SessionConfig};
+use hyperq_bench::{bench_spec, prepared_session, quick_spec};
+use hyperq_workload::analytical::analytical_workload;
+use hyperq_workload::taq::{generate_trades, TaqConfig};
+use std::time::Duration;
+use xformer::XformConfig;
+
+fn ablation_metadata_cache(c: &mut Criterion) {
+    let spec = quick_spec();
+    let queries = analytical_workload(&spec);
+    let q = &queries[9]; // 5-way join: 5 metadata lookups per translation
+
+    let mut group = c.benchmark_group("ablation_metadata_cache");
+    group.sample_size(20);
+
+    let cached = SessionConfig { metadata_cache_ttl: Duration::from_secs(300), ..Default::default() };
+    let mut s_on = prepared_session(&spec, cached);
+    let _ = s_on.translate_only(&q.text);
+    group.bench_function("cache_on", |b| {
+        b.iter(|| s_on.translate_only(&q.text).unwrap());
+    });
+
+    let uncached = SessionConfig { metadata_cache_ttl: Duration::ZERO, ..Default::default() };
+    let mut s_off = prepared_session(&spec, uncached);
+    group.bench_function("cache_off", |b| {
+        b.iter(|| s_off.translate_only(&q.text).unwrap());
+    });
+    group.finish();
+}
+
+fn ablation_column_pruning(c: &mut Criterion) {
+    let spec = bench_spec(); // 500-column tables: pruning matters here
+    let queries = analytical_workload(&spec);
+    let q = &queries[0];
+
+    let mut group = c.benchmark_group("ablation_column_pruning");
+    group.sample_size(10);
+
+    let mut s_on = prepared_session(&spec, SessionConfig::default());
+    let _ = s_on.translate_only(&q.text);
+    group.bench_function("pruning_on", |b| {
+        b.iter(|| s_on.translate_only(&q.text).unwrap());
+    });
+
+    let no_prune = SessionConfig {
+        xform: XformConfig { column_pruning: false, ..XformConfig::default() },
+        ..Default::default()
+    };
+    let mut s_off = prepared_session(&spec, no_prune);
+    let _ = s_off.translate_only(&q.text);
+    group.bench_function("pruning_off", |b| {
+        b.iter(|| s_off.translate_only(&q.text).unwrap());
+    });
+    group.finish();
+}
+
+fn ablation_materialization(c: &mut Criterion) {
+    let trades = generate_trades(&TaqConfig { rows: 2000, symbols: 4, days: 2, seed: 11 });
+    let program = concat!(
+        "f: {[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt}; ",
+        "f[`GOOG]"
+    );
+
+    let mut group = c.benchmark_group("ablation_materialization");
+    group.sample_size(20);
+
+    let db1 = pgdb::Db::new();
+    loader::load_table_direct(&db1, "trades", &trades).unwrap();
+    let mut logical = HyperQSession::with_direct_config(&db1, SessionConfig::default());
+    group.bench_function("logical", |b| {
+        b.iter(|| logical.execute(program).unwrap());
+    });
+
+    let db2 = pgdb::Db::new();
+    loader::load_table_direct(&db2, "trades", &trades).unwrap();
+    let phys_cfg = SessionConfig {
+        policy: algebrizer::MaterializationPolicy::Physical,
+        ..SessionConfig::default()
+    };
+    group.bench_function("physical", |b| {
+        b.iter(|| {
+            // Fresh session per run: temp tables are per-session and
+            // re-creating HQ_TEMP_n in one session would collide.
+            let mut s = HyperQSession::with_direct_config(&db2, phys_cfg);
+            s.execute(program).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn ablation_ordering(c: &mut Criterion) {
+    let trades = generate_trades(&TaqConfig { rows: 5000, symbols: 6, days: 2, seed: 5 });
+    let q = "select mx: max Price, av: avg Price from select from trades where Size > 500";
+
+    let mut group = c.benchmark_group("ablation_ordering");
+    group.sample_size(20);
+
+    let db1 = pgdb::Db::new();
+    loader::load_table_direct(&db1, "trades", &trades).unwrap();
+    let mut elide = HyperQSession::with_direct(&db1);
+    group.bench_function("elision_on", |b| {
+        b.iter(|| elide.execute(q).unwrap());
+    });
+
+    let db2 = pgdb::Db::new();
+    loader::load_table_direct(&db2, "trades", &trades).unwrap();
+    let keep_cfg = SessionConfig {
+        xform: XformConfig { ordering: false, ..XformConfig::default() },
+        ..SessionConfig::default()
+    };
+    let mut keep = HyperQSession::with_direct_config(&db2, keep_cfg);
+    group.bench_function("elision_off", |b| {
+        b.iter(|| keep.execute(q).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_metadata_cache, ablation_column_pruning, ablation_materialization, ablation_ordering);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 6: efficiency of query translation.
+//!
+//! The paper reports per-query translation time relative to total
+//! execution time over the 25-query Analytical Workload (avg ≈0.5%,
+//! max ≈4% on their Greenplum testbed). This bench times translation and
+//! execution for representative queries: a 3-way-join query (q1) and the
+//! join-heavy quartet member q10, plus the full-workload sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperq::SessionConfig;
+use hyperq_bench::{bench_spec, prepared_session};
+use hyperq_workload::analytical::analytical_workload;
+
+fn fig6(c: &mut Criterion) {
+    let spec = bench_spec();
+    let queries = analytical_workload(&spec);
+    let mut session = prepared_session(&spec, SessionConfig::default());
+    // Warm the metadata cache (paper: experiments run with caching on).
+    for q in &queries {
+        let _ = session.translate_only(&q.text);
+    }
+
+    let mut group = c.benchmark_group("fig6_translation");
+    group.sample_size(20);
+    for id in [1usize, 5, 10, 18, 25] {
+        let q = &queries[id - 1];
+        group.bench_with_input(BenchmarkId::new("translate", id), q, |b, q| {
+            b.iter(|| session.translate_only(&q.text).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig6_execution");
+    group.sample_size(10);
+    for id in [1usize, 10] {
+        let q = &queries[id - 1];
+        let sqls: Vec<String> = session
+            .translate_only(&q.text)
+            .unwrap()
+            .into_iter()
+            .flat_map(|t| t.statements.into_iter().map(|s| s.sql))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("execute", id), &sqls, |b, sqls| {
+            b.iter(|| {
+                for sql in sqls {
+                    session.backend().lock().unwrap().execute_sql(sql).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

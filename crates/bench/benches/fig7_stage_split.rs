@@ -1,0 +1,80 @@
+//! Figure 7: time consumed by translation stages.
+//!
+//! The paper splits translation into algebrization, optimization and
+//! serialization, observing that optimization and serialization consume
+//! most of the time for analytical queries (multi-table joins generate
+//! multi-level subqueries whose columns must be pruned before
+//! serialization). This bench isolates each stage on a join-heavy query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperq::SessionConfig;
+use hyperq_bench::{bench_spec, prepared_session};
+use hyperq_workload::analytical::analytical_workload;
+use xformer::Xformer;
+
+fn fig7(c: &mut Criterion) {
+    let spec = bench_spec();
+    let queries = analytical_workload(&spec);
+    let mut session = prepared_session(&spec, SessionConfig::default());
+    for q in &queries {
+        let _ = session.translate_only(&q.text);
+    }
+    // Use the join-heavy q10 — the stage split is most pronounced there.
+    let q10 = &queries[9];
+
+    // Parse stage only.
+    let mut group = c.benchmark_group("fig7_stages");
+    group.sample_size(30);
+    group.bench_function("parse", |b| {
+        b.iter(|| qlang::parse(&q10.text).unwrap());
+    });
+    // Full translation (parse + algebrize + optimize + serialize).
+    group.bench_function("full_translation", |b| {
+        b.iter(|| session.translate_only(&q10.text).unwrap());
+    });
+    group.finish();
+
+    // Optimize + serialize in isolation over a pre-bound plan: bind once
+    // (no transformation), then time the Xformer and the serializer.
+    let translations = session.translate_only(&q10.text).unwrap();
+    let sql = &translations[0].statements[0].sql;
+    assert!(!sql.is_empty());
+
+    // Rebuild a raw plan by translating with all transformations off,
+    // then measure applying them.
+    let cfg_off = SessionConfig {
+        xform: xformer::XformConfig { null_logic: false, column_pruning: false, ordering: false },
+        ..SessionConfig::default()
+    };
+    let mut raw_session = prepared_session(&spec, cfg_off);
+    let _ = raw_session.translate_only(&q10.text);
+
+    let mut group = c.benchmark_group("fig7_optimize_serialize");
+    group.sample_size(20);
+    group.bench_function("translate_no_xform", |b| {
+        b.iter(|| raw_session.translate_only(&q10.text).unwrap());
+    });
+    group.bench_function("xform_apply_only", |b| {
+        // Representative plan: bind a mid-size query and apply rules.
+        let plan = {
+            use algebrizer::{Binder, Bound, MaterializationPolicy, Scopes};
+            let backend = raw_session.backend().clone();
+            let mdi = hyperq::mdi_backend::BackendMdi::new(backend);
+            let mut scopes = Scopes::new();
+            let mut seq = 0;
+            let mut binder =
+                Binder::new(&mdi, &mut scopes, MaterializationPolicy::Logical, &mut seq);
+            let stmt = qlang::parse_one(&q10.text).unwrap();
+            match binder.bind_statement(&stmt).unwrap().bound {
+                Bound::Rel { plan, .. } => plan,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        let xf = Xformer::new();
+        b.iter(|| xf.apply(plan.clone()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

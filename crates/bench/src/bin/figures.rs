@@ -1,0 +1,192 @@
+//! The figures harness: prints the rows/series behind the paper's
+//! Figure 6 and Figure 7, plus the ablation summaries.
+//!
+//! Usage: `cargo run --release -p hyperq-bench --bin figures [--quick]`
+//!
+//! Figure 6 — per-query translation time as a percentage of total
+//! (translation + execution) time for the 25-query Analytical Workload.
+//! Figure 7 — translation time split across parse / algebrize / optimize
+//! / serialize stages.
+
+use hyperq::{loader, HyperQSession, SessionConfig, StageTimings};
+use hyperq_bench::{bench_spec, measure_workload, prepared_session, quick_spec};
+use hyperq_workload::analytical::analytical_workload;
+use hyperq_workload::taq::{generate_trades, TaqConfig};
+use std::time::Duration;
+use xformer::XformConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = if quick { quick_spec() } else { bench_spec() };
+    let reps = if quick { 2 } else { 5 };
+
+    println!("Hyper-Q reproduction — evaluation harness");
+    println!(
+        "workload: 25 queries over {} wide tables ({} metric columns, {} rows each), metadata caching ON\n",
+        spec.tables, spec.metrics, spec.rows
+    );
+
+    // ---------- Figure 6 ----------
+    println!("=== Figure 6: Efficiency of query translation ===");
+    println!("{:>3} {:>6} {:>14} {:>14} {:>10}", "q#", "joins", "translate(us)", "execute(us)", "overhead");
+    let measurements = measure_workload(&spec, SessionConfig::default(), reps);
+    let mut ratios = Vec::new();
+    for m in &measurements {
+        let ratio = m.overhead_ratio();
+        ratios.push((m.id, ratio));
+        println!(
+            "{:>3} {:>6} {:>14.1} {:>14.1} {:>9.2}%",
+            m.id,
+            m.tables_joined,
+            m.translation.as_secs_f64() * 1e6,
+            m.execution.as_secs_f64() * 1e6,
+            ratio * 100.0
+        );
+    }
+    let avg = ratios.iter().map(|(_, r)| r).sum::<f64>() / ratios.len() as f64;
+    let (max_q, max_r) =
+        ratios.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    println!("\navg overhead: {:.2}%   max overhead: {:.2}% (query {})", avg * 100.0, max_r * 100.0, max_q);
+    let mut slowest: Vec<(usize, Duration)> =
+        measurements.iter().map(|m| (m.id, m.translation)).collect();
+    slowest.sort_by(|a, b| b.1.cmp(&a.1));
+    let top4: Vec<usize> = slowest.iter().take(4).map(|(id, _)| *id).collect();
+    println!(
+        "slowest-to-translate queries: {:?}  (paper: 10, 18, 19, 20 — the multi-join quartet)",
+        top4
+    );
+
+    // ---------- Figure 7 ----------
+    println!("\n=== Figure 7: Time consumed by translation stages ===");
+    let mut total = StageTimings::default();
+    for m in &measurements {
+        total.add(&m.stages);
+    }
+    let sum = total.total().as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "parse      {:>10.1} us  {:>5.1}%",
+        total.parse.as_secs_f64() * 1e6,
+        total.parse.as_secs_f64() / sum * 100.0
+    );
+    println!(
+        "algebrize  {:>10.1} us  {:>5.1}%",
+        total.algebrize.as_secs_f64() * 1e6,
+        total.algebrize.as_secs_f64() / sum * 100.0
+    );
+    println!(
+        "optimize   {:>10.1} us  {:>5.1}%",
+        total.optimize.as_secs_f64() * 1e6,
+        total.optimize.as_secs_f64() / sum * 100.0
+    );
+    println!(
+        "serialize  {:>10.1} us  {:>5.1}%",
+        total.serialize.as_secs_f64() * 1e6,
+        total.serialize.as_secs_f64() / sum * 100.0
+    );
+    println!("(paper: optimization and serialization consume most of the time)");
+
+    // ---------- Ablation A: metadata cache ----------
+    println!("\n=== Ablation A: metadata caching (translation time, 5-way-join query) ===");
+    let q10 = analytical_workload(&spec).into_iter().nth(9).unwrap();
+    let time_translation = |session: &mut HyperQSession, reps: usize| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            session.translate_only(&q10.text).unwrap();
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+    let mut on = prepared_session(&spec, SessionConfig::default());
+    let _ = on.translate_only(&q10.text);
+    let t_on = time_translation(&mut on, reps);
+    let mut off = prepared_session(
+        &spec,
+        SessionConfig { metadata_cache_ttl: Duration::ZERO, ..Default::default() },
+    );
+    let t_off = time_translation(&mut off, reps);
+    println!(
+        "cache ON:  {:>10.1} us\ncache OFF: {:>10.1} us   ({:.2}x)",
+        t_on.as_secs_f64() * 1e6,
+        t_off.as_secs_f64() * 1e6,
+        t_off.as_secs_f64() / t_on.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+
+    // ---------- Ablation B: column pruning ----------
+    println!("\n=== Ablation B: column pruning (SQL size over {}-column tables) ===", spec.metrics);
+    let q1 = analytical_workload(&spec).into_iter().next().unwrap();
+    let sql_len = |cfg: SessionConfig| -> usize {
+        let mut s = prepared_session(&spec, cfg);
+        s.translate_only(&q1.text)
+            .unwrap()
+            .iter()
+            .flat_map(|t| t.statements.iter())
+            .map(|st| st.sql.len())
+            .sum()
+    };
+    let len_on = sql_len(SessionConfig::default());
+    let len_off = sql_len(SessionConfig {
+        xform: XformConfig { column_pruning: false, ..XformConfig::default() },
+        ..Default::default()
+    });
+    println!(
+        "pruning ON:  {len_on:>8} bytes of SQL\npruning OFF: {len_off:>8} bytes of SQL   ({:.1}x bloat without pruning)",
+        len_off as f64 / len_on.max(1) as f64
+    );
+
+    // ---------- Ablation C: materialization ----------
+    println!("\n=== Ablation C: materialization policy (paper Example 3) ===");
+    let trades = generate_trades(&TaqConfig { rows: 2000, symbols: 4, days: 2, seed: 11 });
+    let program = concat!(
+        "f: {[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt}; ",
+        "f[`GOOG]"
+    );
+    let run_policy = |policy: algebrizer::MaterializationPolicy| -> Duration {
+        let db = pgdb::Db::new();
+        loader::load_table_direct(&db, "trades", &trades).unwrap();
+        let cfg = SessionConfig { policy, ..Default::default() };
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let mut s = HyperQSession::with_direct_config(&db, cfg);
+            let t0 = std::time::Instant::now();
+            s.execute(program).unwrap();
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+    let logical = run_policy(algebrizer::MaterializationPolicy::Logical);
+    let physical = run_policy(algebrizer::MaterializationPolicy::Physical);
+    println!(
+        "logical (inline views):     {:>10.1} us\nphysical (CREATE TEMP):     {:>10.1} us",
+        logical.as_secs_f64() * 1e6,
+        physical.as_secs_f64() * 1e6
+    );
+
+    // ---------- Ablation D: ordering elision ----------
+    println!("\n=== Ablation D: ordering elision (scalar agg over ordered subquery) ===");
+    let trades_big = generate_trades(&TaqConfig { rows: 5000, symbols: 6, days: 2, seed: 5 });
+    let oq = "select mx: max Price, av: avg Price from select from trades where Size > 500";
+    let run_ordering = |ordering: bool| -> Duration {
+        let db = pgdb::Db::new();
+        loader::load_table_direct(&db, "trades", &trades_big).unwrap();
+        let cfg = SessionConfig {
+            xform: XformConfig { ordering, ..XformConfig::default() },
+            ..Default::default()
+        };
+        let mut s = HyperQSession::with_direct_config(&db, cfg);
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            s.execute(oq).unwrap();
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+    let elided = run_ordering(true);
+    let kept = run_ordering(false);
+    println!(
+        "elision ON  (sort removed): {:>10.1} us\nelision OFF (sort kept):    {:>10.1} us",
+        elided.as_secs_f64() * 1e6,
+        kept.as_secs_f64() * 1e6
+    );
+}

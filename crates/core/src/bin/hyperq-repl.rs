@@ -1,0 +1,89 @@
+//! An interactive Q console over a virtualized SQL backend.
+//!
+//! ```sh
+//! cargo run -p hyperq --bin hyperq-repl
+//! ```
+//!
+//! Starts an in-process `pgdb` backend preloaded with TAQ-style `trades`
+//! and `quotes` tables and drops you at a `q)` prompt — the experience a
+//! kdb+ analyst gets, served by the translation pipeline. Meta commands:
+//!
+//! * `\sql <q>` — show the generated SQL without running it
+//! * `\t <q>`   — run and print per-stage translation timings
+//! * `\tables`  — list backend tables
+//! * `\\`       — quit
+
+use hyperq::{loader, HyperQSession};
+use hyperq_workload::taq::{generate_quotes, generate_trades, TaqConfig};
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = pgdb::Db::new();
+    let mut session = HyperQSession::with_direct(&db);
+    let cfg = TaqConfig { rows: 1000, symbols: 6, days: 2, seed: 2016 };
+    loader::load_table(&mut session, "trades", &generate_trades(&cfg))?;
+    loader::load_table(&mut session, "quotes", &generate_quotes(&TaqConfig { rows: 4000, ..cfg }))?;
+
+    println!("hyperq-repl — Q on a PG-compatible backend (tables: trades, quotes)");
+    println!("meta: \\sql <q> | \\t <q> | \\tables | \\\\ to quit\n");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        write!(out, "q) ")?;
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\\\" || line == "exit" || line == "quit" {
+            break;
+        }
+        if line == "\\tables" {
+            for name in db.table_names() {
+                println!("{name}");
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix("\\sql ") {
+            match session.translate_only(q) {
+                Ok(trs) => {
+                    for tr in trs {
+                        for stmt in tr.statements {
+                            println!("{}", stmt.sql);
+                        }
+                    }
+                }
+                Err(e) => println!("{e}"),
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix("\\t ") {
+            match session.execute_traced(q) {
+                Ok((v, trs)) => {
+                    for tr in &trs {
+                        println!(
+                            "parse {:?}  algebrize {:?}  optimize {:?}  serialize {:?}",
+                            tr.timings.parse,
+                            tr.timings.algebrize,
+                            tr.timings.optimize,
+                            tr.timings.serialize
+                        );
+                    }
+                    println!("{v}");
+                }
+                Err(e) => println!("{e}"),
+            }
+            continue;
+        }
+        match session.execute(line) {
+            Ok(v) => println!("{v}"),
+            Err(e) => println!("{e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,286 @@
+//! The Endpoint plugin: a QIPC TCP server (paper §3.1).
+//!
+//! "Hyper-Q takes over kdb+ server by listening to incoming messages on
+//! the port used by the original kdb+ server. Q applications run
+//! unchanged while, under the hood, their network packets are routed to
+//! Hyper-Q instead of kdb+."
+//!
+//! Each accepted connection gets a [`ProtocolTranslator`] FSM and its own
+//! Hyper-Q session (scopes, temp tables, metadata cache) over a backend
+//! session — mirroring one kdb+ client connection.
+
+use crate::backend::{share, DirectBackend};
+use crate::session::{HyperQSession, SessionConfig};
+use crate::xc::{ProtocolTranslator, PtAction};
+use qipc::{Message, MsgType};
+use qlang::{QResult, Value};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Endpoint configuration.
+#[derive(Clone)]
+pub struct EndpointConfig {
+    /// Credential check for the QIPC handshake. Defaults to accepting
+    /// everyone (kdb+'s historical posture, per §2.2: "kdb+ had no need
+    /// for access control").
+    pub authenticator: Arc<dyn Fn(&str, &str) -> bool + Send + Sync>,
+    /// Session configuration applied to every connection.
+    pub session: SessionConfig,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig { authenticator: Arc::new(|_, _| true), session: SessionConfig::default() }
+    }
+}
+
+/// A running QIPC endpoint bridging Q applications to a backend.
+pub struct QipcEndpoint {
+    /// Bound address.
+    pub addr: std::net::SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl QipcEndpoint {
+    /// Start the endpoint over an in-process `pgdb` database.
+    pub fn start(
+        db: pgdb::Db,
+        bind_addr: &str,
+        config: EndpointConfig,
+    ) -> std::io::Result<QipcEndpoint> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let db = db.clone();
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, db, config);
+                });
+            }
+        });
+        Ok(QipcEndpoint { addr, handle: Some(handle) })
+    }
+
+    /// Detach the accept thread.
+    pub fn detach(mut self) {
+        self.handle.take();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    db: pgdb::Db,
+    config: EndpointConfig,
+) -> std::io::Result<()> {
+    let mut pt = ProtocolTranslator::new();
+    let mut session =
+        HyperQSession::new(share(DirectBackend::new(&db)), config.session);
+    let auth = config.authenticator;
+    let mut chunk = [0u8; 16384];
+
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(());
+        }
+        let actions = match pt.on_bytes(&chunk[..n], &*auth) {
+            Ok(a) => a,
+            Err(_) => return Ok(()), // malformed framing: drop connection
+        };
+        for action in actions {
+            match action {
+                PtAction::Send(bytes) => stream.write_all(&bytes)?,
+                PtAction::Close => return Ok(()),
+                PtAction::ForwardQuery { text, respond } => {
+                    let result = session.execute(&text);
+                    if respond {
+                        let reply = match result {
+                            Ok(value) => pt.on_results(value).unwrap_or_else(|e| {
+                                pt.on_error(&e.to_string())
+                            }),
+                            Err(e) => pt.on_error(&e.to_string()),
+                        };
+                        if let PtAction::Send(bytes) = reply {
+                            stream.write_all(&bytes)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A minimal QIPC client — what a Q application's IPC layer does. Used
+/// by examples, tests and the side-by-side framework's wire mode.
+pub struct QipcClient {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+}
+
+impl QipcClient {
+    /// Connect and perform the credential handshake.
+    pub fn connect(addr: &str, user: &str, password: &str) -> QResult<QipcClient> {
+        let mut stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream
+            .write_all(&qipc::client_handshake(user, password, 3))
+            .map_err(io_err)?;
+        let mut capability = [0u8; 1];
+        stream.read_exact(&mut capability).map_err(|_| {
+            qlang::QError::new(
+                qlang::error::QErrorKind::Other,
+                "server closed connection during handshake (bad credentials?)",
+            )
+        })?;
+        Ok(QipcClient { stream, buffer: Vec::new() })
+    }
+
+    /// Send a synchronous query and wait for the response value.
+    pub fn query(&mut self, q: &str) -> QResult<Value> {
+        let bytes = qipc::write_message(&Message::query(q))?;
+        self.stream.write_all(&bytes).map_err(io_err)?;
+        self.read_response()
+    }
+
+    /// Send an asynchronous message (no response expected).
+    pub fn send_async(&mut self, q: &str) -> QResult<()> {
+        let msg = Message { msg_type: MsgType::Async, value: Value::Chars(q.to_string()) };
+        let bytes = qipc::write_message(&msg)?;
+        self.stream.write_all(&bytes).map_err(io_err)
+    }
+
+    fn read_response(&mut self) -> QResult<Value> {
+        let mut chunk = [0u8; 16384];
+        loop {
+            // kdb+-style error frame? (type byte -128 after the header)
+            if self.buffer.len() >= 9 && self.buffer[8] == 0x80 {
+                let total = u32::from_le_bytes([
+                    self.buffer[4],
+                    self.buffer[5],
+                    self.buffer[6],
+                    self.buffer[7],
+                ]) as usize;
+                if self.buffer.len() >= total {
+                    let text =
+                        String::from_utf8_lossy(&self.buffer[9..total - 1]).into_owned();
+                    self.buffer.drain(..total);
+                    return Err(qlang::QError::new(qlang::error::QErrorKind::Other, text));
+                }
+            } else if let Some((msg, used)) = qipc::read_message(&self.buffer)? {
+                self.buffer.drain(..used);
+                return Ok(msg.value);
+            }
+            let n = self.stream.read(&mut chunk).map_err(io_err)?;
+            if n == 0 {
+                return Err(qlang::QError::new(
+                    qlang::error::QErrorKind::Other,
+                    "connection closed while awaiting response",
+                ));
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> qlang::QError {
+    qlang::QError::new(qlang::error::QErrorKind::Other, format!("io error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader;
+    use qlang::value::Table;
+
+    fn start_with_trades() -> (QipcEndpoint, pgdb::Db) {
+        let db = pgdb::Db::new();
+        // Load through a throwaway session.
+        let mut s = HyperQSession::with_direct(&db);
+        let trades = Table::new(
+            vec!["Symbol".into(), "Price".into()],
+            vec![
+                Value::Symbols(vec!["GOOG".into(), "IBM".into()]),
+                Value::Floats(vec![100.0, 50.0]),
+            ],
+        )
+        .unwrap();
+        loader::load_table(&mut s, "trades", &trades).unwrap();
+        let ep = QipcEndpoint::start(db.clone(), "127.0.0.1:0", EndpointConfig::default()).unwrap();
+        (ep, db)
+    }
+
+    #[test]
+    fn q_application_runs_unchanged_over_the_wire() {
+        let (ep, _db) = start_with_trades();
+        let mut client = QipcClient::connect(&ep.addr.to_string(), "trader", "").unwrap();
+        let v = client.query("select Price from trades where Symbol=`GOOG").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+        ep.detach();
+    }
+
+    #[test]
+    fn session_state_persists_across_queries() {
+        let (ep, _db) = start_with_trades();
+        let mut client = QipcClient::connect(&ep.addr.to_string(), "trader", "").unwrap();
+        client.query("SYMS: `GOOG`MSFT").unwrap();
+        let v = client.query("select Price from trades where Symbol in SYMS").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 1),
+            other => panic!("expected table, got {other:?}"),
+        }
+        ep.detach();
+    }
+
+    #[test]
+    fn errors_come_back_as_kdb_error_frames() {
+        let (ep, _db) = start_with_trades();
+        let mut client = QipcClient::connect(&ep.addr.to_string(), "trader", "").unwrap();
+        let err = client.query("select from nosuch").unwrap_err();
+        assert!(err.to_string().contains("nosuch"), "{err}");
+        // Connection survives the error.
+        assert!(client.query("1+1").is_ok());
+        ep.detach();
+    }
+
+    #[test]
+    fn authentication_rejects_bad_credentials() {
+        let db = pgdb::Db::new();
+        let config = EndpointConfig {
+            authenticator: Arc::new(|user, pass| user == "trader" && pass == "pw"),
+            ..EndpointConfig::default()
+        };
+        let ep = QipcEndpoint::start(db, "127.0.0.1:0", config).unwrap();
+        assert!(QipcClient::connect(&ep.addr.to_string(), "trader", "pw").is_ok());
+        assert!(QipcClient::connect(&ep.addr.to_string(), "intruder", "x").is_err());
+        ep.detach();
+    }
+
+    #[test]
+    fn multiple_clients_have_isolated_sessions() {
+        let (ep, _db) = start_with_trades();
+        let mut a = QipcClient::connect(&ep.addr.to_string(), "a", "").unwrap();
+        let mut b = QipcClient::connect(&ep.addr.to_string(), "b", "").unwrap();
+        a.query("x: 1").unwrap();
+        // b does not see a's session variable.
+        assert!(b.query("select Price from trades where Price > x").is_err());
+        assert!(a.query("select Price from trades where Price > x").is_ok());
+        ep.detach();
+    }
+
+    #[test]
+    fn scalar_results_round_trip() {
+        let (ep, _db) = start_with_trades();
+        let mut client = QipcClient::connect(&ep.addr.to_string(), "t", "").unwrap();
+        let v = client.query("2*3+4").unwrap();
+        assert!(v.q_eq(&Value::long(14)));
+        ep.detach();
+    }
+}

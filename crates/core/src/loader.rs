@@ -1,0 +1,273 @@
+//! Schema mapping and data movement.
+//!
+//! The paper's customers "easily" handled schema mapping and loading
+//! (§5); Hyper-Q assumes data is loaded independently (§1). These helpers
+//! perform that independent load for examples, tests and benchmarks:
+//! a Q table becomes a backend table with the implicit `ordcol` column
+//! prepended — the schema change the paper says ordered semantics
+//! requires (§2.2).
+
+use crate::backend::Backend;
+use crate::session::HyperQSession;
+use qlang::value::{Atom, Table, Value};
+use qlang::{QError, QResult};
+use xtra::ORD_COL;
+
+/// SQL type name for a Q column vector.
+fn sql_type_of(col: &Value) -> &'static str {
+    match col {
+        Value::Bools(_) => "boolean",
+        Value::Shorts(_) => "smallint",
+        Value::Ints(_) => "integer",
+        Value::Longs(_) => "bigint",
+        Value::Reals(_) => "real",
+        Value::Floats(_) => "double precision",
+        Value::Symbols(_) => "varchar",
+        Value::Dates(_) => "date",
+        Value::Times(_) => "time",
+        Value::Timestamps(_) => "timestamp",
+        _ => "text",
+    }
+}
+
+/// SQL literal for one Q atom (INSERT values).
+fn sql_literal(atom: &Atom) -> String {
+    if atom.is_null() {
+        return "NULL".to_string();
+    }
+    match atom {
+        Atom::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Atom::Byte(b) => b.to_string(),
+        Atom::Short(v) => v.to_string(),
+        Atom::Int(v) => v.to_string(),
+        Atom::Long(v) => v.to_string(),
+        Atom::Real(v) => v.to_string(),
+        Atom::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Atom::Char(c) => format!("'{}'", c.to_string().replace('\'', "''")),
+        Atom::Symbol(s) => format!("'{}'", s.replace('\'', "''")),
+        Atom::Date(d) => {
+            let (y, m, dd) = xtra::types::days_to_ymd(*d);
+            format!("'{y:04}-{m:02}-{dd:02}'")
+        }
+        Atom::Time(ms) => {
+            let total = ms / 1000;
+            format!(
+                "'{:02}:{:02}:{:02}.{:03}000'",
+                total / 3600,
+                (total / 60) % 60,
+                total % 60,
+                ms % 1000
+            )
+        }
+        Atom::Timestamp(ns) => {
+            let us = ns / 1000;
+            let days = us.div_euclid(86_400_000_000);
+            let intraday = us.rem_euclid(86_400_000_000);
+            let (y, m, d) = xtra::types::days_to_ymd(days as i32);
+            let secs = intraday / 1_000_000;
+            format!(
+                "'{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}.{:06}'",
+                secs / 3600,
+                (secs / 60) % 60,
+                secs % 60,
+                intraday % 1_000_000
+            )
+        }
+    }
+}
+
+/// Generate the `CREATE TABLE` DDL for a Q table (ordcol included).
+pub fn create_table_ddl(name: &str, table: &Table) -> String {
+    let mut cols = vec![format!("\"{ORD_COL}\" bigint")];
+    for (n, c) in table.names.iter().zip(&table.columns) {
+        cols.push(format!("\"{}\" {}", n.replace('"', "\"\""), sql_type_of(c)));
+    }
+    format!("CREATE TABLE \"{}\" ({})", name.replace('"', "\"\""), cols.join(", "))
+}
+
+/// Generate batched INSERT statements for a Q table's data.
+pub fn insert_statements(name: &str, table: &Table, batch: usize) -> QResult<Vec<String>> {
+    let rows = table.rows();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rows {
+        let end = (i + batch).min(rows);
+        let mut tuples = Vec::with_capacity(end - i);
+        for r in i..end {
+            let mut vals = vec![(r + 1).to_string()];
+            for col in &table.columns {
+                match col.index(r) {
+                    Some(Value::Atom(a)) => vals.push(sql_literal(&a)),
+                    Some(Value::Chars(s)) => {
+                        vals.push(format!("'{}'", s.replace('\'', "''")))
+                    }
+                    other => {
+                        return Err(QError::type_err(format!(
+                            "cannot load nested value {other:?} into a relational backend"
+                        )))
+                    }
+                }
+            }
+            tuples.push(format!("({})", vals.join(", ")));
+        }
+        out.push(format!(
+            "INSERT INTO \"{}\" VALUES {}",
+            name.replace('"', "\"\""),
+            tuples.join(", ")
+        ));
+        i = end;
+    }
+    Ok(out)
+}
+
+/// Load a Q table into the session's backend (create + insert).
+pub fn load_table(session: &mut HyperQSession, name: &str, table: &Table) -> QResult<()> {
+    let backend = session.backend().clone();
+    let mut guard = backend
+        .lock()
+        .map_err(|_| QError::new(qlang::error::QErrorKind::Other, "backend poisoned"))?;
+    run(&mut *guard, &create_table_ddl(name, table))?;
+    for stmt in insert_statements(name, table, 500)? {
+        run(&mut *guard, &stmt)?;
+    }
+    drop(guard);
+    session.invalidate_metadata();
+    Ok(())
+}
+
+/// Fast path for benchmarks: load a Q table straight into an in-process
+/// `pgdb` store, bypassing SQL text (the paper's §1 assumption that data
+/// is loaded independently — here, by the host).
+pub fn load_table_direct(db: &pgdb::Db, name: &str, table: &Table) -> QResult<()> {
+    use pgdb::{Cell, Column, PgType};
+    fn pg_type(col: &Value) -> PgType {
+        match col {
+            Value::Bools(_) => PgType::Bool,
+            Value::Shorts(_) => PgType::Int2,
+            Value::Ints(_) => PgType::Int4,
+            Value::Longs(_) => PgType::Int8,
+            Value::Reals(_) => PgType::Float4,
+            Value::Floats(_) => PgType::Float8,
+            Value::Symbols(_) => PgType::Varchar,
+            Value::Dates(_) => PgType::Date,
+            Value::Times(_) => PgType::Time,
+            Value::Timestamps(_) => PgType::Timestamp,
+            _ => PgType::Text,
+        }
+    }
+    fn cell(atom: &Atom) -> Cell {
+        if atom.is_null() {
+            return Cell::Null;
+        }
+        match atom {
+            Atom::Bool(b) => Cell::Bool(*b),
+            Atom::Byte(b) => Cell::Int(*b as i64),
+            Atom::Short(v) => Cell::Int(*v as i64),
+            Atom::Int(v) => Cell::Int(*v as i64),
+            Atom::Long(v) => Cell::Int(*v),
+            Atom::Real(v) => Cell::Float(*v as f64),
+            Atom::Float(v) => Cell::Float(*v),
+            Atom::Char(c) => Cell::Text(c.to_string()),
+            Atom::Symbol(s) => Cell::Text(s.clone()),
+            Atom::Date(d) => Cell::Date(*d),
+            Atom::Time(ms) => Cell::Time(*ms as i64 * 1000),
+            Atom::Timestamp(ns) => Cell::Timestamp(ns / 1000),
+        }
+    }
+    let mut columns = vec![Column::new(ORD_COL, PgType::Int8)];
+    for (n, c) in table.names.iter().zip(&table.columns) {
+        columns.push(Column::new(n.clone(), pg_type(c)));
+    }
+    let mut rows = Vec::with_capacity(table.rows());
+    for r in 0..table.rows() {
+        let mut row = Vec::with_capacity(columns.len());
+        row.push(Cell::Int(r as i64 + 1));
+        for col in &table.columns {
+            match col.index(r) {
+                Some(Value::Atom(a)) => row.push(cell(&a)),
+                Some(Value::Chars(s)) => row.push(Cell::Text(s)),
+                other => {
+                    return Err(QError::type_err(format!(
+                        "cannot load nested value {other:?}"
+                    )))
+                }
+            }
+        }
+        rows.push(row);
+    }
+    db.put_table(name, columns, rows);
+    Ok(())
+}
+
+fn run(backend: &mut dyn Backend, sql: &str) -> QResult<()> {
+    backend
+        .execute_sql(sql)
+        .map_err(|e| QError::new(qlang::error::QErrorKind::Other, format!("load failed: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            vec!["Sym".into(), "Px".into(), "D".into()],
+            vec![
+                Value::Symbols(vec!["GOOG".into(), "IB'M".into()]),
+                Value::Floats(vec![100.0, f64::NAN]),
+                Value::Dates(vec![6021, i32::MIN]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ddl_includes_ordcol_and_types() {
+        let ddl = create_table_ddl("trades", &sample());
+        assert!(ddl.contains("\"ordcol\" bigint"), "{ddl}");
+        assert!(ddl.contains("\"Sym\" varchar"), "{ddl}");
+        assert!(ddl.contains("\"Px\" double precision"), "{ddl}");
+        assert!(ddl.contains("\"D\" date"), "{ddl}");
+    }
+
+    #[test]
+    fn inserts_number_rows_and_escape() {
+        let stmts = insert_statements("t", &sample(), 100).unwrap();
+        assert_eq!(stmts.len(), 1);
+        let sql = &stmts[0];
+        assert!(sql.contains("(1, 'GOOG'"), "{sql}");
+        assert!(sql.contains("'IB''M'"), "ordcol numbering + escaping: {sql}");
+        // Q nulls load as SQL NULLs.
+        assert!(sql.contains("NULL"), "{sql}");
+    }
+
+    #[test]
+    fn batching_splits_inserts() {
+        let big = Table::new(
+            vec!["x".into()],
+            vec![Value::Longs((0..25).collect())],
+        )
+        .unwrap();
+        let stmts = insert_statements("t", &big, 10).unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn loaded_table_queryable_by_backend() {
+        let db = pgdb::Db::new();
+        let mut s = crate::session::HyperQSession::with_direct(&db);
+        load_table(&mut s, "t", &sample()).unwrap();
+        let v = s.execute("select Sym from t").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 2),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The PG MetaData Interface: resolve table metadata by querying the
+//! backend catalog (paper §3.2.3) — "this corresponds to executing a
+//! query against PG catalog to retrieve various properties of the
+//! searched object."
+
+use crate::backend::SharedBackend;
+use algebrizer::{Mdi, TableMeta};
+use pgdb::{Cell, QueryResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use xtra::{ColumnDef, SqlType};
+
+/// Convert a catalog `data_type` string to the XTRA type system.
+pub fn sql_type_from_name(name: &str) -> SqlType {
+    match name {
+        "boolean" => SqlType::Bool,
+        "smallint" => SqlType::Int2,
+        "integer" => SqlType::Int4,
+        "bigint" => SqlType::Int8,
+        "real" => SqlType::Float4,
+        "double precision" => SqlType::Float8,
+        "varchar" => SqlType::Varchar,
+        "text" => SqlType::Text,
+        "date" => SqlType::Date,
+        "time" => SqlType::Time,
+        "timestamp" => SqlType::Timestamp,
+        _ => SqlType::Text,
+    }
+}
+
+/// MDI that issues real catalog queries against the backend.
+pub struct BackendMdi {
+    backend: SharedBackend,
+    lookups: AtomicU64,
+}
+
+impl BackendMdi {
+    /// Wrap a shared backend.
+    pub fn new(backend: SharedBackend) -> Self {
+        BackendMdi { backend, lookups: AtomicU64::new(0) }
+    }
+}
+
+impl Mdi for BackendMdi {
+    fn table_meta(&self, name: &str) -> Option<TableMeta> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let sql = format!(
+            "SELECT column_name, data_type FROM information_schema.columns \
+             WHERE table_name = '{}' ORDER BY ordinal_position ASC",
+            name.replace('\'', "''")
+        );
+        let result = self.backend.lock().ok()?.execute_sql(&sql).ok()?;
+        let rows = match result {
+            QueryResult::Rows(r) => r,
+            _ => return None,
+        };
+        if rows.is_empty() {
+            return None;
+        }
+        let mut columns = Vec::with_capacity(rows.len());
+        for row in &rows.data {
+            let (Cell::Text(col), Cell::Text(ty)) = (&row[0], &row[1]) else {
+                return None;
+            };
+            let mut def = ColumnDef::new(col.clone(), sql_type_from_name(ty));
+            if col == xtra::ORD_COL {
+                def.nullable = false;
+            }
+            columns.push(def);
+        }
+        Some(TableMeta::new(name, columns))
+    }
+
+    fn lookup_count(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{share, DirectBackend};
+
+    #[test]
+    fn resolves_metadata_through_catalog_queries() {
+        let db = pgdb::Db::new();
+        let shared = share(DirectBackend::new(&db));
+        shared
+            .lock()
+            .unwrap()
+            .execute_sql("CREATE TABLE trades (ordcol bigint, \"Price\" double precision, \"Symbol\" varchar)")
+            .unwrap();
+        let mdi = BackendMdi::new(shared);
+        let meta = mdi.table_meta("trades").expect("table resolves");
+        assert_eq!(meta.columns.len(), 3);
+        assert_eq!(meta.columns[0].name, "ordcol");
+        assert!(!meta.columns[0].nullable);
+        assert_eq!(meta.columns[1].ty, SqlType::Float8);
+        assert_eq!(meta.columns[2].ty, SqlType::Varchar);
+        assert!(meta.has_ord_col());
+        assert_eq!(mdi.lookup_count(), 1);
+    }
+
+    #[test]
+    fn missing_table_resolves_to_none() {
+        let db = pgdb::Db::new();
+        let mdi = BackendMdi::new(share(DirectBackend::new(&db)));
+        assert!(mdi.table_meta("ghost").is_none());
+    }
+
+    #[test]
+    fn type_name_mapping() {
+        assert_eq!(sql_type_from_name("bigint"), SqlType::Int8);
+        assert_eq!(sql_type_from_name("double precision"), SqlType::Float8);
+        assert_eq!(sql_type_from_name("mystery"), SqlType::Text);
+    }
+}

@@ -1,0 +1,330 @@
+//! Result-set pivoting: row streams → column-oriented Q values.
+//!
+//! "QIPC forms the result set in a column-oriented fashion and sends it
+//! as a single message back to the client" (paper §4.2, Figure 5).
+//! Hyper-Q buffers the PG row stream until end-of-content, then pivots:
+//! each output column becomes a typed Q vector, the implicit `ordcol` is
+//! stripped, and SQL types map back onto Q types (varchar → symbol,
+//! microsecond temporals → Q resolutions).
+
+use algebrizer::ResultShape;
+use pgdb::{Cell, PgType, Rows};
+use qlang::value::{Atom, Dict, KeyedTable, Table, Value};
+use qlang::{QError, QResult};
+use xtra::ORD_COL;
+
+/// Convert one SQL cell into a Q atom of the column's type.
+fn cell_to_atom(cell: &Cell, ty: PgType) -> Atom {
+    match cell {
+        Cell::Null => match ty {
+            PgType::Bool => Atom::Bool(false),
+            PgType::Int2 => Atom::Short(i16::MIN),
+            PgType::Int4 => Atom::Int(i32::MIN),
+            PgType::Int8 => Atom::Long(i64::MIN),
+            PgType::Float4 => Atom::Real(f32::NAN),
+            PgType::Float8 => Atom::Float(f64::NAN),
+            PgType::Varchar | PgType::Text => Atom::Symbol(String::new()),
+            PgType::Date => Atom::Date(i32::MIN),
+            PgType::Time => Atom::Time(i32::MIN),
+            PgType::Timestamp => Atom::Timestamp(i64::MIN),
+        },
+        Cell::Bool(b) => Atom::Bool(*b),
+        Cell::Int(v) => match ty {
+            PgType::Int2 => Atom::Short(*v as i16),
+            PgType::Int4 => Atom::Int(*v as i32),
+            _ => Atom::Long(*v),
+        },
+        Cell::Float(f) => match ty {
+            PgType::Float4 => Atom::Real(*f as f32),
+            _ => Atom::Float(*f),
+        },
+        Cell::Text(s) => Atom::Symbol(s.clone()),
+        // SQL dates share the Q epoch (days since 2000-01-01).
+        Cell::Date(d) => Atom::Date(*d),
+        // µs → ms.
+        Cell::Time(us) => Atom::Time((us / 1000) as i32),
+        // µs → ns.
+        Cell::Timestamp(us) => Atom::Timestamp(us.saturating_mul(1000)),
+    }
+}
+
+/// The empty Q vector matching a SQL column type (so empty results stay
+/// typed, not generic lists).
+fn empty_vector(ty: PgType) -> Value {
+    match ty {
+        PgType::Bool => Value::Bools(vec![]),
+        PgType::Int2 => Value::Shorts(vec![]),
+        PgType::Int4 => Value::Ints(vec![]),
+        PgType::Int8 => Value::Longs(vec![]),
+        PgType::Float4 => Value::Reals(vec![]),
+        PgType::Float8 => Value::Floats(vec![]),
+        PgType::Varchar | PgType::Text => Value::Symbols(vec![]),
+        PgType::Date => Value::Dates(vec![]),
+        PgType::Time => Value::Times(vec![]),
+        PgType::Timestamp => Value::Timestamps(vec![]),
+    }
+}
+
+/// Pivot one column of the row set into a typed Q vector.
+fn pivot_column(rows: &Rows, idx: usize) -> Value {
+    let ty = rows.columns[idx].ty;
+    if rows.data.is_empty() {
+        return empty_vector(ty);
+    }
+    let atoms: Vec<Value> = rows
+        .data
+        .iter()
+        .map(|r| Value::Atom(cell_to_atom(&r[idx], ty)))
+        .collect();
+    Value::from_elements(atoms)
+}
+
+/// Pivot a full row set into a Q table, stripping the implicit order
+/// column.
+pub fn rows_to_table(rows: &Rows) -> QResult<Table> {
+    let mut t = Table::default();
+    for (i, col) in rows.columns.iter().enumerate() {
+        if col.name == ORD_COL {
+            continue;
+        }
+        t.push_column(col.name.clone(), pivot_column(rows, i))?;
+    }
+    Ok(t)
+}
+
+/// Pivot a row set into the Q value shape the application expects.
+pub fn pivot(rows: &Rows, shape: ResultShape) -> QResult<Value> {
+    match shape {
+        ResultShape::Table => Ok(Value::Table(Box::new(rows_to_table(rows)?))),
+        ResultShape::KeyedTable { key_cols } => {
+            let full = rows_to_table(rows)?;
+            if key_cols > full.width() {
+                return Err(QError::length("keyed result has fewer columns than keys"));
+            }
+            let key = Table {
+                names: full.names[..key_cols].to_vec(),
+                columns: full.columns[..key_cols].to_vec(),
+            };
+            let value = Table {
+                names: full.names[key_cols..].to_vec(),
+                columns: full.columns[key_cols..].to_vec(),
+            };
+            Ok(Value::KeyedTable(Box::new(KeyedTable { key, value })))
+        }
+        ResultShape::Column => {
+            let t = rows_to_table(rows)?;
+            t.columns
+                .into_iter()
+                .next()
+                .ok_or_else(|| QError::length("exec result has no columns"))
+        }
+        ResultShape::Dict => {
+            let t = rows_to_table(rows)?;
+            Ok(Value::Dict(Box::new(Dict::new(
+                Value::Symbols(t.names),
+                Value::Mixed(t.columns),
+            )?)))
+        }
+        ResultShape::GroupDict => {
+            // `exec agg by g`: first column keys, second column values.
+            let t = rows_to_table(rows)?;
+            let mut cols = t.columns.into_iter();
+            let keys = cols
+                .next()
+                .ok_or_else(|| QError::length("grouped exec result has no key column"))?;
+            let values = cols
+                .next()
+                .ok_or_else(|| QError::length("grouped exec result has no value column"))?;
+            Ok(Value::Dict(Box::new(Dict::new(keys, values)?)))
+        }
+        ResultShape::Atom => {
+            let t = rows_to_table(rows)?;
+            let col = t
+                .columns
+                .into_iter()
+                .next()
+                .ok_or_else(|| QError::length("scalar result has no columns"))?;
+            Ok(col.index(0).unwrap_or_else(|| col.null_element()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdb::Column;
+
+    fn sample_rows() -> Rows {
+        Rows {
+            columns: vec![
+                Column::new(ORD_COL, PgType::Int8),
+                Column::new("Symbol", PgType::Varchar),
+                Column::new("Price", PgType::Float8),
+            ],
+            data: vec![
+                vec![Cell::Int(1), Cell::Text("GOOG".into()), Cell::Float(100.0)],
+                vec![Cell::Int(2), Cell::Text("IBM".into()), Cell::Null],
+            ],
+        }
+    }
+
+    #[test]
+    fn pivots_rows_to_columns_and_strips_ordcol() {
+        let v = pivot(&sample_rows(), ResultShape::Table).unwrap();
+        match v {
+            Value::Table(t) => {
+                assert_eq!(t.names, vec!["Symbol".to_string(), "Price".into()]);
+                assert!(t
+                    .column("Symbol")
+                    .unwrap()
+                    .q_eq(&Value::Symbols(vec!["GOOG".into(), "IBM".into()])));
+                // SQL NULL became the Q float null.
+                match t.column("Price").unwrap() {
+                    Value::Floats(v) => {
+                        assert_eq!(v[0], 100.0);
+                        assert!(v[1].is_nan());
+                    }
+                    other => panic!("expected floats, got {other:?}"),
+                }
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn column_shape_yields_vector() {
+        let rows = Rows {
+            columns: vec![Column::new("Price", PgType::Float8)],
+            data: vec![vec![Cell::Float(1.0)], vec![Cell::Float(2.0)]],
+        };
+        let v = pivot(&rows, ResultShape::Column).unwrap();
+        assert!(v.q_eq(&Value::Floats(vec![1.0, 2.0])));
+    }
+
+    #[test]
+    fn atom_shape_yields_scalar() {
+        let rows = Rows {
+            columns: vec![Column::new("mx", PgType::Float8)],
+            data: vec![vec![Cell::Float(101.5)]],
+        };
+        let v = pivot(&rows, ResultShape::Atom).unwrap();
+        assert!(v.q_eq(&Value::float(101.5)));
+    }
+
+    #[test]
+    fn keyed_table_shape_splits_columns() {
+        let rows = Rows {
+            columns: vec![
+                Column::new("Symbol", PgType::Varchar),
+                Column::new("mx", PgType::Float8),
+            ],
+            data: vec![vec![Cell::Text("GOOG".into()), Cell::Float(101.5)]],
+        };
+        let v = pivot(&rows, ResultShape::KeyedTable { key_cols: 1 }).unwrap();
+        match v {
+            Value::KeyedTable(k) => {
+                assert_eq!(k.key.names, vec!["Symbol".to_string()]);
+                assert_eq!(k.value.names, vec!["mx".to_string()]);
+            }
+            other => panic!("expected keyed table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dict_shape() {
+        let rows = Rows {
+            columns: vec![
+                Column::new("a", PgType::Int8),
+                Column::new("b", PgType::Int8),
+            ],
+            data: vec![vec![Cell::Int(1), Cell::Int(2)]],
+        };
+        let v = pivot(&rows, ResultShape::Dict).unwrap();
+        match v {
+            Value::Dict(d) => {
+                assert!(d.get(&Value::symbol("a")).q_eq(&Value::Longs(vec![1])));
+            }
+            other => panic!("expected dict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_dict_shape_keys_by_first_column() {
+        let rows = Rows {
+            columns: vec![
+                Column::new("Symbol", PgType::Varchar),
+                Column::new("mx", PgType::Float8),
+            ],
+            data: vec![
+                vec![Cell::Text("GOOG".into()), Cell::Float(101.5)],
+                vec![Cell::Text("IBM".into()), Cell::Float(50.0)],
+            ],
+        };
+        let v = pivot(&rows, ResultShape::GroupDict).unwrap();
+        match v {
+            Value::Dict(d) => {
+                assert!(d.keys.q_eq(&Value::Symbols(vec!["GOOG".into(), "IBM".into()])));
+                assert!(d.get(&Value::symbol("IBM")).q_eq(&Value::float(50.0)));
+            }
+            other => panic!("expected dict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_resolution_restored() {
+        let rows = Rows {
+            columns: vec![
+                Column::new("d", PgType::Date),
+                Column::new("t", PgType::Time),
+                Column::new("ts", PgType::Timestamp),
+            ],
+            data: vec![vec![
+                Cell::Date(6021),
+                Cell::Time(34_200_000_000),
+                Cell::Timestamp(1_000),
+            ]],
+        };
+        let t = rows_to_table(&rows).unwrap();
+        assert!(t.column("d").unwrap().q_eq(&Value::Dates(vec![6021])));
+        // µs → ms.
+        assert!(t.column("t").unwrap().q_eq(&Value::Times(vec![34_200_000])));
+        // µs → ns.
+        assert!(t.column("ts").unwrap().q_eq(&Value::Timestamps(vec![1_000_000])));
+    }
+
+    #[test]
+    fn int_widths_map_to_q_types() {
+        let rows = Rows {
+            columns: vec![
+                Column::new("a", PgType::Int2),
+                Column::new("b", PgType::Int4),
+                Column::new("c", PgType::Int8),
+            ],
+            data: vec![vec![Cell::Int(1), Cell::Int(2), Cell::Int(3)]],
+        };
+        let t = rows_to_table(&rows).unwrap();
+        assert!(matches!(t.column("a").unwrap(), Value::Shorts(_)));
+        assert!(matches!(t.column("b").unwrap(), Value::Ints(_)));
+        assert!(matches!(t.column("c").unwrap(), Value::Longs(_)));
+    }
+
+    #[test]
+    fn empty_result_pivots_to_empty_table() {
+        let rows = Rows {
+            columns: vec![Column::new("x", PgType::Int8)],
+            data: vec![],
+        };
+        let v = pivot(&rows, ResultShape::Table).unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 0),
+            other => panic!("expected table, got {other:?}"),
+        }
+        // Atom over empty rows yields the typed null.
+        let rows = Rows {
+            columns: vec![Column::new("x", PgType::Int8)],
+            data: vec![],
+        };
+        let v = pivot(&rows, ResultShape::Atom).unwrap();
+        assert!(matches!(v, Value::Atom(a) if a.is_null()));
+    }
+}

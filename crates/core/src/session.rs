@@ -1,0 +1,428 @@
+//! A Hyper-Q session: the query life cycle of paper Figure 1.
+//!
+//! Each connected Q application gets a session holding its variable-scope
+//! hierarchy, its temp-table sequence, the metadata cache and a backend
+//! connection. `execute` drives: parse → algebrize → transform →
+//! serialize → run on backend → pivot results back into Q values —
+//! including the eager materialization of variable assignments (§4.3).
+
+use crate::backend::{share, DirectBackend, SharedBackend};
+use crate::mdi_backend::BackendMdi;
+use crate::pivot::pivot;
+use crate::translate::{StageTimings, Translation, TranslationStats, Translator};
+use algebrizer::{CachingMdi, MaterializationPolicy, Scopes};
+use pgdb::QueryResult;
+use qlang::{QError, QResult, Value};
+use std::time::Duration;
+use xformer::XformConfig;
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Materialization policy for Q variable assignments.
+    pub policy: MaterializationPolicy,
+    /// Transformation configuration.
+    pub xform: XformConfig,
+    /// Metadata cache TTL. The paper's experiments run with caching
+    /// enabled; set to `Duration::ZERO` to disable (Ablation A).
+    pub metadata_cache_ttl: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            policy: MaterializationPolicy::Logical,
+            xform: XformConfig::default(),
+            metadata_cache_ttl: Duration::from_secs(300),
+        }
+    }
+}
+
+/// A live Hyper-Q session.
+pub struct HyperQSession {
+    backend: SharedBackend,
+    mdi: CachingMdi<BackendMdi>,
+    scopes: Scopes,
+    temp_seq: usize,
+    translator: Translator,
+    /// Accumulated translation statistics (drives the Figure 6/7
+    /// harnesses).
+    pub stats: TranslationStats,
+}
+
+impl HyperQSession {
+    /// Open a session over a shared backend.
+    pub fn new(backend: SharedBackend, config: SessionConfig) -> Self {
+        let mdi = CachingMdi::new(BackendMdi::new(backend.clone()), config.metadata_cache_ttl);
+        HyperQSession {
+            backend,
+            mdi,
+            scopes: Scopes::new(),
+            temp_seq: 0,
+            translator: Translator {
+                xformer: xformer::Xformer::with_config(config.xform),
+                policy: config.policy,
+            },
+            stats: TranslationStats::default(),
+        }
+    }
+
+    /// Convenience: session over an in-process `pgdb` database.
+    pub fn with_direct(db: &pgdb::Db) -> Self {
+        Self::new(share(DirectBackend::new(db)), SessionConfig::default())
+    }
+
+    /// Convenience: in-process session with explicit configuration.
+    pub fn with_direct_config(db: &pgdb::Db, config: SessionConfig) -> Self {
+        Self::new(share(DirectBackend::new(db)), config)
+    }
+
+    /// Borrow the shared backend (e.g. to load data).
+    pub fn backend(&self) -> &SharedBackend {
+        &self.backend
+    }
+
+    /// Metadata cache statistics.
+    pub fn cache_stats(&self) -> algebrizer::MdiStats {
+        self.mdi.stats()
+    }
+
+    /// Invalidate the metadata cache (after external DDL).
+    pub fn invalidate_metadata(&self) {
+        self.mdi.invalidate_all();
+    }
+
+    /// Execute a Q program; returns the value of the last statement.
+    pub fn execute(&mut self, q_text: &str) -> QResult<Value> {
+        let (value, _) = self.execute_traced(q_text)?;
+        Ok(value)
+    }
+
+    /// Execute and return the per-statement translations alongside the
+    /// final value (for instrumentation).
+    pub fn execute_traced(&mut self, q_text: &str) -> QResult<(Value, Vec<Translation>)> {
+        let translations = self.translator.translate_program(
+            q_text,
+            &self.mdi,
+            &mut self.scopes,
+            &mut self.temp_seq,
+        )?;
+        let mut last = Value::Nil;
+        for tr in &translations {
+            self.stats.statements += 1;
+            self.stats.timings.add(&tr.timings);
+            self.stats.rules.null_rewrites += tr.xform_report.null_rewrites;
+            self.stats.rules.columns_pruned += tr.xform_report.columns_pruned;
+            self.stats.rules.sorts_elided += tr.xform_report.sorts_elided;
+            for stmt in &tr.statements {
+                let result = self
+                    .backend
+                    .lock()
+                    .map_err(|_| QError::new(qlang::error::QErrorKind::Other, "backend poisoned"))?
+                    .execute_sql(&stmt.sql)
+                    .map_err(|e| {
+                        // Hyper-Q error messages are deliberately more
+                        // verbose than kdb+'s (paper §5).
+                        QError::new(
+                            qlang::error::QErrorKind::Other,
+                            format!("backend error {} while executing {:?}: {}", e.code, stmt.sql, e.message),
+                        )
+                    })?;
+                if stmt.returns_rows {
+                    match result {
+                        QueryResult::Rows(rows) => {
+                            last = pivot(&rows, stmt.shape.unwrap())?;
+                        }
+                        QueryResult::Command(tag) => {
+                            return Err(QError::new(
+                                qlang::error::QErrorKind::Other,
+                                format!("expected rows, backend answered {tag}"),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok((last, translations))
+    }
+
+    /// Translate without executing (used by the translation-overhead
+    /// benchmarks; still performs metadata lookups).
+    pub fn translate_only(&mut self, q_text: &str) -> QResult<Vec<Translation>> {
+        self.translator.translate_program(
+            q_text,
+            &self.mdi,
+            &mut self.scopes,
+            &mut self.temp_seq,
+        )
+    }
+
+    /// Accumulated stage timings.
+    pub fn timings(&self) -> StageTimings {
+        self.stats.timings
+    }
+
+    /// End the session: session-scope variables are promoted to server
+    /// scope (paper §3.2.3).
+    pub fn end_session(&mut self) {
+        self.scopes.end_session();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader;
+    use qlang::value::{Atom, Table};
+
+    fn trades() -> Table {
+        Table::new(
+            vec!["Date".into(), "Symbol".into(), "Time".into(), "Price".into(), "Size".into()],
+            vec![
+                Value::Dates(vec![6021, 6021, 6022]),
+                Value::Symbols(vec!["GOOG".into(), "IBM".into(), "GOOG".into()]),
+                Value::Times(vec![34_200_000, 34_260_000, 34_320_000]),
+                Value::Floats(vec![100.0, 50.0, 101.5]),
+                Value::Longs(vec![10, 20, 30]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn session() -> HyperQSession {
+        let db = pgdb::Db::new();
+        let mut s = HyperQSession::with_direct(&db);
+        loader::load_table(&mut s, "trades", &trades()).unwrap();
+        s
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut s = session();
+        let v = s.execute("select Price from trades where Symbol=`GOOG").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0, 101.5])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_aggregation() {
+        let mut s = session();
+        let v = s.execute("select mx: max Price, n: count i from trades").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert_eq!(t.rows(), 1);
+                assert!(t.column("mx").unwrap().q_eq(&Value::Floats(vec![101.5])));
+                assert!(t.column("n").unwrap().q_eq(&Value::Longs(vec![3])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_group_by_returns_keyed_table() {
+        let mut s = session();
+        let v = s.execute("select mx: max Price by Symbol from trades").unwrap();
+        match v {
+            Value::KeyedTable(k) => {
+                assert!(k
+                    .key
+                    .column("Symbol")
+                    .unwrap()
+                    .q_eq(&Value::Symbols(vec!["GOOG".into(), "IBM".into()])));
+                assert!(k.value.column("mx").unwrap().q_eq(&Value::Floats(vec![101.5, 50.0])));
+            }
+            other => panic!("expected keyed table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_exec_column() {
+        let mut s = session();
+        let v = s.execute("exec Price from trades").unwrap();
+        assert!(v.q_eq(&Value::Floats(vec![100.0, 50.0, 101.5])));
+    }
+
+    #[test]
+    fn two_valued_null_semantics_preserved_through_translation() {
+        let db = pgdb::Db::new();
+        let mut s = HyperQSession::with_direct(&db);
+        let t = Table::new(
+            vec!["Sym".into(), "Px".into()],
+            vec![
+                Value::Symbols(vec!["".into(), "A".into()]),
+                Value::Floats(vec![1.0, 2.0]),
+            ],
+        )
+        .unwrap();
+        loader::load_table(&mut s, "t", &t).unwrap();
+        // In Q, a null symbol equals a null symbol: the row must match.
+        let v = s.execute("select Px from t where Sym=`").unwrap();
+        match v {
+            Value::Table(out) => {
+                assert!(out.column("Px").unwrap().q_eq(&Value::Floats(vec![1.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_3_physical_materialization() {
+        let db = pgdb::Db::new();
+        let cfg = SessionConfig {
+            policy: MaterializationPolicy::Physical,
+            ..SessionConfig::default()
+        };
+        let mut s = HyperQSession::with_direct_config(&db, cfg);
+        loader::load_table(&mut s, "trades", &trades()).unwrap();
+        s.execute("f: {[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt}")
+            .unwrap();
+        let (v, trs) = s.execute_traced("f[`GOOG]").unwrap();
+        // CREATE TEMPORARY TABLE was emitted.
+        let all_sql: Vec<&str> =
+            trs.iter().flat_map(|t| t.statements.iter().map(|s| s.sql.as_str())).collect();
+        assert!(
+            all_sql.iter().any(|s| s.starts_with("CREATE TEMPORARY TABLE")),
+            "{all_sql:?}"
+        );
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![101.5])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_unrolling_logical() {
+        let mut s = session();
+        s.execute("f: {[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt}")
+            .unwrap();
+        let v = s.execute("f[`IBM]").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![50.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metadata_cache_warms_across_queries() {
+        let mut s = session();
+        s.execute("select Price from trades").unwrap();
+        s.execute("select Size from trades").unwrap();
+        s.execute("select Symbol from trades").unwrap();
+        let stats = s.cache_stats();
+        assert!(stats.hits >= 2, "repeat lookups served from cache: {stats:?}");
+    }
+
+    #[test]
+    fn scalar_expression_round_trips() {
+        let mut s = session();
+        let v = s.execute("1+2").unwrap();
+        assert!(v.q_eq(&Value::long(3)));
+    }
+
+    #[test]
+    fn errors_are_verbose() {
+        let mut s = session();
+        let err = s.execute("select from nosuchtable").unwrap_err();
+        assert!(err.to_string().contains("nosuchtable"), "{err}");
+    }
+
+    #[test]
+    fn update_via_hyperq_is_output_only() {
+        let mut s = session();
+        let v = s.execute("update Price: 2*Price from trades where Symbol=`IBM").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0, 100.0, 101.5])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+        // Source unchanged.
+        let v = s.execute("exec Price from trades").unwrap();
+        assert!(v.q_eq(&Value::Floats(vec![100.0, 50.0, 101.5])));
+    }
+
+    #[test]
+    fn delete_rows_via_hyperq() {
+        let mut s = session();
+        let v = s.execute("delete from trades where Symbol=`IBM").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 2),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_first_rows() {
+        let mut s = session();
+        let v = s.execute("2#trades").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert_eq!(t.rows(), 2);
+                assert!(t
+                    .column("Symbol")
+                    .unwrap()
+                    .q_eq(&Value::Symbols(vec!["GOOG".into(), "IBM".into()])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordering_preserved_through_pipeline() {
+        let mut s = session();
+        // Sort descending by price, then make sure row order survives
+        // the round trip (ordered-list semantics).
+        let v = s.execute("`Price xdesc trades").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![101.5, 100.0, 50.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variables_shadow_and_expire() {
+        let mut s = session();
+        s.execute("lim: 15").unwrap();
+        let v = s.execute("select Price from trades where Size>lim").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 2),
+            other => panic!("expected table, got {other:?}"),
+        }
+        // Session scope: redefine and observe the change.
+        s.execute("lim: 25").unwrap();
+        let v = s.execute("select Price from trades where Size>lim").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 1),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamps_round_trip_through_backend() {
+        let db = pgdb::Db::new();
+        let mut s = HyperQSession::with_direct(&db);
+        let ts = qlang::temporal::parse_timestamp("2016.06.26D09:30:00.000001000").unwrap();
+        let t = Table::new(
+            vec!["ts".into()],
+            vec![Value::Timestamps(vec![ts])],
+        )
+        .unwrap();
+        loader::load_table(&mut s, "t", &t).unwrap();
+        let v = s.execute("exec ts from t").unwrap();
+        match v {
+            Value::Timestamps(out) => assert_eq!(out[0], ts),
+            Value::Atom(Atom::Timestamp(out)) => assert_eq!(out, ts),
+            other => panic!("expected timestamps, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The side-by-side testing framework of paper §5.
+//!
+//! "As we implemented features from the customer workload, we needed a
+//! way to ensure the exact same behavior to the application as before.
+//! For this purpose we built a side-by-side testing framework."
+//!
+//! The same data is loaded into the reference Q engine (the kdb+
+//! stand-in) and, through the loader, into the backend; each query is
+//! executed on both paths and the results compared under Q equality
+//! (two-valued nulls and all).
+
+use crate::loader;
+use crate::session::{HyperQSession, SessionConfig};
+use qengine::Interp;
+use qlang::value::{Table, Value};
+use qlang::{QError, QResult};
+
+/// Outcome of one side-by-side check.
+#[derive(Debug, Clone)]
+pub enum Comparison {
+    /// Both paths produced Q-equal values.
+    Match(Value),
+    /// The values differ.
+    Mismatch {
+        /// What the reference engine computed.
+        reference: Value,
+        /// What came back through Hyper-Q.
+        translated: Value,
+    },
+    /// The reference engine errored but Hyper-Q did not (or vice versa).
+    ErrorDivergence {
+        /// Reference-side error, if any.
+        reference_err: Option<String>,
+        /// Hyper-Q-side error, if any.
+        translated_err: Option<String>,
+    },
+}
+
+impl Comparison {
+    /// Did the two paths agree?
+    pub fn is_match(&self) -> bool {
+        matches!(self, Comparison::Match(_))
+    }
+}
+
+/// The framework: one reference interpreter and one Hyper-Q session over
+/// the same logical data.
+pub struct SideBySide {
+    /// The reference engine.
+    pub reference: Interp,
+    /// The virtualized path.
+    pub hyperq: HyperQSession,
+}
+
+impl SideBySide {
+    /// Create over a fresh in-process backend.
+    pub fn new(db: &pgdb::Db) -> Self {
+        SideBySide { reference: Interp::new(), hyperq: HyperQSession::with_direct(db) }
+    }
+
+    /// Create with an explicit session configuration.
+    pub fn with_config(db: &pgdb::Db, config: SessionConfig) -> Self {
+        SideBySide {
+            reference: Interp::new(),
+            hyperq: HyperQSession::with_direct_config(db, config),
+        }
+    }
+
+    /// Load a table into both worlds.
+    pub fn load(&mut self, name: &str, table: &Table) -> QResult<()> {
+        self.reference.define_table(name, table.clone());
+        loader::load_table(&mut self.hyperq, name, table)
+    }
+
+    /// Run a query on both paths and compare.
+    pub fn check(&mut self, q: &str) -> Comparison {
+        let ref_result = self.reference.run(q);
+        let hq_result = self.hyperq.execute(q);
+        match (ref_result, hq_result) {
+            (Ok(a), Ok(b)) => {
+                if values_agree(&a, &b) {
+                    Comparison::Match(a)
+                } else {
+                    Comparison::Mismatch { reference: a, translated: b }
+                }
+            }
+            (Err(e), Ok(_)) => Comparison::ErrorDivergence {
+                reference_err: Some(e.to_string()),
+                translated_err: None,
+            },
+            (Ok(_), Err(e)) => Comparison::ErrorDivergence {
+                reference_err: None,
+                translated_err: Some(e.to_string()),
+            },
+            // Both erroring counts as agreement (same behaviour).
+            (Err(a), Err(b)) => Comparison::ErrorDivergence {
+                reference_err: Some(a.to_string()),
+                translated_err: Some(b.to_string()),
+            },
+        }
+    }
+
+    /// Run a batch of queries; return the failures.
+    pub fn check_all(&mut self, queries: &[&str]) -> Vec<(String, Comparison)> {
+        let mut failures = Vec::new();
+        for q in queries {
+            let c = self.check(q);
+            if !c.is_match() {
+                failures.push((q.to_string(), c));
+            }
+        }
+        failures
+    }
+
+    /// Assert agreement, with a verbose diff on failure (test helper).
+    pub fn assert_match(&mut self, q: &str) -> QResult<Value> {
+        match self.check(q) {
+            Comparison::Match(v) => Ok(v),
+            Comparison::Mismatch { reference, translated } => Err(QError::new(
+                qlang::error::QErrorKind::Other,
+                format!(
+                    "side-by-side mismatch for {q:?}:\nreference:\n{reference}\ntranslated:\n{translated}"
+                ),
+            )),
+            Comparison::ErrorDivergence { reference_err, translated_err } => Err(QError::new(
+                qlang::error::QErrorKind::Other,
+                format!(
+                    "side-by-side error divergence for {q:?}: reference={reference_err:?} translated={translated_err:?}"
+                ),
+            )),
+        }
+    }
+}
+
+/// Q-equality with tolerance for representational differences between
+/// the engine and the pivoted backend results: an engine table compares
+/// equal to a pivoted table with identical columns even when numeric
+/// widths differ (the backend promotes).
+fn values_agree(a: &Value, b: &Value) -> bool {
+    if a.q_eq(b) {
+        return true;
+    }
+    match (a, b) {
+        // Keyed tables vs tables with the same flattened content.
+        (Value::KeyedTable(k), Value::KeyedTable(j)) => {
+            let fa = flatten(k);
+            let fb = flatten(j);
+            Value::Table(Box::new(fa)).q_eq(&Value::Table(Box::new(fb)))
+        }
+        _ => false,
+    }
+}
+
+fn flatten(k: &qlang::KeyedTable) -> Table {
+    Table {
+        names: k.key.names.iter().chain(&k.value.names).cloned().collect(),
+        columns: k.key.columns.iter().chain(&k.value.columns).cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framework() -> SideBySide {
+        let db = pgdb::Db::new();
+        let mut f = SideBySide::new(&db);
+        let trades = Table::new(
+            vec!["Date".into(), "Symbol".into(), "Time".into(), "Price".into(), "Size".into()],
+            vec![
+                Value::Dates(vec![6021, 6021, 6022, 6022]),
+                Value::Symbols(vec!["GOOG".into(), "IBM".into(), "GOOG".into(), "MSFT".into()]),
+                Value::Times(vec![34_200_000, 34_260_000, 34_320_000, 34_380_000]),
+                Value::Floats(vec![100.0, 50.0, 101.5, 70.25]),
+                Value::Longs(vec![10, 20, 30, 40]),
+            ],
+        )
+        .unwrap();
+        f.load("trades", &trades).unwrap();
+        f
+    }
+
+    #[test]
+    fn simple_queries_agree() {
+        let mut f = framework();
+        f.assert_match("select from trades").unwrap();
+        f.assert_match("select Price from trades where Symbol=`GOOG").unwrap();
+        f.assert_match("select Price, Size from trades where Date=2016.06.26").unwrap();
+    }
+
+    #[test]
+    fn filters_and_membership_agree() {
+        let mut f = framework();
+        f.assert_match("select Price from trades where Symbol in `GOOG`MSFT").unwrap();
+        f.assert_match("select Price from trades where Size>15, Price<100").unwrap();
+        f.assert_match("select from trades where Price within 50 101").unwrap();
+    }
+
+    #[test]
+    fn aggregations_agree() {
+        let mut f = framework();
+        f.assert_match("select mx: max Price, mn: min Price, s: sum Size from trades").unwrap();
+        f.assert_match("exec Price from trades").unwrap();
+    }
+
+    #[test]
+    fn group_by_agrees() {
+        let mut f = framework();
+        f.assert_match("select mx: max Price by Symbol from trades").unwrap();
+        f.assert_match("select n: count i by Date from trades").unwrap();
+    }
+
+    #[test]
+    fn update_and_delete_agree() {
+        let mut f = framework();
+        f.assert_match("update Notional: Price*Size from trades").unwrap();
+        f.assert_match("delete from trades where Symbol=`IBM").unwrap();
+    }
+
+    #[test]
+    fn variables_and_functions_agree() {
+        let mut f = framework();
+        f.assert_match("SYMS: `GOOG`IBM; select Price from trades where Symbol in SYMS").unwrap();
+        f.assert_match(concat!(
+            "f: {[s] dt: select Price from trades where Symbol=s; :select max Price from dt}; ",
+            "f[`GOOG]"
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn sorting_agrees() {
+        let mut f = framework();
+        f.assert_match("`Price xdesc trades").unwrap();
+        f.assert_match("`Symbol`Time xasc trades").unwrap();
+    }
+
+    #[test]
+    fn check_all_reports_failures_only() {
+        let mut f = framework();
+        let failures = f.check_all(&[
+            "select from trades",
+            "select mx: max Price by Symbol from trades",
+        ]);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn mismatch_detection_works() {
+        // Deliberately diverge the two worlds to prove the framework can
+        // see a difference.
+        let db = pgdb::Db::new();
+        let mut f = SideBySide::new(&db);
+        let t1 = Table::new(vec!["x".into()], vec![Value::Longs(vec![1])]).unwrap();
+        let t2 = Table::new(vec!["x".into()], vec![Value::Longs(vec![2])]).unwrap();
+        f.reference.define_table("t", t1);
+        loader::load_table(&mut f.hyperq, "t", &t2).unwrap();
+        let c = f.check("exec x from t");
+        assert!(!c.is_match());
+        assert!(matches!(c, Comparison::Mismatch { .. }));
+    }
+}

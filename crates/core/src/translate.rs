@@ -1,0 +1,352 @@
+//! The Query Translator: Q text → SQL statements, with per-stage timing.
+//!
+//! Translation goes through the stages the paper's evaluation instruments
+//! (§6): **algebrization** of Q queries to XTRA (including metadata
+//! lookups), **optimization** by applying XTRA transformations, and
+//! **serialization** of XTRA expressions to SQL. [`StageTimings`] captures
+//! each stage so the Figure 6/7 harnesses can reproduce the measurements.
+
+use algebrizer::{Binder, Bound, MaterializationPolicy, ResultShape, Scopes, SideStatement};
+use algebrizer::Mdi;
+use qlang::{QError, QResult};
+use std::time::{Duration, Instant};
+use xformer::{XformReport, Xformer};
+
+/// Wall-clock time spent in each translation stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Q text → AST.
+    pub parse: Duration,
+    /// AST → XTRA (binding, metadata lookups, scope resolution).
+    pub algebrize: Duration,
+    /// XTRA transformations.
+    pub optimize: Duration,
+    /// XTRA → SQL text.
+    pub serialize: Duration,
+}
+
+impl StageTimings {
+    /// Total translation time.
+    pub fn total(&self) -> Duration {
+        self.parse + self.algebrize + self.optimize + self.serialize
+    }
+
+    /// Accumulate another measurement.
+    pub fn add(&mut self, other: &StageTimings) {
+        self.parse += other.parse;
+        self.algebrize += other.algebrize;
+        self.optimize += other.optimize;
+        self.serialize += other.serialize;
+    }
+}
+
+/// One SQL statement to run on the backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlStatement {
+    /// The SQL text.
+    pub sql: String,
+    /// Whether the Q application expects rows back from this statement
+    /// (side statements never return rows).
+    pub returns_rows: bool,
+    /// Expected Q result shape (for pivoting), when `returns_rows`.
+    pub shape: Option<ResultShape>,
+}
+
+/// Result of translating one Q statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Translation {
+    /// SQL statements, in execution order (materializations first).
+    pub statements: Vec<SqlStatement>,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+    /// Which transformations fired.
+    pub xform_report: XformReport,
+    /// True when the statement was fully absorbed into Hyper-Q state
+    /// (e.g. a function definition) and needs no backend round trip.
+    pub absorbed: bool,
+}
+
+/// Aggregated statistics across many translations (bench harness).
+#[derive(Debug, Clone, Default)]
+pub struct TranslationStats {
+    /// Statements translated.
+    pub statements: usize,
+    /// Accumulated stage timings.
+    pub timings: StageTimings,
+    /// Accumulated transformation report.
+    pub rules: XformReport,
+}
+
+/// The translator: owns the transformation configuration and the
+/// materialization policy; scopes and sequence numbers belong to the
+/// session and are passed per call.
+#[derive(Debug, Clone, Copy)]
+pub struct Translator {
+    /// Transformation configuration (ablations toggle rules here).
+    pub xformer: Xformer,
+    /// Materialization policy for Q variable assignments.
+    pub policy: MaterializationPolicy,
+}
+
+impl Default for Translator {
+    fn default() -> Self {
+        Translator { xformer: Xformer::new(), policy: MaterializationPolicy::Logical }
+    }
+}
+
+impl Translator {
+    /// Create a translator with defaults (all transformations on,
+    /// logical materialization).
+    pub fn new() -> Self {
+        Translator::default()
+    }
+
+    /// Translate a full Q program (possibly several `;`-separated
+    /// statements). Returns one [`Translation`] per statement.
+    pub fn translate_program(
+        &self,
+        q_text: &str,
+        mdi: &dyn Mdi,
+        scopes: &mut Scopes,
+        temp_seq: &mut usize,
+    ) -> QResult<Vec<Translation>> {
+        let t0 = Instant::now();
+        let stmts = qlang::parse(q_text)?;
+        let parse_time = t0.elapsed();
+        if stmts.is_empty() {
+            return Err(QError::parse("empty query"));
+        }
+        let mut out = Vec::with_capacity(stmts.len());
+        let per_stmt_parse = parse_time / stmts.len() as u32;
+        for stmt in &stmts {
+            let mut tr = self.translate_bound(stmt, mdi, scopes, temp_seq)?;
+            tr.timings.parse = per_stmt_parse;
+            out.push(tr);
+        }
+        Ok(out)
+    }
+
+    /// Translate one already-parsed statement.
+    pub fn translate_bound(
+        &self,
+        stmt: &qlang::Expr,
+        mdi: &dyn Mdi,
+        scopes: &mut Scopes,
+        temp_seq: &mut usize,
+    ) -> QResult<Translation> {
+        let mut timings = StageTimings::default();
+
+        // Algebrization (binding + metadata lookups).
+        let t0 = Instant::now();
+        let mut binder = Binder::new(mdi, scopes, self.policy, temp_seq);
+        let output = binder.bind_statement(stmt)?;
+        timings.algebrize = t0.elapsed();
+
+        let mut statements = Vec::new();
+        let mut report = XformReport::default();
+
+        // Side statements (eager materialization) are optimized and
+        // serialized like the main query.
+        let mut optimize = Duration::ZERO;
+        let mut serialize = Duration::ZERO;
+        for side in &output.side_statements {
+            match side {
+                SideStatement::CreateTemp { name, plan } => {
+                    let t1 = Instant::now();
+                    let (optimized, r) = self.xformer.apply(plan.clone());
+                    optimize += t1.elapsed();
+                    report.null_rewrites += r.null_rewrites;
+                    report.columns_pruned += r.columns_pruned;
+                    report.sorts_elided += r.sorts_elided;
+
+                    let t2 = Instant::now();
+                    let sql = serializer::serialize_create_temp(name, &optimized);
+                    serialize += t2.elapsed();
+                    statements.push(SqlStatement { sql, returns_rows: false, shape: None });
+                }
+            }
+        }
+
+        let absorbed = match output.bound {
+            Bound::Rel { plan, shape } => {
+                let t1 = Instant::now();
+                let (optimized, r) = self.xformer.apply(plan);
+                optimize += t1.elapsed();
+                report.null_rewrites += r.null_rewrites;
+                report.columns_pruned += r.columns_pruned;
+                report.sorts_elided += r.sorts_elided;
+
+                let t2 = Instant::now();
+                let sql = serializer::serialize(&optimized);
+                serialize += t2.elapsed();
+                statements.push(SqlStatement { sql, returns_rows: true, shape: Some(shape) });
+                false
+            }
+            Bound::Scalar(expr) => {
+                let t2 = Instant::now();
+                // Constant-fold standalone scalars (`1+2` → `SELECT 3`).
+                let expr = match algebrizer::bind::fold_const(&expr) {
+                    Some(d) => xtra::ScalarExpr::Const(d),
+                    None => expr,
+                };
+                let sql = serializer::serialize_scalar_query(&expr);
+                serialize += t2.elapsed();
+                statements.push(SqlStatement {
+                    sql,
+                    returns_rows: true,
+                    shape: Some(ResultShape::Atom),
+                });
+                false
+            }
+            Bound::Absorbed => statements.is_empty(),
+        };
+
+        timings.optimize = optimize;
+        timings.serialize = serialize;
+        Ok(Translation { statements, timings, xform_report: report, absorbed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebrizer::{StaticMdi, TableMeta};
+    use xtra::{ColumnDef, SqlType, ORD_COL};
+
+    fn mdi() -> StaticMdi {
+        StaticMdi::new().with(TableMeta::new(
+            "trades",
+            vec![
+                ColumnDef::not_null(ORD_COL, SqlType::Int8),
+                ColumnDef::new("Symbol", SqlType::Varchar),
+                ColumnDef::new("Price", SqlType::Float8),
+            ],
+        ))
+    }
+
+    fn translate(q: &str) -> Vec<Translation> {
+        let mdi = mdi();
+        let mut scopes = Scopes::new();
+        let mut seq = 0;
+        Translator::new()
+            .translate_program(q, &mdi, &mut scopes, &mut seq)
+            .unwrap_or_else(|e| panic!("translate {q:?}: {e}"))
+    }
+
+    #[test]
+    fn select_translates_to_single_sql() {
+        let trs = translate("select Price from trades where Symbol=`GOOG");
+        assert_eq!(trs.len(), 1);
+        let t = &trs[0];
+        assert_eq!(t.statements.len(), 1);
+        let sql = &t.statements[0].sql;
+        assert!(sql.contains("IS NOT DISTINCT FROM"), "{sql}");
+        assert!(sql.contains("'GOOG'::varchar"), "{sql}");
+        assert!(sql.contains(r#"ORDER BY "ordcol""#), "{sql}");
+        assert!(t.statements[0].returns_rows);
+    }
+
+    #[test]
+    fn stage_timings_are_recorded() {
+        let t = &translate("select max Price from trades")[0];
+        assert!(t.timings.total() > Duration::ZERO);
+        assert!(t.timings.algebrize > Duration::ZERO);
+    }
+
+    #[test]
+    fn function_definition_is_absorbed() {
+        let trs = translate("f: {[s] select from trades where Symbol=s}");
+        assert!(trs[0].absorbed);
+        assert!(trs[0].statements.is_empty());
+    }
+
+    #[test]
+    fn physical_materialization_emits_create_temp() {
+        let mdi = mdi();
+        let mut scopes = Scopes::new();
+        let mut seq = 0;
+        let translator = Translator {
+            policy: MaterializationPolicy::Physical,
+            ..Translator::new()
+        };
+        let trs = translator
+            .translate_program(
+                "dt: select Price from trades where Symbol=`GOOG; select max Price from dt",
+                &mdi,
+                &mut scopes,
+                &mut seq,
+            )
+            .unwrap();
+        assert_eq!(trs.len(), 2);
+        // Statement 1: the assignment materializes as CREATE TEMP.
+        assert_eq!(trs[0].statements.len(), 1);
+        let ddl = &trs[0].statements[0];
+        assert!(ddl.sql.starts_with("CREATE TEMPORARY TABLE \"HQ_TEMP_1\""), "{}", ddl.sql);
+        assert!(!ddl.returns_rows);
+        // Statement 2: the aggregation reads the temp table — the paper's
+        // §4.3 generated-SQL example.
+        let q = &trs[1].statements[0];
+        assert!(q.sql.contains("\"HQ_TEMP_1\""), "{}", q.sql);
+        assert!(q.sql.contains("max("), "{}", q.sql);
+    }
+
+    #[test]
+    fn transformation_report_counts_fired_rules() {
+        let t = &translate("select Price from trades where Symbol=`GOOG")[0];
+        assert!(t.xform_report.null_rewrites >= 1);
+        // No filter: the Symbol column is never needed and gets pruned
+        // from the scan.
+        let t = &translate("select Price from trades")[0];
+        assert!(t.xform_report.columns_pruned >= 1, "unused Symbol pruned from scan");
+    }
+
+    #[test]
+    fn scalar_statement_translates_to_select_expr() {
+        let t = &translate("1+2")[0];
+        assert_eq!(t.statements[0].sql, "SELECT 3");
+        assert_eq!(t.statements[0].shape, Some(ResultShape::Atom));
+    }
+
+    #[test]
+    fn aj_translation_end_to_end_shape() {
+        let mdi = StaticMdi::new()
+            .with(TableMeta::new(
+                "trades",
+                vec![
+                    ColumnDef::not_null(ORD_COL, SqlType::Int8),
+                    ColumnDef::new("Symbol", SqlType::Varchar),
+                    ColumnDef::new("Time", SqlType::Time),
+                    ColumnDef::new("Price", SqlType::Float8),
+                ],
+            ))
+            .with(TableMeta::new(
+                "quotes",
+                vec![
+                    ColumnDef::not_null(ORD_COL, SqlType::Int8),
+                    ColumnDef::new("Symbol", SqlType::Varchar),
+                    ColumnDef::new("Time", SqlType::Time),
+                    ColumnDef::new("Bid", SqlType::Float8),
+                ],
+            ));
+        let mut scopes = Scopes::new();
+        let mut seq = 0;
+        let trs = Translator::new()
+            .translate_program("aj[`Symbol`Time; trades; quotes]", &mdi, &mut scopes, &mut seq)
+            .unwrap();
+        let sql = &trs[0].statements[0].sql;
+        assert!(sql.contains("LEFT OUTER JOIN"), "{sql}");
+        assert!(sql.contains("lead("), "{sql}");
+        assert!(sql.contains("PARTITION BY"), "{sql}");
+    }
+
+    #[test]
+    fn undefined_table_fails_cleanly() {
+        let mdi = mdi();
+        let mut scopes = Scopes::new();
+        let mut seq = 0;
+        let err = Translator::new()
+            .translate_program("select from ghost", &mdi, &mut scopes, &mut seq)
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+}

@@ -1,0 +1,377 @@
+//! The Cross Compiler (XC): Protocol Translator and Query Translator as
+//! finite state machines (paper §3.4, Figure 4).
+//!
+//! "Each translator process is designed as a Finite State Machine that
+//! maintains translator internal state while providing a mechanism for
+//! code re-entrance." The PT owns the DB-protocol surface: it consumes
+//! raw bytes, runs the QIPC handshake, extracts query text, and — once
+//! the QT hands back results — emits the response bytes. The QT owns the
+//! query-language surface: algebrize → optimize → serialize, stepping
+//! through explicit states so callers can interleave work (and so the
+//! Figure 7 harness can attribute time per stage).
+//!
+//! The interface between the two is exactly the paper's: "sending out a Q
+//! query from PT, and receiving back an equivalent SQL query from QT."
+
+use crate::translate::{Translation, Translator};
+use algebrizer::{Mdi, Scopes};
+use qipc::{Message, MsgType};
+use qlang::{QError, QResult, Value};
+
+/// Protocol Translator states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtState {
+    /// Waiting for the `user:pass\[version]\0` handshake.
+    AwaitHandshake,
+    /// Connection established; waiting for a query message.
+    Idle,
+    /// A query was forwarded to the QT; waiting for results.
+    AwaitResults,
+    /// Connection is closed (bad credentials or peer terminated).
+    Closed,
+}
+
+/// Actions the PT asks its driver (the socket loop) to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtAction {
+    /// Write these bytes to the Q application.
+    Send(Vec<u8>),
+    /// Hand this query text to the QT; `respond` is false for async
+    /// messages (fire-and-forget).
+    ForwardQuery {
+        /// The Q query text.
+        text: String,
+        /// Whether the application awaits a response.
+        respond: bool,
+    },
+    /// Close the connection.
+    Close,
+}
+
+/// Credential check callback for the QIPC handshake.
+pub type Authenticator = dyn Fn(&str, &str) -> bool + Send + Sync;
+
+/// The Protocol Translator FSM for one QIPC connection.
+pub struct ProtocolTranslator {
+    state: PtState,
+    buffer: Vec<u8>,
+}
+
+impl Default for ProtocolTranslator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProtocolTranslator {
+    /// New connection: awaiting handshake.
+    pub fn new() -> Self {
+        ProtocolTranslator { state: PtState::AwaitHandshake, buffer: Vec::new() }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PtState {
+        self.state
+    }
+
+    /// Feed raw socket bytes; returns the actions to perform, in order.
+    pub fn on_bytes(&mut self, data: &[u8], auth: &Authenticator) -> QResult<Vec<PtAction>> {
+        self.buffer.extend_from_slice(data);
+        let mut actions = Vec::new();
+        loop {
+            match self.state {
+                PtState::AwaitHandshake => {
+                    match qipc::parse_handshake(&self.buffer)? {
+                        None => break,
+                        Some((hs, used)) => {
+                            self.buffer.drain(..used);
+                            if auth(&hs.user, &hs.password) {
+                                actions.push(PtAction::Send(vec![
+                                    qipc::handshake::SERVER_CAPABILITY.min(hs.version),
+                                ]));
+                                self.state = PtState::Idle;
+                            } else {
+                                // Paper §4.2: on bad credentials the
+                                // connection is closed immediately.
+                                actions.push(PtAction::Close);
+                                self.state = PtState::Closed;
+                                break;
+                            }
+                        }
+                    }
+                }
+                PtState::Idle => match qipc::read_message(&self.buffer)? {
+                    None => break,
+                    Some((msg, used)) => {
+                        self.buffer.drain(..used);
+                        let text = match msg.value {
+                            Value::Chars(s) => s,
+                            Value::Atom(qlang::Atom::Char(c)) => c.to_string(),
+                            other => {
+                                return Err(QError::type_err(format!(
+                                    "expected query text, got {}",
+                                    other.type_name()
+                                )))
+                            }
+                        };
+                        let respond = msg.msg_type == MsgType::Sync;
+                        if respond {
+                            self.state = PtState::AwaitResults;
+                        }
+                        actions.push(PtAction::ForwardQuery { text, respond });
+                        if respond {
+                            break;
+                        }
+                    }
+                },
+                PtState::AwaitResults | PtState::Closed => break,
+            }
+        }
+        Ok(actions)
+    }
+
+    /// The QT produced results: encode the QIPC response and return to
+    /// Idle.
+    pub fn on_results(&mut self, value: Value) -> QResult<PtAction> {
+        if self.state != PtState::AwaitResults {
+            return Err(QError::new(
+                qlang::error::QErrorKind::Other,
+                format!("protocol violation: results in state {:?}", self.state),
+            ));
+        }
+        // Large result sets are compressed on the wire, as kdb+ does for
+        // remote peers (paper §3.1 lists compression in the QIPC spec).
+        let bytes = qipc::write_message_compressed(&Message::response(value))?;
+        self.state = PtState::Idle;
+        Ok(PtAction::Send(bytes))
+    }
+
+    /// The QT (or backend) errored: encode a QIPC error response.
+    pub fn on_error(&mut self, message: &str) -> PtAction {
+        // kdb+ error frames: type -128 followed by a NUL-terminated
+        // string.
+        let mut payload = Vec::with_capacity(message.len() + 10);
+        payload.push(1); // little endian
+        payload.push(MsgType::Response.as_byte());
+        payload.push(0);
+        payload.push(0);
+        let total = 8 + 1 + message.len() + 1;
+        payload.extend_from_slice(&(total as u32).to_le_bytes());
+        payload.push(0x80);
+        payload.extend_from_slice(message.as_bytes());
+        payload.push(0);
+        self.state = PtState::Idle;
+        PtAction::Send(payload)
+    }
+}
+
+/// Query Translator states (Figure 4's stages made explicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QtState {
+    /// Nothing in flight.
+    Idle,
+    /// Binding the AST to XTRA (metadata lookups may suspend here).
+    Algebrizing,
+    /// Applying XTRA transformations.
+    Optimizing,
+    /// Emitting SQL text.
+    Serializing,
+    /// Translation finished; SQL available.
+    Done,
+}
+
+/// The Query Translator FSM: drives one translation, recording the state
+/// trajectory.
+pub struct QueryTranslator {
+    translator: Translator,
+    state: QtState,
+    trajectory: Vec<QtState>,
+}
+
+impl QueryTranslator {
+    /// Wrap a configured translator.
+    pub fn new(translator: Translator) -> Self {
+        QueryTranslator { translator, state: QtState::Idle, trajectory: vec![QtState::Idle] }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QtState {
+        self.state
+    }
+
+    /// The states visited so far (used by tests and diagnostics).
+    pub fn trajectory(&self) -> &[QtState] {
+        &self.trajectory
+    }
+
+    fn transition(&mut self, to: QtState) {
+        self.state = to;
+        self.trajectory.push(to);
+    }
+
+    /// Translate one Q program, stepping through the stage states.
+    pub fn translate(
+        &mut self,
+        q_text: &str,
+        mdi: &dyn Mdi,
+        scopes: &mut Scopes,
+        temp_seq: &mut usize,
+    ) -> QResult<Vec<Translation>> {
+        self.transition(QtState::Algebrizing);
+        // The inner translator times the stages; the FSM marks the
+        // externally observable progress.
+        let result = self.translator.translate_program(q_text, mdi, scopes, temp_seq);
+        match &result {
+            Ok(_) => {
+                self.transition(QtState::Optimizing);
+                self.transition(QtState::Serializing);
+                self.transition(QtState::Done);
+            }
+            Err(_) => self.transition(QtState::Idle),
+        }
+        result
+    }
+
+    /// Acknowledge completion, returning to Idle for re-entrance.
+    pub fn reset(&mut self) {
+        self.transition(QtState::Idle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trust(_: &str, _: &str) -> bool {
+        true
+    }
+
+    fn deny(_: &str, _: &str) -> bool {
+        false
+    }
+
+    #[test]
+    fn handshake_transitions_to_idle() {
+        let mut pt = ProtocolTranslator::new();
+        let hs = qipc::client_handshake("trader", "pw", 3);
+        let actions = pt.on_bytes(&hs, &trust).unwrap();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(&actions[0], PtAction::Send(b) if b.len() == 1));
+        assert_eq!(pt.state(), PtState::Idle);
+    }
+
+    #[test]
+    fn bad_credentials_close_immediately() {
+        let mut pt = ProtocolTranslator::new();
+        let hs = qipc::client_handshake("intruder", "pw", 3);
+        let actions = pt.on_bytes(&hs, &deny).unwrap();
+        assert_eq!(actions, vec![PtAction::Close]);
+        assert_eq!(pt.state(), PtState::Closed);
+    }
+
+    #[test]
+    fn query_message_forwards_and_awaits() {
+        let mut pt = ProtocolTranslator::new();
+        let mut bytes = qipc::client_handshake("u", "p", 3);
+        bytes.extend(qipc::write_message(&Message::query("select from t")).unwrap());
+        let actions = pt.on_bytes(&bytes, &trust).unwrap();
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            &actions[1],
+            PtAction::ForwardQuery { text, respond: true } if text == "select from t"
+        ));
+        assert_eq!(pt.state(), PtState::AwaitResults);
+    }
+
+    #[test]
+    fn results_produce_response_and_return_to_idle() {
+        let mut pt = ProtocolTranslator::new();
+        let mut bytes = qipc::client_handshake("u", "p", 3);
+        bytes.extend(qipc::write_message(&Message::query("1+1")).unwrap());
+        pt.on_bytes(&bytes, &trust).unwrap();
+        let action = pt.on_results(Value::long(2)).unwrap();
+        match action {
+            PtAction::Send(payload) => {
+                let (msg, _) = qipc::read_message(&payload).unwrap().unwrap();
+                assert_eq!(msg.msg_type, MsgType::Response);
+                assert!(msg.value.q_eq(&Value::long(2)));
+            }
+            other => panic!("expected send, got {other:?}"),
+        }
+        assert_eq!(pt.state(), PtState::Idle);
+    }
+
+    #[test]
+    fn results_in_wrong_state_are_a_protocol_violation() {
+        let mut pt = ProtocolTranslator::new();
+        assert!(pt.on_results(Value::long(1)).is_err());
+    }
+
+    #[test]
+    fn partial_messages_resume_on_next_bytes() {
+        let mut pt = ProtocolTranslator::new();
+        let hs = qipc::client_handshake("u", "p", 3);
+        // Feed one byte at a time.
+        let mut got_send = false;
+        for b in &hs {
+            for a in pt.on_bytes(&[*b], &trust).unwrap() {
+                if matches!(a, PtAction::Send(_)) {
+                    got_send = true;
+                }
+            }
+        }
+        assert!(got_send);
+        assert_eq!(pt.state(), PtState::Idle);
+    }
+
+    #[test]
+    fn error_frames_encode_kdb_style() {
+        let mut pt = ProtocolTranslator::new();
+        let mut bytes = qipc::client_handshake("u", "p", 3);
+        bytes.extend(qipc::write_message(&Message::query("bad")).unwrap());
+        pt.on_bytes(&bytes, &trust).unwrap();
+        match pt.on_error("'type: nope") {
+            PtAction::Send(payload) => {
+                assert_eq!(payload[8], 0x80, "kdb+ error marker");
+                assert_eq!(pt.state(), PtState::Idle);
+            }
+            other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qt_walks_the_stage_states() {
+        use algebrizer::{StaticMdi, TableMeta};
+        use xtra::{ColumnDef, SqlType};
+        let mdi = StaticMdi::new().with(TableMeta::new(
+            "t",
+            vec![ColumnDef::new("x", SqlType::Int8)],
+        ));
+        let mut scopes = Scopes::new();
+        let mut seq = 0;
+        let mut qt = QueryTranslator::new(Translator::new());
+        qt.translate("select x from t", &mdi, &mut scopes, &mut seq).unwrap();
+        assert_eq!(
+            qt.trajectory(),
+            &[
+                QtState::Idle,
+                QtState::Algebrizing,
+                QtState::Optimizing,
+                QtState::Serializing,
+                QtState::Done
+            ]
+        );
+        qt.reset();
+        assert_eq!(qt.state(), QtState::Idle);
+    }
+
+    #[test]
+    fn qt_failure_returns_to_idle() {
+        let mdi = algebrizer::StaticMdi::new();
+        let mut scopes = Scopes::new();
+        let mut seq = 0;
+        let mut qt = QueryTranslator::new(Translator::new());
+        assert!(qt.translate("select from ghost", &mdi, &mut scopes, &mut seq).is_err());
+        assert_eq!(qt.state(), QtState::Idle);
+    }
+}

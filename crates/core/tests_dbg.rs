@@ -1,0 +1,13 @@
+#[test]
+fn dbg_sum_sql() {
+    use hyperq::{loader, HyperQSession};
+    use qlang::value::{Table, Value};
+    let db = pgdb::Db::new();
+    let mut s = HyperQSession::with_direct(&db);
+    let t = Table::new(vec!["Price".into()], vec![Value::Floats(vec![1.0])]).unwrap();
+    loader::load_table(&mut s, "trades", &t).unwrap();
+    let (v, trs) = s.execute_traced("select r: sum Price from trades where Price < 0.0").unwrap();
+    println!("SQL: {}", trs[0].statements[0].sql);
+    println!("V: {v:?}");
+    panic!("show output");
+}

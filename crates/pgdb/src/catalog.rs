@@ -1,0 +1,116 @@
+//! Virtual catalog tables.
+//!
+//! Hyper-Q's binder resolves table variables "by looking up associated
+//! metadata in the metadata store ... executing a query against PG
+//! catalog" (paper §3.2.3). We expose the two catalog relations the MDI
+//! uses: `information_schema.columns` and `pg_catalog.pg_tables` (also
+//! reachable as bare `pg_tables`).
+
+use crate::engine::Session;
+use crate::types::{Cell, Column, PgType};
+
+/// Resolve a virtual catalog table by name, materializing it from the
+/// session's current table set.
+pub fn virtual_table(session: &Session, name: &str) -> Option<(Vec<Column>, Vec<Vec<Cell>>)> {
+    match name {
+        "information_schema.columns" => {
+            let columns = vec![
+                Column::new("table_name", PgType::Varchar),
+                Column::new("column_name", PgType::Varchar),
+                Column::new("data_type", PgType::Varchar),
+                Column::new("ordinal_position", PgType::Int8),
+            ];
+            let mut rows = Vec::new();
+            for (tname, cols) in session.all_tables_meta() {
+                for (i, c) in cols.iter().enumerate() {
+                    rows.push(vec![
+                        Cell::Text(tname.clone()),
+                        Cell::Text(c.name.clone()),
+                        Cell::Text(c.ty.sql_name().to_string()),
+                        Cell::Int(i as i64 + 1),
+                    ]);
+                }
+            }
+            Some((columns, rows))
+        }
+        "pg_catalog.pg_tables" | "pg_tables" => {
+            let columns = vec![
+                Column::new("schemaname", PgType::Varchar),
+                Column::new("tablename", PgType::Varchar),
+            ];
+            let rows = session
+                .all_tables_meta()
+                .into_iter()
+                .map(|(tname, _)| {
+                    vec![Cell::Text("public".to_string()), Cell::Text(tname)]
+                })
+                .collect();
+            Some((columns, rows))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Db, QueryResult};
+    use crate::types::Cell;
+
+    #[test]
+    fn information_schema_lists_columns() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE trades (ordcol bigint, \"Price\" double precision)").unwrap();
+        let r = match s
+            .execute(concat!(
+                "SELECT column_name, data_type FROM information_schema.columns ",
+                "WHERE table_name = 'trades' ORDER BY ordinal_position ASC"
+            ))
+            .unwrap()
+        {
+            QueryResult::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        };
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.data[0][0], Cell::Text("ordcol".into()));
+        assert_eq!(r.data[0][1], Cell::Text("bigint".into()));
+        assert_eq!(r.data[1][0], Cell::Text("Price".into()));
+        assert_eq!(r.data[1][1], Cell::Text("double precision".into()));
+    }
+
+    #[test]
+    fn pg_tables_lists_tables_including_temps() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE a (x bigint)").unwrap();
+        s.execute("CREATE TEMPORARY TABLE b (y bigint)").unwrap();
+        let r = match s.execute("SELECT tablename FROM pg_tables ORDER BY tablename ASC").unwrap() {
+            QueryResult::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        };
+        let names: Vec<String> = r
+            .data
+            .iter()
+            .map(|row| match &row[0] {
+                Cell::Text(s) => s.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn catalog_queries_compose_with_filters() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE wide (c0 bigint, c1 bigint, c2 bigint)").unwrap();
+        let r = match s
+            .execute("SELECT count(*) FROM information_schema.columns WHERE table_name = 'wide'")
+            .unwrap()
+        {
+            QueryResult::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        };
+        assert_eq!(r.data[0][0], Cell::Int(3));
+    }
+}

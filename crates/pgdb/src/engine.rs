@@ -1,0 +1,636 @@
+//! The database facade: shared store, sessions, statement execution.
+//!
+//! The global table store is shared across sessions (analytical tables
+//! loaded once, queried by many connections — the "increased concurrency"
+//! the paper's §5 customer valued). Temporary tables are session-scoped,
+//! which is what makes them the right target for Hyper-Q's physical
+//! materialization of Q variables (§4.3).
+
+use crate::catalog;
+use crate::exec::expr::{cast, eval};
+use crate::exec::{run_select, TableSource};
+use crate::sql::ast::Stmt;
+use crate::sql::parse_statement;
+use crate::types::{Cell, Column, Rows};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A database error with a SQLSTATE code (transported in PG v3
+/// `ErrorResponse` messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbError {
+    /// SQLSTATE code.
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl DbError {
+    /// `42601` syntax error.
+    pub fn syntax(msg: impl Into<String>) -> Self {
+        DbError { code: "42601".into(), message: msg.into() }
+    }
+
+    /// `42P01` undefined table.
+    pub fn undefined_table(name: &str) -> Self {
+        DbError { code: "42P01".into(), message: format!("relation \"{name}\" does not exist") }
+    }
+
+    /// `42703` undefined column.
+    pub fn undefined_column(name: String) -> Self {
+        DbError { code: "42703".into(), message: format!("column \"{name}\" does not exist") }
+    }
+
+    /// `42P07` duplicate table.
+    pub fn duplicate_table(name: &str) -> Self {
+        DbError { code: "42P07".into(), message: format!("relation \"{name}\" already exists") }
+    }
+
+    /// `XX000` internal/execution error.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        DbError { code: "XX000".into(), message: msg.into() }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// A stored table: schema and row data.
+#[derive(Debug, Clone, Default)]
+pub struct StoredTable {
+    /// Column definitions.
+    pub columns: Vec<Column>,
+    /// Row-major data.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+/// The shared database: a handle cloneable across threads/sessions.
+#[derive(Debug, Clone, Default)]
+pub struct Db {
+    tables: Arc<RwLock<HashMap<String, StoredTable>>>,
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A row set (SELECT).
+    Rows(Rows),
+    /// A command tag (DDL/DML): e.g. `CREATE TABLE`, `INSERT 0 3`.
+    Command(String),
+}
+
+impl Db {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Db::default()
+    }
+
+    /// Open a session.
+    pub fn session(&self) -> Session {
+        Session { db: self.clone(), temps: HashMap::new() }
+    }
+
+    /// Host API: create (or replace) a global table directly.
+    pub fn put_table(&self, name: &str, columns: Vec<Column>, rows: Vec<Vec<Cell>>) {
+        self.tables.write().insert(name.to_string(), StoredTable { columns, rows });
+    }
+
+    /// Host API: fetch a snapshot of a global table.
+    pub fn get_table_snapshot(&self, name: &str) -> Option<StoredTable> {
+        self.tables.read().get(name).cloned()
+    }
+
+    /// Names of all global tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// A session: shares the global store, owns its temp tables.
+#[derive(Debug)]
+pub struct Session {
+    db: Db,
+    temps: HashMap<String, StoredTable>,
+}
+
+impl TableSource for Session {
+    fn get_table(&self, name: &str) -> Option<(Vec<Column>, Vec<Vec<Cell>>)> {
+        if let Some(t) = self.temps.get(name) {
+            return Some((t.columns.clone(), t.rows.clone()));
+        }
+        if let Some(t) = self.db.tables.read().get(name) {
+            return Some((t.columns.clone(), t.rows.clone()));
+        }
+        catalog::virtual_table(self, name)
+    }
+}
+
+impl Session {
+    /// Access the shared database handle.
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Names of this session's temp tables, sorted.
+    pub fn temp_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.temps.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of temp + global tables for catalog purposes.
+    pub(crate) fn all_tables_meta(&self) -> Vec<(String, Vec<Column>)> {
+        let mut out: Vec<(String, Vec<Column>)> = self
+            .temps
+            .iter()
+            .map(|(n, t)| (n.clone(), t.columns.clone()))
+            .collect();
+        for (n, t) in self.db.tables.read().iter() {
+            out.push((n.clone(), t.columns.clone()));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Stmt::Select(s) => {
+                let rows = run_select(self, &s)?;
+                Ok(QueryResult::Rows(rows))
+            }
+            Stmt::CreateTableAs { name, query, temp } => {
+                if self.table_exists(&name) {
+                    return Err(DbError::duplicate_table(&name));
+                }
+                let rows = run_select(self, &query)?;
+                let stored = StoredTable { columns: rows.columns, rows: rows.data };
+                let count = stored.rows.len();
+                self.store(name, stored, temp);
+                Ok(QueryResult::Command(format!("SELECT {count}")))
+            }
+            Stmt::CreateTable { name, columns, temp } => {
+                if self.table_exists(&name) {
+                    return Err(DbError::duplicate_table(&name));
+                }
+                let stored = StoredTable {
+                    columns: columns.into_iter().map(|(n, t)| Column::new(n, t)).collect(),
+                    rows: vec![],
+                };
+                self.store(name, stored, temp);
+                Ok(QueryResult::Command("CREATE TABLE".into()))
+            }
+            Stmt::Insert { table, columns, rows } => {
+                let meta = self
+                    .get_table(&table)
+                    .ok_or_else(|| DbError::undefined_table(&table))?
+                    .0;
+                // Map provided columns to table positions.
+                let positions: Vec<usize> = match &columns {
+                    None => (0..meta.len()).collect(),
+                    Some(cols) => cols
+                        .iter()
+                        .map(|c| {
+                            meta.iter()
+                                .position(|m| m.name == *c)
+                                .ok_or_else(|| DbError::undefined_column(c.clone()))
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                let mut new_rows = Vec::with_capacity(rows.len());
+                for r in &rows {
+                    if r.len() != positions.len() {
+                        return Err(DbError::exec("INSERT value count mismatch"));
+                    }
+                    let mut row = vec![Cell::Null; meta.len()];
+                    for (expr, &pos) in r.iter().zip(&positions) {
+                        let v = eval(expr, &[], &[])?;
+                        row[pos] = cast(&v, meta[pos].ty)?;
+                    }
+                    new_rows.push(row);
+                }
+                let count = new_rows.len();
+                self.append_rows(&table, new_rows)?;
+                Ok(QueryResult::Command(format!("INSERT 0 {count}")))
+            }
+            Stmt::DropTable { name, if_exists } => {
+                let existed = self.temps.remove(&name).is_some()
+                    || self.db.tables.write().remove(&name).is_some();
+                if !existed && !if_exists {
+                    return Err(DbError::undefined_table(&name));
+                }
+                Ok(QueryResult::Command("DROP TABLE".into()))
+            }
+            Stmt::NoOp(tag) => Ok(QueryResult::Command(tag)),
+        }
+    }
+
+    fn table_exists(&self, name: &str) -> bool {
+        self.temps.contains_key(name) || self.db.tables.read().contains_key(name)
+    }
+
+    fn store(&mut self, name: String, table: StoredTable, temp: bool) {
+        if temp {
+            self.temps.insert(name, table);
+        } else {
+            self.db.tables.write().insert(name, table);
+        }
+    }
+
+    fn append_rows(&mut self, name: &str, rows: Vec<Vec<Cell>>) -> Result<(), DbError> {
+        if let Some(t) = self.temps.get_mut(name) {
+            t.rows.extend(rows);
+            return Ok(());
+        }
+        let mut guard = self.db.tables.write();
+        match guard.get_mut(name) {
+            Some(t) => {
+                t.rows.extend(rows);
+                Ok(())
+            }
+            None => Err(DbError::undefined_table(name)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(r: QueryResult) -> Rows {
+        match r {
+            QueryResult::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    fn setup() -> Session {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute(
+            "CREATE TABLE trades (ordcol bigint, \"Symbol\" varchar, \"Price\" double precision, \"Size\" bigint)",
+        )
+        .unwrap();
+        s.execute(concat!(
+            "INSERT INTO trades VALUES ",
+            "(1, 'GOOG', 100.0, 10), (2, 'IBM', 50.0, 20), (3, 'GOOG', 101.5, 30)"
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let mut s = setup();
+        let r = rows(s.execute("SELECT \"Price\" FROM trades WHERE \"Symbol\" = 'GOOG'").unwrap());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.data[0][0], Cell::Float(100.0));
+    }
+
+    #[test]
+    fn select_star_and_order() {
+        let mut s = setup();
+        let r = rows(s.execute("SELECT * FROM trades ORDER BY \"Price\" DESC").unwrap());
+        assert_eq!(r.columns.len(), 4);
+        assert_eq!(r.data[0][2], Cell::Float(101.5));
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = setup();
+        let r = rows(s.execute("SELECT max(\"Price\") AS mx, count(*) AS n FROM trades").unwrap());
+        assert_eq!(r.data[0], vec![Cell::Float(101.5), Cell::Int(3)]);
+    }
+
+    #[test]
+    fn group_by_with_order() {
+        let mut s = setup();
+        let r = rows(
+            s.execute(
+                "SELECT \"Symbol\", max(\"Price\") AS mx FROM trades GROUP BY \"Symbol\" ORDER BY \"Symbol\" ASC",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.data[0][0], Cell::Text("GOOG".into()));
+        assert_eq!(r.data[0][1], Cell::Float(101.5));
+        assert_eq!(r.data[1][0], Cell::Text("IBM".into()));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut s = setup();
+        let r = rows(
+            s.execute(
+                "SELECT \"Symbol\" FROM trades GROUP BY \"Symbol\" HAVING count(*) > 1",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.data[0][0], Cell::Text("GOOG".into()));
+    }
+
+    #[test]
+    fn three_valued_where_drops_null_comparisons() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (x bigint)").unwrap();
+        s.execute("INSERT INTO t VALUES (1), (NULL)").unwrap();
+        // x = x is unknown for NULL → row dropped under plain equality.
+        let r = rows(s.execute("SELECT x FROM t WHERE x = x").unwrap());
+        assert_eq!(r.len(), 1);
+        // IS NOT DISTINCT FROM keeps it — the Hyper-Q rewrite target.
+        let r = rows(s.execute("SELECT x FROM t WHERE x IS NOT DISTINCT FROM x").unwrap());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn create_temp_table_as_is_session_scoped() {
+        let mut s = setup();
+        s.execute("CREATE TEMPORARY TABLE \"HQ_TEMP_1\" AS SELECT \"Price\" FROM trades")
+            .unwrap();
+        let r = rows(s.execute("SELECT count(*) FROM \"HQ_TEMP_1\"").unwrap());
+        assert_eq!(r.data[0][0], Cell::Int(3));
+        // Another session must not see it.
+        let mut s2 = s.db().session();
+        assert!(s2.execute("SELECT count(*) FROM \"HQ_TEMP_1\"").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_errors() {
+        let mut s = setup();
+        let err = s.execute("CREATE TABLE trades (x bigint)").unwrap_err();
+        assert_eq!(err.code, "42P07");
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let mut s = setup();
+        let err = s.execute("SELECT 1 FROM nonexistent").unwrap_err();
+        assert_eq!(err.code, "42P01");
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut s = setup();
+        s.execute("DROP TABLE trades").unwrap();
+        assert!(s.execute("SELECT 1 FROM trades").is_err());
+        assert!(s.execute("DROP TABLE trades").is_err());
+        s.execute("DROP TABLE IF EXISTS trades").unwrap();
+    }
+
+    #[test]
+    fn window_function_lead() {
+        let mut s = setup();
+        let r = rows(
+            s.execute(concat!(
+                "SELECT \"Symbol\", lead(\"Price\") OVER (PARTITION BY \"Symbol\" ORDER BY ordcol ASC) AS nxt ",
+                "FROM trades ORDER BY ordcol ASC"
+            ))
+            .unwrap(),
+        );
+        // GOOG@1 → next GOOG price 101.5; IBM@2 → NULL; GOOG@3 → NULL.
+        assert_eq!(r.data[0][1], Cell::Float(101.5));
+        assert_eq!(r.data[1][1], Cell::Null);
+        assert_eq!(r.data[2][1], Cell::Null);
+    }
+
+    #[test]
+    fn row_number_window() {
+        let mut s = setup();
+        let r = rows(
+            s.execute(
+                "SELECT row_number() OVER (ORDER BY \"Price\" DESC) AS rn, \"Symbol\" FROM trades ORDER BY rn ASC",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.data[0], vec![Cell::Int(1), Cell::Text("GOOG".into())]);
+        assert_eq!(r.data[2], vec![Cell::Int(3), Cell::Text("IBM".into())]);
+    }
+
+    #[test]
+    fn left_join_with_derived_tables() {
+        let mut s = setup();
+        s.execute("CREATE TABLE quotes (\"Symbol\" varchar, \"Bid\" double precision)").unwrap();
+        s.execute("INSERT INTO quotes VALUES ('GOOG', 99.5)").unwrap();
+        let r = rows(
+            s.execute(concat!(
+                "SELECT l.\"Symbol\", r.\"Bid\" FROM (SELECT \"Symbol\" FROM trades) AS l ",
+                "LEFT OUTER JOIN (SELECT \"Symbol\" AS s2, \"Bid\" FROM quotes) AS r ",
+                "ON l.\"Symbol\" = r.s2 ORDER BY l.\"Symbol\" ASC"
+            ))
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 3);
+        // GOOG rows matched, IBM row null-extended.
+        assert_eq!(r.data[0][1], Cell::Float(99.5));
+        assert_eq!(r.data[2][1], Cell::Null);
+    }
+
+    #[test]
+    fn union_all_and_values() {
+        let mut s = setup();
+        let r = rows(
+            s.execute("SELECT 1 AS x UNION ALL SELECT 2 UNION ALL SELECT 2").unwrap(),
+        );
+        assert_eq!(r.len(), 3);
+        let r = rows(
+            s.execute("SELECT c1 FROM (VALUES (1, 'a'), (2, 'b')) AS v(c1, c2) ORDER BY c1 DESC")
+                .unwrap(),
+        );
+        assert_eq!(r.data[0][0], Cell::Int(2));
+    }
+
+    #[test]
+    fn limit_offset() {
+        let mut s = setup();
+        let r = rows(s.execute("SELECT ordcol FROM trades ORDER BY ordcol ASC LIMIT 1 OFFSET 1").unwrap());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.data[0][0], Cell::Int(2));
+    }
+
+    #[test]
+    fn toolbox_aggregates_first_last_median() {
+        let mut s = setup();
+        let r = rows(
+            s.execute(
+                "SELECT hq_first(\"Price\") AS f, hq_last(\"Price\") AS l, median(\"Size\") AS m FROM trades",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.data[0][0], Cell::Float(100.0));
+        assert_eq!(r.data[0][1], Cell::Float(101.5));
+        assert_eq!(r.data[0][2], Cell::Float(20.0));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = Db::new();
+        let mut s = db.session();
+        let r = rows(s.execute("SELECT 1 + 2 AS three, 'x' AS s").unwrap());
+        assert_eq!(r.data[0], vec![Cell::Int(3), Cell::Text("x".into())]);
+    }
+
+    #[test]
+    fn noop_statements_acknowledged() {
+        let db = Db::new();
+        let mut s = db.session();
+        assert_eq!(s.execute("BEGIN").unwrap(), QueryResult::Command("BEGIN".into()));
+        assert_eq!(
+            s.execute("SET client_encoding = 'UTF8'").unwrap(),
+            QueryResult::Command("SET".into())
+        );
+    }
+
+    #[test]
+    fn insert_casts_to_declared_types() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (d date, x bigint)").unwrap();
+        s.execute("INSERT INTO t VALUES ('2016-06-26', 1.0)").unwrap();
+        let r = rows(s.execute("SELECT d, x FROM t").unwrap());
+        assert_eq!(r.data[0][0], Cell::Date(6021));
+        assert_eq!(r.data[0][1], Cell::Int(1));
+    }
+
+    #[test]
+    fn hash_join_null_key_semantics() {
+        // Plain = never matches NULL keys; IS NOT DISTINCT FROM does.
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE l (k varchar)").unwrap();
+        s.execute("CREATE TABLE r (k2 varchar, v bigint)").unwrap();
+        s.execute("INSERT INTO l VALUES ('a'), (NULL)").unwrap();
+        s.execute("INSERT INTO r VALUES ('a', 1), (NULL, 2)").unwrap();
+        let eq = rows(
+            s.execute(concat!(
+                "SELECT v FROM (SELECT k FROM l) AS a ",
+                "INNER JOIN (SELECT k2, v FROM r) AS b ON k = k2"
+            ))
+            .unwrap(),
+        );
+        assert_eq!(eq.len(), 1, "= must not match NULLs");
+        let indf = rows(
+            s.execute(concat!(
+                "SELECT v FROM (SELECT k FROM l) AS a ",
+                "INNER JOIN (SELECT k2, v FROM r) AS b ON k IS NOT DISTINCT FROM k2"
+            ))
+            .unwrap(),
+        );
+        assert_eq!(indf.len(), 2, "INDF matches NULL to NULL");
+    }
+
+    #[test]
+    fn left_hash_join_null_extends() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE l (k bigint)").unwrap();
+        s.execute("CREATE TABLE r (k2 bigint, v bigint)").unwrap();
+        s.execute("INSERT INTO l VALUES (1), (2)").unwrap();
+        s.execute("INSERT INTO r VALUES (1, 10)").unwrap();
+        let out = rows(
+            s.execute(concat!(
+                "SELECT v FROM (SELECT k FROM l) AS a ",
+                "LEFT OUTER JOIN (SELECT k2, v FROM r) AS b ON k = k2 ORDER BY k ASC"
+            ))
+            .unwrap(),
+        );
+        assert_eq!(out.data[0][0], Cell::Int(10));
+        assert_eq!(out.data[1][0], Cell::Null);
+    }
+
+    #[test]
+    fn except_and_intersect() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (x bigint)").unwrap();
+        s.execute("INSERT INTO t VALUES (1), (2), (3), (3)").unwrap();
+        let r = rows(s.execute("SELECT x FROM t EXCEPT SELECT 3").unwrap());
+        assert_eq!(r.len(), 2);
+        let r = rows(s.execute("SELECT x FROM t INTERSECT SELECT 3").unwrap());
+        assert_eq!(r.len(), 1, "INTERSECT dedups");
+    }
+
+    #[test]
+    fn order_by_output_alias() {
+        let mut s = setup();
+        let r = rows(
+            s.execute("SELECT \"Price\" * 2 AS dbl FROM trades ORDER BY dbl DESC").unwrap(),
+        );
+        assert_eq!(r.data[0][0], Cell::Float(203.0));
+    }
+
+    #[test]
+    fn not_in_list() {
+        let mut s = setup();
+        let r = rows(
+            s.execute("SELECT \"Symbol\" FROM trades WHERE \"Symbol\" NOT IN ('IBM')").unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn in_subquery_execution() {
+        let mut s = setup();
+        s.execute("CREATE TABLE u (s varchar)").unwrap();
+        s.execute("INSERT INTO u VALUES ('GOOG')").unwrap();
+        let r = rows(
+            s.execute("SELECT \"Price\" FROM trades WHERE \"Symbol\" IN (SELECT s FROM u)")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+        // NOT IN with subquery.
+        let r = rows(
+            s.execute("SELECT \"Price\" FROM trades WHERE \"Symbol\" NOT IN (SELECT s FROM u)")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rank_window_with_ties() {
+        let db = Db::new();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (g varchar, v bigint)").unwrap();
+        s.execute("INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2)").unwrap();
+        let r = rows(
+            s.execute("SELECT rank() OVER (ORDER BY v ASC) AS rk FROM t ORDER BY rk ASC").unwrap(),
+        );
+        assert_eq!(
+            r.data.iter().map(|row| row[0].clone()).collect::<Vec<_>>(),
+            vec![Cell::Int(1), Cell::Int(1), Cell::Int(3)],
+            "ties share rank, next rank skips"
+        );
+    }
+
+    #[test]
+    fn count_distinct() {
+        let mut s = setup();
+        let r = rows(s.execute("SELECT count(DISTINCT \"Symbol\") AS n FROM trades").unwrap());
+        assert_eq!(r.data[0][0], Cell::Int(2));
+    }
+
+    #[test]
+    fn case_expression_in_projection() {
+        let mut s = setup();
+        let r = rows(
+            s.execute(concat!(
+                "SELECT CASE WHEN \"Symbol\" IS NOT DISTINCT FROM 'IBM' THEN 0.0 ELSE \"Price\" END AS p ",
+                "FROM trades ORDER BY ordcol ASC"
+            ))
+            .unwrap(),
+        );
+        assert_eq!(r.data[1][0], Cell::Float(0.0));
+        assert_eq!(r.data[0][0], Cell::Float(100.0));
+    }
+}

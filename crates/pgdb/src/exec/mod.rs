@@ -1,0 +1,995 @@
+//! Query execution: SELECT evaluation over in-memory tables.
+
+pub mod expr;
+
+use crate::engine::DbError;
+use crate::sql::ast::*;
+use crate::types::{Cell, Column, PgType, Rows};
+use expr::{derive_type, eval, BoundCol};
+
+/// Source of named tables during execution (sessions implement this:
+/// temp tables shadow globals shadow catalog virtual tables).
+pub trait TableSource {
+    /// Fetch a table's schema and rows by name.
+    fn get_table(&self, name: &str) -> Option<(Vec<Column>, Vec<Vec<Cell>>)>;
+}
+
+/// An intermediate result during execution.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    /// Bound columns (with source qualifiers).
+    pub cols: Vec<BoundCol>,
+    /// Row data.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+/// Execute a SELECT statement.
+pub fn run_select(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> {
+    let mut out = run_block(src, stmt)?;
+    // Chained set operations.
+    let mut cursor = &stmt.set_op;
+    while let Some((op, rhs)) = cursor {
+        let right = run_block(src, rhs)?;
+        if right.columns.len() != out.columns.len() {
+            return Err(DbError::exec("set operation column count mismatch"));
+        }
+        match op {
+            SetOp::UnionAll => out.data.extend(right.data),
+            SetOp::Union => {
+                out.data.extend(right.data);
+                dedup_rows(&mut out.data);
+            }
+            SetOp::Except => {
+                out.data.retain(|r| !right.data.iter().any(|s| rows_equal(r, s)));
+                dedup_rows(&mut out.data);
+            }
+            SetOp::Intersect => {
+                out.data.retain(|r| right.data.iter().any(|s| rows_equal(r, s)));
+                dedup_rows(&mut out.data);
+            }
+        }
+        cursor = &rhs.set_op;
+    }
+    Ok(out)
+}
+
+fn contains_subquery(e: &SqlExpr) -> bool {
+    match e {
+        SqlExpr::InSubquery { .. } => true,
+        SqlExpr::Binary { lhs, rhs, .. } => contains_subquery(lhs) || contains_subquery(rhs),
+        SqlExpr::Not(i) | SqlExpr::Neg(i) => contains_subquery(i),
+        SqlExpr::Func { args, .. } => args.iter().any(contains_subquery),
+        SqlExpr::Case { branches, else_result } => {
+            branches.iter().any(|(c, r)| contains_subquery(c) || contains_subquery(r))
+                || else_result.as_ref().map(|x| contains_subquery(x)).unwrap_or(false)
+        }
+        SqlExpr::Cast { expr, .. } => contains_subquery(expr),
+        SqlExpr::InList { expr, list, .. } => {
+            contains_subquery(expr) || list.iter().any(contains_subquery)
+        }
+        SqlExpr::IsNull { expr, .. } => contains_subquery(expr),
+        _ => false,
+    }
+}
+
+fn rows_equal(a: &[Cell], b: &[Cell]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.not_distinct(y))
+}
+
+fn dedup_rows(rows: &mut Vec<Vec<Cell>>) {
+    let mut seen: Vec<Vec<Cell>> = Vec::new();
+    rows.retain(|r| {
+        if seen.iter().any(|s| rows_equal(s, r)) {
+            false
+        } else {
+            seen.push(r.clone());
+            true
+        }
+    });
+}
+
+/// Replace uncorrelated `IN (SELECT ...)` subqueries with literal lists
+/// by executing each subquery once.
+fn resolve_subqueries(e: &SqlExpr, src: &dyn TableSource) -> Result<SqlExpr, DbError> {
+    Ok(match e {
+        SqlExpr::InSubquery { expr, query, negated } => {
+            let rows = run_select(src, query)?;
+            if rows.columns.is_empty() {
+                return Err(DbError::exec("IN subquery yields no columns"));
+            }
+            let list = rows
+                .data
+                .iter()
+                .map(|r| SqlExpr::Literal(r[0].clone()))
+                .collect();
+            SqlExpr::InList {
+                expr: Box::new(resolve_subqueries(expr, src)?),
+                list,
+                negated: *negated,
+            }
+        }
+        SqlExpr::Binary { op, lhs, rhs } => SqlExpr::Binary {
+            op: *op,
+            lhs: Box::new(resolve_subqueries(lhs, src)?),
+            rhs: Box::new(resolve_subqueries(rhs, src)?),
+        },
+        SqlExpr::Not(i) => SqlExpr::Not(Box::new(resolve_subqueries(i, src)?)),
+        SqlExpr::Neg(i) => SqlExpr::Neg(Box::new(resolve_subqueries(i, src)?)),
+        SqlExpr::Func { name, args, distinct } => SqlExpr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| resolve_subqueries(a, src)).collect::<Result<_, _>>()?,
+            distinct: *distinct,
+        },
+        SqlExpr::Case { branches, else_result } => SqlExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| Ok((resolve_subqueries(c, src)?, resolve_subqueries(r, src)?)))
+                .collect::<Result<_, DbError>>()?,
+            else_result: match else_result {
+                Some(x) => Some(Box::new(resolve_subqueries(x, src)?)),
+                None => None,
+            },
+        },
+        SqlExpr::Cast { expr, ty } => {
+            SqlExpr::Cast { expr: Box::new(resolve_subqueries(expr, src)?), ty: *ty }
+        }
+        SqlExpr::InList { expr, list, negated } => SqlExpr::InList {
+            expr: Box::new(resolve_subqueries(expr, src)?),
+            list: list.iter().map(|a| resolve_subqueries(a, src)).collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        SqlExpr::IsNull { expr, negated } => SqlExpr::IsNull {
+            expr: Box::new(resolve_subqueries(expr, src)?),
+            negated: *negated,
+        },
+        other => other.clone(),
+    })
+}
+
+/// Execute one SELECT block (no set ops).
+fn run_block(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> {
+    // Uncorrelated subqueries are resolved up front.
+    let resolved_where = match &stmt.where_clause {
+        Some(p) if contains_subquery(p) => Some(resolve_subqueries(p, src)?),
+        _ => None,
+    };
+    let stmt_storage;
+    let stmt = if resolved_where.is_some() {
+        stmt_storage = SelectStmt { where_clause: resolved_where, ..stmt.clone() };
+        &stmt_storage
+    } else {
+        stmt
+    };
+
+    // FROM.
+    let mut frame = match &stmt.from {
+        Some(item) => eval_from(src, item)?,
+        None => Frame { cols: vec![], rows: vec![vec![]] },
+    };
+
+    // WHERE (3VL: keep definite TRUE only).
+    if let Some(pred) = &stmt.where_clause {
+        let mut kept = Vec::with_capacity(frame.rows.len());
+        for row in frame.rows.into_iter() {
+            if matches!(eval(pred, &frame.cols, &row)?, Cell::Bool(true)) {
+                kept.push(row);
+            }
+        }
+        frame.rows = kept;
+    }
+
+    let has_agg = !stmt.group_by.is_empty()
+        || stmt.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            SelectItem::Wildcard => false,
+        });
+
+    if has_agg {
+        return aggregate_block(stmt, frame);
+    }
+
+    // Window functions: materialize each distinct window expression as a
+    // virtual column, then treat items as plain scalars.
+    let mut items: Vec<(Option<String>, SqlExpr)> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for c in frame.cols.clone() {
+                    items.push((
+                        Some(c.name.clone()),
+                        SqlExpr::Column { qualifier: c.qualifier.clone(), name: c.name },
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => items.push((alias.clone(), expr.clone())),
+        }
+    }
+    let has_window = items.iter().any(|(_, e)| e.contains_window());
+    if has_window {
+        let mut windows: Vec<SqlExpr> = Vec::new();
+        for (_, e) in &items {
+            collect_windows(e, &mut windows);
+        }
+        for (wi, w) in windows.iter().enumerate() {
+            let vcol = format!("hq_win_{wi}");
+            let values = compute_window(w, &frame)?;
+            let ty = match w {
+                SqlExpr::WindowFunc { .. } => derive_type(w, &frame.cols),
+                _ => PgType::Int8,
+            };
+            frame.cols.push(BoundCol { qualifier: None, name: vcol.clone(), ty });
+            for (row, v) in frame.rows.iter_mut().zip(values) {
+                row.push(v);
+            }
+        }
+        // Rewrite items to reference the virtual columns.
+        items = items
+            .into_iter()
+            .map(|(alias, e)| (alias, substitute_windows(e, &windows)))
+            .collect();
+    }
+
+    // Projection (keep input rows alongside for ORDER BY resolution).
+    let out_cols: Vec<Column> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (alias, e))| {
+            let name = alias.clone().unwrap_or_else(|| default_output_name(e, i));
+            Column::new(name, derive_type(e, &frame.cols))
+        })
+        .collect();
+    let mut projected: Vec<(Vec<Cell>, Vec<Cell>)> = Vec::with_capacity(frame.rows.len());
+    for row in &frame.rows {
+        let mut out_row = Vec::with_capacity(items.len());
+        for (_, e) in &items {
+            out_row.push(eval(e, &frame.cols, row)?);
+        }
+        projected.push((out_row, row.clone()));
+    }
+
+    // ORDER BY: output aliases take precedence, then input columns.
+    if !stmt.order_by.is_empty() {
+        let mut combined_cols: Vec<BoundCol> = out_cols
+            .iter()
+            .map(|c| BoundCol { qualifier: None, name: c.name.clone(), ty: c.ty })
+            .collect();
+        combined_cols.extend(frame.cols.iter().cloned());
+        let key_of = |pair: &(Vec<Cell>, Vec<Cell>)| -> Result<Vec<Cell>, DbError> {
+            let mut combined = pair.0.clone();
+            combined.extend(pair.1.clone());
+            stmt.order_by.iter().map(|(e, _)| eval(e, &combined_cols, &combined)).collect()
+        };
+        let mut keyed: Vec<(Vec<Cell>, (Vec<Cell>, Vec<Cell>))> = Vec::with_capacity(projected.len());
+        for p in projected.into_iter() {
+            keyed.push((key_of(&p)?, p));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for ((a, b), (_, desc)) in ka.iter().zip(kb).zip(&stmt.order_by) {
+                let ord = a.sort_cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        projected = keyed.into_iter().map(|(_, p)| p).collect();
+    }
+
+    let mut data: Vec<Vec<Cell>> = projected.into_iter().map(|(o, _)| o).collect();
+
+    // OFFSET / LIMIT.
+    let offset = stmt.offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        data = data.into_iter().skip(offset).collect();
+    }
+    if let Some(limit) = stmt.limit {
+        data.truncate(limit as usize);
+    }
+
+    Ok(Rows { columns: out_cols, data })
+}
+
+fn default_output_name(e: &SqlExpr, i: usize) -> String {
+    match e {
+        SqlExpr::Column { name, .. } => name.clone(),
+        SqlExpr::Func { name, .. } | SqlExpr::WindowFunc { name, .. } => name.clone(),
+        _ => format!("column{}", i + 1),
+    }
+}
+
+/// Grouped / scalar aggregation.
+fn aggregate_block(stmt: &SelectStmt, frame: Frame) -> Result<Rows, DbError> {
+    // Group rows by key.
+    let mut groups: Vec<(Vec<Cell>, Vec<usize>)> = Vec::new();
+    if stmt.group_by.is_empty() {
+        groups.push((vec![], (0..frame.rows.len()).collect()));
+    } else {
+        for (ri, row) in frame.rows.iter().enumerate() {
+            let key: Vec<Cell> = stmt
+                .group_by
+                .iter()
+                .map(|e| eval(e, &frame.cols, row))
+                .collect::<Result<_, _>>()?;
+            match groups.iter_mut().find(|(k, _)| rows_equal(k, &key)) {
+                Some((_, rows)) => rows.push(ri),
+                None => groups.push((key, vec![ri])),
+            }
+        }
+    }
+
+    let items: Vec<(Option<String>, SqlExpr)> = stmt
+        .items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Expr { expr, alias } => Ok((alias.clone(), expr.clone())),
+            SelectItem::Wildcard => Err(DbError::exec("SELECT * with GROUP BY is not supported")),
+        })
+        .collect::<Result<_, _>>()?;
+
+    let out_cols: Vec<Column> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (alias, e))| {
+            let name = alias.clone().unwrap_or_else(|| default_output_name(e, i));
+            Column::new(name, derive_type(e, &frame.cols))
+        })
+        .collect();
+
+    let mut data = Vec::with_capacity(groups.len());
+    for (_, row_idx) in &groups {
+        // HAVING.
+        if let Some(h) = &stmt.having {
+            let v = eval_agg(h, &frame, row_idx)?;
+            if !matches!(v, Cell::Bool(true)) {
+                continue;
+            }
+        }
+        let mut out_row = Vec::with_capacity(items.len());
+        for (_, e) in &items {
+            out_row.push(eval_agg(e, &frame, row_idx)?);
+        }
+        data.push(out_row);
+    }
+
+    let mut rows = Rows { columns: out_cols, data };
+
+    // ORDER BY over the aggregate output.
+    if !stmt.order_by.is_empty() {
+        let cols: Vec<BoundCol> = rows
+            .columns
+            .iter()
+            .map(|c| BoundCol { qualifier: None, name: c.name.clone(), ty: c.ty })
+            .collect();
+        let mut keyed: Vec<(Vec<Cell>, Vec<Cell>)> = Vec::with_capacity(rows.data.len());
+        for row in rows.data.into_iter() {
+            let key: Vec<Cell> = stmt
+                .order_by
+                .iter()
+                .map(|(e, _)| eval(e, &cols, &row))
+                .collect::<Result<_, _>>()?;
+            keyed.push((key, row));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for ((a, b), (_, desc)) in ka.iter().zip(kb).zip(&stmt.order_by) {
+                let ord = a.sort_cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows.data = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    let offset = stmt.offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        rows.data = rows.data.into_iter().skip(offset).collect();
+    }
+    if let Some(limit) = stmt.limit {
+        rows.data.truncate(limit as usize);
+    }
+    Ok(rows)
+}
+
+/// Evaluate an expression in aggregate context: aggregate calls compute
+/// over the group; bare columns take their value from the group's first
+/// row (group keys are constant within a group).
+fn eval_agg(e: &SqlExpr, frame: &Frame, group: &[usize]) -> Result<Cell, DbError> {
+    match e {
+        SqlExpr::Func { name, args, distinct } if is_aggregate_name(name) => {
+            compute_aggregate(name, args, *distinct, frame, group)
+        }
+        SqlExpr::Literal(c) => Ok(c.clone()),
+        SqlExpr::Column { .. } => match group.first() {
+            Some(&ri) => eval(e, &frame.cols, &frame.rows[ri]),
+            None => Ok(Cell::Null),
+        },
+        SqlExpr::Binary { op, lhs, rhs } => {
+            let l = eval_agg(lhs, frame, group)?;
+            let r = eval_agg(rhs, frame, group)?;
+            expr::binary(*op, &l, &r)
+        }
+        SqlExpr::Not(inner) => match eval_agg(inner, frame, group)? {
+            Cell::Null => Ok(Cell::Null),
+            Cell::Bool(b) => Ok(Cell::Bool(!b)),
+            other => Err(DbError::exec(format!("NOT applied to {other:?}"))),
+        },
+        SqlExpr::Neg(inner) => match eval_agg(inner, frame, group)? {
+            Cell::Null => Ok(Cell::Null),
+            Cell::Int(i) => Ok(Cell::Int(-i)),
+            Cell::Float(f) => Ok(Cell::Float(-f)),
+            other => Err(DbError::exec(format!("cannot negate {other:?}"))),
+        },
+        SqlExpr::Func { name, args, .. } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_agg(a, frame, group)?);
+            }
+            expr::scalar_function(name, &vals)
+        }
+        SqlExpr::Case { branches, else_result } => {
+            for (c, r) in branches {
+                if matches!(eval_agg(c, frame, group)?, Cell::Bool(true)) {
+                    return eval_agg(r, frame, group);
+                }
+            }
+            match else_result {
+                Some(e) => eval_agg(e, frame, group),
+                None => Ok(Cell::Null),
+            }
+        }
+        SqlExpr::Cast { expr: inner, ty } => {
+            let v = eval_agg(inner, frame, group)?;
+            expr::cast(&v, *ty)
+        }
+        SqlExpr::IsNull { expr: inner, negated } => {
+            let v = eval_agg(inner, frame, group)?;
+            Ok(Cell::Bool(v.is_null() != *negated))
+        }
+        SqlExpr::InList { expr: inner, list, negated } => {
+            let needle = eval_agg(inner, frame, group)?;
+            if needle.is_null() {
+                return Ok(Cell::Null);
+            }
+            for item in list {
+                let v = eval_agg(item, frame, group)?;
+                if needle.sql_eq(&v) == Some(true) {
+                    return Ok(Cell::Bool(!negated));
+                }
+            }
+            Ok(Cell::Bool(*negated))
+        }
+        other => Err(DbError::exec(format!("unsupported expression in aggregate context: {other:?}"))),
+    }
+}
+
+fn compute_aggregate(
+    name: &str,
+    args: &[SqlExpr],
+    distinct: bool,
+    frame: &Frame,
+    group: &[usize],
+) -> Result<Cell, DbError> {
+    // COUNT(*).
+    if name == "count" && matches!(args.first(), Some(SqlExpr::Star)) {
+        return Ok(Cell::Int(group.len() as i64));
+    }
+    let arg = args
+        .first()
+        .ok_or_else(|| DbError::exec(format!("{name}: missing argument")))?;
+    let mut values: Vec<Cell> = Vec::with_capacity(group.len());
+    for &ri in group {
+        let v = eval(arg, &frame.cols, &frame.rows[ri])?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        dedup_cells(&mut values);
+    }
+    let nums = || -> Vec<f64> { values.iter().filter_map(|c| c.as_f64()).collect() };
+    Ok(match name {
+        "count" => Cell::Int(values.len() as i64),
+        "sum" => {
+            if values.is_empty() {
+                Cell::Null
+            } else if values.iter().all(|v| matches!(v, Cell::Int(_) | Cell::Bool(_))) {
+                Cell::Int(nums().iter().sum::<f64>() as i64)
+            } else {
+                Cell::Float(nums().iter().sum())
+            }
+        }
+        "avg" => {
+            let ns = nums();
+            if ns.is_empty() {
+                Cell::Null
+            } else {
+                Cell::Float(ns.iter().sum::<f64>() / ns.len() as f64)
+            }
+        }
+        "min" => fold_extreme(&values, false),
+        "max" => fold_extreme(&values, true),
+        "stddev_samp" | "stddev" => {
+            let ns = nums();
+            if ns.len() < 2 {
+                Cell::Null
+            } else {
+                let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+                let var = ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                    / (ns.len() - 1) as f64;
+                Cell::Float(var.sqrt())
+            }
+        }
+        "var_samp" | "variance" => {
+            let ns = nums();
+            if ns.len() < 2 {
+                Cell::Null
+            } else {
+                let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+                Cell::Float(
+                    ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                        / (ns.len() - 1) as f64,
+                )
+            }
+        }
+        "median" => {
+            let mut ns = nums();
+            if ns.is_empty() {
+                Cell::Null
+            } else {
+                ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let n = ns.len();
+                Cell::Float(if n % 2 == 1 {
+                    ns[n / 2]
+                } else {
+                    (ns[n / 2 - 1] + ns[n / 2]) / 2.0
+                })
+            }
+        }
+        // Hyper-Q toolbox: order-sensitive first/last. The engine
+        // processes rows in storage order, which Hyper-Q guarantees
+        // matches ordcol order for materialized inputs.
+        "hq_first" => values.first().cloned().unwrap_or(Cell::Null),
+        "hq_last" => values.last().cloned().unwrap_or(Cell::Null),
+        "bool_and" => {
+            if values.is_empty() {
+                Cell::Null
+            } else {
+                Cell::Bool(values.iter().all(|v| matches!(v, Cell::Bool(true))))
+            }
+        }
+        "bool_or" => {
+            if values.is_empty() {
+                Cell::Null
+            } else {
+                Cell::Bool(values.iter().any(|v| matches!(v, Cell::Bool(true))))
+            }
+        }
+        other => return Err(DbError::exec(format!("unknown aggregate {other}"))),
+    })
+}
+
+fn fold_extreme(values: &[Cell], want_max: bool) -> Cell {
+    let mut best: Option<&Cell> = None;
+    for v in values {
+        best = Some(match best {
+            None => v,
+            Some(b) => match v.sql_cmp(b) {
+                Some(std::cmp::Ordering::Greater) if want_max => v,
+                Some(std::cmp::Ordering::Less) if !want_max => v,
+                _ => b,
+            },
+        });
+    }
+    best.cloned().unwrap_or(Cell::Null)
+}
+
+fn dedup_cells(values: &mut Vec<Cell>) {
+    let mut seen: Vec<Cell> = Vec::new();
+    values.retain(|v| {
+        if seen.iter().any(|s| s.not_distinct(v)) {
+            false
+        } else {
+            seen.push(v.clone());
+            true
+        }
+    });
+}
+
+/// Collect structurally distinct window-function nodes.
+fn collect_windows(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
+    match e {
+        SqlExpr::WindowFunc { .. } => {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        SqlExpr::Binary { lhs, rhs, .. } => {
+            collect_windows(lhs, out);
+            collect_windows(rhs, out);
+        }
+        SqlExpr::Not(i) | SqlExpr::Neg(i) => collect_windows(i, out),
+        SqlExpr::Func { args, .. } => args.iter().for_each(|a| collect_windows(a, out)),
+        SqlExpr::Case { branches, else_result } => {
+            for (c, r) in branches {
+                collect_windows(c, out);
+                collect_windows(r, out);
+            }
+            if let Some(e) = else_result {
+                collect_windows(e, out);
+            }
+        }
+        SqlExpr::Cast { expr, .. } => collect_windows(expr, out),
+        SqlExpr::InList { expr, list, .. } => {
+            collect_windows(expr, out);
+            list.iter().for_each(|e| collect_windows(e, out));
+        }
+        SqlExpr::IsNull { expr, .. } => collect_windows(expr, out),
+        _ => {}
+    }
+}
+
+/// Replace window nodes with references to their virtual columns.
+fn substitute_windows(e: SqlExpr, windows: &[SqlExpr]) -> SqlExpr {
+    if let Some(i) = windows.iter().position(|w| *w == e) {
+        return SqlExpr::Column { qualifier: None, name: format!("hq_win_{i}") };
+    }
+    match e {
+        SqlExpr::Binary { op, lhs, rhs } => SqlExpr::Binary {
+            op,
+            lhs: Box::new(substitute_windows(*lhs, windows)),
+            rhs: Box::new(substitute_windows(*rhs, windows)),
+        },
+        SqlExpr::Not(i) => SqlExpr::Not(Box::new(substitute_windows(*i, windows))),
+        SqlExpr::Neg(i) => SqlExpr::Neg(Box::new(substitute_windows(*i, windows))),
+        SqlExpr::Func { name, args, distinct } => SqlExpr::Func {
+            name,
+            args: args.into_iter().map(|a| substitute_windows(a, windows)).collect(),
+            distinct,
+        },
+        SqlExpr::Case { branches, else_result } => SqlExpr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(c, r)| (substitute_windows(c, windows), substitute_windows(r, windows)))
+                .collect(),
+            else_result: else_result.map(|e| Box::new(substitute_windows(*e, windows))),
+        },
+        SqlExpr::Cast { expr, ty } => {
+            SqlExpr::Cast { expr: Box::new(substitute_windows(*expr, windows)), ty }
+        }
+        SqlExpr::InList { expr, list, negated } => SqlExpr::InList {
+            expr: Box::new(substitute_windows(*expr, windows)),
+            list: list.into_iter().map(|e| substitute_windows(e, windows)).collect(),
+            negated,
+        },
+        SqlExpr::IsNull { expr, negated } => {
+            SqlExpr::IsNull { expr: Box::new(substitute_windows(*expr, windows)), negated }
+        }
+        other => other,
+    }
+}
+
+/// Compute a window function over the whole frame.
+fn compute_window(w: &SqlExpr, frame: &Frame) -> Result<Vec<Cell>, DbError> {
+    let SqlExpr::WindowFunc { name, args, partition_by, order_by } = w else {
+        return Err(DbError::exec("not a window function"));
+    };
+    let n = frame.rows.len();
+    // Partition rows.
+    let mut partitions: Vec<(Vec<Cell>, Vec<usize>)> = Vec::new();
+    for ri in 0..n {
+        let key: Vec<Cell> = partition_by
+            .iter()
+            .map(|e| eval(e, &frame.cols, &frame.rows[ri]))
+            .collect::<Result<_, _>>()?;
+        match partitions.iter_mut().find(|(k, _)| rows_equal(k, &key)) {
+            Some((_, rows)) => rows.push(ri),
+            None => partitions.push((key, vec![ri])),
+        }
+    }
+
+    let mut out = vec![Cell::Null; n];
+    for (_, mut rows) in partitions {
+        // Order within the partition.
+        if !order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Cell>, usize)> = Vec::with_capacity(rows.len());
+            for &ri in &rows {
+                let key: Vec<Cell> = order_by
+                    .iter()
+                    .map(|(e, _)| eval(e, &frame.cols, &frame.rows[ri]))
+                    .collect::<Result<_, _>>()?;
+                keyed.push((key, ri));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for ((a, b), (_, desc)) in ka.iter().zip(kb).zip(order_by) {
+                    let ord = a.sort_cmp(b);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            rows = keyed.into_iter().map(|(_, ri)| ri).collect();
+        }
+
+        let arg_at = |pos: usize| -> Result<Cell, DbError> {
+            match args.first() {
+                Some(a) => eval(a, &frame.cols, &frame.rows[rows[pos]]),
+                None => Ok(Cell::Null),
+            }
+        };
+        match name.as_str() {
+            "row_number" => {
+                for (i, &ri) in rows.iter().enumerate() {
+                    out[ri] = Cell::Int(i as i64 + 1);
+                }
+            }
+            "rank" => {
+                let mut rank = 1i64;
+                for (i, &ri) in rows.iter().enumerate() {
+                    if i > 0 {
+                        // Compare order keys with the previous row.
+                        let prev = rows[i - 1];
+                        let equal = order_by.iter().try_fold(true, |acc, (e, _)| {
+                            let a = eval(e, &frame.cols, &frame.rows[ri])?;
+                            let b = eval(e, &frame.cols, &frame.rows[prev])?;
+                            Ok::<bool, DbError>(acc && a.not_distinct(&b))
+                        })?;
+                        if !equal {
+                            rank = i as i64 + 1;
+                        }
+                    }
+                    out[ri] = Cell::Int(rank);
+                }
+            }
+            "lead" => {
+                for (i, &ri) in rows.iter().enumerate() {
+                    out[ri] = if i + 1 < rows.len() { arg_at(i + 1)? } else { Cell::Null };
+                }
+            }
+            "lag" => {
+                for (i, &ri) in rows.iter().enumerate() {
+                    out[ri] = if i > 0 { arg_at(i - 1)? } else { Cell::Null };
+                }
+            }
+            "first_value" => {
+                let v = if rows.is_empty() { Cell::Null } else { arg_at(0)? };
+                for &ri in &rows {
+                    out[ri] = v.clone();
+                }
+            }
+            "last_value" => {
+                // Whole-partition frame (Hyper-Q's usage; differs from
+                // PG's default running frame, which it never relies on).
+                let v = if rows.is_empty() { Cell::Null } else { arg_at(rows.len() - 1)? };
+                for &ri in &rows {
+                    out[ri] = v.clone();
+                }
+            }
+            other => return Err(DbError::exec(format!("unknown window function {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// One equi-join key pair: left column index, right column index, and
+/// whether NULLs match (IS NOT DISTINCT FROM) or not (=).
+struct EquiPair {
+    left: usize,
+    right: usize,
+    nulls_match: bool,
+}
+
+/// Recognize a conjunction of cross-side column equalities. Returns
+/// `None` (→ nested loop) for anything more complex.
+fn extract_equi_pairs(cond: &SqlExpr, l: &Frame, r: &Frame) -> Option<Vec<EquiPair>> {
+    fn collect(cond: &SqlExpr, l: &Frame, r: &Frame, out: &mut Vec<EquiPair>) -> bool {
+        match cond {
+            SqlExpr::Binary { op: SqlBinOp::And, lhs, rhs } => {
+                collect(lhs, l, r, out) && collect(rhs, l, r, out)
+            }
+            SqlExpr::Binary { op, lhs, rhs }
+                if matches!(op, SqlBinOp::Eq | SqlBinOp::IsNotDistinctFrom) =>
+            {
+                let (SqlExpr::Column { qualifier: q1, name: n1 }, SqlExpr::Column { qualifier: q2, name: n2 }) =
+                    (lhs.as_ref(), rhs.as_ref())
+                else {
+                    return false;
+                };
+                let nulls_match = *op == SqlBinOp::IsNotDistinctFrom;
+                let try_side = |f: &Frame, q: &Option<String>, n: &str| {
+                    expr::resolve_column(&f.cols, q.as_deref(), n).ok()
+                };
+                if let (Some(li), Some(ri)) = (try_side(l, q1, n1), try_side(r, q2, n2)) {
+                    out.push(EquiPair { left: li, right: ri, nulls_match });
+                    true
+                } else if let (Some(li), Some(ri)) = (try_side(l, q2, n2), try_side(r, q1, n1)) {
+                    out.push(EquiPair { left: li, right: ri, nulls_match });
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+    let mut pairs = Vec::new();
+    if collect(cond, l, r, &mut pairs) && !pairs.is_empty() {
+        Some(pairs)
+    } else {
+        None
+    }
+}
+
+/// Hashable projection of a cell for join keys.
+fn cell_hash_key(c: &Cell) -> String {
+    match c {
+        Cell::Null => "\u{0}N".to_string(),
+        Cell::Bool(b) => format!("b{b}"),
+        Cell::Int(v) => format!("i{v}"),
+        // Compare numerics across widths the way sql_eq does.
+        Cell::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 9e15 {
+                format!("i{}", *f as i64)
+            } else {
+                format!("f{}", f.to_bits())
+            }
+        }
+        Cell::Text(s) => format!("t{s}"),
+        Cell::Date(d) => format!("i{d}"),
+        Cell::Time(t) => format!("i{t}"),
+        Cell::Timestamp(t) => format!("i{t}"),
+    }
+}
+
+fn hash_join(l: &Frame, r: &Frame, pairs: &[EquiPair], kind: JoinType, out: &mut Vec<Vec<Cell>>) {
+    use std::collections::HashMap;
+    let mut index: HashMap<String, Vec<usize>> = HashMap::with_capacity(r.rows.len());
+    'right: for (ri, row) in r.rows.iter().enumerate() {
+        let mut key = String::new();
+        for p in pairs {
+            let c = &row[p.right];
+            if c.is_null() && !p.nulls_match {
+                continue 'right; // plain = never matches NULL
+            }
+            key.push_str(&cell_hash_key(c));
+            key.push('\u{1}');
+        }
+        index.entry(key).or_default().push(ri);
+    }
+    'left: for lrow in &l.rows {
+        let mut key = String::new();
+        let mut skip = false;
+        for p in pairs {
+            let c = &lrow[p.left];
+            if c.is_null() && !p.nulls_match {
+                skip = true;
+                break;
+            }
+            key.push_str(&cell_hash_key(c));
+            key.push('\u{1}');
+        }
+        if !skip {
+            if let Some(matches) = index.get(&key) {
+                for &ri in matches {
+                    let mut row = lrow.clone();
+                    row.extend(r.rows[ri].clone());
+                    out.push(row);
+                }
+                continue 'left;
+            }
+        }
+        if kind == JoinType::Left {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat(Cell::Null).take(r.cols.len()));
+            out.push(row);
+        }
+    }
+}
+
+/// Evaluate a FROM item into a frame.
+fn eval_from(src: &dyn TableSource, item: &FromItem) -> Result<Frame, DbError> {
+    match item {
+        FromItem::Table { name, alias } => {
+            let (columns, rows) =
+                src.get_table(name).ok_or_else(|| DbError::undefined_table(name))?;
+            let q = alias.clone().or_else(|| Some(name.clone()));
+            Ok(Frame {
+                cols: columns
+                    .into_iter()
+                    .map(|c| BoundCol { qualifier: q.clone(), name: c.name, ty: c.ty })
+                    .collect(),
+                rows,
+            })
+        }
+        FromItem::Subquery { query, alias } => {
+            let rows = run_select(src, query)?;
+            Ok(Frame {
+                cols: rows
+                    .columns
+                    .into_iter()
+                    .map(|c| BoundCol {
+                        qualifier: Some(alias.clone()),
+                        name: c.name,
+                        ty: c.ty,
+                    })
+                    .collect(),
+                rows: rows.data,
+            })
+        }
+        FromItem::Values { rows, alias, columns } => {
+            let mut data = Vec::with_capacity(rows.len());
+            for r in rows {
+                let mut row = Vec::with_capacity(r.len());
+                for e in r {
+                    row.push(eval(e, &[], &[])?);
+                }
+                data.push(row);
+            }
+            let width = data.first().map(|r| r.len()).unwrap_or(columns.len());
+            let mut cols = Vec::with_capacity(width);
+            for i in 0..width {
+                let name =
+                    columns.get(i).cloned().unwrap_or_else(|| format!("column{}", i + 1));
+                let ty = data
+                    .iter()
+                    .map(|r| &r[i])
+                    .find(|c| !c.is_null())
+                    .map(|c| c.natural_type())
+                    .unwrap_or(PgType::Text);
+                cols.push(BoundCol { qualifier: Some(alias.clone()), name, ty });
+            }
+            Ok(Frame { cols, rows: data })
+        }
+        FromItem::Join { kind, left, right, on } => {
+            let l = eval_from(src, left)?;
+            let r = eval_from(src, right)?;
+            let mut cols = l.cols.clone();
+            cols.extend(r.cols.clone());
+            let mut rows = Vec::new();
+            match kind {
+                JoinType::Cross => {
+                    for lr in &l.rows {
+                        for rr in &r.rows {
+                            let mut row = lr.clone();
+                            row.extend(rr.clone());
+                            rows.push(row);
+                        }
+                    }
+                }
+                JoinType::Inner | JoinType::Left => {
+                    let cond = on
+                        .as_ref()
+                        .ok_or_else(|| DbError::syntax("JOIN requires ON"))?;
+                    // Hash join fast path when the condition is a pure
+                    // conjunction of column equalities across the two
+                    // sides; otherwise nested loop.
+                    if let Some(pairs) = extract_equi_pairs(cond, &l, &r) {
+                        hash_join(&l, &r, &pairs, *kind, &mut rows);
+                    } else {
+                        for lr in &l.rows {
+                            let mut matched = false;
+                            for rr in &r.rows {
+                                let mut row = lr.clone();
+                                row.extend(rr.clone());
+                                if matches!(eval(cond, &cols, &row)?, Cell::Bool(true)) {
+                                    rows.push(row);
+                                    matched = true;
+                                }
+                            }
+                            if !matched && *kind == JoinType::Left {
+                                let mut row = lr.clone();
+                                row.extend(std::iter::repeat(Cell::Null).take(r.cols.len()));
+                                rows.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Frame { cols, rows })
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! PG v3 TCP server.
+//!
+//! One thread per connection, simple-query protocol: start-up →
+//! authentication (trust, clear text or MD5 — the mechanisms paper §4.2
+//! lists) → `ReadyForQuery` → a loop of `Query` messages answered with
+//! `RowDescription` + streamed `DataRow`s + `CommandComplete` (the
+//! row-oriented stream of Figure 5).
+
+use crate::engine::{Db, QueryResult};
+use crate::types::PgType;
+use bytes::BytesMut;
+use pgwire::codec::{encode_backend, MessageReader};
+use pgwire::messages::{AuthRequest, BackendMessage, FieldDesc, FrontendMessage, TransactionStatus, TypeOid};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Authentication policy.
+#[derive(Debug, Clone, Default)]
+pub enum AuthMode {
+    /// Accept everyone.
+    #[default]
+    Trust,
+    /// Request a clear-text password and check it against the map.
+    Cleartext(HashMap<String, String>),
+    /// Request an MD5-hashed password.
+    Md5(HashMap<String, String>),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Authentication policy.
+    pub auth: AuthMode,
+}
+
+/// A running PG v3 server.
+pub struct PgServer {
+    /// Bound address (useful with port 0).
+    pub addr: std::net::SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PgServer {
+    /// Start serving `db` on `bind_addr` (e.g. `127.0.0.1:0`).
+    pub fn start(db: Db, bind_addr: &str, config: ServerConfig) -> std::io::Result<PgServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let cfg = Arc::new(config);
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let db = db.clone();
+                let cfg = Arc::clone(&cfg);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, db, &cfg);
+                });
+            }
+        });
+        Ok(PgServer { addr, handle: Some(handle) })
+    }
+
+    /// Detach the accept thread (it ends when the process does).
+    pub fn detach(mut self) {
+        self.handle.take();
+    }
+}
+
+fn send(stream: &mut TcpStream, msg: &BackendMessage) -> std::io::Result<()> {
+    let mut buf = BytesMut::new();
+    encode_backend(msg, &mut buf);
+    stream.write_all(&buf)
+}
+
+fn pg_type_oid(ty: PgType) -> TypeOid {
+    match ty {
+        PgType::Bool => TypeOid::Bool,
+        PgType::Int2 => TypeOid::Int2,
+        PgType::Int4 => TypeOid::Int4,
+        PgType::Int8 => TypeOid::Int8,
+        PgType::Float4 => TypeOid::Float4,
+        PgType::Float8 => TypeOid::Float8,
+        PgType::Varchar => TypeOid::Varchar,
+        PgType::Text => TypeOid::Text,
+        PgType::Date => TypeOid::Date,
+        PgType::Time => TypeOid::Time,
+        PgType::Timestamp => TypeOid::Timestamp,
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    db: Db,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
+    let mut reader = MessageReader::new(true);
+    let mut chunk = [0u8; 8192];
+
+    // Start-up.
+    let params = loop {
+        if let Some(FrontendMessage::Startup { params }) = reader.next_frontend() {
+            break params;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(());
+        }
+        reader.feed(&chunk[..n]);
+    };
+    let user = params
+        .iter()
+        .find(|(k, _)| k == "user")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default();
+
+    // Authentication.
+    let authenticated = match &cfg.auth {
+        AuthMode::Trust => true,
+        AuthMode::Cleartext(creds) => {
+            send(&mut stream, &BackendMessage::Authentication(AuthRequest::CleartextPassword))?;
+            let pw = read_password(&mut stream, &mut reader, &mut chunk)?;
+            creds.get(&user).map(|expect| *expect == pw).unwrap_or(false)
+        }
+        AuthMode::Md5(creds) => {
+            let salt = [0x13, 0x37, 0xBE, 0xEF];
+            send(&mut stream, &BackendMessage::Authentication(AuthRequest::Md5Password { salt }))?;
+            let pw = read_password(&mut stream, &mut reader, &mut chunk)?;
+            creds
+                .get(&user)
+                .map(|expect| pgwire::md5_password(&user, expect, salt) == pw)
+                .unwrap_or(false)
+        }
+    };
+    if !authenticated {
+        send(
+            &mut stream,
+            &BackendMessage::ErrorResponse {
+                severity: "FATAL".into(),
+                code: "28P01".into(),
+                message: format!("password authentication failed for user \"{user}\""),
+            },
+        )?;
+        return Ok(());
+    }
+    send(&mut stream, &BackendMessage::Authentication(AuthRequest::Ok))?;
+    send(
+        &mut stream,
+        &BackendMessage::ParameterStatus { name: "server_version".into(), value: "9.2-hyperq-pgdb".into() },
+    )?;
+    send(&mut stream, &BackendMessage::BackendKeyData { pid: std::process::id() as i32, secret: 0 })?;
+    send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
+
+    let mut session = db.session();
+
+    // Query loop.
+    loop {
+        let msg = loop {
+            if let Some(m) = reader.next_frontend() {
+                break m;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(());
+            }
+            reader.feed(&chunk[..n]);
+        };
+        match msg {
+            FrontendMessage::Query(sql) => {
+                let trimmed = sql.trim();
+                if trimmed.is_empty() {
+                    send(&mut stream, &BackendMessage::EmptyQueryResponse)?;
+                    send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
+                    continue;
+                }
+                // Multiple statements separated by ';'.
+                for stmt_sql in split_statements(trimmed) {
+                    match session.execute(&stmt_sql) {
+                        Ok(QueryResult::Rows(rows)) => {
+                            let fields: Vec<FieldDesc> = rows
+                                .columns
+                                .iter()
+                                .map(|c| FieldDesc {
+                                    name: c.name.clone(),
+                                    type_oid: pg_type_oid(c.ty),
+                                })
+                                .collect();
+                            send(&mut stream, &BackendMessage::RowDescription(fields))?;
+                            let count = rows.len();
+                            for row in &rows.data {
+                                let cells: Vec<Option<String>> =
+                                    row.iter().map(|c| c.to_wire_text()).collect();
+                                send(&mut stream, &BackendMessage::DataRow(cells))?;
+                            }
+                            send(
+                                &mut stream,
+                                &BackendMessage::CommandComplete(format!("SELECT {count}")),
+                            )?;
+                        }
+                        Ok(QueryResult::Command(tag)) => {
+                            send(&mut stream, &BackendMessage::CommandComplete(tag))?;
+                        }
+                        Err(e) => {
+                            send(
+                                &mut stream,
+                                &BackendMessage::ErrorResponse {
+                                    severity: "ERROR".into(),
+                                    code: e.code.clone(),
+                                    message: e.message.clone(),
+                                },
+                            )?;
+                            break;
+                        }
+                    }
+                }
+                send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
+            }
+            FrontendMessage::Terminate => return Ok(()),
+            _ => {}
+        }
+    }
+}
+
+fn read_password(
+    stream: &mut TcpStream,
+    reader: &mut MessageReader,
+    chunk: &mut [u8],
+) -> std::io::Result<String> {
+    loop {
+        if let Some(FrontendMessage::Password(p)) = reader.next_frontend() {
+            return Ok(p);
+        }
+        let n = stream.read(chunk)?;
+        if n == 0 {
+            return Ok(String::new());
+        }
+        reader.feed(&chunk[..n]);
+    }
+}
+
+/// Split on top-level semicolons (quotes respected).
+fn split_statements(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut in_ident = false;
+    for c in sql.chars() {
+        match c {
+            '\'' if !in_ident => in_str = !in_str,
+            '"' if !in_str => in_ident = !in_ident,
+            ';' if !in_str && !in_ident => {
+                let t = cur.trim().to_string();
+                if !t.is_empty() {
+                    out.push(t);
+                }
+                cur.clear();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    let t = cur.trim().to_string();
+    if !t.is_empty() {
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgwire::codec::encode_frontend;
+
+    struct TestClient {
+        stream: TcpStream,
+        reader: MessageReader,
+    }
+
+    impl TestClient {
+        fn connect(addr: std::net::SocketAddr, user: &str) -> Self {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut buf = BytesMut::new();
+            encode_frontend(
+                &FrontendMessage::Startup {
+                    params: vec![("user".into(), user.into()), ("database".into(), "hist".into())],
+                },
+                &mut buf,
+            );
+            stream.write_all(&buf).unwrap();
+            TestClient { stream, reader: MessageReader::new(false) }
+        }
+
+        fn send(&mut self, msg: &FrontendMessage) {
+            let mut buf = BytesMut::new();
+            encode_frontend(msg, &mut buf);
+            self.stream.write_all(&buf).unwrap();
+        }
+
+        fn recv(&mut self) -> BackendMessage {
+            let mut chunk = [0u8; 4096];
+            loop {
+                if let Some(m) = self.reader.next_backend() {
+                    return m;
+                }
+                let n = self.stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed connection");
+                self.reader.feed(&chunk[..n]);
+            }
+        }
+
+        fn recv_until_ready(&mut self) -> Vec<BackendMessage> {
+            let mut msgs = Vec::new();
+            loop {
+                let m = self.recv();
+                let done = matches!(m, BackendMessage::ReadyForQuery(_));
+                msgs.push(m);
+                if done {
+                    return msgs;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_wire_session_with_trust_auth() {
+        let db = Db::new();
+        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = TestClient::connect(server.addr, "trader");
+        let startup = client.recv_until_ready();
+        assert!(matches!(startup[0], BackendMessage::Authentication(AuthRequest::Ok)));
+
+        client.send(&FrontendMessage::Query(
+            "CREATE TABLE t (x bigint); INSERT INTO t VALUES (1), (2); SELECT x FROM t ORDER BY x DESC".into(),
+        ));
+        let msgs = client.recv_until_ready();
+        let rows: Vec<&BackendMessage> =
+            msgs.iter().filter(|m| matches!(m, BackendMessage::DataRow(_))).collect();
+        assert_eq!(rows.len(), 2);
+        match rows[0] {
+            BackendMessage::DataRow(cells) => assert_eq!(cells[0].as_deref(), Some("2")),
+            _ => unreachable!(),
+        }
+        client.send(&FrontendMessage::Terminate);
+        server.detach();
+    }
+
+    #[test]
+    fn cleartext_auth_rejects_bad_password() {
+        let db = Db::new();
+        let mut creds = HashMap::new();
+        creds.insert("trader".to_string(), "secret".to_string());
+        let server =
+            PgServer::start(db, "127.0.0.1:0", ServerConfig { auth: AuthMode::Cleartext(creds) })
+                .unwrap();
+
+        // Good password.
+        let mut ok = TestClient::connect(server.addr, "trader");
+        assert!(matches!(
+            ok.recv(),
+            BackendMessage::Authentication(AuthRequest::CleartextPassword)
+        ));
+        ok.send(&FrontendMessage::Password("secret".into()));
+        let msgs = ok.recv_until_ready();
+        assert!(matches!(msgs[0], BackendMessage::Authentication(AuthRequest::Ok)));
+
+        // Bad password.
+        let mut bad = TestClient::connect(server.addr, "trader");
+        bad.recv();
+        bad.send(&FrontendMessage::Password("wrong".into()));
+        let m = bad.recv();
+        assert!(matches!(m, BackendMessage::ErrorResponse { code, .. } if code == "28P01"));
+        server.detach();
+    }
+
+    #[test]
+    fn md5_auth_end_to_end() {
+        let db = Db::new();
+        let mut creds = HashMap::new();
+        creds.insert("trader".to_string(), "secret".to_string());
+        let server =
+            PgServer::start(db, "127.0.0.1:0", ServerConfig { auth: AuthMode::Md5(creds) }).unwrap();
+        let mut client = TestClient::connect(server.addr, "trader");
+        let salt = match client.recv() {
+            BackendMessage::Authentication(AuthRequest::Md5Password { salt }) => salt,
+            other => panic!("expected md5 request, got {other:?}"),
+        };
+        client.send(&FrontendMessage::Password(pgwire::md5_password("trader", "secret", salt)));
+        let msgs = client.recv_until_ready();
+        assert!(matches!(msgs[0], BackendMessage::Authentication(AuthRequest::Ok)));
+        server.detach();
+    }
+
+    #[test]
+    fn errors_travel_as_error_responses() {
+        let db = Db::new();
+        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = TestClient::connect(server.addr, "x");
+        client.recv_until_ready();
+        client.send(&FrontendMessage::Query("SELECT * FROM missing_table".into()));
+        let msgs = client.recv_until_ready();
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, BackendMessage::ErrorResponse { code, .. } if code == "42P01")));
+        server.detach();
+    }
+
+    #[test]
+    fn statement_splitting_respects_quotes() {
+        assert_eq!(split_statements("SELECT 1; SELECT 2"), vec!["SELECT 1", "SELECT 2"]);
+        assert_eq!(split_statements("SELECT 'a;b'"), vec!["SELECT 'a;b'"]);
+        assert_eq!(split_statements("SELECT \"a;b\" FROM t"), vec!["SELECT \"a;b\" FROM t"]);
+    }
+}

@@ -1,0 +1,276 @@
+//! SQL tokenizer.
+//!
+//! Unquoted identifiers fold to lowercase (PostgreSQL behaviour);
+//! double-quoted identifiers preserve case — which is why Hyper-Q's
+//! serializer quotes everything. Strings use single quotes with `''`
+//! escaping.
+
+use crate::engine::DbError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlTok {
+    /// Identifier or keyword (already lowercased if unquoted).
+    Ident(String),
+    /// Double-quoted identifier (case preserved).
+    QuotedIdent(String),
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Any operator/punctuation symbol.
+    Sym(&'static str),
+}
+
+impl SqlTok {
+    /// Is this the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, SqlTok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn lex(src: &str) -> Result<Vec<SqlTok>, DbError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::syntax("unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch = src[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(SqlTok::Str(s));
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::syntax("unterminated quoted identifier")),
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(SqlTok::QuotedIdent(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                // Exponent.
+                if i < bytes.len() && (bytes[i] | 32) == b'e' {
+                    let save = i;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    if i < bytes.len() && bytes[i].is_ascii_digit() {
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save;
+                    }
+                }
+                let text = &src[start..i];
+                if text.contains('.') || text.contains('e') || text.contains('E') {
+                    out.push(SqlTok::Float(text.parse().map_err(|_| {
+                        DbError::syntax(format!("bad numeric literal {text}"))
+                    })?));
+                } else {
+                    out.push(SqlTok::Int(text.parse().map_err(|_| {
+                        DbError::syntax(format!("bad numeric literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                out.push(SqlTok::Ident(src[start..i].to_ascii_lowercase()));
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                out.push(SqlTok::Sym("::"));
+                i += 2;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(SqlTok::Sym("<>"));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(SqlTok::Sym("<="));
+                    i += 2;
+                } else {
+                    out.push(SqlTok::Sym("<"));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(SqlTok::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(SqlTok::Sym(">"));
+                    i += 1;
+                }
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(SqlTok::Sym("<>"));
+                i += 2;
+            }
+            b'|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(SqlTok::Sym("||"));
+                i += 2;
+            }
+            b'=' => {
+                out.push(SqlTok::Sym("="));
+                i += 1;
+            }
+            b'+' => {
+                out.push(SqlTok::Sym("+"));
+                i += 1;
+            }
+            b'-' => {
+                out.push(SqlTok::Sym("-"));
+                i += 1;
+            }
+            b'*' => {
+                out.push(SqlTok::Sym("*"));
+                i += 1;
+            }
+            b'/' => {
+                out.push(SqlTok::Sym("/"));
+                i += 1;
+            }
+            b'%' => {
+                out.push(SqlTok::Sym("%"));
+                i += 1;
+            }
+            b'(' => {
+                out.push(SqlTok::Sym("("));
+                i += 1;
+            }
+            b')' => {
+                out.push(SqlTok::Sym(")"));
+                i += 1;
+            }
+            b',' => {
+                out.push(SqlTok::Sym(","));
+                i += 1;
+            }
+            b';' => {
+                out.push(SqlTok::Sym(";"));
+                i += 1;
+            }
+            b'.' => {
+                out.push(SqlTok::Sym("."));
+                i += 1;
+            }
+            other => {
+                return Err(DbError::syntax(format!(
+                    "unexpected character {:?} in SQL",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_fold_to_lowercase() {
+        let toks = lex("SELECT Price FROM trades").unwrap();
+        assert_eq!(toks[0], SqlTok::Ident("select".into()));
+        assert_eq!(toks[1], SqlTok::Ident("price".into()), "unquoted folds");
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case() {
+        let toks = lex(r#"SELECT "Price" FROM "trades""#).unwrap();
+        assert_eq!(toks[1], SqlTok::QuotedIdent("Price".into()));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = lex("'O''Neil'").unwrap();
+        assert_eq!(toks[0], SqlTok::Str("O'Neil".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("42 1.5 2e3").unwrap();
+        assert_eq!(toks[0], SqlTok::Int(42));
+        assert_eq!(toks[1], SqlTok::Float(1.5));
+        assert_eq!(toks[2], SqlTok::Float(2000.0));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a <> b :: <= >= != ||").unwrap();
+        assert!(toks.contains(&SqlTok::Sym("<>")));
+        assert!(toks.contains(&SqlTok::Sym("::")));
+        assert!(toks.contains(&SqlTok::Sym("<=")));
+        assert!(toks.contains(&SqlTok::Sym(">=")));
+        assert!(toks.contains(&SqlTok::Sym("||")));
+        // != normalizes to <>
+        assert_eq!(toks.iter().filter(|t| **t == SqlTok::Sym("<>")).count(), 2);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n+ 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! SQL front end: lexer, AST and parser for the PG dialect Hyper-Q emits.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{FromItem, JoinType, SelectItem, SelectStmt, SetOp, SqlExpr, Stmt};
+pub use parser::parse_statement;

@@ -1,0 +1,470 @@
+//! Encoding and decoding of PG v3 messages over byte buffers.
+//!
+//! Framing (paper §4.2): one type byte (absent on the start-up packet),
+//! then a big-endian i32 length that *includes itself*, then the body.
+
+use crate::messages::{
+    AuthRequest, BackendMessage, FieldDesc, FrontendMessage, TransactionStatus, TypeOid,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encode a frontend message into `out`.
+pub fn encode_frontend(msg: &FrontendMessage, out: &mut BytesMut) {
+    match msg {
+        FrontendMessage::Startup { params } => {
+            let mut body = BytesMut::new();
+            body.put_i32(crate::PROTOCOL_VERSION);
+            for (k, v) in params {
+                put_cstr(&mut body, k);
+                put_cstr(&mut body, v);
+            }
+            body.put_u8(0);
+            out.put_i32(body.len() as i32 + 4);
+            out.extend_from_slice(&body);
+        }
+        FrontendMessage::Password(p) => {
+            let mut body = BytesMut::new();
+            put_cstr(&mut body, p);
+            frame(out, b'p', &body);
+        }
+        FrontendMessage::Query(sql) => {
+            let mut body = BytesMut::new();
+            put_cstr(&mut body, sql);
+            frame(out, b'Q', &body);
+        }
+        FrontendMessage::Terminate => frame(out, b'X', &BytesMut::new()),
+    }
+}
+
+/// Encode a backend message into `out`.
+pub fn encode_backend(msg: &BackendMessage, out: &mut BytesMut) {
+    match msg {
+        BackendMessage::Authentication(req) => {
+            let mut body = BytesMut::new();
+            match req {
+                AuthRequest::Ok => body.put_i32(0),
+                AuthRequest::CleartextPassword => body.put_i32(3),
+                AuthRequest::Md5Password { salt } => {
+                    body.put_i32(5);
+                    body.extend_from_slice(salt);
+                }
+            }
+            frame(out, b'R', &body);
+        }
+        BackendMessage::ParameterStatus { name, value } => {
+            let mut body = BytesMut::new();
+            put_cstr(&mut body, name);
+            put_cstr(&mut body, value);
+            frame(out, b'S', &body);
+        }
+        BackendMessage::BackendKeyData { pid, secret } => {
+            let mut body = BytesMut::new();
+            body.put_i32(*pid);
+            body.put_i32(*secret);
+            frame(out, b'K', &body);
+        }
+        BackendMessage::ReadyForQuery(status) => {
+            let mut body = BytesMut::new();
+            body.put_u8(status.as_byte());
+            frame(out, b'Z', &body);
+        }
+        BackendMessage::RowDescription(fields) => {
+            let mut body = BytesMut::new();
+            body.put_i16(fields.len() as i16);
+            for f in fields {
+                put_cstr(&mut body, &f.name);
+                body.put_i32(0); // table oid
+                body.put_i16(0); // attnum
+                body.put_u32(f.type_oid.as_u32());
+                body.put_i16(-1); // typlen
+                body.put_i32(-1); // typmod
+                body.put_i16(0); // text format
+            }
+            frame(out, b'T', &body);
+        }
+        BackendMessage::DataRow(cells) => {
+            let mut body = BytesMut::new();
+            body.put_i16(cells.len() as i16);
+            for c in cells {
+                match c {
+                    None => body.put_i32(-1),
+                    Some(text) => {
+                        body.put_i32(text.len() as i32);
+                        body.extend_from_slice(text.as_bytes());
+                    }
+                }
+            }
+            frame(out, b'D', &body);
+        }
+        BackendMessage::CommandComplete(tag) => {
+            let mut body = BytesMut::new();
+            put_cstr(&mut body, tag);
+            frame(out, b'C', &body);
+        }
+        BackendMessage::EmptyQueryResponse => frame(out, b'I', &BytesMut::new()),
+        BackendMessage::ErrorResponse { severity, code, message } => {
+            let mut body = BytesMut::new();
+            body.put_u8(b'S');
+            put_cstr(&mut body, severity);
+            body.put_u8(b'C');
+            put_cstr(&mut body, code);
+            body.put_u8(b'M');
+            put_cstr(&mut body, message);
+            body.put_u8(0);
+            frame(out, b'E', &body);
+        }
+    }
+}
+
+fn frame(out: &mut BytesMut, ty: u8, body: &BytesMut) {
+    out.put_u8(ty);
+    out.put_i32(body.len() as i32 + 4);
+    out.extend_from_slice(body);
+}
+
+fn put_cstr(out: &mut BytesMut, s: &str) {
+    out.extend_from_slice(s.as_bytes());
+    out.put_u8(0);
+}
+
+fn get_cstr(buf: &mut Bytes) -> Option<String> {
+    let pos = buf.iter().position(|&b| b == 0)?;
+    let s = String::from_utf8_lossy(&buf[..pos]).into_owned();
+    buf.advance(pos + 1);
+    Some(s)
+}
+
+/// Try to read one *typed* message from `buf`. Returns `(type, body)` and
+/// consumes the bytes, or `None` if the buffer does not yet hold a
+/// complete message.
+pub fn read_message(buf: &mut BytesMut) -> Option<(u8, Bytes)> {
+    if buf.len() < 5 {
+        return None;
+    }
+    let len = i32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    if buf.len() < 1 + len {
+        return None;
+    }
+    let ty = buf[0];
+    buf.advance(5);
+    let body = buf.split_to(len - 4).freeze();
+    Some((ty, body))
+}
+
+/// Try to read the untyped start-up packet.
+pub fn read_startup(buf: &mut BytesMut) -> Option<FrontendMessage> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = i32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if buf.len() < len {
+        return None;
+    }
+    buf.advance(4);
+    let mut body = buf.split_to(len - 4).freeze();
+    let _version = body.get_i32();
+    let mut params = Vec::new();
+    while body.remaining() > 1 {
+        let k = get_cstr(&mut body)?;
+        if k.is_empty() {
+            break;
+        }
+        let v = get_cstr(&mut body)?;
+        params.push((k, v));
+    }
+    Some(FrontendMessage::Startup { params })
+}
+
+/// Decode a typed frontend message body.
+pub fn decode_frontend(ty: u8, mut body: Bytes) -> Option<FrontendMessage> {
+    match ty {
+        b'p' => Some(FrontendMessage::Password(get_cstr(&mut body)?)),
+        b'Q' => Some(FrontendMessage::Query(get_cstr(&mut body)?)),
+        b'X' => Some(FrontendMessage::Terminate),
+        _ => None,
+    }
+}
+
+/// Decode a typed backend message body.
+pub fn decode_backend(ty: u8, mut body: Bytes) -> Option<BackendMessage> {
+    match ty {
+        b'R' => {
+            let code = body.get_i32();
+            Some(BackendMessage::Authentication(match code {
+                0 => AuthRequest::Ok,
+                3 => AuthRequest::CleartextPassword,
+                5 => {
+                    let mut salt = [0u8; 4];
+                    body.copy_to_slice(&mut salt);
+                    AuthRequest::Md5Password { salt }
+                }
+                _ => return None,
+            }))
+        }
+        b'S' => Some(BackendMessage::ParameterStatus {
+            name: get_cstr(&mut body)?,
+            value: get_cstr(&mut body)?,
+        }),
+        b'K' => Some(BackendMessage::BackendKeyData {
+            pid: body.get_i32(),
+            secret: body.get_i32(),
+        }),
+        b'Z' => {
+            let status = match body.get_u8() {
+                b'I' => TransactionStatus::Idle,
+                b'T' => TransactionStatus::InTransaction,
+                _ => TransactionStatus::Failed,
+            };
+            Some(BackendMessage::ReadyForQuery(status))
+        }
+        b'T' => {
+            let n = body.get_i16();
+            let mut fields = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let name = get_cstr(&mut body)?;
+                let _table_oid = body.get_i32();
+                let _attnum = body.get_i16();
+                let oid = body.get_u32();
+                let _typlen = body.get_i16();
+                let _typmod = body.get_i32();
+                let _format = body.get_i16();
+                fields.push(FieldDesc { name, type_oid: TypeOid::from_u32(oid)? });
+            }
+            Some(BackendMessage::RowDescription(fields))
+        }
+        b'D' => {
+            let n = body.get_i16();
+            let mut cells = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let len = body.get_i32();
+                if len < 0 {
+                    cells.push(None);
+                } else {
+                    let bytes = body.split_to(len as usize);
+                    cells.push(Some(String::from_utf8_lossy(&bytes).into_owned()));
+                }
+            }
+            Some(BackendMessage::DataRow(cells))
+        }
+        b'C' => Some(BackendMessage::CommandComplete(get_cstr(&mut body)?)),
+        b'I' => Some(BackendMessage::EmptyQueryResponse),
+        b'E' => {
+            let mut severity = String::new();
+            let mut code = String::new();
+            let mut message = String::new();
+            while body.remaining() > 0 {
+                let tag = body.get_u8();
+                if tag == 0 {
+                    break;
+                }
+                let val = get_cstr(&mut body)?;
+                match tag {
+                    b'S' => severity = val,
+                    b'C' => code = val,
+                    b'M' => message = val,
+                    _ => {}
+                }
+            }
+            Some(BackendMessage::ErrorResponse { severity, code, message })
+        }
+        _ => None,
+    }
+}
+
+/// Incremental reader that feeds raw bytes in and yields decoded
+/// messages — the shape both TCP loops use.
+#[derive(Debug, Default)]
+pub struct MessageReader {
+    buf: BytesMut,
+    /// Whether the next message is the untyped start-up packet
+    /// (server side only).
+    pub expect_startup: bool,
+}
+
+impl MessageReader {
+    /// Create a reader; set `expect_startup` for server-side use.
+    pub fn new(expect_startup: bool) -> Self {
+        MessageReader { buf: BytesMut::new(), expect_startup }
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete frontend message, if any.
+    pub fn next_frontend(&mut self) -> Option<FrontendMessage> {
+        if self.expect_startup {
+            let msg = read_startup(&mut self.buf)?;
+            self.expect_startup = false;
+            return Some(msg);
+        }
+        let (ty, body) = read_message(&mut self.buf)?;
+        decode_frontend(ty, body)
+    }
+
+    /// Pop the next complete backend message, if any.
+    pub fn next_backend(&mut self) -> Option<BackendMessage> {
+        let (ty, body) = read_message(&mut self.buf)?;
+        decode_backend(ty, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_frontend(msg: FrontendMessage) -> FrontendMessage {
+        let mut buf = BytesMut::new();
+        encode_frontend(&msg, &mut buf);
+        let startup = matches!(msg, FrontendMessage::Startup { .. });
+        let mut reader = MessageReader::new(startup);
+        reader.feed(&buf);
+        reader.next_frontend().expect("decode")
+    }
+
+    fn round_trip_backend(msg: BackendMessage) -> BackendMessage {
+        let mut buf = BytesMut::new();
+        encode_backend(&msg, &mut buf);
+        let mut reader = MessageReader::new(false);
+        reader.feed(&buf);
+        reader.next_backend().expect("decode")
+    }
+
+    #[test]
+    fn startup_round_trip() {
+        let msg = FrontendMessage::Startup {
+            params: vec![
+                ("user".into(), "trader".into()),
+                ("database".into(), "hist".into()),
+            ],
+        };
+        assert_eq!(round_trip_frontend(msg.clone()), msg);
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let msg = FrontendMessage::Query("SELECT 1".into());
+        assert_eq!(round_trip_frontend(msg.clone()), msg);
+    }
+
+    #[test]
+    fn password_and_terminate() {
+        assert_eq!(
+            round_trip_frontend(FrontendMessage::Password("md5abc".into())),
+            FrontendMessage::Password("md5abc".into())
+        );
+        assert_eq!(round_trip_frontend(FrontendMessage::Terminate), FrontendMessage::Terminate);
+    }
+
+    #[test]
+    fn auth_variants_round_trip() {
+        for req in [
+            AuthRequest::Ok,
+            AuthRequest::CleartextPassword,
+            AuthRequest::Md5Password { salt: [9, 8, 7, 6] },
+        ] {
+            assert_eq!(
+                round_trip_backend(BackendMessage::Authentication(req)),
+                BackendMessage::Authentication(req)
+            );
+        }
+    }
+
+    #[test]
+    fn row_description_round_trip() {
+        let msg = BackendMessage::RowDescription(vec![
+            FieldDesc { name: "ordcol".into(), type_oid: TypeOid::Int8 },
+            FieldDesc { name: "Price".into(), type_oid: TypeOid::Float8 },
+        ]);
+        assert_eq!(round_trip_backend(msg.clone()), msg);
+    }
+
+    #[test]
+    fn data_row_with_nulls_round_trip() {
+        let msg = BackendMessage::DataRow(vec![Some("1".into()), None, Some("GOOG".into())]);
+        assert_eq!(round_trip_backend(msg.clone()), msg);
+    }
+
+    #[test]
+    fn error_response_round_trip() {
+        let msg = BackendMessage::ErrorResponse {
+            severity: "ERROR".into(),
+            code: "42P01".into(),
+            message: "relation \"nope\" does not exist".into(),
+        };
+        assert_eq!(round_trip_backend(msg.clone()), msg);
+    }
+
+    #[test]
+    fn command_complete_and_ready() {
+        assert_eq!(
+            round_trip_backend(BackendMessage::CommandComplete("SELECT 3".into())),
+            BackendMessage::CommandComplete("SELECT 3".into())
+        );
+        assert_eq!(
+            round_trip_backend(BackendMessage::ReadyForQuery(TransactionStatus::Idle)),
+            BackendMessage::ReadyForQuery(TransactionStatus::Idle)
+        );
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut buf = BytesMut::new();
+        encode_backend(&BackendMessage::CommandComplete("SELECT 1".into()), &mut buf);
+        let mut reader = MessageReader::new(false);
+        // Feed one byte at a time; the message appears only when whole.
+        let mut produced = None;
+        for b in buf.iter() {
+            reader.feed(&[*b]);
+            if let Some(m) = reader.next_backend() {
+                produced = Some(m);
+            }
+        }
+        assert_eq!(produced, Some(BackendMessage::CommandComplete("SELECT 1".into())));
+    }
+
+    #[test]
+    fn multiple_messages_in_one_feed() {
+        let mut buf = BytesMut::new();
+        encode_backend(&BackendMessage::DataRow(vec![Some("1".into())]), &mut buf);
+        encode_backend(&BackendMessage::DataRow(vec![Some("2".into())]), &mut buf);
+        encode_backend(&BackendMessage::CommandComplete("SELECT 2".into()), &mut buf);
+        let mut reader = MessageReader::new(false);
+        reader.feed(&buf);
+        assert!(matches!(reader.next_backend(), Some(BackendMessage::DataRow(_))));
+        assert!(matches!(reader.next_backend(), Some(BackendMessage::DataRow(_))));
+        assert!(matches!(reader.next_backend(), Some(BackendMessage::CommandComplete(_))));
+        assert!(reader.next_backend().is_none());
+    }
+
+    #[test]
+    fn streamed_result_set_shape() {
+        // Figure 5's row-oriented stream: T, D, D, C.
+        let mut buf = BytesMut::new();
+        encode_backend(
+            &BackendMessage::RowDescription(vec![
+                FieldDesc { name: "c1".into(), type_oid: TypeOid::Int4 },
+                FieldDesc { name: "c2".into(), type_oid: TypeOid::Int4 },
+            ]),
+            &mut buf,
+        );
+        encode_backend(&BackendMessage::DataRow(vec![Some("1".into()), Some("1".into())]), &mut buf);
+        encode_backend(&BackendMessage::DataRow(vec![Some("2".into()), Some("2".into())]), &mut buf);
+        encode_backend(&BackendMessage::CommandComplete("SELECT 2".into()), &mut buf);
+        // First byte of each frame is the type tag.
+        assert_eq!(buf[0], b'T');
+        let mut reader = MessageReader::new(false);
+        reader.feed(&buf);
+        let mut kinds = Vec::new();
+        while let Some(m) = reader.next_backend() {
+            kinds.push(match m {
+                BackendMessage::RowDescription(_) => 'T',
+                BackendMessage::DataRow(_) => 'D',
+                BackendMessage::CommandComplete(_) => 'C',
+                _ => '?',
+            });
+        }
+        assert_eq!(kinds, vec!['T', 'D', 'D', 'C']);
+    }
+}

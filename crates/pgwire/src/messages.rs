@@ -1,0 +1,206 @@
+//! Typed PG v3 protocol messages.
+//!
+//! Only the simple-query subprotocol plus start-up/auth — the surface
+//! Hyper-Q exercises (paper §4.2: start-up, query, function call, copy
+//! data and shutdown requests; we implement the subset the Gateway uses).
+
+/// PostgreSQL type OIDs for the types Hyper-Q emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeOid {
+    /// `boolean` (16)
+    Bool,
+    /// `bytea` (17)
+    Bytea,
+    /// `int8` (20)
+    Int8,
+    /// `int2` (21)
+    Int2,
+    /// `int4` (23)
+    Int4,
+    /// `text` (25)
+    Text,
+    /// `float4` (700)
+    Float4,
+    /// `float8` (701)
+    Float8,
+    /// `varchar` (1043)
+    Varchar,
+    /// `date` (1082)
+    Date,
+    /// `time` (1083)
+    Time,
+    /// `timestamp` (1114)
+    Timestamp,
+}
+
+impl TypeOid {
+    /// Numeric OID as transmitted on the wire.
+    pub fn as_u32(self) -> u32 {
+        match self {
+            TypeOid::Bool => 16,
+            TypeOid::Bytea => 17,
+            TypeOid::Int8 => 20,
+            TypeOid::Int2 => 21,
+            TypeOid::Int4 => 23,
+            TypeOid::Text => 25,
+            TypeOid::Float4 => 700,
+            TypeOid::Float8 => 701,
+            TypeOid::Varchar => 1043,
+            TypeOid::Date => 1082,
+            TypeOid::Time => 1083,
+            TypeOid::Timestamp => 1114,
+        }
+    }
+
+    /// Parse a wire OID.
+    pub fn from_u32(v: u32) -> Option<TypeOid> {
+        Some(match v {
+            16 => TypeOid::Bool,
+            17 => TypeOid::Bytea,
+            20 => TypeOid::Int8,
+            21 => TypeOid::Int2,
+            23 => TypeOid::Int4,
+            25 => TypeOid::Text,
+            700 => TypeOid::Float4,
+            701 => TypeOid::Float8,
+            1043 => TypeOid::Varchar,
+            1082 => TypeOid::Date,
+            1083 => TypeOid::Time,
+            1114 => TypeOid::Timestamp,
+            _ => return None,
+        })
+    }
+}
+
+/// One column in a `RowDescription`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDesc {
+    /// Column name.
+    pub name: String,
+    /// Type OID.
+    pub type_oid: TypeOid,
+}
+
+/// Authentication request codes carried by the `R` message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthRequest {
+    /// Authentication successful.
+    Ok,
+    /// Server wants the password in clear text.
+    CleartextPassword,
+    /// Server wants an MD5-hashed password with this salt.
+    Md5Password {
+        /// Per-connection salt.
+        salt: [u8; 4],
+    },
+}
+
+/// Backend transaction status in `ReadyForQuery`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransactionStatus {
+    /// Idle (not in a transaction block).
+    Idle,
+    /// In a transaction block.
+    InTransaction,
+    /// In a failed transaction block.
+    Failed,
+}
+
+impl TransactionStatus {
+    /// Wire byte.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            TransactionStatus::Idle => b'I',
+            TransactionStatus::InTransaction => b'T',
+            TransactionStatus::Failed => b'E',
+        }
+    }
+}
+
+/// Messages sent by the client (Hyper-Q's Gateway acts as the client).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendMessage {
+    /// Untyped start-up packet: protocol version + parameters.
+    Startup {
+        /// `(name, value)` parameters (`user`, `database`, ...).
+        params: Vec<(String, String)>,
+    },
+    /// `p` — password response (clear text or `md5...`).
+    Password(String),
+    /// `Q` — simple query.
+    Query(String),
+    /// `X` — terminate.
+    Terminate,
+}
+
+/// Messages sent by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendMessage {
+    /// `R` — authentication request/outcome.
+    Authentication(AuthRequest),
+    /// `S` — run-time parameter report.
+    ParameterStatus {
+        /// Parameter name.
+        name: String,
+        /// Parameter value.
+        value: String,
+    },
+    /// `K` — cancellation key data.
+    BackendKeyData {
+        /// Server process id.
+        pid: i32,
+        /// Cancellation secret.
+        secret: i32,
+    },
+    /// `Z` — ready for a new query.
+    ReadyForQuery(TransactionStatus),
+    /// `T` — result-set schema.
+    RowDescription(Vec<FieldDesc>),
+    /// `D` — one row; `None` cells are NULL. Text format.
+    DataRow(Vec<Option<String>>),
+    /// `C` — statement finished, with its command tag.
+    CommandComplete(String),
+    /// `I` — empty query.
+    EmptyQueryResponse,
+    /// `E` — error report.
+    ErrorResponse {
+        /// Severity (`ERROR`, `FATAL`).
+        severity: String,
+        /// SQLSTATE code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_round_trip() {
+        for oid in [
+            TypeOid::Bool,
+            TypeOid::Int8,
+            TypeOid::Int2,
+            TypeOid::Int4,
+            TypeOid::Text,
+            TypeOid::Float4,
+            TypeOid::Float8,
+            TypeOid::Varchar,
+            TypeOid::Date,
+            TypeOid::Time,
+            TypeOid::Timestamp,
+        ] {
+            assert_eq!(TypeOid::from_u32(oid.as_u32()), Some(oid));
+        }
+        assert_eq!(TypeOid::from_u32(9999), None);
+    }
+
+    #[test]
+    fn transaction_status_bytes() {
+        assert_eq!(TransactionStatus::Idle.as_byte(), b'I');
+        assert_eq!(TransactionStatus::InTransaction.as_byte(), b'T');
+        assert_eq!(TransactionStatus::Failed.as_byte(), b'E');
+    }
+}

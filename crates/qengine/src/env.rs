@@ -1,0 +1,156 @@
+//! Variable scopes.
+//!
+//! Mirrors the three-level hierarchy of paper Figure 3: **local** scopes
+//! (function frames), a **session** scope, and the **server** scope (kdb+
+//! server memory, visible to every connected client). Lookup walks
+//! local → session → server; local upserts never get promoted to higher
+//! scopes, and session variables are promoted to server variables when the
+//! session is destroyed.
+
+use qlang::Value;
+use std::collections::HashMap;
+
+/// A three-level variable store: local frames over a session scope over
+/// the server scope.
+#[derive(Debug, Default)]
+pub struct Env {
+    server: HashMap<String, Value>,
+    session: HashMap<String, Value>,
+    locals: Vec<HashMap<String, Value>>,
+}
+
+impl Env {
+    /// Create an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Look a name up through the scope hierarchy:
+    /// innermost local frame first, then session, then server.
+    pub fn lookup(&self, name: &str) -> Option<&Value> {
+        for frame in self.locals.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Some(v);
+            }
+        }
+        self.session.get(name).or_else(|| self.server.get(name))
+    }
+
+    /// Upsert under Q rules: inside a function the write goes to the
+    /// current local frame (and never escapes it); outside, to the
+    /// session scope.
+    pub fn assign(&mut self, name: impl Into<String>, value: Value) {
+        if let Some(frame) = self.locals.last_mut() {
+            frame.insert(name.into(), value);
+        } else {
+            self.session.insert(name.into(), value);
+        }
+    }
+
+    /// Global assignment (`::`): writes the server scope directly,
+    /// regardless of the current frame.
+    pub fn assign_global(&mut self, name: impl Into<String>, value: Value) {
+        self.server.insert(name.into(), value);
+    }
+
+    /// Enter a function: push a fresh local frame.
+    pub fn push_frame(&mut self) {
+        self.locals.push(HashMap::new());
+    }
+
+    /// Leave a function: pop the innermost local frame. Local variables
+    /// are discarded — they are never promoted.
+    pub fn pop_frame(&mut self) {
+        self.locals.pop();
+    }
+
+    /// Current function-nesting depth.
+    pub fn depth(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Destroy the session: session variables are promoted to server
+    /// (global) variables, as the paper describes for session scope
+    /// destruction (§3.2.3).
+    pub fn end_session(&mut self) {
+        for (k, v) in self.session.drain() {
+            self.server.insert(k, v);
+        }
+    }
+
+    /// Names defined at server scope (for `\v`-style introspection and
+    /// the side-by-side test framework).
+    pub fn server_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.server.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Directly define a server-scope variable (used to load tables).
+    pub fn define_server(&mut self, name: impl Into<String>, value: Value) {
+        self.server.insert(name.into(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_walks_hierarchy() {
+        let mut env = Env::new();
+        env.define_server("g", Value::long(1));
+        assert!(env.lookup("g").is_some());
+
+        env.assign("s", Value::long(2)); // session (no frame)
+        env.push_frame();
+        env.assign("l", Value::long(3)); // local
+        assert!(env.lookup("l").is_some());
+        assert!(env.lookup("s").is_some());
+        assert!(env.lookup("g").is_some());
+        env.pop_frame();
+        assert!(env.lookup("l").is_none(), "locals must not escape the frame");
+    }
+
+    #[test]
+    fn locals_shadow_globals() {
+        let mut env = Env::new();
+        env.define_server("x", Value::long(1));
+        env.push_frame();
+        env.assign("x", Value::long(99));
+        assert!(env.lookup("x").unwrap().q_eq(&Value::long(99)));
+        env.pop_frame();
+        assert!(env.lookup("x").unwrap().q_eq(&Value::long(1)));
+    }
+
+    #[test]
+    fn global_assign_bypasses_frames() {
+        let mut env = Env::new();
+        env.push_frame();
+        env.assign_global("x", Value::long(5));
+        env.pop_frame();
+        assert!(env.lookup("x").unwrap().q_eq(&Value::long(5)));
+    }
+
+    #[test]
+    fn session_end_promotes_to_server() {
+        let mut env = Env::new();
+        env.assign("t", Value::long(7)); // session scope
+        env.end_session();
+        assert!(env.lookup("t").unwrap().q_eq(&Value::long(7)));
+        assert_eq!(env.server_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn nested_frames_shadow_in_order() {
+        let mut env = Env::new();
+        env.push_frame();
+        env.assign("x", Value::long(1));
+        env.push_frame();
+        env.assign("x", Value::long(2));
+        assert!(env.lookup("x").unwrap().q_eq(&Value::long(2)));
+        env.pop_frame();
+        assert!(env.lookup("x").unwrap().q_eq(&Value::long(1)));
+        assert_eq!(env.depth(), 1);
+    }
+}

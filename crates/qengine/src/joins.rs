@@ -1,0 +1,528 @@
+//! Table joins: the time-series operations that make Q valuable.
+//!
+//! The star here is `aj` — the **as-of join** (paper Examples 1 and 2):
+//! for each row of the left table, match the *most recent* right-table row
+//! whose last join column is ≤ the left value, with the other join columns
+//! matching exactly. kdb+ implements this with binary search over sorted
+//! columns; we do the same over a per-group sorted index.
+
+use qlang::value::{Atom, KeyedTable, Table, Value};
+use qlang::{QError, QResult};
+use std::collections::HashMap;
+
+/// Hashable projection of an atom for join keys. Floats hash by bit
+/// pattern; all typed nulls of a type collapse to one key (two-valued
+/// logic again: nulls join with nulls).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyAtom {
+    /// Any typed null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integral value (long/int/short/byte/temporal).
+    Int(i64),
+    /// Float, by bit pattern.
+    Float(u64),
+    /// Symbol or string.
+    Text(String),
+}
+
+impl KeyAtom {
+    /// Build a key from an atom.
+    pub fn from_atom(a: &Atom) -> KeyAtom {
+        if a.is_null() {
+            return KeyAtom::Null;
+        }
+        match a {
+            Atom::Bool(b) => KeyAtom::Bool(*b),
+            Atom::Symbol(s) => KeyAtom::Text(s.clone()),
+            Atom::Char(c) => KeyAtom::Text(c.to_string()),
+            Atom::Real(f) => KeyAtom::Float((*f as f64).to_bits()),
+            Atom::Float(f) => KeyAtom::Float(f.to_bits()),
+            other => KeyAtom::Int(other.as_i64().unwrap_or(0)),
+        }
+    }
+
+    /// Build a key from a value (atoms only; lists key by display form).
+    pub fn from_value(v: &Value) -> KeyAtom {
+        match v {
+            Value::Atom(a) => KeyAtom::from_atom(a),
+            other => KeyAtom::Text(other.to_string()),
+        }
+    }
+}
+
+/// Extract the join key of `row` across `cols`.
+fn row_key(cols: &[&Value], row: usize) -> Vec<KeyAtom> {
+    cols.iter()
+        .map(|c| c.index(row).map(|v| KeyAtom::from_value(&v)).unwrap_or(KeyAtom::Null))
+        .collect()
+}
+
+/// `aj[cols; left; right]` — as-of join.
+///
+/// All columns but the last match exactly; the last matches the greatest
+/// right-hand value ≤ the left-hand value. Result: all left columns plus
+/// the right columns not already present, null-filled where no match
+/// exists.
+pub fn aj(cols: &[String], left: &Table, right: &Table) -> QResult<Table> {
+    if cols.is_empty() {
+        return Err(QError::domain("aj: need at least one join column"));
+    }
+    let (eq_cols, asof_col) = cols.split_at(cols.len() - 1);
+    let asof_col = &asof_col[0];
+
+    let l_asof = left
+        .column(asof_col)
+        .ok_or_else(|| QError::type_err(format!("aj: left table lacks column {asof_col}")))?;
+    let r_asof = right
+        .column(asof_col)
+        .ok_or_else(|| QError::type_err(format!("aj: right table lacks column {asof_col}")))?;
+
+    let l_eq: Vec<&Value> = eq_cols
+        .iter()
+        .map(|c| {
+            left.column(c)
+                .ok_or_else(|| QError::type_err(format!("aj: left table lacks column {c}")))
+        })
+        .collect::<QResult<_>>()?;
+    let r_eq: Vec<&Value> = eq_cols
+        .iter()
+        .map(|c| {
+            right
+                .column(c)
+                .ok_or_else(|| QError::type_err(format!("aj: right table lacks column {c}")))
+        })
+        .collect::<QResult<_>>()?;
+
+    // Group right rows by the exact-match key; each group sorted by the
+    // as-of column (kdb+ requires sorted input; we sort defensively).
+    let mut groups: HashMap<Vec<KeyAtom>, Vec<usize>> = HashMap::new();
+    for i in 0..right.rows() {
+        groups.entry(row_key(&r_eq, i)).or_default().push(i);
+    }
+    for rows in groups.values_mut() {
+        rows.sort_by(|&a, &b| match (r_asof.index(a), r_asof.index(b)) {
+            (Some(Value::Atom(x)), Some(Value::Atom(y))) => x.q_cmp(&y),
+            _ => std::cmp::Ordering::Equal,
+        });
+    }
+
+    // For each left row: binary search the greatest as-of value <= left's.
+    let mut match_idx: Vec<Option<usize>> = Vec::with_capacity(left.rows());
+    for i in 0..left.rows() {
+        let key = row_key(&l_eq, i);
+        let lv = match l_asof.index(i) {
+            Some(Value::Atom(a)) => a,
+            _ => {
+                match_idx.push(None);
+                continue;
+            }
+        };
+        let found = groups.get(&key).and_then(|rows| {
+            // Binary search: last row with r <= lv.
+            let mut lo = 0usize;
+            let mut hi = rows.len();
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let rv = match r_asof.index(rows[mid]) {
+                    Some(Value::Atom(a)) => a,
+                    _ => return None,
+                };
+                if rv.q_cmp(&lv) != std::cmp::Ordering::Greater {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo == 0 {
+                None
+            } else {
+                Some(rows[lo - 1])
+            }
+        });
+        match_idx.push(found);
+    }
+
+    // Assemble: all left columns, then right columns not in left.
+    let mut out = Table { names: left.names.clone(), columns: left.columns.clone() };
+    for (name, col) in right.names.iter().zip(&right.columns) {
+        if left.column(name).is_some() {
+            continue;
+        }
+        let gathered = gather_optional(col, &match_idx);
+        out.push_column(name.clone(), gathered)?;
+    }
+    Ok(out)
+}
+
+/// Gather elements by optional index; misses become typed nulls.
+fn gather_optional(col: &Value, idx: &[Option<usize>]) -> Value {
+    let sentinel = usize::MAX;
+    let raw: Vec<usize> = idx.iter().map(|o| o.unwrap_or(sentinel)).collect();
+    col.take_indices(&raw)
+}
+
+/// `lj` — left join against a keyed table on its key columns.
+pub fn lj(left: &Table, right: &KeyedTable) -> QResult<Table> {
+    join_keyed(left, right, false)
+}
+
+/// `ij` — inner join against a keyed table on its key columns.
+pub fn ij(left: &Table, right: &KeyedTable) -> QResult<Table> {
+    join_keyed(left, right, true)
+}
+
+fn join_keyed(left: &Table, right: &KeyedTable, inner: bool) -> QResult<Table> {
+    let key_cols = &right.key.names;
+    let l_keys: Vec<&Value> = key_cols
+        .iter()
+        .map(|c| {
+            left.column(c)
+                .ok_or_else(|| QError::type_err(format!("join: left table lacks key column {c}")))
+        })
+        .collect::<QResult<_>>()?;
+    let r_keys: Vec<&Value> = right.key.columns.iter().collect();
+
+    let mut index: HashMap<Vec<KeyAtom>, usize> = HashMap::new();
+    for i in 0..right.key.rows() {
+        // First match wins, kdb+ keyed-table semantics.
+        index.entry(row_key(&r_keys, i)).or_insert(i);
+    }
+
+    let mut match_idx = Vec::with_capacity(left.rows());
+    let mut keep_rows = Vec::with_capacity(left.rows());
+    for i in 0..left.rows() {
+        let m = index.get(&row_key(&l_keys, i)).copied();
+        if inner && m.is_none() {
+            continue;
+        }
+        keep_rows.push(i);
+        match_idx.push(m);
+    }
+
+    let base = if inner { left.take_rows(&keep_rows) } else { left.clone() };
+    let mut out = base;
+    for (name, col) in right.value.names.iter().zip(&right.value.columns) {
+        let gathered = gather_optional(col, &match_idx);
+        if out.column(name).is_some() {
+            // lj overwrites existing columns where a match exists.
+            let existing_idx = out.column_index(name).unwrap();
+            let existing = out.columns[existing_idx].clone();
+            let mut merged = Vec::with_capacity(match_idx.len());
+            for (pos, m) in match_idx.iter().enumerate() {
+                let v = if m.is_some() {
+                    gathered.index(pos).unwrap_or(Value::Nil)
+                } else {
+                    existing.index(pos).unwrap_or(Value::Nil)
+                };
+                merged.push(v);
+            }
+            out.columns[existing_idx] = Value::from_elements(merged);
+        } else {
+            out.push_column(name.clone(), gathered)?;
+        }
+    }
+    Ok(out)
+}
+
+/// `uj` / `,` on tables — union join: rows of both, columns aligned,
+/// missing cells null-filled.
+pub fn union_tables(a: &Table, b: &Table) -> QResult<Value> {
+    let mut names = a.names.clone();
+    for n in &b.names {
+        if !names.contains(n) {
+            names.push(n.clone());
+        }
+    }
+    let ra = a.rows();
+    let rb = b.rows();
+    let mut columns = Vec::with_capacity(names.len());
+    for n in &names {
+        let mut elems = Vec::with_capacity(ra + rb);
+        match a.column(n) {
+            Some(col) => (0..ra).for_each(|i| elems.push(col.index(i).unwrap())),
+            None => {
+                let proto = b.column(n).unwrap();
+                (0..ra).for_each(|_| elems.push(proto.null_element()));
+            }
+        }
+        match b.column(n) {
+            Some(col) => (0..rb).for_each(|i| elems.push(col.index(i).unwrap())),
+            None => {
+                let proto = a.column(n).unwrap();
+                (0..rb).for_each(|_| elems.push(proto.null_element()));
+            }
+        }
+        columns.push(Value::from_elements(elems));
+    }
+    Ok(Value::Table(Box::new(Table { names, columns })))
+}
+
+/// `cols xasc t` — sort a table ascending by the named columns (stable).
+pub fn xasc(cols: &[String], t: &Table) -> QResult<Table> {
+    sort_table(cols, t, false)
+}
+
+/// `cols xdesc t` — sort a table descending by the named columns.
+pub fn xdesc(cols: &[String], t: &Table) -> QResult<Table> {
+    sort_table(cols, t, true)
+}
+
+fn sort_table(cols: &[String], t: &Table, descending: bool) -> QResult<Table> {
+    let key_cols: Vec<&Value> = cols
+        .iter()
+        .map(|c| t.column(c).ok_or_else(|| QError::type_err(format!("sort: no column {c}"))))
+        .collect::<QResult<_>>()?;
+    let mut idx: Vec<usize> = (0..t.rows()).collect();
+    idx.sort_by(|&i, &j| {
+        for col in &key_cols {
+            let ord = match (col.index(i), col.index(j)) {
+                (Some(Value::Atom(x)), Some(Value::Atom(y))) => x.q_cmp(&y),
+                _ => std::cmp::Ordering::Equal,
+            };
+            let ord = if descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(t.take_rows(&idx))
+}
+
+/// `cols xkey t` — key a table on the named columns.
+pub fn xkey(cols: &[String], t: &Table) -> QResult<Value> {
+    let mut key = Table::default();
+    let mut value = Table::default();
+    for (n, c) in t.names.iter().zip(&t.columns) {
+        if cols.contains(n) {
+            key.push_column(n.clone(), c.clone())?;
+        } else {
+            value.push_column(n.clone(), c.clone())?;
+        }
+    }
+    for c in cols {
+        if key.column(c).is_none() {
+            return Err(QError::type_err(format!("xkey: no column {c}")));
+        }
+    }
+    Ok(Value::KeyedTable(Box::new(KeyedTable { key, value })))
+}
+
+/// `old xcol t` / rename: dict-style column rename (`` `a`b xcol t``
+/// renames the first columns positionally, kdb+ semantics).
+pub fn xcol(new_names: &[String], t: &Table) -> QResult<Table> {
+    if new_names.len() > t.width() {
+        return Err(QError::length("xcol: more names than columns"));
+    }
+    let mut names = t.names.clone();
+    for (i, n) in new_names.iter().enumerate() {
+        names[i] = n.clone();
+    }
+    Ok(Table { names, columns: t.columns.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trades() -> Table {
+        Table::new(
+            vec!["Symbol".into(), "Time".into(), "Price".into()],
+            vec![
+                Value::Symbols(vec!["GOOG".into(), "IBM".into(), "GOOG".into()]),
+                Value::Times(vec![1000, 1500, 3000]),
+                Value::Floats(vec![100.0, 50.0, 101.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn quotes() -> Table {
+        Table::new(
+            vec!["Symbol".into(), "Time".into(), "Bid".into(), "Ask".into()],
+            vec![
+                Value::Symbols(vec!["GOOG".into(), "GOOG".into(), "IBM".into()]),
+                Value::Times(vec![900, 2000, 1400]),
+                Value::Floats(vec![99.0, 100.5, 49.5]),
+                Value::Floats(vec![99.5, 101.0, 50.5]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn asof_join_matches_prevailing_quote() {
+        // The paper's Example 2: aj[`Symbol`Time; trades; quotes].
+        let out = aj(&["Symbol".into(), "Time".into()], &trades(), &quotes()).unwrap();
+        assert_eq!(out.rows(), 3);
+        let bid = out.column("Bid").unwrap();
+        // GOOG@1000 -> quote@900 (99.0); IBM@1500 -> quote@1400 (49.5);
+        // GOOG@3000 -> quote@2000 (100.5).
+        assert!(bid.q_eq(&Value::Floats(vec![99.0, 49.5, 100.5])));
+    }
+
+    #[test]
+    fn asof_join_no_match_yields_null() {
+        let t = Table::new(
+            vec!["Symbol".into(), "Time".into()],
+            vec![Value::Symbols(vec!["GOOG".into()]), Value::Times(vec![100])],
+        )
+        .unwrap();
+        let out = aj(&["Symbol".into(), "Time".into()], &t, &quotes()).unwrap();
+        let bid = out.column("Bid").unwrap();
+        match bid {
+            Value::Floats(v) => assert!(v[0].is_nan(), "no quote at or before t=100"),
+            other => panic!("expected floats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asof_join_equal_time_matches() {
+        // As-of is <=, not <.
+        let t = Table::new(
+            vec!["Symbol".into(), "Time".into()],
+            vec![Value::Symbols(vec!["GOOG".into()]), Value::Times(vec![900])],
+        )
+        .unwrap();
+        let out = aj(&["Symbol".into(), "Time".into()], &t, &quotes()).unwrap();
+        assert!(out.column("Bid").unwrap().q_eq(&Value::Floats(vec![99.0])));
+    }
+
+    #[test]
+    fn asof_join_respects_symbol_partition() {
+        // IBM quote at 1400 must not leak into GOOG rows.
+        let t = Table::new(
+            vec!["Symbol".into(), "Time".into()],
+            vec![Value::Symbols(vec!["IBM".into()]), Value::Times(vec![1000])],
+        )
+        .unwrap();
+        let out = aj(&["Symbol".into(), "Time".into()], &t, &quotes()).unwrap();
+        match out.column("Bid").unwrap() {
+            Value::Floats(v) => assert!(v[0].is_nan()),
+            other => panic!("expected floats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_join_on_keyed_table() {
+        let left = Table::new(
+            vec!["Sym".into(), "Qty".into()],
+            vec![
+                Value::Symbols(vec!["a".into(), "b".into(), "z".into()]),
+                Value::Longs(vec![1, 2, 3]),
+            ],
+        )
+        .unwrap();
+        let right = KeyedTable {
+            key: Table::new(vec!["Sym".into()], vec![Value::Symbols(vec!["a".into(), "b".into()])])
+                .unwrap(),
+            value: Table::new(vec!["Px".into()], vec![Value::Floats(vec![10.0, 20.0])]).unwrap(),
+        };
+        let out = lj(&left, &right).unwrap();
+        assert_eq!(out.rows(), 3);
+        match out.column("Px").unwrap() {
+            Value::Floats(v) => {
+                assert_eq!(v[0], 10.0);
+                assert_eq!(v[1], 20.0);
+                assert!(v[2].is_nan(), "unmatched row gets null");
+            }
+            other => panic!("expected floats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let left = Table::new(
+            vec!["Sym".into()],
+            vec![Value::Symbols(vec!["a".into(), "z".into()])],
+        )
+        .unwrap();
+        let right = KeyedTable {
+            key: Table::new(vec!["Sym".into()], vec![Value::Symbols(vec!["a".into()])]).unwrap(),
+            value: Table::new(vec!["Px".into()], vec![Value::Floats(vec![10.0])]).unwrap(),
+        };
+        let out = ij(&left, &right).unwrap();
+        assert_eq!(out.rows(), 1);
+    }
+
+    #[test]
+    fn union_aligns_columns() {
+        let a = Table::new(vec!["x".into()], vec![Value::Longs(vec![1])]).unwrap();
+        let b = Table::new(
+            vec!["x".into(), "y".into()],
+            vec![Value::Longs(vec![2]), Value::Floats(vec![9.0])],
+        )
+        .unwrap();
+        let out = union_tables(&a, &b).unwrap();
+        match out {
+            Value::Table(t) => {
+                assert_eq!(t.rows(), 2);
+                assert_eq!(t.width(), 2);
+                match t.column("y").unwrap() {
+                    Value::Floats(v) => {
+                        assert!(v[0].is_nan());
+                        assert_eq!(v[1], 9.0);
+                    }
+                    other => panic!("expected floats, got {other:?}"),
+                }
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xasc_sorts_stably_by_multiple_columns() {
+        let t = trades();
+        let sorted = xasc(&["Symbol".into(), "Time".into()], &t).unwrap();
+        assert!(sorted
+            .column("Symbol")
+            .unwrap()
+            .q_eq(&Value::Symbols(vec!["GOOG".into(), "GOOG".into(), "IBM".into()])));
+        assert!(sorted.column("Time").unwrap().q_eq(&Value::Times(vec![1000, 3000, 1500])));
+    }
+
+    #[test]
+    fn xdesc_reverses_order() {
+        let t = trades();
+        let sorted = xdesc(&["Price".into()], &t).unwrap();
+        assert!(sorted.column("Price").unwrap().q_eq(&Value::Floats(vec![101.0, 100.0, 50.0])));
+    }
+
+    #[test]
+    fn xkey_splits_columns() {
+        let t = trades();
+        match xkey(&["Symbol".into()], &t).unwrap() {
+            Value::KeyedTable(k) => {
+                assert_eq!(k.key.names, vec!["Symbol".to_string()]);
+                assert_eq!(k.value.names, vec!["Time".to_string(), "Price".into()]);
+            }
+            other => panic!("expected keyed table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xcol_renames_positionally() {
+        let t = trades();
+        let renamed = xcol(&["sym".into()], &t).unwrap();
+        assert_eq!(renamed.names[0], "sym");
+        assert_eq!(renamed.names[1], "Time");
+    }
+
+    #[test]
+    fn nulls_join_with_nulls() {
+        // Two-valued logic: a null key matches a null key.
+        let left = Table::new(
+            vec!["Sym".into()],
+            vec![Value::Symbols(vec!["".into()])],
+        )
+        .unwrap();
+        let right = KeyedTable {
+            key: Table::new(vec!["Sym".into()], vec![Value::Symbols(vec!["".into()])]).unwrap(),
+            value: Table::new(vec!["v".into()], vec![Value::Longs(vec![42])]).unwrap(),
+        };
+        let out = lj(&left, &right).unwrap();
+        assert!(out.column("v").unwrap().q_eq(&Value::Longs(vec![42])));
+    }
+}

@@ -1,0 +1,620 @@
+//! q-sql template execution: `select` / `exec` / `update` / `delete`.
+//!
+//! Template semantics diverge from SQL in ways the paper emphasises
+//! (§2.2): `update` only rewrites the query *output*, never persisted
+//! state; `where` clauses are applied left to right, each filtering the
+//! rows the next one sees; `by` produces a keyed table sorted by group
+//! key; and the virtual column `i` exposes row indices — ordered-list
+//! thinking throughout.
+
+use crate::builtins;
+use crate::interp::{expect_table, Interp};
+use crate::joins::KeyAtom;
+use qlang::ast::{Expr, SelectKind, TemplateExpr};
+use qlang::value::{Dict, KeyedTable, Table, Value};
+use qlang::{QError, QResult};
+
+/// Execute a q-sql template.
+pub fn exec_template(interp: &mut Interp, t: &TemplateExpr) -> QResult<Value> {
+    let source = interp.eval(&t.from)?;
+    let table = expect_table(&source, "q-sql")?;
+
+    match t.kind {
+        SelectKind::Select => run_select(interp, t, table, false),
+        SelectKind::Exec => run_select(interp, t, table, true),
+        SelectKind::Update => run_update(interp, t, table),
+        SelectKind::Delete => run_delete(interp, t, table),
+    }
+}
+
+/// Bind a table's columns (restricted to `rows`) plus the virtual `i`
+/// column into a fresh local frame.
+fn push_column_frame(interp: &mut Interp, table: &Table, rows: &[usize]) {
+    interp.env.push_frame();
+    for (name, col) in table.names.iter().zip(&table.columns) {
+        interp.env.assign(name.clone(), col.take_indices(rows));
+    }
+    interp.env.assign("i", Value::Longs(rows.iter().map(|&r| r as i64).collect()));
+}
+
+/// Apply the template's where clauses sequentially, returning the
+/// surviving row indices.
+fn filter_rows(interp: &mut Interp, t: &TemplateExpr, table: &Table) -> QResult<Vec<usize>> {
+    let mut rows: Vec<usize> = (0..table.rows()).collect();
+    for pred in &t.predicates {
+        push_column_frame(interp, table, &rows);
+        let verdict = interp.eval(pred);
+        interp.env.pop_frame();
+        let verdict = verdict?;
+        let keep: Vec<usize> = match &verdict {
+            Value::Bools(bits) => {
+                if bits.len() != rows.len() {
+                    return Err(QError::length("where clause length mismatch"));
+                }
+                rows.iter().zip(bits).filter(|(_, &b)| b).map(|(&r, _)| r).collect()
+            }
+            Value::Atom(qlang::Atom::Bool(b)) => {
+                if *b {
+                    rows.clone()
+                } else {
+                    vec![]
+                }
+            }
+            other => {
+                return Err(QError::type_err(format!(
+                    "where clause must yield booleans, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        rows = keep;
+    }
+    Ok(rows)
+}
+
+/// Default output name for an unnamed select clause: the first column
+/// reference inside it, kdb+-style, else `x`.
+fn default_name(e: &Expr) -> String {
+    match e {
+        Expr::Var(n) => n.clone(),
+        // `max Price` is named after the operand, not the function.
+        Expr::Apply { arg, .. } => default_name(arg),
+        Expr::Unary { arg, .. } => default_name(arg),
+        Expr::Binary { lhs, .. } => default_name(lhs),
+        Expr::Call { args, .. } => args
+            .iter()
+            .flatten()
+            .last()
+            .map(default_name)
+            .unwrap_or_else(|| "x".to_string()),
+        _ => "x".to_string(),
+    }
+}
+
+/// Evaluate select clauses over a set of rows; atoms broadcast to the
+/// common length (or stay atoms for aggregation results).
+fn eval_clauses(
+    interp: &mut Interp,
+    clauses: &[(Option<String>, Expr)],
+    table: &Table,
+    rows: &[usize],
+) -> QResult<Vec<(String, Value)>> {
+    push_column_frame(interp, table, rows);
+    let mut out = Vec::with_capacity(clauses.len());
+    for (name, e) in clauses {
+        let v = match interp.eval(e) {
+            Ok(v) => v,
+            Err(err) => {
+                interp.env.pop_frame();
+                return Err(err);
+            }
+        };
+        out.push((name.clone().unwrap_or_else(|| default_name(e)), v));
+    }
+    interp.env.pop_frame();
+    Ok(out)
+}
+
+/// Normalize evaluated clause results into equal-length columns.
+fn columns_from_results(results: Vec<(String, Value)>, row_count: usize) -> QResult<Table> {
+    // If every result is an atom, this is an aggregation row.
+    let all_atoms = results.iter().all(|(_, v)| v.len().is_none());
+    let target = if all_atoms { 1 } else { row_count };
+    let mut t = Table::default();
+    for (name, v) in results {
+        let col = match v.len() {
+            Some(n) if n == target => v,
+            Some(n) => {
+                return Err(QError::length(format!(
+                    "column {name} has length {n}, expected {target}"
+                )))
+            }
+            None => Value::from_elements(vec![v; target]),
+        };
+        t.push_column(name, col)?;
+    }
+    Ok(t)
+}
+
+fn run_select(
+    interp: &mut Interp,
+    t: &TemplateExpr,
+    table: Table,
+    exec_mode: bool,
+) -> QResult<Value> {
+    let rows = filter_rows(interp, t, &table)?;
+
+    if t.by.is_empty() {
+        let result = if t.columns.is_empty() {
+            table.take_rows(&rows)
+        } else {
+            let results = eval_clauses(interp, &t.columns, &table, &rows)?;
+            // `exec` over pure aggregates returns atoms, not 1-row lists.
+            if exec_mode && results.iter().all(|(_, v)| v.len().is_none()) {
+                if results.len() == 1 {
+                    return Ok(results.into_iter().next().unwrap().1);
+                }
+                let (names, vals): (Vec<String>, Vec<Value>) = results.into_iter().unzip();
+                return Ok(Value::Dict(Box::new(Dict::new(
+                    Value::Symbols(names),
+                    Value::Mixed(vals),
+                )?)));
+            }
+            columns_from_results(results, rows.len())?
+        };
+        if exec_mode {
+            // exec: single column → vector; multiple → dict of columns.
+            return Ok(if result.width() == 1 {
+                result.columns.into_iter().next().unwrap()
+            } else {
+                Value::Dict(Box::new(Dict::new(
+                    Value::Symbols(result.names),
+                    Value::Mixed(result.columns),
+                )?))
+            });
+        }
+        return Ok(Value::Table(Box::new(result)));
+    }
+
+    // Grouped select: evaluate by-exprs over the filtered rows, group,
+    // then evaluate the select clauses per group.
+    let by_results = eval_clauses(interp, &t.by, &table, &rows)?;
+    let by_names: Vec<String> = by_results.iter().map(|(n, _)| n.clone()).collect();
+    let by_cols: Vec<Value> = by_results.into_iter().map(|(_, v)| v).collect();
+    for c in &by_cols {
+        if c.len() != Some(rows.len()) {
+            return Err(QError::length("by clause must yield one value per row"));
+        }
+    }
+
+    // Group rows by key, tracking first-seen order, then sort keys
+    // ascending (kdb+ `by` returns a keyed table sorted by key).
+    let mut key_order: Vec<Vec<KeyAtom>> = Vec::new();
+    let mut key_rows: Vec<Vec<usize>> = Vec::new();
+    let mut key_samples: Vec<Vec<Value>> = Vec::new();
+    for (pos, &row) in rows.iter().enumerate() {
+        let key: Vec<KeyAtom> =
+            by_cols.iter().map(|c| KeyAtom::from_value(&c.index(pos).unwrap())).collect();
+        match key_order.iter().position(|k| *k == key) {
+            Some(g) => key_rows[g].push(row),
+            None => {
+                key_order.push(key);
+                key_rows.push(vec![row]);
+                key_samples.push(by_cols.iter().map(|c| c.index(pos).unwrap()).collect());
+            }
+        }
+    }
+    // Sort groups by key ascending.
+    let mut group_idx: Vec<usize> = (0..key_order.len()).collect();
+    group_idx.sort_by(|&a, &b| {
+        for (ka, kb) in key_samples[a].iter().zip(&key_samples[b]) {
+            if let (Value::Atom(x), Value::Atom(y)) = (ka, kb) {
+                let ord = x.q_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    // `select by k from t` with no columns: last row of each group.
+    let clauses: Vec<(Option<String>, Expr)> = if t.columns.is_empty() {
+        table
+            .names
+            .iter()
+            .filter(|n| !by_names.contains(n))
+            .map(|n| {
+                (
+                    Some(n.clone()),
+                    Expr::Apply {
+                        func: Box::new(Expr::var("last")),
+                        arg: Box::new(Expr::var(n.clone())),
+                    },
+                )
+            })
+            .collect()
+    } else {
+        t.columns.clone()
+    };
+
+    let mut agg_names: Vec<String> = Vec::new();
+    let mut agg_cols: Vec<Vec<Value>> = Vec::new();
+    if group_idx.is_empty() {
+        // No groups: still derive the output column names so the empty
+        // keyed table has the right schema.
+        let results = eval_clauses(interp, &clauses, &table, &[])?;
+        agg_names = results.iter().map(|(n, _)| n.clone()).collect();
+        agg_cols = vec![Vec::new(); agg_names.len()];
+    }
+    for &g in &group_idx {
+        let results = eval_clauses(interp, &clauses, &table, &key_rows[g])?;
+        if agg_names.is_empty() {
+            agg_names = results.iter().map(|(n, _)| n.clone()).collect();
+            agg_cols = vec![Vec::with_capacity(group_idx.len()); results.len()];
+        }
+        for (ci, (_, v)) in results.into_iter().enumerate() {
+            agg_cols[ci].push(v);
+        }
+    }
+
+    let key_table = {
+        let mut kt = Table::default();
+        for (ci, name) in by_names.iter().enumerate() {
+            let col: Vec<Value> =
+                group_idx.iter().map(|&g| key_samples[g][ci].clone()).collect();
+            kt.push_column(name.clone(), Value::from_elements(col))?;
+        }
+        kt
+    };
+    let value_table = {
+        let mut vt = Table::default();
+        for (name, col) in agg_names.into_iter().zip(agg_cols) {
+            vt.push_column(name, Value::from_elements(col))?;
+        }
+        vt
+    };
+
+    if exec_mode {
+        // exec by: dict keyed by group key (single by column, single agg).
+        let keys = key_table.columns.into_iter().next().unwrap_or(Value::Mixed(vec![]));
+        let vals = value_table.columns.into_iter().next().unwrap_or(Value::Mixed(vec![]));
+        return Ok(Value::Dict(Box::new(Dict::new(keys, vals)?)));
+    }
+    Ok(Value::KeyedTable(Box::new(KeyedTable { key: key_table, value: value_table })))
+}
+
+fn run_update(interp: &mut Interp, t: &TemplateExpr, table: Table) -> QResult<Value> {
+    let rows = filter_rows(interp, t, &table)?;
+    let results = eval_clauses(interp, &t.columns, &table, &rows)?;
+
+    let mut out = table.clone();
+    for (name, v) in results {
+        // Normalize to one value per filtered row.
+        let vals: Vec<Value> = match v.len() {
+            Some(n) if n == rows.len() => (0..n).map(|i| v.index(i).unwrap()).collect(),
+            Some(_) => return Err(QError::length(format!("update column {name} length mismatch"))),
+            None => vec![v; rows.len()],
+        };
+        match out.column_index(&name) {
+            Some(ci) => {
+                // Replace at the filtered positions only.
+                let existing = &out.columns[ci];
+                let n = out.rows();
+                let mut elems: Vec<Value> =
+                    (0..n).map(|i| existing.index(i).unwrap()).collect();
+                for (k, &r) in rows.iter().enumerate() {
+                    elems[r] = vals[k].clone();
+                }
+                out.columns[ci] = Value::from_elements(elems);
+            }
+            None => {
+                // New column: nulls outside the filtered rows.
+                let n = out.rows();
+                let proto = Value::from_elements(vals.clone());
+                let mut elems: Vec<Value> = (0..n).map(|_| proto.null_element()).collect();
+                for (k, &r) in rows.iter().enumerate() {
+                    elems[r] = vals[k].clone();
+                }
+                out.push_column(name, Value::from_elements(elems))?;
+            }
+        }
+    }
+    Ok(Value::Table(Box::new(out)))
+}
+
+fn run_delete(interp: &mut Interp, t: &TemplateExpr, table: Table) -> QResult<Value> {
+    if !t.columns.is_empty() {
+        // Delete columns.
+        let mut names: Vec<String> = Vec::new();
+        for (_, e) in &t.columns {
+            match e {
+                Expr::Var(n) => names.push(n.clone()),
+                _ => return Err(QError::type_err("delete: column clause must be a name")),
+            }
+        }
+        let mut out = Table::default();
+        for (n, c) in table.names.iter().zip(&table.columns) {
+            if !names.contains(n) {
+                out.push_column(n.clone(), c.clone())?;
+            }
+        }
+        return Ok(Value::Table(Box::new(out)));
+    }
+    let doomed = filter_rows(interp, t, &table)?;
+    let keep: Vec<usize> = (0..table.rows()).filter(|r| !doomed.contains(r)).collect();
+    Ok(Value::Table(Box::new(table.take_rows(&keep))))
+}
+
+/// Convenience for hosts: evaluate `select ... from` text and coerce to a
+/// plain table.
+pub fn select_to_table(interp: &mut Interp, src: &str) -> QResult<Table> {
+    let v = interp.run(src)?;
+    match v {
+        Value::Table(t) => Ok(*t),
+        Value::KeyedTable(_) => expect_table(&v, "select"),
+        other => Err(QError::type_err(format!("expected table result, got {}", other.type_name()))),
+    }
+}
+
+#[allow(unused_imports)]
+use builtins as _builtins_used_in_tests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Interp {
+        let mut i = Interp::new();
+        i.run(concat!(
+            "trades: ([] Date:2016.06.26 2016.06.26 2016.06.27; ",
+            "Symbol:`GOOG`IBM`GOOG; Price:100.0 50.0 101.5; Size:10 20 30)"
+        ))
+        .unwrap();
+        i
+    }
+
+    #[test]
+    fn select_all_rows() {
+        let mut i = setup();
+        let v = i.run("select from trades").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 3),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_columns_with_filter() {
+        let mut i = setup();
+        let v = i.run("select Price from trades where Symbol=`GOOG").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert_eq!(t.names, vec!["Price".to_string()]);
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0, 101.5])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_where_clauses() {
+        let mut i = setup();
+        // Paper Example 1 shape: Date filter then membership filter.
+        let v = i
+            .run("select Price from trades where Date=2016.06.26, Symbol in `GOOG`MSFT")
+            .unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregation_without_by_returns_one_row() {
+        let mut i = setup();
+        let v = i.run("select mx: max Price, n: count i from trades").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert_eq!(t.rows(), 1);
+                assert!(t.column("mx").unwrap().q_eq(&Value::Floats(vec![101.5])));
+                assert!(t.column("n").unwrap().q_eq(&Value::Longs(vec![3])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_column_name_comes_from_expression() {
+        let mut i = setup();
+        let v = i.run("select max Price from trades").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.names, vec!["Price".to_string()]),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_returns_sorted_keyed_table() {
+        let mut i = setup();
+        let v = i.run("select mx: max Price by Symbol from trades").unwrap();
+        match v {
+            Value::KeyedTable(k) => {
+                assert!(k
+                    .key
+                    .column("Symbol")
+                    .unwrap()
+                    .q_eq(&Value::Symbols(vec!["GOOG".into(), "IBM".into()])));
+                assert!(k.value.column("mx").unwrap().q_eq(&Value::Floats(vec![101.5, 50.0])));
+            }
+            other => panic!("expected keyed table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_by_without_columns_takes_last_per_group() {
+        let mut i = setup();
+        let v = i.run("select by Symbol from trades").unwrap();
+        match v {
+            Value::KeyedTable(k) => {
+                assert!(k.value.column("Price").unwrap().q_eq(&Value::Floats(vec![101.5, 50.0])));
+            }
+            other => panic!("expected keyed table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_single_column_yields_vector() {
+        let mut i = setup();
+        let v = i.run("exec Price from trades").unwrap();
+        assert!(v.q_eq(&Value::Floats(vec![100.0, 50.0, 101.5])));
+    }
+
+    #[test]
+    fn exec_multiple_columns_yields_dict() {
+        let mut i = setup();
+        let v = i.run("exec Price, Size from trades").unwrap();
+        assert!(matches!(v, Value::Dict(_)));
+    }
+
+    #[test]
+    fn exec_by_yields_keyed_dict() {
+        let mut i = setup();
+        let v = i.run("exec max Price by Symbol from trades").unwrap();
+        match v {
+            Value::Dict(d) => {
+                assert!(d.get(&Value::symbol("GOOG")).q_eq(&Value::float(101.5)));
+            }
+            other => panic!("expected dict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_is_output_only() {
+        // The paper stresses: Q UPDATE replaces columns in the *output*,
+        // never persisted state.
+        let mut i = setup();
+        let v = i.run("update Price: 2*Price from trades").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![200.0, 100.0, 203.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+        // Source table unchanged.
+        let orig = i.run("exec Price from trades").unwrap();
+        assert!(orig.q_eq(&Value::Floats(vec![100.0, 50.0, 101.5])));
+    }
+
+    #[test]
+    fn update_with_where_touches_only_matching_rows() {
+        let mut i = setup();
+        let v = i.run("update Price: 0.0 from trades where Symbol=`IBM").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0, 0.0, 101.5])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_adds_new_column() {
+        let mut i = setup();
+        let v = i.run("update Notional: Price*Size from trades").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t
+                    .column("Notional")
+                    .unwrap()
+                    .q_eq(&Value::Floats(vec![1000.0, 1000.0, 3045.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_rows() {
+        let mut i = setup();
+        let v = i.run("delete from trades where Symbol=`IBM").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 2),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_columns() {
+        let mut i = setup();
+        let v = i.run("delete Size from trades").unwrap();
+        match v {
+            Value::Table(t) => assert!(t.column("Size").is_none()),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_column_i() {
+        let mut i = setup();
+        let v = i.run("exec i from trades where Symbol=`GOOG").unwrap();
+        assert!(v.q_eq(&Value::Longs(vec![0, 2])));
+    }
+
+    #[test]
+    fn computed_select_columns() {
+        let mut i = setup();
+        let v = i.run("select Notional: Price*Size from trades").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t
+                    .column("Notional")
+                    .unwrap()
+                    .q_eq(&Value::Floats(vec![1000.0, 1000.0, 3045.0])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_uses_outer_variables() {
+        let mut i = setup();
+        i.run("SYMLIST: `GOOG`MSFT").unwrap();
+        let v = i.run("select Price from trades where Symbol in SYMLIST").unwrap();
+        match v {
+            Value::Table(t) => assert_eq!(t.rows(), 2),
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_3_function_with_local_table() {
+        let mut i = setup();
+        i.run("f: {[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt}")
+            .unwrap();
+        let v = i.run("f[`GOOG]").unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![101.5])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+        // dt is local and must not leak.
+        assert!(i.run("dt").is_err());
+    }
+
+    #[test]
+    fn nested_template_from() {
+        let mut i = setup();
+        let v = i
+            .run("select max Price from select from trades where Symbol=`GOOG")
+            .unwrap();
+        match v {
+            Value::Table(t) => {
+                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![101.5])));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+}

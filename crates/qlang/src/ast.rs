@@ -1,0 +1,321 @@
+//! Abstract syntax tree for Q.
+//!
+//! Per the paper (§3.2.1), the parser is deliberately *lightweight*: it
+//! records structure only. The AST is untyped — `trades` might be a table,
+//! a list or a scalar; only the binder, with access to the metadata
+//! interface and variable scopes, can tell. Dynamic typing in Q makes any
+//! earlier resolution impossible without a round trip to the backend.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A Q adverb, deriving a new verb from an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Adverb {
+    /// `'` — apply item-wise (`each`).
+    Each,
+    /// `/` — fold (`over`).
+    Over,
+    /// `\` — fold emitting intermediates (`scan`).
+    Scan,
+    /// `/:` — apply with each element of the *right* argument.
+    EachRight,
+    /// `\:` — apply with each element of the *left* argument.
+    EachLeft,
+    /// `':` — apply to each adjacent pair (`each-prior`).
+    EachPrior,
+}
+
+impl fmt::Display for Adverb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Adverb::Each => "'",
+            Adverb::Over => "/",
+            Adverb::Scan => "\\",
+            Adverb::EachRight => "/:",
+            Adverb::EachLeft => "\\:",
+            Adverb::EachPrior => "':",
+        })
+    }
+}
+
+/// Which q-sql template an expression uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectKind {
+    /// `select ... from t` — returns a table.
+    Select,
+    /// `exec ... from t` — returns a list or dictionary.
+    Exec,
+    /// `update ... from t` — replaces/adds columns **in the query output
+    /// only**; the paper highlights that this does not modify persisted
+    /// state, unlike SQL UPDATE.
+    Update,
+    /// `delete ... from t` — removes rows or columns from the output.
+    Delete,
+}
+
+/// A q-sql template expression:
+/// `select <cols> by <groups> from <table> where <conds>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateExpr {
+    /// Template variant.
+    pub kind: SelectKind,
+    /// Selected columns: optional result name and defining expression.
+    /// Empty means "all columns" (`select from t`).
+    pub columns: Vec<(Option<String>, Expr)>,
+    /// Grouping expressions (the `by` clause).
+    pub by: Vec<(Option<String>, Expr)>,
+    /// Source expression (the `from` clause).
+    pub from: Box<Expr>,
+    /// Conjunctive filter expressions; q-sql applies them left to right,
+    /// each seeing the rows that survived the previous one.
+    pub predicates: Vec<Expr>,
+}
+
+/// A lambda (function literal) definition.
+///
+/// Stored as parsed structure *plus* source text: the paper (§4.3) stores
+/// function definitions as plain text in the variable scope and
+/// re-algebrizes them at invocation time, because the meaning of the body
+/// depends on the scope contents at the call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LambdaDef {
+    /// Declared parameters; empty means implicit `x`, `y`, `z`.
+    pub params: Vec<String>,
+    /// Body statements, evaluated in order; the value of the last (or of an
+    /// explicit `:expr` return) is the result.
+    pub body: Vec<Expr>,
+    /// Original source text of the whole literal.
+    pub source: String,
+}
+
+/// A Q expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant (scalar or simple vector like `1 2 3` / `` `a`b``).
+    Lit(Value),
+    /// A variable reference. Untyped at parse time: may be a table in the
+    /// backend, a session variable, a local, or a built-in function.
+    Var(String),
+    /// General list construction `(e1;e2;...)`.
+    List(Vec<Expr>),
+    /// Monadic application of a *verb* (operator), e.g. `-x`, `#:x`.
+    Unary {
+        /// Operator glyph or builtin name.
+        op: String,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Dyadic infix application, e.g. `x+y`. Q has **no precedence**:
+    /// everything to the right of the verb binds first (right-to-left
+    /// evaluation), which the parser mirrors structurally.
+    Binary {
+        /// Operator glyph or builtin name.
+        op: String,
+        /// Left operand (a noun).
+        lhs: Box<Expr>,
+        /// Right operand (the rest of the expression).
+        rhs: Box<Expr>,
+    },
+    /// Bracket application / indexing `f[a;b]` or `list[i]`.
+    /// Elided arguments (`f[;b]`) are `None` — projection.
+    Call {
+        /// The callee expression.
+        func: Box<Expr>,
+        /// Arguments; `None` marks an elided (projected) slot.
+        args: Vec<Option<Expr>>,
+    },
+    /// Juxtaposition application `f x` (monadic).
+    Apply {
+        /// The callee expression.
+        func: Box<Expr>,
+        /// The single argument.
+        arg: Box<Expr>,
+    },
+    /// A function literal `{[a;b] ...}`.
+    Lambda(LambdaDef),
+    /// Verb derived by an adverb, e.g. `+/` (sum-over).
+    AdverbApply {
+        /// Underlying verb (operator glyph or expression).
+        verb: Box<Expr>,
+        /// The adverb.
+        adverb: Adverb,
+    },
+    /// Assignment `name: expr` (local/session) or `name:: expr` (global).
+    Assign {
+        /// Target variable name.
+        name: String,
+        /// `true` for `::` (always writes the global/server scope).
+        global: bool,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Indexed assignment `name[index]: expr`.
+    IndexAssign {
+        /// Target variable name.
+        name: String,
+        /// Index expressions.
+        indices: Vec<Expr>,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Explicit return `:expr` inside a function body.
+    Return(Box<Expr>),
+    /// A q-sql template.
+    Template(TemplateExpr),
+    /// Table literal `([] c1:e1; c2:e2)`; `keys` holds the key columns of
+    /// keyed-table literals `([k:e] v:e)`.
+    TableLit {
+        /// Key columns (name, expression).
+        keys: Vec<(String, Expr)>,
+        /// Value columns (name, expression).
+        columns: Vec<(String, Expr)>,
+    },
+    /// `$[cond;then;else]` conditional evaluation.
+    Cond(Vec<Expr>),
+    /// Empty expression (e.g. between consecutive semicolons).
+    Empty,
+}
+
+impl Expr {
+    /// Convenience: build a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience: build a long literal.
+    pub fn long(v: i64) -> Expr {
+        Expr::Lit(Value::long(v))
+    }
+
+    /// Convenience: build a symbol literal.
+    pub fn symbol(s: impl Into<String>) -> Expr {
+        Expr::Lit(Value::symbol(s))
+    }
+
+    /// Convenience: build a dyadic application.
+    pub fn binary(op: impl Into<String>, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op: op.into(), lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Does this expression (recursively) contain an assignment? Used by
+    /// the Cross Compiler to decide whether eager materialization is
+    /// needed before algebrizing subsequent statements (§4.3).
+    pub fn has_assignment(&self) -> bool {
+        match self {
+            Expr::Assign { .. } | Expr::IndexAssign { .. } => true,
+            Expr::Lit(_) | Expr::Var(_) | Expr::Empty => false,
+            Expr::List(items) => items.iter().any(Expr::has_assignment),
+            Expr::Unary { arg, .. } => arg.has_assignment(),
+            Expr::Binary { lhs, rhs, .. } => lhs.has_assignment() || rhs.has_assignment(),
+            Expr::Call { func, args } => {
+                func.has_assignment()
+                    || args.iter().flatten().any(Expr::has_assignment)
+            }
+            Expr::Apply { func, arg } => func.has_assignment() || arg.has_assignment(),
+            Expr::Lambda(_) => false,
+            Expr::AdverbApply { verb, .. } => verb.has_assignment(),
+            Expr::Return(e) => e.has_assignment(),
+            Expr::Template(t) => {
+                t.columns.iter().any(|(_, e)| e.has_assignment())
+                    || t.by.iter().any(|(_, e)| e.has_assignment())
+                    || t.from.has_assignment()
+                    || t.predicates.iter().any(Expr::has_assignment)
+            }
+            Expr::TableLit { keys, columns } => {
+                keys.iter().any(|(_, e)| e.has_assignment())
+                    || columns.iter().any(|(_, e)| e.has_assignment())
+            }
+            Expr::Cond(items) => items.iter().any(Expr::has_assignment),
+        }
+    }
+
+    /// Collect free variable references into `out` (no scoping analysis —
+    /// lambda parameters are *not* subtracted; the binder handles scopes).
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(n) => out.push(n.clone()),
+            Expr::Lit(_) | Expr::Empty => {}
+            Expr::List(items) | Expr::Cond(items) => {
+                items.iter().for_each(|e| e.collect_vars(out))
+            }
+            Expr::Unary { arg, .. } => arg.collect_vars(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::Call { func, args } => {
+                func.collect_vars(out);
+                args.iter().flatten().for_each(|e| e.collect_vars(out));
+            }
+            Expr::Apply { func, arg } => {
+                func.collect_vars(out);
+                arg.collect_vars(out);
+            }
+            Expr::Lambda(l) => l.body.iter().for_each(|e| e.collect_vars(out)),
+            Expr::AdverbApply { verb, .. } => verb.collect_vars(out),
+            Expr::Assign { value, .. } => value.collect_vars(out),
+            Expr::IndexAssign { indices, value, .. } => {
+                indices.iter().for_each(|e| e.collect_vars(out));
+                value.collect_vars(out);
+            }
+            Expr::Return(e) => e.collect_vars(out),
+            Expr::Template(t) => {
+                t.columns.iter().for_each(|(_, e)| e.collect_vars(out));
+                t.by.iter().for_each(|(_, e)| e.collect_vars(out));
+                t.from.collect_vars(out);
+                t.predicates.iter().for_each(|e| e.collect_vars(out));
+            }
+            Expr::TableLit { keys, columns } => {
+                keys.iter().for_each(|(_, e)| e.collect_vars(out));
+                columns.iter().for_each(|(_, e)| e.collect_vars(out));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_assignment_detects_nested() {
+        let e = Expr::binary(
+            "+",
+            Expr::long(1),
+            Expr::Assign { name: "x".into(), global: false, value: Box::new(Expr::long(2)) },
+        );
+        assert!(e.has_assignment());
+        assert!(!Expr::long(1).has_assignment());
+    }
+
+    #[test]
+    fn lambda_bodies_do_not_leak_assignments() {
+        // A lambda *containing* an assignment only assigns when invoked;
+        // defining it has no side effect.
+        let lam = Expr::Lambda(LambdaDef {
+            params: vec!["x".into()],
+            body: vec![Expr::Assign {
+                name: "y".into(),
+                global: false,
+                value: Box::new(Expr::long(1)),
+            }],
+            source: "{[x] y:1}".into(),
+        });
+        assert!(!lam.has_assignment());
+    }
+
+    #[test]
+    fn collect_vars_walks_templates() {
+        let t = Expr::Template(TemplateExpr {
+            kind: SelectKind::Select,
+            columns: vec![(None, Expr::var("Price"))],
+            by: vec![],
+            from: Box::new(Expr::var("trades")),
+            predicates: vec![Expr::binary("=", Expr::var("Sym"), Expr::symbol("GOOG"))],
+        });
+        let mut vars = vec![];
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["Price".to_string(), "trades".into(), "Sym".into()]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types shared across the Q front end.
+
+use std::fmt;
+
+/// An error raised while lexing, parsing or evaluating Q.
+///
+/// kdb+ error messages are famously terse (often a single quoted token);
+/// Hyper-Q deliberately produces more verbose diagnostics — the paper's §5
+/// case study calls this out as an area where the virtualization layer
+/// *improves* on the emulated system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QError {
+    /// Error category, mirroring kdb+'s one-word error classes
+    /// (`type`, `rank`, `length`, `domain`, ...).
+    pub kind: QErrorKind,
+    /// Human-readable explanation of what went wrong.
+    pub message: String,
+    /// Byte offset into the source text, when known.
+    pub offset: Option<usize>,
+}
+
+/// Category of a [`QError`], mirroring kdb+'s error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QErrorKind {
+    /// Tokenization failure (unterminated string, bad literal, ...).
+    Lex,
+    /// Grammar violation.
+    Parse,
+    /// Operation applied to a value of the wrong type (`'type`).
+    Type,
+    /// Function applied with the wrong number of arguments (`'rank`).
+    Rank,
+    /// Vector operation over lists of incompatible lengths (`'length`).
+    Length,
+    /// Value outside an operation's domain (`'domain`).
+    Domain,
+    /// Reference to an undefined variable (`'value`).
+    Value,
+    /// Anything else.
+    Other,
+}
+
+impl QError {
+    /// Create an error of the given kind with a formatted message.
+    pub fn new(kind: QErrorKind, message: impl Into<String>) -> Self {
+        QError { kind, message: message.into(), offset: None }
+    }
+
+    /// Attach a source offset for diagnostics.
+    #[must_use]
+    pub fn at(mut self, offset: usize) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Convenience constructor for `'type` errors.
+    pub fn type_err(message: impl Into<String>) -> Self {
+        Self::new(QErrorKind::Type, message)
+    }
+
+    /// Convenience constructor for `'rank` errors.
+    pub fn rank(message: impl Into<String>) -> Self {
+        Self::new(QErrorKind::Rank, message)
+    }
+
+    /// Convenience constructor for `'length` errors.
+    pub fn length(message: impl Into<String>) -> Self {
+        Self::new(QErrorKind::Length, message)
+    }
+
+    /// Convenience constructor for `'domain` errors.
+    pub fn domain(message: impl Into<String>) -> Self {
+        Self::new(QErrorKind::Domain, message)
+    }
+
+    /// Convenience constructor for `'value` (undefined name) errors.
+    pub fn undefined(name: &str) -> Self {
+        Self::new(QErrorKind::Value, format!("undefined variable: {name}"))
+    }
+
+    /// Convenience constructor for parse errors.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(QErrorKind::Parse, message)
+    }
+}
+
+impl fmt::Display for QError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let class = match self.kind {
+            QErrorKind::Lex => "lex",
+            QErrorKind::Parse => "parse",
+            QErrorKind::Type => "type",
+            QErrorKind::Rank => "rank",
+            QErrorKind::Length => "length",
+            QErrorKind::Domain => "domain",
+            QErrorKind::Value => "value",
+            QErrorKind::Other => "error",
+        };
+        match self.offset {
+            Some(off) => write!(f, "'{class}: {} (at byte {off})", self.message),
+            None => write!(f, "'{class}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for QError {}
+
+/// Result alias used throughout the Q front end.
+pub type QResult<T> = Result<T, QError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class_and_message() {
+        let e = QError::type_err("cannot add symbol to int");
+        assert_eq!(e.to_string(), "'type: cannot add symbol to int");
+    }
+
+    #[test]
+    fn display_includes_offset_when_present() {
+        let e = QError::parse("unexpected ]").at(17);
+        assert!(e.to_string().contains("byte 17"));
+    }
+
+    #[test]
+    fn kind_is_preserved() {
+        assert_eq!(QError::rank("f").kind, QErrorKind::Rank);
+        assert_eq!(QError::length("f").kind, QErrorKind::Length);
+        assert_eq!(QError::domain("f").kind, QErrorKind::Domain);
+        assert_eq!(QError::undefined("x").kind, QErrorKind::Value);
+    }
+}

@@ -1,0 +1,688 @@
+//! Tokenizer for Q source text.
+//!
+//! Q's lexical grammar packs a lot into very few characters: numeric
+//! literals carry type suffixes (`1b`, `0x1f`, `2h`, `3i`, `4j`, `5e`,
+//! `6f`), temporal literals look like arithmetic (`2016.06.26`,
+//! `09:30:00.000`), backtick symbols glue together into symbol lists
+//! (`` `Symbol`Time``), and `/` is *either* the `over` adverb or a comment
+//! depending on preceding whitespace. The lexer resolves all of this so the
+//! parser sees clean tokens.
+
+use crate::ast::Adverb;
+use crate::error::{QError, QErrorKind, QResult};
+use crate::temporal;
+use crate::value::{Atom, Value};
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric or temporal literal, already converted to a typed value.
+    Num(Value),
+    /// One or more adjacent backtick symbols: `` `a`` or `` `a`b`c``.
+    Sym(Vec<String>),
+    /// A double-quoted string (a Q char vector).
+    Str(String),
+    /// An identifier (variable, builtin, or q-sql keyword).
+    Ident(String),
+    /// An operator glyph: `+ - * % & | ^ = <> < <= > >= ~ ! ? @ . # _ $ ,`.
+    Op(&'static str),
+    /// An adverb.
+    Adverb(Adverb),
+    /// `:` — assignment / return / column naming.
+    Colon,
+    /// `::` — global assignment / generic null.
+    DoubleColon,
+    /// `;`
+    Semi,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+}
+
+/// A token with position metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Byte offset of the first character in the source.
+    pub offset: usize,
+    /// Whether whitespace separated this token from the previous one.
+    /// Q grammar is whitespace-sensitive: `x -1` applies `x` to `-1`
+    /// while `x-1` subtracts.
+    pub space_before: bool,
+}
+
+/// Does this token kind terminate a *noun* (so that a following `-digit`
+/// without whitespace means subtraction, and `/` means the over adverb)?
+fn ends_noun(tok: &Tok) -> bool {
+    matches!(
+        tok,
+        Tok::Num(_) | Tok::Sym(_) | Tok::Str(_) | Tok::Ident(_) | Tok::RParen | Tok::RBracket | Tok::RBrace
+    )
+}
+
+/// Tokenize Q source text.
+pub fn lex(src: &str) -> QResult<Vec<Token>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, out: Vec::new(), space: false }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+    space: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn push(&mut self, tok: Tok, offset: usize) {
+        self.out.push(Token { tok, offset, space_before: self.space });
+        self.space = false;
+    }
+
+    fn prev_ends_noun(&self) -> bool {
+        self.out.last().map(|t| ends_noun(&t.tok)).unwrap_or(false)
+    }
+
+    fn at_line_start(&self) -> bool {
+        let mut i = self.pos;
+        while i > 0 {
+            match self.bytes[i - 1] {
+                b'\n' => return true,
+                b' ' | b'\t' | b'\r' => i -= 1,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn run(mut self) -> QResult<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            let start = self.pos;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                    self.space = true;
+                }
+                b'/' => {
+                    // Comment when preceded by whitespace or at line start;
+                    // otherwise the over adverb (or /: each-right).
+                    if self.space || self.at_line_start() {
+                        while let Some(ch) = self.peek() {
+                            if ch == b'\n' {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                    } else if self.peek_at(1) == Some(b':') {
+                        self.pos += 2;
+                        self.push(Tok::Adverb(Adverb::EachRight), start);
+                    } else {
+                        self.pos += 1;
+                        self.push(Tok::Adverb(Adverb::Over), start);
+                    }
+                }
+                b'\\' => {
+                    if self.peek_at(1) == Some(b':') {
+                        self.pos += 2;
+                        self.push(Tok::Adverb(Adverb::EachLeft), start);
+                    } else {
+                        self.pos += 1;
+                        self.push(Tok::Adverb(Adverb::Scan), start);
+                    }
+                }
+                b'\'' => {
+                    if self.peek_at(1) == Some(b':') {
+                        self.pos += 2;
+                        self.push(Tok::Adverb(Adverb::EachPrior), start);
+                    } else {
+                        self.pos += 1;
+                        self.push(Tok::Adverb(Adverb::Each), start);
+                    }
+                }
+                b'`' => self.lex_symbols(start)?,
+                b'"' => self.lex_string(start)?,
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'.' if self.peek_at(1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
+                    self.lex_number(start)?
+                }
+                b'-' => {
+                    // Negative literal iff a noun does NOT directly precede
+                    // and a digit directly follows: `(-1)`, `x -1`, `1 -2 3`
+                    // (after whitespace) vs `x-1` subtraction.
+                    let digit_next =
+                        self.peek_at(1).map(|c| c.is_ascii_digit() || c == b'.').unwrap_or(false);
+                    let noun_before = self.prev_ends_noun() && !self.space;
+                    if digit_next && !noun_before {
+                        self.pos += 1;
+                        self.lex_number_negated(start)?;
+                    } else {
+                        self.pos += 1;
+                        self.push(Tok::Op("-"), start);
+                    }
+                }
+                b':' => {
+                    if self.peek_at(1) == Some(b':') {
+                        self.pos += 2;
+                        self.push(Tok::DoubleColon, start);
+                    } else {
+                        self.pos += 1;
+                        self.push(Tok::Colon, start);
+                    }
+                }
+                b'<' => {
+                    match self.peek_at(1) {
+                        Some(b'>') => {
+                            self.pos += 2;
+                            self.push(Tok::Op("<>"), start);
+                        }
+                        Some(b'=') => {
+                            self.pos += 2;
+                            self.push(Tok::Op("<="), start);
+                        }
+                        _ => {
+                            self.pos += 1;
+                            self.push(Tok::Op("<"), start);
+                        }
+                    }
+                }
+                b'>' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(Tok::Op(">="), start);
+                    } else {
+                        self.pos += 1;
+                        self.push(Tok::Op(">"), start);
+                    }
+                }
+                b'+' | b'*' | b'%' | b'&' | b'|' | b'^' | b'=' | b'~' | b'!' | b'?' | b'@'
+                | b'#' | b'$' | b',' => {
+                    self.pos += 1;
+                    let op = match c {
+                        b'+' => "+",
+                        b'*' => "*",
+                        b'%' => "%",
+                        b'&' => "&",
+                        b'|' => "|",
+                        b'^' => "^",
+                        b'=' => "=",
+                        b'~' => "~",
+                        b'!' => "!",
+                        b'?' => "?",
+                        b'@' => "@",
+                        b'#' => "#",
+                        b'$' => "$",
+                        b',' => ",",
+                        _ => unreachable!(),
+                    };
+                    self.push(Tok::Op(op), start);
+                }
+                b'.' => {
+                    self.pos += 1;
+                    self.push(Tok::Op("."), start);
+                }
+                b'_' => {
+                    self.pos += 1;
+                    self.push(Tok::Op("_"), start);
+                }
+                b';' => {
+                    self.pos += 1;
+                    self.push(Tok::Semi, start);
+                }
+                b'(' => {
+                    self.pos += 1;
+                    self.push(Tok::LParen, start);
+                }
+                b')' => {
+                    self.pos += 1;
+                    self.push(Tok::RParen, start);
+                }
+                b'[' => {
+                    self.pos += 1;
+                    self.push(Tok::LBracket, start);
+                }
+                b']' => {
+                    self.pos += 1;
+                    self.push(Tok::RBracket, start);
+                }
+                b'{' => {
+                    self.pos += 1;
+                    self.push(Tok::LBrace, start);
+                }
+                b'}' => {
+                    self.pos += 1;
+                    self.push(Tok::RBrace, start);
+                }
+                c if c.is_ascii_alphabetic() => self.lex_ident(start),
+                other => {
+                    return Err(QError::new(
+                        QErrorKind::Lex,
+                        format!("unexpected character {:?}", other as char),
+                    )
+                    .at(start))
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn lex_ident(&mut self, start: usize) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        self.push(Tok::Ident(text.to_string()), start);
+    }
+
+    fn lex_symbols(&mut self, start: usize) -> QResult<()> {
+        let mut syms = Vec::new();
+        while self.peek() == Some(b'`') {
+            self.pos += 1;
+            let s = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            syms.push(self.src[s..self.pos].to_string());
+        }
+        self.push(Tok::Sym(syms), start);
+        Ok(())
+    }
+
+    fn lex_string(&mut self, start: usize) -> QResult<()> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(QError::new(QErrorKind::Lex, "unterminated string").at(start));
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| {
+                        QError::new(QErrorKind::Lex, "unterminated escape").at(self.pos)
+                    })?;
+                    s.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        other => other as char,
+                    });
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.push(Tok::Str(s), start);
+        Ok(())
+    }
+
+    fn lex_number_negated(&mut self, start: usize) -> QResult<()> {
+        let n = self.out.len();
+        self.lex_number(self.pos)?;
+        // Negate the literal we just produced, in place.
+        if let Some(Token { tok: Tok::Num(v), offset, .. }) = self.out.last_mut() {
+            *offset = start;
+            *v = negate(std::mem::take(v))
+                .map_err(|e| e.at(start))?;
+        }
+        debug_assert_eq!(self.out.len(), n + 1);
+        Ok(())
+    }
+
+    /// Scan a numeric/temporal literal. Consumes digits plus the characters
+    /// that can legally continue one: `.` (floats, dates), `:` followed by a
+    /// digit (times), `D` (timestamp separator), `x` (hex) and type-suffix
+    /// letters.
+    fn lex_number(&mut self, start: usize) -> QResult<()> {
+        // Hex byte (vector): 0x...
+        if self.peek() == Some(b'0') && self.peek_at(1) == Some(b'x') {
+            self.pos += 2;
+            let s = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let hex = &self.src[s..self.pos];
+            if hex.is_empty() || hex.len() % 2 != 0 {
+                return Err(QError::new(QErrorKind::Lex, "malformed byte literal").at(start));
+            }
+            let mut bytes = Vec::with_capacity(hex.len() / 2);
+            for i in (0..hex.len()).step_by(2) {
+                bytes.push(u8::from_str_radix(&hex[i..i + 2], 16).unwrap());
+            }
+            let v = if bytes.len() == 1 {
+                Value::Atom(Atom::Byte(bytes[0]))
+            } else {
+                Value::Bytes(bytes)
+            };
+            self.push(Tok::Num(v), start);
+            return Ok(());
+        }
+
+        let s = self.pos;
+        while let Some(c) = self.peek() {
+            let continues = c.is_ascii_digit()
+                || c == b'.'
+                || c == b'D'
+                || (c == b':' && self.peek_at(1).map(|n| n.is_ascii_digit()).unwrap_or(false))
+                || matches!(c, b'b' | b'h' | b'i' | b'j' | b'e' | b'f' | b'n' | b'N' | b'p' | b't' | b'd' | b'W' | b'w');
+            if continues {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[s..self.pos];
+        let v = classify_number(text).ok_or_else(|| {
+            QError::new(QErrorKind::Lex, format!("malformed numeric literal {text:?}")).at(start)
+        })?;
+        self.push(Tok::Num(v), start);
+        Ok(())
+    }
+}
+
+/// Negate a numeric literal value.
+fn negate(v: Value) -> QResult<Value> {
+    Ok(match v {
+        Value::Atom(Atom::Long(x)) => Value::Atom(Atom::Long(-x)),
+        Value::Atom(Atom::Int(x)) => Value::Atom(Atom::Int(-x)),
+        Value::Atom(Atom::Short(x)) => Value::Atom(Atom::Short(-x)),
+        Value::Atom(Atom::Real(x)) => Value::Atom(Atom::Real(-x)),
+        Value::Atom(Atom::Float(x)) => Value::Atom(Atom::Float(-x)),
+        other => {
+            return Err(QError::new(
+                QErrorKind::Lex,
+                format!("cannot negate {}", other.type_name()),
+            ))
+        }
+    })
+}
+
+/// Classify a scanned numeric/temporal literal into a typed [`Value`].
+fn classify_number(text: &str) -> Option<Value> {
+    // Nulls and infinities.
+    match text {
+        "0N" | "0Nj" => return Some(Value::Atom(Atom::Long(i64::MIN))),
+        "0Ni" => return Some(Value::Atom(Atom::Int(i32::MIN))),
+        "0Nh" => return Some(Value::Atom(Atom::Short(i16::MIN))),
+        "0n" | "0Nf" => return Some(Value::Atom(Atom::Float(f64::NAN))),
+        "0Ne" => return Some(Value::Atom(Atom::Real(f32::NAN))),
+        "0Nd" => return Some(Value::Atom(Atom::Date(i32::MIN))),
+        "0Nt" => return Some(Value::Atom(Atom::Time(i32::MIN))),
+        "0Np" => return Some(Value::Atom(Atom::Timestamp(i64::MIN))),
+        "0W" | "0Wj" => return Some(Value::Atom(Atom::Long(i64::MAX))),
+        "0Wi" => return Some(Value::Atom(Atom::Int(i32::MAX))),
+        "0w" | "0Wf" => return Some(Value::Atom(Atom::Float(f64::INFINITY))),
+        _ => {}
+    }
+
+    // Timestamp: contains 'D'.
+    if text.contains('D') {
+        return temporal::parse_timestamp(text).map(|ns| Value::Atom(Atom::Timestamp(ns)));
+    }
+    // Time: contains ':'.
+    if text.contains(':') {
+        let core = text.strip_suffix('t').unwrap_or(text);
+        return temporal::parse_time(core).map(|ms| Value::Atom(Atom::Time(ms)));
+    }
+    // Date: d.d.d (two dots, no suffix other than optional 'd').
+    if text.matches('.').count() == 2 && !text.ends_with('f') {
+        let core = text.strip_suffix('d').unwrap_or(text);
+        if let Some(days) = temporal::parse_date(core) {
+            return Some(Value::Atom(Atom::Date(days)));
+        }
+    }
+
+    // Boolean atom/vector: all 0/1 digits with a 'b' suffix.
+    if let Some(core) = text.strip_suffix('b') {
+        if !core.is_empty() && core.bytes().all(|c| c == b'0' || c == b'1') {
+            let bits: Vec<bool> = core.bytes().map(|c| c == b'1').collect();
+            return Some(if bits.len() == 1 {
+                Value::Atom(Atom::Bool(bits[0]))
+            } else {
+                Value::Bools(bits)
+            });
+        }
+        return None;
+    }
+
+    // Suffixed integers/floats.
+    if let Some(core) = text.strip_suffix('h') {
+        return core.parse::<i16>().ok().map(|v| Value::Atom(Atom::Short(v)));
+    }
+    if let Some(core) = text.strip_suffix('i') {
+        return core.parse::<i32>().ok().map(|v| Value::Atom(Atom::Int(v)));
+    }
+    if let Some(core) = text.strip_suffix('j') {
+        return core.parse::<i64>().ok().map(|v| Value::Atom(Atom::Long(v)));
+    }
+    if let Some(core) = text.strip_suffix('e') {
+        return core.parse::<f32>().ok().map(|v| Value::Atom(Atom::Real(v)));
+    }
+    if let Some(core) = text.strip_suffix('f') {
+        return core.parse::<f64>().ok().map(|v| Value::Atom(Atom::Float(v)));
+    }
+    if let Some(core) = text.strip_suffix('d') {
+        // `5d` style day literal → date offset; treat as long for arithmetic.
+        return core.parse::<i64>().ok().map(|v| Value::Atom(Atom::Long(v)));
+    }
+
+    // Unsuffixed: float if it has a dot, else long.
+    if text.contains('.') {
+        text.parse::<f64>().ok().map(|v| Value::Atom(Atom::Float(v)))
+    } else {
+        text.parse::<i64>().ok().map(|v| Value::Atom(Atom::Long(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn integers_default_to_long() {
+        assert_eq!(toks("42"), vec![Tok::Num(Value::long(42))]);
+    }
+
+    #[test]
+    fn typed_suffixes() {
+        assert_eq!(toks("1i"), vec![Tok::Num(Value::Atom(Atom::Int(1)))]);
+        assert_eq!(toks("1h"), vec![Tok::Num(Value::Atom(Atom::Short(1)))]);
+        assert_eq!(toks("1j"), vec![Tok::Num(Value::Atom(Atom::Long(1)))]);
+        assert_eq!(toks("1.5"), vec![Tok::Num(Value::float(1.5))]);
+        assert_eq!(toks("2f"), vec![Tok::Num(Value::float(2.0))]);
+        assert_eq!(toks("1b"), vec![Tok::Num(Value::bool(true))]);
+    }
+
+    #[test]
+    fn boolean_vectors() {
+        assert_eq!(toks("101b"), vec![Tok::Num(Value::Bools(vec![true, false, true]))]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        assert_eq!(toks("0x1f"), vec![Tok::Num(Value::Atom(Atom::Byte(0x1f)))]);
+        assert_eq!(toks("0x0102"), vec![Tok::Num(Value::Bytes(vec![1, 2]))]);
+        assert!(lex("0x1").is_err());
+    }
+
+    #[test]
+    fn nulls() {
+        assert_eq!(toks("0N"), vec![Tok::Num(Value::Atom(Atom::Long(i64::MIN)))]);
+        assert!(matches!(&toks("0n")[0], Tok::Num(Value::Atom(Atom::Float(f))) if f.is_nan()));
+        assert_eq!(toks("0Nd"), vec![Tok::Num(Value::Atom(Atom::Date(i32::MIN)))]);
+    }
+
+    #[test]
+    fn dates_times_timestamps() {
+        let d = temporal::parse_date("2016.06.26").unwrap();
+        assert_eq!(toks("2016.06.26"), vec![Tok::Num(Value::Atom(Atom::Date(d)))]);
+        let t = temporal::parse_time("09:30:00.000").unwrap();
+        assert_eq!(toks("09:30:00.000"), vec![Tok::Num(Value::Atom(Atom::Time(t)))]);
+        let ts = temporal::parse_timestamp("2016.06.26D09:30:00").unwrap();
+        assert_eq!(toks("2016.06.26D09:30:00"), vec![Tok::Num(Value::Atom(Atom::Timestamp(ts)))]);
+    }
+
+    #[test]
+    fn symbols_merge() {
+        assert_eq!(toks("`GOOG"), vec![Tok::Sym(vec!["GOOG".into()])]);
+        assert_eq!(toks("`Symbol`Time"), vec![Tok::Sym(vec!["Symbol".into(), "Time".into()])]);
+        // Separated by whitespace -> two tokens.
+        assert_eq!(
+            toks("`a `b"),
+            vec![Tok::Sym(vec!["a".into()]), Tok::Sym(vec!["b".into()])]
+        );
+        // Empty symbol.
+        assert_eq!(toks("`"), vec![Tok::Sym(vec!["".into()])]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks(r#""ab\nc""#), vec![Tok::Str("ab\nc".into())]);
+        assert_eq!(toks(r#""say \"hi\"""#), vec![Tok::Str("say \"hi\"".into())]);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn minus_disambiguation() {
+        // x-1: subtraction.
+        assert_eq!(
+            toks("x-1"),
+            vec![Tok::Ident("x".into()), Tok::Op("-"), Tok::Num(Value::long(1))]
+        );
+        // x -1: negative literal (application).
+        assert_eq!(
+            toks("x -1"),
+            vec![Tok::Ident("x".into()), Tok::Num(Value::long(-1))]
+        );
+        // (-1): negative literal after opener.
+        assert_eq!(
+            toks("(-1)"),
+            vec![Tok::LParen, Tok::Num(Value::long(-1)), Tok::RParen]
+        );
+        // 3-1: subtraction.
+        assert_eq!(
+            toks("3-1"),
+            vec![Tok::Num(Value::long(3)), Tok::Op("-"), Tok::Num(Value::long(1))]
+        );
+    }
+
+    #[test]
+    fn slash_is_comment_after_space_and_adverb_otherwise() {
+        assert_eq!(
+            toks("1 / this is a comment"),
+            vec![Tok::Num(Value::long(1))]
+        );
+        assert_eq!(
+            toks("+/"),
+            vec![Tok::Op("+"), Tok::Adverb(Adverb::Over)]
+        );
+        assert_eq!(toks("/ whole line comment"), vec![]);
+    }
+
+    #[test]
+    fn adverbs() {
+        assert_eq!(toks("+/:"), vec![Tok::Op("+"), Tok::Adverb(Adverb::EachRight)]);
+        assert_eq!(toks("+\\:"), vec![Tok::Op("+"), Tok::Adverb(Adverb::EachLeft)]);
+        assert_eq!(toks("+'"), vec![Tok::Op("+"), Tok::Adverb(Adverb::Each)]);
+    }
+
+    #[test]
+    fn colons() {
+        assert_eq!(toks("x:1"), vec![Tok::Ident("x".into()), Tok::Colon, Tok::Num(Value::long(1))]);
+        assert_eq!(
+            toks("x::1"),
+            vec![Tok::Ident("x".into()), Tok::DoubleColon, Tok::Num(Value::long(1))]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a<>b"),
+            vec![Tok::Ident("a".into()), Tok::Op("<>"), Tok::Ident("b".into())]
+        );
+        assert_eq!(
+            toks("a<=b"),
+            vec![Tok::Ident("a".into()), Tok::Op("<="), Tok::Ident("b".into())]
+        );
+        assert_eq!(
+            toks("a>=b"),
+            vec![Tok::Ident("a".into()), Tok::Op(">="), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn space_before_flag_tracks_whitespace() {
+        let ts = lex("f [1]").unwrap();
+        assert!(ts[1].space_before);
+        let ts = lex("f[1]").unwrap();
+        assert!(!ts[1].space_before);
+    }
+
+    #[test]
+    fn time_vs_assignment_colon() {
+        // `t:09` must lex as ident colon number, not a time literal.
+        let ts = toks("t:09");
+        assert_eq!(ts[0], Tok::Ident("t".into()));
+        assert_eq!(ts[1], Tok::Colon);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = lex("ab + cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 3);
+        assert_eq!(ts[2].offset, 5);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("§").unwrap_err();
+        assert_eq!(err.kind, QErrorKind::Lex);
+    }
+}

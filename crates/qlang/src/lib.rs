@@ -1,0 +1,53 @@
+//! # qlang — the Q language substrate
+//!
+//! This crate implements the front half of the kdb+/Q language surface that
+//! Hyper-Q virtualizes (paper §2.2, §3.2.1):
+//!
+//! * [`value`] — the Q data model: atoms, *typed* vectors (Q is
+//!   column-oriented, so homogeneous lists are stored unboxed), dictionaries,
+//!   tables and keyed tables. Ordering is a first-class citizen: every list
+//!   is ordered and every table carries an implicit row order.
+//! * [`temporal`] — Q temporal types (dates are days since 2000.01.01,
+//!   timestamps are nanoseconds since 2000.01.01, times are milliseconds
+//!   since midnight) and their parsing/formatting.
+//! * [`lexer`] — tokenizer for Q's terse syntax: typed numeric literals
+//!   (`1b`, `0x1f`, `2h`, `3i`, `4j`, `5e`, `6.5`), backtick symbols
+//!   (`` `GOOG``), temporal literals (`2016.06.26`, `09:30:00.000`),
+//!   strings, adverbs and the full verb set.
+//! * [`ast`] — the abstract syntax tree. Per the paper, the parser is
+//!   deliberately *lightweight*: it only builds an untyped AST and defers
+//!   all type inference and name resolution to the binder (the Algebrizer).
+//! * [`parser`] — a right-to-left, no-precedence expression parser matching
+//!   Q's evaluation order, with special handling for the q-sql templates
+//!   (`select`/`update`/`delete`/`exec`), function literals, table literals
+//!   and variable assignment.
+//!
+//! Two-valued logic, typed nulls and right-to-left evaluation — the exact
+//! semantic mismatches the paper's Xformer must bridge — are faithfully
+//! modeled here so the rest of the stack has something real to translate.
+//!
+//! # Example
+//!
+//! ```
+//! use qlang::{parse_one, Expr};
+//!
+//! // The paper's Example 2: an as-of join call.
+//! let ast = parse_one("aj[`Symbol`Time; trades; quotes]").unwrap();
+//! assert!(matches!(ast, Expr::Call { .. }));
+//!
+//! // Two-valued logic: Q nulls compare equal.
+//! use qlang::value::Atom;
+//! assert!(Atom::Long(i64::MIN).q_eq(&Atom::Long(i64::MIN)));
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod temporal;
+pub mod value;
+
+pub use ast::{Adverb, Expr, SelectKind, TemplateExpr};
+pub use error::{QError, QResult};
+pub use parser::{parse, parse_one};
+pub use value::{Atom, Dict, KeyedTable, Table, Value};

@@ -1,0 +1,983 @@
+//! Right-to-left expression parser for Q.
+//!
+//! Q has **no operator precedence**: `2*3+4` is `2*(3+4)` because
+//! everything to the right of a verb binds first (paper §2.2). The parser
+//! mirrors this by recursing on the right operand. It also handles the
+//! grammar quirks that make Q terse:
+//!
+//! * juxtaposition application (`til 10`, `count x`),
+//! * bracket application with elided arguments (`f[;2]` projection),
+//! * space-separated numeric vector literals (`1 2 3`),
+//! * q-sql templates (`select c by g from t where p1, p2`) where `,`
+//!   separates clauses instead of acting as the join verb,
+//! * named infix verbs (`x in y`, `t lj kt`, `` `Sym xasc t``),
+//! * function literals with explicit or implicit parameters,
+//! * table literals `([] c1:...; c2:...)` and keyed variants,
+//! * `$[c;t;f]` conditional evaluation.
+//!
+//! The output AST is untyped; all name resolution happens in the binder.
+
+use crate::ast::{Expr, LambdaDef, SelectKind, TemplateExpr};
+use crate::error::{QError, QResult};
+use crate::lexer::{lex, Tok, Token};
+use crate::value::{Atom, Value};
+
+/// Parse a Q program: statements separated by `;` at the top level.
+pub fn parse(src: &str) -> QResult<Vec<Expr>> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, src };
+    let mut stmts = Vec::new();
+    loop {
+        while p.cur() == Some(&Tok::Semi) {
+            p.pos += 1;
+        }
+        if p.pos >= p.tokens.len() {
+            break;
+        }
+        let e = p.parse_expr(Stop::NONE)?;
+        stmts.push(e);
+        match p.cur() {
+            None => break,
+            Some(Tok::Semi) => p.pos += 1,
+            Some(other) => {
+                return Err(QError::parse(format!(
+                    "unexpected token after statement: {other:?}"
+                ))
+                .at(p.offset()))
+            }
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parse exactly one expression; error on trailing input.
+pub fn parse_one(src: &str) -> QResult<Expr> {
+    let stmts = parse(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().unwrap()),
+        0 => Err(QError::parse("empty input")),
+        n => Err(QError::parse(format!("expected one expression, found {n} statements"))),
+    }
+}
+
+/// What terminates the current expression, beyond closing delimiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Stop {
+    /// Stop at a top-level `,` (clause separator in q-sql templates).
+    comma: bool,
+    /// Stop at the template keywords `by` / `from` / `where`.
+    keywords: bool,
+}
+
+impl Stop {
+    const NONE: Stop = Stop { comma: false, keywords: false };
+    const CLAUSE: Stop = Stop { comma: true, keywords: true };
+    const FROM: Stop = Stop { comma: false, keywords: true };
+}
+
+/// Named verbs that can be used infix between two nouns.
+fn is_infix_name(name: &str) -> bool {
+    matches!(
+        name,
+        "in" | "within"
+            | "like"
+            | "mod"
+            | "div"
+            | "and"
+            | "or"
+            | "xasc"
+            | "xdesc"
+            | "xkey"
+            | "xcol"
+            | "xcols"
+            | "lj"
+            | "ij"
+            | "uj"
+            | "pj"
+            | "cross"
+            | "except"
+            | "inter"
+            | "union"
+            | "each"
+            | "over"
+            | "scan"
+            | "vs"
+            | "sv"
+            | "set"
+            | "insert"
+            | "upsert"
+            | "take"
+            | "bin"
+            | "binr"
+            | "xbar"
+    )
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    #[allow(dead_code)]
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn cur(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn cur_token(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(0)
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> QResult<()> {
+        if self.cur() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(QError::parse(format!("expected {what}, found {:?}", self.cur())).at(self.offset()))
+        }
+    }
+
+    /// Is the current token an end-of-expression marker under `stop`?
+    fn at_end(&self, stop: Stop) -> bool {
+        match self.cur() {
+            None => true,
+            Some(Tok::Semi) | Some(Tok::RParen) | Some(Tok::RBracket) | Some(Tok::RBrace) => true,
+            Some(Tok::Op(",")) if stop.comma => true,
+            Some(Tok::Ident(k)) if stop.keywords && matches!(k.as_str(), "by" | "from" | "where") => {
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Right-to-left expression parser.
+    fn parse_expr(&mut self, stop: Stop) -> QResult<Expr> {
+        if self.at_end(stop) {
+            return Ok(Expr::Empty);
+        }
+
+        // Leading `:` = explicit return (function bodies).
+        if self.cur() == Some(&Tok::Colon) {
+            self.pos += 1;
+            let e = self.parse_expr(stop)?;
+            return Ok(Expr::Return(Box::new(e)));
+        }
+        // `::` alone = generic null.
+        if self.cur() == Some(&Tok::DoubleColon) && {
+            let save = self.pos;
+            self.pos += 1;
+            let end = self.at_end(stop);
+            self.pos = save;
+            end
+        } {
+            self.pos += 1;
+            return Ok(Expr::Lit(Value::Nil));
+        }
+
+        // Prefix operator → monadic application.
+        if let Some(Tok::Op(op)) = self.cur() {
+            let op = *op;
+            // `$[c;t;f]` conditional.
+            if op == "$" && self.tokens.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::LBracket) {
+                self.pos += 2;
+                let args = self.parse_bracket_args()?;
+                let exprs: Vec<Expr> =
+                    args.into_iter().map(|a| a.unwrap_or(Expr::Empty)).collect();
+                let cond = Expr::Cond(exprs);
+                return self.continue_after_noun(cond, stop);
+            }
+            self.pos += 1;
+            // Operator + adverb: `+/ x` (fold), `+\ x` (scan), ...
+            if let Some(Tok::Adverb(a)) = self.cur() {
+                let a = *a;
+                self.pos += 1;
+                let derived =
+                    Expr::AdverbApply { verb: Box::new(Expr::Var(op.to_string())), adverb: a };
+                if self.at_end(stop) {
+                    return Ok(derived);
+                }
+                // Bracket application of a derived verb: `+/[seed; list]`.
+                if self.cur() == Some(&Tok::LBracket) {
+                    self.pos += 1;
+                    let args = self.parse_bracket_args()?;
+                    return Ok(Expr::Call { func: Box::new(derived), args });
+                }
+                let rhs = self.parse_expr(stop)?;
+                return Ok(Expr::Apply { func: Box::new(derived), arg: Box::new(rhs) });
+            }
+            if self.at_end(stop) {
+                // Operator as a value, e.g. `(+)`.
+                return Ok(Expr::Var(op.to_string()));
+            }
+            // Operator with bracket args: `+[1;2]`.
+            if self.cur() == Some(&Tok::LBracket) {
+                let func = Expr::Var(op.to_string());
+                return self.continue_after_noun(func, stop);
+            }
+            let rhs = self.parse_expr(stop)?;
+            return Ok(Expr::Unary { op: op.to_string(), arg: Box::new(rhs) });
+        }
+
+        let noun = self.parse_noun(stop)?;
+        self.continue_after_noun(noun, stop)
+    }
+
+    /// After parsing a noun, decide among: end, assignment, infix verb,
+    /// adverb derivation, or juxtaposition application.
+    fn continue_after_noun(&mut self, noun: Expr, stop: Stop) -> QResult<Expr> {
+        // Assignment forms.
+        if let Expr::Var(name) = &noun {
+            match self.cur() {
+                Some(Tok::Colon) => {
+                    let name = name.clone();
+                    self.pos += 1;
+                    let value = self.parse_expr(stop)?;
+                    return Ok(Expr::Assign { name, global: false, value: Box::new(value) });
+                }
+                Some(Tok::DoubleColon) => {
+                    let name = name.clone();
+                    self.pos += 1;
+                    let value = self.parse_expr(stop)?;
+                    return Ok(Expr::Assign { name, global: true, value: Box::new(value) });
+                }
+                _ => {}
+            }
+        }
+        if let Expr::Call { func, args } = &noun {
+            if let Expr::Var(name) = func.as_ref() {
+                if self.cur() == Some(&Tok::Colon) {
+                    let name = name.clone();
+                    let indices: Vec<Expr> =
+                        args.iter().map(|a| a.clone().unwrap_or(Expr::Empty)).collect();
+                    self.pos += 1;
+                    let value = self.parse_expr(stop)?;
+                    return Ok(Expr::IndexAssign { name, indices, value: Box::new(value) });
+                }
+            }
+        }
+
+        if self.at_end(stop) {
+            return Ok(noun);
+        }
+
+        match self.cur().cloned() {
+            Some(Tok::Op(op)) => {
+                self.pos += 1;
+                // Infix verb + adverb: `x +/ y`, `x ,' y`.
+                if let Some(Tok::Adverb(a)) = self.cur() {
+                    let a = *a;
+                    self.pos += 1;
+                    let derived =
+                        Expr::AdverbApply { verb: Box::new(Expr::Var(op.to_string())), adverb: a };
+                    let rhs = self.parse_expr(stop)?;
+                    return Ok(Expr::Call {
+                        func: Box::new(derived),
+                        args: vec![Some(noun), Some(rhs)],
+                    });
+                }
+                let rhs = self.parse_expr(stop)?;
+                Ok(Expr::binary(op, noun, rhs))
+            }
+            Some(Tok::Adverb(a)) => {
+                self.pos += 1;
+                let derived = Expr::AdverbApply { verb: Box::new(noun), adverb: a };
+                if self.at_end(stop) {
+                    return Ok(derived);
+                }
+                let rhs = self.parse_expr(stop)?;
+                Ok(Expr::Apply { func: Box::new(derived), arg: Box::new(rhs) })
+            }
+            Some(Tok::Ident(name)) if is_infix_name(&name) => {
+                self.pos += 1;
+                let rhs = self.parse_expr(stop)?;
+                Ok(Expr::binary(name, noun, rhs))
+            }
+            _ => {
+                // Juxtaposition: `f x` applies f monadically to x.
+                let rhs = self.parse_expr(stop)?;
+                Ok(Expr::Apply { func: Box::new(noun), arg: Box::new(rhs) })
+            }
+        }
+    }
+
+    /// Parse a noun: literal, variable, parenthesized list/expression,
+    /// table literal, lambda, or q-sql template; then apply postfix
+    /// bracket applications.
+    fn parse_noun(&mut self, _stop: Stop) -> QResult<Expr> {
+        let base = match self.cur().cloned() {
+            Some(Tok::Num(_)) => self.parse_numeric_run()?,
+            Some(Tok::Sym(syms)) => {
+                self.pos += 1;
+                let v = if syms.len() == 1 {
+                    Value::Atom(Atom::Symbol(syms.into_iter().next().unwrap()))
+                } else {
+                    Value::Symbols(syms)
+                };
+                Expr::Lit(v)
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                if s.chars().count() == 1 {
+                    Expr::Lit(Value::Atom(Atom::Char(s.chars().next().unwrap())))
+                } else {
+                    Expr::Lit(Value::Chars(s))
+                }
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "select" => self.parse_template(SelectKind::Select)?,
+                "exec" => self.parse_template(SelectKind::Exec)?,
+                "update" => self.parse_template(SelectKind::Update)?,
+                "delete" => self.parse_template(SelectKind::Delete)?,
+                _ => {
+                    self.pos += 1;
+                    Expr::Var(name)
+                }
+            },
+            Some(Tok::LParen) => self.parse_paren()?,
+            Some(Tok::LBrace) => self.parse_lambda()?,
+            other => {
+                return Err(
+                    QError::parse(format!("expected expression, found {other:?}")).at(self.offset())
+                )
+            }
+        };
+        self.parse_postfix(base)
+    }
+
+    /// Postfix bracket application: `f[a;b]`, possibly chained `m[i][j]`.
+    fn parse_postfix(&mut self, mut base: Expr) -> QResult<Expr> {
+        while self.cur() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            let args = self.parse_bracket_args()?;
+            base = Expr::Call { func: Box::new(base), args };
+        }
+        Ok(base)
+    }
+
+    /// Arguments between `[` and `]`, separated by `;`. Elided slots
+    /// (`f[;2]`) become `None` (projection).
+    fn parse_bracket_args(&mut self) -> QResult<Vec<Option<Expr>>> {
+        let mut args = Vec::new();
+        if self.cur() == Some(&Tok::RBracket) {
+            self.pos += 1;
+            return Ok(args);
+        }
+        loop {
+            if self.cur() == Some(&Tok::Semi) {
+                args.push(None);
+                self.pos += 1;
+                continue;
+            }
+            let e = self.parse_expr(Stop::NONE)?;
+            args.push(if matches!(e, Expr::Empty) { None } else { Some(e) });
+            match self.cur() {
+                Some(Tok::Semi) => {
+                    self.pos += 1;
+                    if self.cur() == Some(&Tok::RBracket) {
+                        args.push(None);
+                    }
+                }
+                Some(Tok::RBracket) => break,
+                other => {
+                    return Err(QError::parse(format!("expected ; or ] in argument list, found {other:?}"))
+                        .at(self.offset()))
+                }
+            }
+        }
+        self.expect(&Tok::RBracket, "]")?;
+        Ok(args)
+    }
+
+    /// Space-separated numeric literals form one vector: `1 2 3`.
+    fn parse_numeric_run(&mut self) -> QResult<Expr> {
+        let mut items = Vec::new();
+        while let Some(Tok::Num(v)) = self.cur() {
+            items.push(v.clone());
+            self.pos += 1;
+        }
+        if items.len() == 1 {
+            return Ok(Expr::Lit(items.into_iter().next().unwrap()));
+        }
+        Ok(Expr::Lit(merge_numeric_literals(items)?))
+    }
+
+    /// `(...)`: empty list, parenthesized expression, general list, or
+    /// table literal `([keys] cols)`.
+    fn parse_paren(&mut self) -> QResult<Expr> {
+        self.expect(&Tok::LParen, "(")?;
+        if self.cur() == Some(&Tok::RParen) {
+            self.pos += 1;
+            return Ok(Expr::Lit(Value::Mixed(vec![])));
+        }
+        // Table literal starts with `[`.
+        if self.cur() == Some(&Tok::LBracket) {
+            return self.parse_table_literal();
+        }
+        let mut items = Vec::new();
+        loop {
+            let e = self.parse_expr(Stop::NONE)?;
+            items.push(e);
+            match self.cur() {
+                Some(Tok::Semi) => {
+                    self.pos += 1;
+                }
+                Some(Tok::RParen) => break,
+                other => {
+                    return Err(QError::parse(format!("expected ; or ) in list, found {other:?}"))
+                        .at(self.offset()))
+                }
+            }
+        }
+        self.expect(&Tok::RParen, ")")?;
+        if items.len() == 1 {
+            Ok(items.into_iter().next().unwrap())
+        } else {
+            Ok(Expr::List(items))
+        }
+    }
+
+    /// `([k1:e1; ...] c1:e1; c2:e2)` after the opening `(` has been eaten.
+    fn parse_table_literal(&mut self) -> QResult<Expr> {
+        self.expect(&Tok::LBracket, "[")?;
+        let mut keys = Vec::new();
+        while self.cur() != Some(&Tok::RBracket) {
+            let (name, expr) = self.parse_named_column()?;
+            keys.push((name, expr));
+            if self.cur() == Some(&Tok::Semi) {
+                self.pos += 1;
+            }
+        }
+        self.expect(&Tok::RBracket, "]")?;
+        let mut columns = Vec::new();
+        while self.cur() != Some(&Tok::RParen) {
+            if self.cur() == Some(&Tok::Semi) {
+                self.pos += 1;
+                continue;
+            }
+            let (name, expr) = self.parse_named_column()?;
+            columns.push((name, expr));
+        }
+        self.expect(&Tok::RParen, ")")?;
+        Ok(Expr::TableLit { keys, columns })
+    }
+
+    /// `name: expr` within a table literal.
+    fn parse_named_column(&mut self) -> QResult<(String, Expr)> {
+        let name = match self.advance() {
+            Some(Tok::Ident(n)) => n,
+            other => {
+                return Err(QError::parse(format!("expected column name, found {other:?}"))
+                    .at(self.offset()))
+            }
+        };
+        self.expect(&Tok::Colon, ":")?;
+        let expr = self.parse_expr(Stop { comma: false, keywords: false })?;
+        Ok((name, expr))
+    }
+
+    /// `{[p1;p2] stmt; stmt}` — explicit params; or `{x+y}` — implicit.
+    fn parse_lambda(&mut self) -> QResult<Expr> {
+        let start_tok = self.cur_token().map(|t| t.offset).unwrap_or(0);
+        self.expect(&Tok::LBrace, "{")?;
+        let mut params = Vec::new();
+        if self.cur() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            while self.cur() != Some(&Tok::RBracket) {
+                match self.advance() {
+                    Some(Tok::Ident(n)) => params.push(n),
+                    other => {
+                        return Err(QError::parse(format!("expected parameter name, found {other:?}"))
+                            .at(self.offset()))
+                    }
+                }
+                if self.cur() == Some(&Tok::Semi) {
+                    self.pos += 1;
+                }
+            }
+            self.expect(&Tok::RBracket, "]")?;
+        }
+        let mut body = Vec::new();
+        loop {
+            while self.cur() == Some(&Tok::Semi) {
+                self.pos += 1;
+            }
+            if self.cur() == Some(&Tok::RBrace) {
+                break;
+            }
+            if self.cur().is_none() {
+                return Err(QError::parse("unterminated function literal").at(start_tok));
+            }
+            let before = self.pos;
+            body.push(self.parse_expr(Stop::NONE)?);
+            if self.pos == before {
+                // Stray closer (e.g. `{)`) — the expression parser treats
+                // it as end-of-expression without consuming it.
+                return Err(QError::parse(format!(
+                    "unexpected token in function body: {:?}",
+                    self.cur()
+                ))
+                .at(self.offset()));
+            }
+        }
+        let end = self.cur_token().map(|t| t.offset + 1).unwrap_or(self.src.len());
+        self.expect(&Tok::RBrace, "}")?;
+        let source = self.src.get(start_tok..end).unwrap_or("").to_string();
+        Ok(Expr::Lambda(LambdaDef { params, body, source }))
+    }
+
+    /// q-sql template: `select cols by groups from t where p1, p2`.
+    fn parse_template(&mut self, kind: SelectKind) -> QResult<Expr> {
+        self.pos += 1; // keyword
+        let mut columns = Vec::new();
+        let mut by = Vec::new();
+
+        // Column clauses until `by` or `from`.
+        loop {
+            match self.cur() {
+                Some(Tok::Ident(k)) if k == "by" || k == "from" => break,
+                None => return Err(QError::parse("template missing `from`").at(self.offset())),
+                _ => {}
+            }
+            columns.push(self.parse_clause()?);
+            if self.cur() == Some(&Tok::Op(",")) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+
+        if self.cur() == Some(&Tok::Ident("by".to_string())) {
+            self.pos += 1;
+            loop {
+                match self.cur() {
+                    Some(Tok::Ident(k)) if k == "from" => break,
+                    None => return Err(QError::parse("template missing `from`").at(self.offset())),
+                    _ => {}
+                }
+                by.push(self.parse_clause()?);
+                if self.cur() == Some(&Tok::Op(",")) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        match self.cur() {
+            Some(Tok::Ident(k)) if k == "from" => {
+                self.pos += 1;
+            }
+            other => {
+                return Err(QError::parse(format!("expected `from` in template, found {other:?}"))
+                    .at(self.offset()))
+            }
+        }
+
+        let from = self.parse_expr(Stop::FROM)?;
+
+        let mut predicates = Vec::new();
+        if self.cur() == Some(&Tok::Ident("where".to_string())) {
+            self.pos += 1;
+            loop {
+                let e = self.parse_expr(Stop::CLAUSE)?;
+                predicates.push(e);
+                if self.cur() == Some(&Tok::Op(",")) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        Ok(Expr::Template(TemplateExpr {
+            kind,
+            columns,
+            by,
+            from: Box::new(from),
+            predicates,
+        }))
+    }
+
+    /// One select/by clause: optionally named `name: expr`.
+    fn parse_clause(&mut self) -> QResult<(Option<String>, Expr)> {
+        // Lookahead for `name:`.
+        if let (Some(Tok::Ident(name)), Some(tok2)) =
+            (self.cur().cloned(), self.tokens.get(self.pos + 1).map(|t| &t.tok))
+        {
+            if *tok2 == Tok::Colon && !matches!(name.as_str(), "by" | "from" | "where") {
+                self.pos += 2;
+                let e = self.parse_expr(Stop::CLAUSE)?;
+                return Ok((Some(name), e));
+            }
+        }
+        let e = self.parse_expr(Stop::CLAUSE)?;
+        Ok((None, e))
+    }
+}
+
+/// Merge space-separated numeric literals into a single typed vector,
+/// promoting mixed integer/float runs to floats (kdb+ behaviour).
+fn merge_numeric_literals(items: Vec<Value>) -> QResult<Value> {
+    // Homogeneous case first.
+    let merged = Value::from_elements(
+        items.clone(),
+    );
+    if !matches!(merged, Value::Mixed(_)) {
+        return Ok(merged);
+    }
+    // Mixed numerics promote to float.
+    let mut floats = Vec::with_capacity(items.len());
+    for it in &items {
+        match it {
+            Value::Atom(a) => match a.as_f64() {
+                Some(f) => floats.push(f),
+                None => {
+                    return Err(QError::type_err(format!(
+                        "cannot mix {} into a numeric vector literal",
+                        it.type_name()
+                    )))
+                }
+            },
+            _ => {
+                return Err(QError::type_err(
+                    "cannot mix list literal into a numeric vector literal",
+                ))
+            }
+        }
+    }
+    Ok(Value::Floats(floats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Adverb;
+
+    fn one(src: &str) -> Expr {
+        parse_one(src).unwrap_or_else(|e| panic!("parse {src:?} failed: {e}"))
+    }
+
+    #[test]
+    fn literal_atoms() {
+        assert_eq!(one("42"), Expr::long(42));
+        assert_eq!(one("`GOOG"), Expr::symbol("GOOG"));
+        assert_eq!(one("\"hello\""), Expr::Lit(Value::Chars("hello".into())));
+    }
+
+    #[test]
+    fn numeric_vector_literals() {
+        assert_eq!(one("1 2 3"), Expr::Lit(Value::Longs(vec![1, 2, 3])));
+        assert_eq!(one("1 2.5"), Expr::Lit(Value::Floats(vec![1.0, 2.5])));
+        assert_eq!(one("1 -2 3"), Expr::Lit(Value::Longs(vec![1, -2, 3])));
+    }
+
+    #[test]
+    fn right_to_left_no_precedence() {
+        // 2*3+4 parses as 2*(3+4).
+        let e = one("2*3+4");
+        assert_eq!(
+            e,
+            Expr::binary("*", Expr::long(2), Expr::binary("+", Expr::long(3), Expr::long(4)))
+        );
+    }
+
+    #[test]
+    fn assignment() {
+        let e = one("x:1");
+        assert_eq!(
+            e,
+            Expr::Assign { name: "x".into(), global: false, value: Box::new(Expr::long(1)) }
+        );
+        let e = one("x::1");
+        assert!(matches!(e, Expr::Assign { global: true, .. }));
+    }
+
+    #[test]
+    fn assignment_of_list() {
+        let e = one("x: 1 2 3");
+        assert!(matches!(e, Expr::Assign { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn juxtaposition_application() {
+        let e = one("til 10");
+        assert_eq!(
+            e,
+            Expr::Apply { func: Box::new(Expr::var("til")), arg: Box::new(Expr::long(10)) }
+        );
+        let e = one("count trades");
+        assert!(matches!(e, Expr::Apply { .. }));
+    }
+
+    #[test]
+    fn bracket_application() {
+        let e = one("f[1;2]");
+        assert_eq!(
+            e,
+            Expr::Call {
+                func: Box::new(Expr::var("f")),
+                args: vec![Some(Expr::long(1)), Some(Expr::long(2))],
+            }
+        );
+    }
+
+    #[test]
+    fn elided_arguments_project() {
+        let e = one("f[;2]");
+        assert_eq!(
+            e,
+            Expr::Call { func: Box::new(Expr::var("f")), args: vec![None, Some(Expr::long(2))] }
+        );
+    }
+
+    #[test]
+    fn niladic_call() {
+        let e = one("f[]");
+        assert_eq!(e, Expr::Call { func: Box::new(Expr::var("f")), args: vec![] });
+    }
+
+    #[test]
+    fn paper_example_2_aj() {
+        // aj[`Symbol`Time; trades; quotes]
+        let e = one("aj[`Symbol`Time; trades; quotes]");
+        match e {
+            Expr::Call { func, args } => {
+                assert_eq!(*func, Expr::var("aj"));
+                assert_eq!(args.len(), 3);
+                assert_eq!(
+                    args[0],
+                    Some(Expr::Lit(Value::Symbols(vec!["Symbol".into(), "Time".into()])))
+                );
+                assert_eq!(args[1], Some(Expr::var("trades")));
+                assert_eq!(args[2], Some(Expr::var("quotes")));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let e = one("select Price from trades");
+        match e {
+            Expr::Template(t) => {
+                assert_eq!(t.kind, SelectKind::Select);
+                assert_eq!(t.columns.len(), 1);
+                assert_eq!(t.columns[0], (None, Expr::var("Price")));
+                assert_eq!(*t.from, Expr::var("trades"));
+                assert!(t.predicates.is_empty());
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_all() {
+        let e = one("select from trades");
+        match e {
+            Expr::Template(t) => assert!(t.columns.is_empty()),
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_1_select_with_where() {
+        let e = one("select Price from trades where Date=2016.06.26, Symbol in `GOOG`IBM");
+        match e {
+            Expr::Template(t) => {
+                assert_eq!(t.predicates.len(), 2);
+                assert!(matches!(&t.predicates[0], Expr::Binary { op, .. } if op == "="));
+                assert!(matches!(&t.predicates[1], Expr::Binary { op, .. } if op == "in"));
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_by_and_named_columns() {
+        let e = one("select mx:max Price, mn:min Price by Symbol from trades");
+        match e {
+            Expr::Template(t) => {
+                assert_eq!(t.columns.len(), 2);
+                assert_eq!(t.columns[0].0.as_deref(), Some("mx"));
+                assert_eq!(t.columns[1].0.as_deref(), Some("mn"));
+                assert_eq!(t.by.len(), 1);
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_and_delete_and_exec() {
+        assert!(matches!(
+            one("update Price:2*Price from trades"),
+            Expr::Template(TemplateExpr { kind: SelectKind::Update, .. })
+        ));
+        assert!(matches!(
+            one("delete from trades where Price<0"),
+            Expr::Template(TemplateExpr { kind: SelectKind::Delete, .. })
+        ));
+        assert!(matches!(
+            one("exec Price from trades"),
+            Expr::Template(TemplateExpr { kind: SelectKind::Exec, .. })
+        ));
+    }
+
+    #[test]
+    fn lambda_with_params() {
+        let e = one("{[Sym] select from trades where Symbol=Sym}");
+        match e {
+            Expr::Lambda(l) => {
+                assert_eq!(l.params, vec!["Sym".to_string()]);
+                assert_eq!(l.body.len(), 1);
+                assert!(l.source.starts_with('{'));
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_multi_statement_with_return() {
+        let e = one("{[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt}");
+        match e {
+            Expr::Lambda(l) => {
+                assert_eq!(l.body.len(), 2);
+                assert!(matches!(&l.body[0], Expr::Assign { name, .. } if name == "dt"));
+                assert!(matches!(&l.body[1], Expr::Return(_)));
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn general_list() {
+        let e = one("(1;`a;\"xy\")");
+        match e {
+            Expr::List(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_list_and_paren_expr() {
+        assert_eq!(one("()"), Expr::Lit(Value::Mixed(vec![])));
+        assert_eq!(one("(1+2)"), Expr::binary("+", Expr::long(1), Expr::long(2)));
+    }
+
+    #[test]
+    fn table_literal() {
+        let e = one("([] Sym:`a`b; Px:1 2)");
+        match e {
+            Expr::TableLit { keys, columns } => {
+                assert!(keys.is_empty());
+                assert_eq!(columns.len(), 2);
+                assert_eq!(columns[0].0, "Sym");
+            }
+            other => panic!("expected table literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyed_table_literal() {
+        let e = one("([Sym:`a`b] Px:1 2)");
+        match e {
+            Expr::TableLit { keys, columns } => {
+                assert_eq!(keys.len(), 1);
+                assert_eq!(columns.len(), 1);
+            }
+            other => panic!("expected table literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infix_named_verbs() {
+        let e = one("Symbol in SYMLIST");
+        assert!(matches!(e, Expr::Binary { op, .. } if op == "in"));
+        let e = one("t lj kt");
+        assert!(matches!(e, Expr::Binary { op, .. } if op == "lj"));
+        let e = one("`Sym xasc t");
+        assert!(matches!(e, Expr::Binary { op, .. } if op == "xasc"));
+    }
+
+    #[test]
+    fn adverbs_fold() {
+        let e = one("+/ 1 2 3");
+        match e {
+            Expr::Apply { func, .. } => {
+                assert!(matches!(*func, Expr::AdverbApply { adverb: Adverb::Over, .. }));
+            }
+            other => panic!("expected apply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional() {
+        let e = one("$[x>0;1;-1]");
+        match e {
+            Expr::Cond(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected cond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse("x:1; y:2; x+y").unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn function_call_then_statement() {
+        let stmts = parse("f:{[Sym] select from t where s=Sym}; f[`GOOG]").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[1], Expr::Call { .. }));
+    }
+
+    #[test]
+    fn monadic_operator() {
+        let e = one("-x");
+        assert_eq!(e, Expr::Unary { op: "-".into(), arg: Box::new(Expr::var("x")) });
+    }
+
+    #[test]
+    fn index_assignment() {
+        let e = one("x[0]:5");
+        assert!(matches!(e, Expr::IndexAssign { .. }));
+    }
+
+    #[test]
+    fn nested_template_in_where() {
+        let e = one("select from t where Sym in exec Sym from u");
+        match e {
+            Expr::Template(t) => {
+                assert_eq!(t.predicates.len(), 1);
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_one("f[1;").is_err());
+        assert!(parse_one("select Price trades").is_err());
+        assert!(parse_one("(1;2").is_err());
+        assert!(parse_one("{x+y").is_err());
+        assert!(parse_one("").is_err());
+    }
+
+    #[test]
+    fn generic_null() {
+        assert_eq!(one("::"), Expr::Lit(Value::Nil));
+    }
+}

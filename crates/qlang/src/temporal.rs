@@ -1,0 +1,297 @@
+//! Q temporal types.
+//!
+//! Q anchors all temporal types at the millennium: dates count days since
+//! 2000.01.01, timestamps count nanoseconds since 2000.01.01D00:00:00, and
+//! times count milliseconds since midnight. These differ from both Unix
+//! epochs and PostgreSQL's 2000-01-01 *microsecond* timestamps, so the
+//! Cross Compiler needs explicit conversions in both directions.
+
+/// Days between 1970-01-01 (Unix epoch) and 2000-01-01 (Q epoch).
+pub const UNIX_TO_Q_EPOCH_DAYS: i32 = 10_957;
+
+/// Nanoseconds per day.
+pub const NANOS_PER_DAY: i64 = 86_400_000_000_000;
+
+/// Milliseconds per day.
+pub const MILLIS_PER_DAY: i32 = 86_400_000;
+
+/// Is `year` a Gregorian leap year?
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn days_in_month(year: i32, month: u32) -> i32 {
+    if month == 2 && is_leap_year(year) { 29 } else { DAYS_IN_MONTH[(month - 1) as usize] }
+}
+
+/// Number of days from 2000-01-01 to the first day of `year`.
+fn days_to_year(year: i32) -> i32 {
+    // Count days year by year; workloads span a few decades, so this is
+    // never hot enough to need the civil-days closed form.
+    let mut days = 0;
+    if year >= 2000 {
+        for y in 2000..year {
+            days += if is_leap_year(y) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..2000 {
+            days -= if is_leap_year(y) { 366 } else { 365 };
+        }
+    }
+    days
+}
+
+/// Convert a calendar date to a Q date (days since 2000-01-01).
+///
+/// Returns `None` for out-of-range month/day components.
+pub fn ymd_to_days(year: i32, month: u32, day: u32) -> Option<i32> {
+    if !(1..=12).contains(&month) || day < 1 || day as i32 > days_in_month(year, month) {
+        return None;
+    }
+    let mut days = days_to_year(year);
+    for m in 1..month {
+        days += days_in_month(year, m);
+    }
+    Some(days + day as i32 - 1)
+}
+
+/// Convert a Q date (days since 2000-01-01) back to `(year, month, day)`.
+pub fn days_to_ymd(mut days: i32) -> (i32, u32, u32) {
+    let mut year = 2000;
+    loop {
+        let len = if is_leap_year(year) { 366 } else { 365 };
+        if days >= 0 && days < len {
+            break;
+        }
+        if days < 0 {
+            year -= 1;
+            days += if is_leap_year(year) { 366 } else { 365 };
+        } else {
+            days -= len;
+            year += 1;
+        }
+    }
+    let mut month = 1u32;
+    while days >= days_in_month(year, month) {
+        days -= days_in_month(year, month);
+        month += 1;
+    }
+    (year, month, days as u32 + 1)
+}
+
+/// Format a Q date as kdb+ prints it: `2016.06.26`.
+pub fn format_date(days: i32) -> String {
+    if days == i32::MIN {
+        return "0Nd".to_string();
+    }
+    let (y, m, d) = days_to_ymd(days);
+    format!("{y:04}.{m:02}.{d:02}")
+}
+
+/// Format a Q time (ms since midnight) as `09:30:00.000`.
+pub fn format_time(millis: i32) -> String {
+    if millis == i32::MIN {
+        return "0Nt".to_string();
+    }
+    let ms = millis.rem_euclid(1000);
+    let total_secs = millis.div_euclid(1000);
+    let s = total_secs % 60;
+    let m = (total_secs / 60) % 60;
+    let h = total_secs / 3600;
+    format!("{h:02}:{m:02}:{s:02}.{ms:03}")
+}
+
+/// Format a Q timestamp (ns since 2000-01-01) as
+/// `2016.06.26D09:30:00.000000000`.
+pub fn format_timestamp(nanos: i64) -> String {
+    if nanos == i64::MIN {
+        return "0Np".to_string();
+    }
+    let days = nanos.div_euclid(NANOS_PER_DAY);
+    let intraday = nanos.rem_euclid(NANOS_PER_DAY);
+    let ns = intraday % 1_000_000_000;
+    let total_secs = intraday / 1_000_000_000;
+    let s = total_secs % 60;
+    let m = (total_secs / 60) % 60;
+    let h = total_secs / 3600;
+    let (y, mo, d) = days_to_ymd(days as i32);
+    format!("{y:04}.{mo:02}.{d:02}D{h:02}:{m:02}:{s:02}.{ns:09}")
+}
+
+/// Parse `HH:MM:SS[.mmm]` into milliseconds since midnight.
+pub fn parse_time(text: &str) -> Option<i32> {
+    let (hms, frac) = match text.split_once('.') {
+        Some((a, b)) => (a, Some(b)),
+        None => (text, None),
+    };
+    let mut parts = hms.split(':');
+    let h: i32 = parts.next()?.parse().ok()?;
+    let m: i32 = parts.next()?.parse().ok()?;
+    let s: i32 = match parts.next() {
+        Some(p) => p.parse().ok()?,
+        None => 0,
+    };
+    if parts.next().is_some() || !(0..60).contains(&m) || !(0..60).contains(&s) {
+        return None;
+    }
+    let ms: i32 = match frac {
+        Some(f) => {
+            // Fractional seconds: right-pad/truncate to milliseconds.
+            let f3: String = format!("{f:0<3}").chars().take(3).collect();
+            f3.parse().ok()?
+        }
+        None => 0,
+    };
+    Some(h * 3_600_000 + m * 60_000 + s * 1000 + ms)
+}
+
+/// Parse `YYYY.MM.DD` into days since 2000-01-01.
+pub fn parse_date(text: &str) -> Option<i32> {
+    let mut parts = text.split('.');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    ymd_to_days(y, m, d)
+}
+
+/// Parse `YYYY.MM.DDDHH:MM:SS[.frac]` into nanoseconds since 2000-01-01.
+pub fn parse_timestamp(text: &str) -> Option<i64> {
+    let (date_part, time_part) = text.split_once('D')?;
+    let days = parse_date(date_part)? as i64;
+    let (hms, frac) = match time_part.split_once('.') {
+        Some((a, b)) => (a, Some(b)),
+        None => (time_part, None),
+    };
+    let mut parts = hms.split(':');
+    let h: i64 = parts.next()?.parse().ok()?;
+    let m: i64 = match parts.next() {
+        Some(p) => p.parse().ok()?,
+        None => 0,
+    };
+    let s: i64 = match parts.next() {
+        Some(p) => p.parse().ok()?,
+        None => 0,
+    };
+    let ns: i64 = match frac {
+        Some(f) => {
+            let f9: String = format!("{f:0<9}").chars().take(9).collect();
+            f9.parse().ok()?
+        }
+        None => 0,
+    };
+    Some(days * NANOS_PER_DAY + h * 3_600_000_000_000 + m * 60_000_000_000 + s * 1_000_000_000 + ns)
+}
+
+/// Convert a Q date to a Q timestamp at midnight.
+pub fn date_to_timestamp(days: i32) -> i64 {
+    if days == i32::MIN { i64::MIN } else { days as i64 * NANOS_PER_DAY }
+}
+
+/// Convert a Q timestamp to the Q date containing it.
+pub fn timestamp_to_date(nanos: i64) -> i32 {
+    if nanos == i64::MIN { i32::MIN } else { nanos.div_euclid(NANOS_PER_DAY) as i32 }
+}
+
+/// Convert a Q timestamp to the Q time-of-day within it.
+pub fn timestamp_to_time(nanos: i64) -> i32 {
+    if nanos == i64::MIN { i32::MIN } else { (nanos.rem_euclid(NANOS_PER_DAY) / 1_000_000) as i32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_epoch_is_day_zero() {
+        assert_eq!(ymd_to_days(2000, 1, 1), Some(0));
+        assert_eq!(days_to_ymd(0), (2000, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // 2016.06.26: SIGMOD'16 start date, used throughout the paper.
+        let d = ymd_to_days(2016, 6, 26).unwrap();
+        assert_eq!(days_to_ymd(d), (2016, 6, 26));
+        assert_eq!(format_date(d), "2016.06.26");
+        assert_eq!(parse_date("2016.06.26"), Some(d));
+    }
+
+    #[test]
+    fn dates_before_epoch() {
+        let d = ymd_to_days(1999, 12, 31).unwrap();
+        assert_eq!(d, -1);
+        assert_eq!(days_to_ymd(-1), (1999, 12, 31));
+        assert_eq!(days_to_ymd(-366), (1998, 12, 31));
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2016));
+        assert!(!is_leap_year(2015));
+        assert_eq!(ymd_to_days(2000, 2, 29), Some(59));
+        assert_eq!(ymd_to_days(2001, 2, 29), None);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert_eq!(ymd_to_days(2016, 13, 1), None);
+        assert_eq!(ymd_to_days(2016, 0, 1), None);
+        assert_eq!(ymd_to_days(2016, 4, 31), None);
+        assert_eq!(parse_date("2016.06"), None);
+        assert_eq!(parse_date("2016.06.26.01"), None);
+    }
+
+    #[test]
+    fn times_parse_and_format() {
+        assert_eq!(parse_time("09:30:00.000"), Some(9 * 3_600_000 + 30 * 60_000));
+        assert_eq!(parse_time("00:00:00"), Some(0));
+        assert_eq!(parse_time("23:59:59.999"), Some(MILLIS_PER_DAY - 1));
+        assert_eq!(format_time(parse_time("09:30:01.500").unwrap()), "09:30:01.500");
+        // Minute-resolution literal.
+        assert_eq!(parse_time("09:30"), Some(9 * 3_600_000 + 30 * 60_000));
+    }
+
+    #[test]
+    fn invalid_times_rejected() {
+        assert_eq!(parse_time("09:60:00"), None);
+        assert_eq!(parse_time("09:30:61"), None);
+        assert_eq!(parse_time("junk"), None);
+    }
+
+    #[test]
+    fn timestamps_round_trip() {
+        let ts = parse_timestamp("2016.06.26D09:30:00.123456789").unwrap();
+        assert_eq!(format_timestamp(ts), "2016.06.26D09:30:00.123456789");
+        assert_eq!(timestamp_to_date(ts), parse_date("2016.06.26").unwrap());
+        assert_eq!(timestamp_to_time(ts), parse_time("09:30:00.123").unwrap());
+    }
+
+    #[test]
+    fn timestamp_date_conversions() {
+        let d = parse_date("2016.06.26").unwrap();
+        assert_eq!(timestamp_to_date(date_to_timestamp(d)), d);
+        assert_eq!(timestamp_to_time(date_to_timestamp(d)), 0);
+    }
+
+    #[test]
+    fn null_values_format_as_nulls() {
+        assert_eq!(format_date(i32::MIN), "0Nd");
+        assert_eq!(format_time(i32::MIN), "0Nt");
+        assert_eq!(format_timestamp(i64::MIN), "0Np");
+    }
+
+    #[test]
+    fn fractional_second_padding() {
+        // ".5" means 500ms, not 5ms.
+        assert_eq!(parse_time("00:00:00.5"), Some(500));
+        let ts = parse_timestamp("2000.01.01D00:00:00.5").unwrap();
+        assert_eq!(ts, 500_000_000);
+    }
+}

@@ -1,0 +1,934 @@
+//! The Q data model.
+//!
+//! Q is a list-processing language: besides scalar atoms it has typed
+//! vectors, dictionaries (ordered key→value maps), tables (flipped
+//! dictionaries of equal-length columns) and keyed tables. Three properties
+//! distinguish it from the relational model and drive the design of the
+//! whole translation stack (paper §2.2):
+//!
+//! 1. **Ordering**: all lists are ordered; every table has an implicit row
+//!    order. SQL's bag semantics must be augmented with explicit order
+//!    columns to preserve this.
+//! 2. **Typed nulls with two-valued logic**: each scalar type has its own
+//!    null (`0N`, `0n`, `` ` ``, `0Nd`, ...), and two nulls compare *equal*
+//!    — unlike SQL's three-valued `NULL`.
+//! 3. **Column orientation**: homogeneous lists are stored unboxed; tables
+//!    are collections of column vectors, not rows.
+
+use crate::ast::LambdaDef;
+use crate::error::{QError, QResult};
+use crate::temporal;
+use std::fmt;
+
+/// A Q scalar atom.
+///
+/// Integral nulls are the minimum value of the type (kdb+ convention);
+/// float null is NaN; the symbol null is the empty symbol; the char null is
+/// a space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `1b` / `0b`. Booleans have no null in Q.
+    Bool(bool),
+    /// `0x00`..`0xff`.
+    Byte(u8),
+    /// 16-bit integer, suffix `h`. Null is `0Nh` = `i16::MIN`.
+    Short(i16),
+    /// 32-bit integer, suffix `i`. Null is `0Ni` = `i32::MIN`.
+    Int(i32),
+    /// 64-bit integer, suffix `j` (the default integer type since kdb+ 3.0).
+    /// Null is `0N` = `i64::MIN`.
+    Long(i64),
+    /// 32-bit float, suffix `e`. Null is NaN.
+    Real(f32),
+    /// 64-bit float, suffix `f` or a decimal point. Null is `0n` = NaN.
+    Float(f64),
+    /// A single character.
+    Char(char),
+    /// An interned name, written `` `name``. Null is the empty symbol `` ` ``.
+    Symbol(String),
+    /// Nanoseconds since 2000.01.01D00:00:00. Null is `0Np` = `i64::MIN`.
+    Timestamp(i64),
+    /// Days since 2000.01.01. Null is `0Nd` = `i32::MIN`.
+    Date(i32),
+    /// Milliseconds since midnight. Null is `0Nt` = `i32::MIN`.
+    Time(i32),
+}
+
+impl Atom {
+    /// kdb+ type code of this atom (negative, as kdb+ reports for atoms).
+    pub fn type_code(&self) -> i8 {
+        match self {
+            Atom::Bool(_) => -1,
+            Atom::Byte(_) => -4,
+            Atom::Short(_) => -5,
+            Atom::Int(_) => -6,
+            Atom::Long(_) => -7,
+            Atom::Real(_) => -8,
+            Atom::Float(_) => -9,
+            Atom::Char(_) => -10,
+            Atom::Symbol(_) => -11,
+            Atom::Timestamp(_) => -12,
+            Atom::Date(_) => -14,
+            Atom::Time(_) => -19,
+        }
+    }
+
+    /// Is this atom the typed null of its type?
+    ///
+    /// Q has no boolean null; bytes likewise have none.
+    pub fn is_null(&self) -> bool {
+        match self {
+            Atom::Bool(_) | Atom::Byte(_) | Atom::Char(_) => false,
+            Atom::Short(v) => *v == i16::MIN,
+            Atom::Int(v) => *v == i32::MIN,
+            Atom::Long(v) => *v == i64::MIN,
+            Atom::Real(v) => v.is_nan(),
+            Atom::Float(v) => v.is_nan(),
+            Atom::Symbol(s) => s.is_empty(),
+            Atom::Timestamp(v) => *v == i64::MIN,
+            Atom::Date(v) => *v == i32::MIN,
+            Atom::Time(v) => *v == i32::MIN,
+        }
+    }
+
+    /// Q equality: **two-valued**. Nulls of the same type compare equal,
+    /// and NaN = NaN (unlike IEEE and unlike SQL).
+    pub fn q_eq(&self, other: &Atom) -> bool {
+        use Atom::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a == b,
+            (Byte(a), Byte(b)) => a == b,
+            (Char(a), Char(b)) => a == b,
+            (Symbol(a), Symbol(b)) => a == b,
+            (Real(a), Real(b)) => (a.is_nan() && b.is_nan()) || a == b,
+            (Float(a), Float(b)) => (a.is_nan() && b.is_nan()) || a == b,
+            // Numeric cross-type comparisons promote to the wider type.
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => (a.is_nan() && b.is_nan()) || a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// Numeric view of this atom, if it has one. Nulls map to `None`
+    /// except float NaN which maps to NaN (callers that care check
+    /// [`Atom::is_null`] first).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Atom::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Atom::Byte(v) => Some(*v as f64),
+            Atom::Short(v) => Some(*v as f64),
+            Atom::Int(v) => Some(*v as f64),
+            Atom::Long(v) => Some(*v as f64),
+            Atom::Real(v) => Some(*v as f64),
+            Atom::Float(v) => Some(*v),
+            Atom::Timestamp(v) => Some(*v as f64),
+            Atom::Date(v) => Some(*v as f64),
+            Atom::Time(v) => Some(*v as f64),
+            Atom::Char(_) | Atom::Symbol(_) => None,
+        }
+    }
+
+    /// Integral view of this atom, if it has one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Atom::Bool(b) => Some(*b as i64),
+            Atom::Byte(v) => Some(*v as i64),
+            Atom::Short(v) => Some(*v as i64),
+            Atom::Int(v) => Some(*v as i64),
+            Atom::Long(v) => Some(*v),
+            Atom::Timestamp(v) => Some(*v),
+            Atom::Date(v) => Some(*v as i64),
+            Atom::Time(v) => Some(*v as i64),
+            Atom::Real(_) | Atom::Float(_) | Atom::Char(_) | Atom::Symbol(_) => None,
+        }
+    }
+
+    /// Total order used by sorting primitives (`asc`, `xasc`, as-of join).
+    /// Nulls sort first, as in kdb+.
+    pub fn q_cmp(&self, other: &Atom) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.is_null(), other.is_null()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            _ => {}
+        }
+        match (self, other) {
+            (Atom::Symbol(a), Atom::Symbol(b)) => a.cmp(b),
+            (Atom::Char(a), Atom::Char(b)) => a.cmp(b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+                _ => Ordering::Equal,
+            },
+        }
+    }
+}
+
+/// A Q dictionary: an *ordered* mapping from a key list to a value list of
+/// the same length. Unlike hash maps, lookup is positional (first match)
+/// and iteration order is insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dict {
+    /// Key list.
+    pub keys: Value,
+    /// Value list, same length as `keys`.
+    pub values: Value,
+}
+
+/// A Q table: an ordered collection of named, equal-length column vectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Column names, in declaration order.
+    pub names: Vec<String>,
+    /// Column vectors, parallel to `names`; each is a Q list value.
+    pub columns: Vec<Value>,
+}
+
+/// A keyed table: key columns plus value columns, supporting lookup joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedTable {
+    /// The key columns.
+    pub key: Table,
+    /// The value columns; same row count as `key`.
+    pub value: Table,
+}
+
+/// A Q value: an atom, a typed vector, a general (mixed) list, a
+/// dictionary, a table, a keyed table, a function, or the generic null.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// A scalar.
+    Atom(Atom),
+    /// Boolean vector `101b`.
+    Bools(Vec<bool>),
+    /// Byte vector `0x0102`.
+    Bytes(Vec<u8>),
+    /// Short vector `1 2 3h`.
+    Shorts(Vec<i16>),
+    /// Int vector `1 2 3i`.
+    Ints(Vec<i32>),
+    /// Long vector `1 2 3`.
+    Longs(Vec<i64>),
+    /// Real vector `1 2 3e`.
+    Reals(Vec<f32>),
+    /// Float vector `1.0 2.5`.
+    Floats(Vec<f64>),
+    /// Character vector (Q string) `"abc"`.
+    Chars(String),
+    /// Symbol vector `` `a`b`c``.
+    Symbols(Vec<String>),
+    /// Timestamp vector.
+    Timestamps(Vec<i64>),
+    /// Date vector.
+    Dates(Vec<i32>),
+    /// Time vector.
+    Times(Vec<i32>),
+    /// General (mixed-type) list `(1;`a;"x")`.
+    Mixed(Vec<Value>),
+    /// Dictionary.
+    Dict(Box<Dict>),
+    /// Table.
+    Table(Box<Table>),
+    /// Keyed table.
+    KeyedTable(Box<KeyedTable>),
+    /// Function value (lambda), carrying its definition.
+    Lambda(Box<LambdaDef>),
+    /// The generic null `::`.
+    #[default]
+    Nil,
+}
+
+impl Table {
+    /// Create a table, validating that all columns have equal length.
+    pub fn new(names: Vec<String>, columns: Vec<Value>) -> QResult<Self> {
+        if names.len() != columns.len() {
+            return Err(QError::length("table column name/vector count mismatch"));
+        }
+        let mut len = None;
+        for (n, c) in names.iter().zip(&columns) {
+            let cl = c.len().ok_or_else(|| {
+                QError::type_err(format!("table column {n} must be a list, got {}", c.type_name()))
+            })?;
+            match len {
+                None => len = Some(cl),
+                Some(l) if l != cl => {
+                    return Err(QError::length(format!(
+                        "table column {n} has length {cl}, expected {l}"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        Ok(Table { names, columns })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().and_then(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Option<&Value> {
+        self.names.iter().position(|n| n == name).map(|i| &self.columns[i])
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Extract row `i` as a vector of atoms-or-values, one per column.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.index(i).unwrap_or(Value::Nil)).collect()
+    }
+
+    /// Build a new table containing only the rows at `indices`, in order.
+    pub fn take_rows(&self, indices: &[usize]) -> Table {
+        Table {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.take_indices(indices)).collect(),
+        }
+    }
+
+    /// Append a column. Errors if the length disagrees with existing rows.
+    pub fn push_column(&mut self, name: String, col: Value) -> QResult<()> {
+        let cl = col
+            .len()
+            .ok_or_else(|| QError::type_err("table column must be a list"))?;
+        if !self.columns.is_empty() && cl != self.rows() {
+            return Err(QError::length(format!(
+                "column {name} has length {cl}, table has {} rows",
+                self.rows()
+            )));
+        }
+        self.names.push(name);
+        self.columns.push(col);
+        Ok(())
+    }
+}
+
+impl Dict {
+    /// Create a dictionary, validating equal key/value lengths.
+    pub fn new(keys: Value, values: Value) -> QResult<Self> {
+        match (keys.len(), values.len()) {
+            (Some(a), Some(b)) if a == b => Ok(Dict { keys, values }),
+            (Some(_), Some(_)) => Err(QError::length("dict key/value length mismatch")),
+            _ => Err(QError::type_err("dict keys and values must be lists")),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len().unwrap_or(0)
+    }
+
+    /// True when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Positional lookup: value associated with the first key equal
+    /// (under Q equality) to `key`, or the value type's null.
+    pub fn get(&self, key: &Value) -> Value {
+        let n = self.len();
+        for i in 0..n {
+            if let Some(k) = self.keys.index(i) {
+                if k.q_eq(key) {
+                    return self.values.index(i).unwrap_or(Value::Nil);
+                }
+            }
+        }
+        self.values.null_element()
+    }
+}
+
+impl Value {
+    /// kdb+ type code: negative for atoms, positive for vectors, 0 for a
+    /// general list, 98 for tables, 99 for dictionaries, 100 for lambdas.
+    pub fn type_code(&self) -> i8 {
+        match self {
+            Value::Atom(a) => a.type_code(),
+            Value::Bools(_) => 1,
+            Value::Bytes(_) => 4,
+            Value::Shorts(_) => 5,
+            Value::Ints(_) => 6,
+            Value::Longs(_) => 7,
+            Value::Reals(_) => 8,
+            Value::Floats(_) => 9,
+            Value::Chars(_) => 10,
+            Value::Symbols(_) => 11,
+            Value::Timestamps(_) => 12,
+            Value::Dates(_) => 14,
+            Value::Times(_) => 19,
+            Value::Mixed(_) => 0,
+            Value::Table(_) => 98,
+            Value::Dict(_) | Value::KeyedTable(_) => 99,
+            Value::Lambda(_) => 100,
+            Value::Nil => 101,
+        }
+    }
+
+    /// Human-readable type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Atom(Atom::Bool(_)) => "boolean",
+            Value::Atom(Atom::Byte(_)) => "byte",
+            Value::Atom(Atom::Short(_)) => "short",
+            Value::Atom(Atom::Int(_)) => "int",
+            Value::Atom(Atom::Long(_)) => "long",
+            Value::Atom(Atom::Real(_)) => "real",
+            Value::Atom(Atom::Float(_)) => "float",
+            Value::Atom(Atom::Char(_)) => "char",
+            Value::Atom(Atom::Symbol(_)) => "symbol",
+            Value::Atom(Atom::Timestamp(_)) => "timestamp",
+            Value::Atom(Atom::Date(_)) => "date",
+            Value::Atom(Atom::Time(_)) => "time",
+            Value::Bools(_) => "boolean list",
+            Value::Bytes(_) => "byte list",
+            Value::Shorts(_) => "short list",
+            Value::Ints(_) => "int list",
+            Value::Longs(_) => "long list",
+            Value::Reals(_) => "real list",
+            Value::Floats(_) => "float list",
+            Value::Chars(_) => "string",
+            Value::Symbols(_) => "symbol list",
+            Value::Timestamps(_) => "timestamp list",
+            Value::Dates(_) => "date list",
+            Value::Times(_) => "time list",
+            Value::Mixed(_) => "list",
+            Value::Dict(_) => "dict",
+            Value::Table(_) => "table",
+            Value::KeyedTable(_) => "keyed table",
+            Value::Lambda(_) => "lambda",
+            Value::Nil => "nil",
+        }
+    }
+
+    /// Is this value an atom (scalar)?
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Value::Atom(_))
+    }
+
+    /// List length; `None` for atoms and other non-list values.
+    /// Tables report their row count, dictionaries their entry count.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Value::Atom(_) | Value::Lambda(_) | Value::Nil => None,
+            Value::Bools(v) => Some(v.len()),
+            Value::Bytes(v) => Some(v.len()),
+            Value::Shorts(v) => Some(v.len()),
+            Value::Ints(v) => Some(v.len()),
+            Value::Longs(v) => Some(v.len()),
+            Value::Reals(v) => Some(v.len()),
+            Value::Floats(v) => Some(v.len()),
+            Value::Chars(s) => Some(s.chars().count()),
+            Value::Symbols(v) => Some(v.len()),
+            Value::Timestamps(v) => Some(v.len()),
+            Value::Dates(v) => Some(v.len()),
+            Value::Times(v) => Some(v.len()),
+            Value::Mixed(v) => Some(v.len()),
+            Value::Dict(d) => Some(d.len()),
+            Value::Table(t) => Some(t.rows()),
+            Value::KeyedTable(k) => Some(k.key.rows()),
+        }
+    }
+
+    /// `count` semantics: atoms count as 1.
+    pub fn count(&self) -> usize {
+        self.len().unwrap_or(1)
+    }
+
+    /// Element at position `i` for list-like values; `None` out of range
+    /// or for atoms. Tables yield row dictionaries.
+    pub fn index(&self, i: usize) -> Option<Value> {
+        match self {
+            Value::Bools(v) => v.get(i).map(|&b| Value::Atom(Atom::Bool(b))),
+            Value::Bytes(v) => v.get(i).map(|&b| Value::Atom(Atom::Byte(b))),
+            Value::Shorts(v) => v.get(i).map(|&x| Value::Atom(Atom::Short(x))),
+            Value::Ints(v) => v.get(i).map(|&x| Value::Atom(Atom::Int(x))),
+            Value::Longs(v) => v.get(i).map(|&x| Value::Atom(Atom::Long(x))),
+            Value::Reals(v) => v.get(i).map(|&x| Value::Atom(Atom::Real(x))),
+            Value::Floats(v) => v.get(i).map(|&x| Value::Atom(Atom::Float(x))),
+            Value::Chars(s) => s.chars().nth(i).map(|c| Value::Atom(Atom::Char(c))),
+            Value::Symbols(v) => v.get(i).map(|s| Value::Atom(Atom::Symbol(s.clone()))),
+            Value::Timestamps(v) => v.get(i).map(|&x| Value::Atom(Atom::Timestamp(x))),
+            Value::Dates(v) => v.get(i).map(|&x| Value::Atom(Atom::Date(x))),
+            Value::Times(v) => v.get(i).map(|&x| Value::Atom(Atom::Time(x))),
+            Value::Mixed(v) => v.get(i).cloned(),
+            Value::Table(t) => {
+                if i < t.rows() {
+                    let d = Dict {
+                        keys: Value::Symbols(t.names.clone()),
+                        values: Value::Mixed(t.row(i)),
+                    };
+                    Some(Value::Dict(Box::new(d)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Gather the elements at `indices` into a new list of the same type.
+    /// Out-of-range indices yield the type's null element.
+    pub fn take_indices(&self, indices: &[usize]) -> Value {
+        fn gather<T: Clone>(v: &[T], idx: &[usize], null: T) -> Vec<T> {
+            idx.iter().map(|&i| v.get(i).cloned().unwrap_or_else(|| null.clone())).collect()
+        }
+        match self {
+            Value::Bools(v) => Value::Bools(gather(v, indices, false)),
+            Value::Bytes(v) => Value::Bytes(gather(v, indices, 0)),
+            Value::Shorts(v) => Value::Shorts(gather(v, indices, i16::MIN)),
+            Value::Ints(v) => Value::Ints(gather(v, indices, i32::MIN)),
+            Value::Longs(v) => Value::Longs(gather(v, indices, i64::MIN)),
+            Value::Reals(v) => Value::Reals(gather(v, indices, f32::NAN)),
+            Value::Floats(v) => Value::Floats(gather(v, indices, f64::NAN)),
+            Value::Chars(s) => {
+                let chars: Vec<char> = s.chars().collect();
+                Value::Chars(indices.iter().map(|&i| chars.get(i).copied().unwrap_or(' ')).collect())
+            }
+            Value::Symbols(v) => Value::Symbols(gather(v, indices, String::new())),
+            Value::Timestamps(v) => Value::Timestamps(gather(v, indices, i64::MIN)),
+            Value::Dates(v) => Value::Dates(gather(v, indices, i32::MIN)),
+            Value::Times(v) => Value::Times(gather(v, indices, i32::MIN)),
+            Value::Mixed(v) => {
+                Value::Mixed(indices.iter().map(|&i| v.get(i).cloned().unwrap_or(Value::Nil)).collect())
+            }
+            Value::Table(t) => Value::Table(Box::new(t.take_rows(indices))),
+            other => other.clone(),
+        }
+    }
+
+    /// The typed null that belongs in this list (used when lookups miss).
+    pub fn null_element(&self) -> Value {
+        match self {
+            Value::Bools(_) => Value::Atom(Atom::Bool(false)),
+            Value::Bytes(_) => Value::Atom(Atom::Byte(0)),
+            Value::Shorts(_) => Value::Atom(Atom::Short(i16::MIN)),
+            Value::Ints(_) => Value::Atom(Atom::Int(i32::MIN)),
+            Value::Longs(_) => Value::Atom(Atom::Long(i64::MIN)),
+            Value::Reals(_) => Value::Atom(Atom::Real(f32::NAN)),
+            Value::Floats(_) => Value::Atom(Atom::Float(f64::NAN)),
+            Value::Chars(_) => Value::Atom(Atom::Char(' ')),
+            Value::Symbols(_) => Value::Atom(Atom::Symbol(String::new())),
+            Value::Timestamps(_) => Value::Atom(Atom::Timestamp(i64::MIN)),
+            Value::Dates(_) => Value::Atom(Atom::Date(i32::MIN)),
+            Value::Times(_) => Value::Atom(Atom::Time(i32::MIN)),
+            _ => Value::Nil,
+        }
+    }
+
+    /// Q equality over whole values: element-wise for lists, with
+    /// two-valued null semantics (see [`Atom::q_eq`]).
+    pub fn q_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Atom(a), Value::Atom(b)) => a.q_eq(b),
+            (Value::Nil, Value::Nil) => true,
+            (Value::Table(a), Value::Table(b)) => {
+                a.names == b.names
+                    && a.columns.len() == b.columns.len()
+                    && a.columns.iter().zip(&b.columns).all(|(x, y)| x.q_eq(y))
+            }
+            (Value::Dict(a), Value::Dict(b)) => a.keys.q_eq(&b.keys) && a.values.q_eq(&b.values),
+            (Value::KeyedTable(a), Value::KeyedTable(b)) => {
+                Value::Table(Box::new(a.key.clone())).q_eq(&Value::Table(Box::new(b.key.clone())))
+                    && Value::Table(Box::new(a.value.clone()))
+                        .q_eq(&Value::Table(Box::new(b.value.clone())))
+            }
+            (a, b) => {
+                // List comparison: lengths equal and element-wise q_eq.
+                match (a.len(), b.len()) {
+                    (Some(la), Some(lb)) if la == lb => (0..la).all(|i| match (a.index(i), b.index(i)) {
+                        (Some(x), Some(y)) => x.q_eq(&y),
+                        _ => false,
+                    }),
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Promote this value to a one-element list if it is an atom
+    /// (the `enlist` primitive).
+    pub fn enlist(self) -> Value {
+        match self {
+            Value::Atom(Atom::Bool(b)) => Value::Bools(vec![b]),
+            Value::Atom(Atom::Byte(b)) => Value::Bytes(vec![b]),
+            Value::Atom(Atom::Short(x)) => Value::Shorts(vec![x]),
+            Value::Atom(Atom::Int(x)) => Value::Ints(vec![x]),
+            Value::Atom(Atom::Long(x)) => Value::Longs(vec![x]),
+            Value::Atom(Atom::Real(x)) => Value::Reals(vec![x]),
+            Value::Atom(Atom::Float(x)) => Value::Floats(vec![x]),
+            Value::Atom(Atom::Char(c)) => Value::Chars(c.to_string()),
+            Value::Atom(Atom::Symbol(s)) => Value::Symbols(vec![s]),
+            Value::Atom(Atom::Timestamp(x)) => Value::Timestamps(vec![x]),
+            Value::Atom(Atom::Date(x)) => Value::Dates(vec![x]),
+            Value::Atom(Atom::Time(x)) => Value::Times(vec![x]),
+            other => Value::Mixed(vec![other]),
+        }
+    }
+
+    /// Build the most specific homogeneous vector possible from a sequence
+    /// of values; falls back to a mixed list.
+    pub fn from_elements(elems: Vec<Value>) -> Value {
+        if elems.is_empty() {
+            return Value::Mixed(vec![]);
+        }
+        macro_rules! try_collect {
+            ($variant:ident, $atom:ident, $ty:ty) => {{
+                if elems.iter().all(|e| matches!(e, Value::Atom(Atom::$atom(_)))) {
+                    let v: Vec<$ty> = elems
+                        .iter()
+                        .map(|e| match e {
+                            Value::Atom(Atom::$atom(x)) => x.clone(),
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    return Value::$variant(v);
+                }
+            }};
+        }
+        try_collect!(Bools, Bool, bool);
+        try_collect!(Bytes, Byte, u8);
+        try_collect!(Shorts, Short, i16);
+        try_collect!(Ints, Int, i32);
+        try_collect!(Longs, Long, i64);
+        try_collect!(Reals, Real, f32);
+        try_collect!(Floats, Float, f64);
+        try_collect!(Symbols, Symbol, String);
+        try_collect!(Timestamps, Timestamp, i64);
+        try_collect!(Dates, Date, i32);
+        try_collect!(Times, Time, i32);
+        if elems.iter().all(|e| matches!(e, Value::Atom(Atom::Char(_)))) {
+            return Value::Chars(
+                elems
+                    .iter()
+                    .map(|e| match e {
+                        Value::Atom(Atom::Char(c)) => *c,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            );
+        }
+        Value::Mixed(elems)
+    }
+
+    /// Construct a long-vector value from a `Vec<i64>` (common case helper).
+    pub fn longs(v: Vec<i64>) -> Value {
+        Value::Longs(v)
+    }
+
+    /// Construct a symbol atom.
+    pub fn symbol(s: impl Into<String>) -> Value {
+        Value::Atom(Atom::Symbol(s.into()))
+    }
+
+    /// Construct a long atom.
+    pub fn long(v: i64) -> Value {
+        Value::Atom(Atom::Long(v))
+    }
+
+    /// Construct a float atom.
+    pub fn float(v: f64) -> Value {
+        Value::Atom(Atom::Float(v))
+    }
+
+    /// Construct a boolean atom.
+    pub fn bool(v: bool) -> Value {
+        Value::Atom(Atom::Bool(v))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            let s = match self {
+                Atom::Short(_) => "0Nh",
+                Atom::Int(_) => "0Ni",
+                Atom::Long(_) => "0N",
+                Atom::Real(_) => "0Ne",
+                Atom::Float(_) => "0n",
+                Atom::Symbol(_) => "`",
+                Atom::Timestamp(_) => "0Np",
+                Atom::Date(_) => "0Nd",
+                Atom::Time(_) => "0Nt",
+                _ => unreachable!("no null for this type"),
+            };
+            return f.write_str(s);
+        }
+        match self {
+            Atom::Bool(b) => write!(f, "{}b", *b as u8),
+            Atom::Byte(b) => write!(f, "0x{b:02x}"),
+            Atom::Short(v) => write!(f, "{v}h"),
+            Atom::Int(v) => write!(f, "{v}i"),
+            Atom::Long(v) => write!(f, "{v}"),
+            Atom::Real(v) => write!(f, "{v}e"),
+            Atom::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v}f")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Atom::Char(c) => write!(f, "\"{c}\""),
+            Atom::Symbol(s) => write!(f, "`{s}"),
+            Atom::Timestamp(v) => f.write_str(&temporal::format_timestamp(*v)),
+            Atom::Date(v) => f.write_str(&temporal::format_date(*v)),
+            Atom::Time(v) => f.write_str(&temporal::format_time(*v)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => a.fmt(f),
+            Value::Chars(s) => write!(f, "\"{s}\""),
+            Value::Symbols(v) => {
+                for s in v {
+                    write!(f, "`{s}")?;
+                }
+                Ok(())
+            }
+            Value::Table(t) => {
+                // Console-style rendering: header row, separator, then rows.
+                writeln!(f, "{}", t.names.join(" "))?;
+                writeln!(f, "{}", "-".repeat(t.names.join(" ").len().max(3)))?;
+                for i in 0..t.rows() {
+                    let row: Vec<String> =
+                        t.columns.iter().map(|c| c.index(i).map(|v| v.to_string()).unwrap_or_default()).collect();
+                    writeln!(f, "{}", row.join(" "))?;
+                }
+                Ok(())
+            }
+            Value::KeyedTable(k) => {
+                let combined = Table {
+                    names: k.key.names.iter().chain(&k.value.names).cloned().collect(),
+                    columns: k.key.columns.iter().chain(&k.value.columns).cloned().collect(),
+                };
+                Value::Table(Box::new(combined)).fmt(f)
+            }
+            Value::Dict(d) => {
+                let n = d.len();
+                for i in 0..n {
+                    let k = d.keys.index(i).unwrap_or(Value::Nil);
+                    let v = d.values.index(i).unwrap_or(Value::Nil);
+                    writeln!(f, "{k}| {v}")?;
+                }
+                Ok(())
+            }
+            Value::Lambda(l) => write!(f, "{{[{}] ...}}", l.params.join(";")),
+            Value::Nil => f.write_str("::"),
+            other => {
+                // Space-separated vector rendering; mixed lists in parens.
+                let n = other.len().unwrap_or(0);
+                if let Value::Mixed(items) = other {
+                    f.write_str("(")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(";")?;
+                        }
+                        item.fmt(f)?;
+                    }
+                    return f.write_str(")");
+                }
+                for i in 0..n {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    match other.index(i) {
+                        Some(Value::Atom(a)) => {
+                            // Suppress per-element suffixes inside vectors the
+                            // way kdb+ does for longs/floats.
+                            match a {
+                                Atom::Long(v) => write!(f, "{v}")?,
+                                Atom::Float(v) => write!(f, "{v}")?,
+                                other => other.fmt(f)?,
+                            }
+                        }
+                        Some(v) => v.fmt(f)?,
+                        None => {}
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Atom {
+        Atom::Symbol(s.to_string())
+    }
+
+    #[test]
+    fn type_codes_match_kdb() {
+        assert_eq!(Value::Atom(Atom::Long(1)).type_code(), -7);
+        assert_eq!(Value::Longs(vec![1]).type_code(), 7);
+        assert_eq!(Value::Atom(sym("a")).type_code(), -11);
+        assert_eq!(Value::Symbols(vec![]).type_code(), 11);
+        assert_eq!(Value::Table(Box::new(Table::default())).type_code(), 98);
+    }
+
+    #[test]
+    fn typed_nulls_detected() {
+        assert!(Atom::Long(i64::MIN).is_null());
+        assert!(!Atom::Long(0).is_null());
+        assert!(Atom::Float(f64::NAN).is_null());
+        assert!(Atom::Symbol(String::new()).is_null());
+        assert!(Atom::Date(i32::MIN).is_null());
+        assert!(!Atom::Bool(false).is_null());
+    }
+
+    #[test]
+    fn two_valued_null_equality() {
+        // The paper's headline semantic gap: null = null is TRUE in Q.
+        assert!(Atom::Long(i64::MIN).q_eq(&Atom::Long(i64::MIN)));
+        assert!(Atom::Float(f64::NAN).q_eq(&Atom::Float(f64::NAN)));
+        assert!(sym("").q_eq(&sym("")));
+        assert!(!Atom::Long(i64::MIN).q_eq(&Atom::Long(0)));
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert!(Atom::Int(3).q_eq(&Atom::Long(3)));
+        assert!(Atom::Long(3).q_eq(&Atom::Float(3.0)));
+        assert!(!Atom::Long(3).q_eq(&sym("3")));
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let mut v = vec![Atom::Long(2), Atom::Long(i64::MIN), Atom::Long(1)];
+        v.sort_by(|a, b| a.q_cmp(b));
+        assert!(v[0].is_null());
+        assert_eq!(v[1], Atom::Long(1));
+        assert_eq!(v[2], Atom::Long(2));
+    }
+
+    #[test]
+    fn table_construction_validates_lengths() {
+        let ok = Table::new(
+            vec!["a".into(), "b".into()],
+            vec![Value::Longs(vec![1, 2]), Value::Symbols(vec!["x".into(), "y".into()])],
+        );
+        assert!(ok.is_ok());
+        let bad = Table::new(
+            vec!["a".into(), "b".into()],
+            vec![Value::Longs(vec![1, 2]), Value::Symbols(vec!["x".into()])],
+        );
+        assert!(bad.is_err());
+        let atom_col = Table::new(vec!["a".into()], vec![Value::long(1)]);
+        assert!(atom_col.is_err());
+    }
+
+    #[test]
+    fn table_row_and_column_access() {
+        let t = Table::new(
+            vec!["px".into(), "sym".into()],
+            vec![Value::Floats(vec![10.0, 11.5]), Value::Symbols(vec!["A".into(), "B".into()])],
+        )
+        .unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.width(), 2);
+        assert!(t.column("px").is_some());
+        assert!(t.column("nope").is_none());
+        let row = t.row(1);
+        assert!(row[0].q_eq(&Value::float(11.5)));
+        assert!(row[1].q_eq(&Value::symbol("B")));
+    }
+
+    #[test]
+    fn take_rows_reorders_and_pads() {
+        let t = Table::new(vec!["a".into()], vec![Value::Longs(vec![10, 20, 30])]).unwrap();
+        let picked = t.take_rows(&[2, 0]);
+        assert!(picked.columns[0].q_eq(&Value::Longs(vec![30, 10])));
+        // Out-of-range index produces null.
+        let padded = t.take_rows(&[5]);
+        match &padded.columns[0] {
+            Value::Longs(v) => assert_eq!(v[0], i64::MIN),
+            other => panic!("expected longs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dict_lookup_positional_with_null_miss() {
+        let d = Dict::new(
+            Value::Symbols(vec!["a".into(), "b".into()]),
+            Value::Longs(vec![1, 2]),
+        )
+        .unwrap();
+        assert!(d.get(&Value::symbol("b")).q_eq(&Value::long(2)));
+        // Miss yields typed null, matching kdb+ lookup semantics.
+        let miss = d.get(&Value::symbol("zz"));
+        match miss {
+            Value::Atom(Atom::Long(v)) => assert_eq!(v, i64::MIN),
+            other => panic!("expected long null, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_elements_builds_typed_vectors() {
+        let v = Value::from_elements(vec![Value::long(1), Value::long(2)]);
+        assert!(matches!(v, Value::Longs(_)));
+        let v = Value::from_elements(vec![Value::symbol("a"), Value::symbol("b")]);
+        assert!(matches!(v, Value::Symbols(_)));
+        let v = Value::from_elements(vec![Value::long(1), Value::symbol("a")]);
+        assert!(matches!(v, Value::Mixed(_)));
+    }
+
+    #[test]
+    fn enlist_promotes_atoms() {
+        assert!(matches!(Value::long(7).enlist(), Value::Longs(v) if v == vec![7]));
+        assert!(matches!(Value::symbol("s").enlist(), Value::Symbols(_)));
+        let t = Value::Table(Box::new(Table::default()));
+        assert!(matches!(t.enlist(), Value::Mixed(_)));
+    }
+
+    #[test]
+    fn indexing_tables_yields_row_dicts() {
+        let t = Table::new(
+            vec!["a".into()],
+            vec![Value::Longs(vec![5, 6])],
+        )
+        .unwrap();
+        let row = Value::Table(Box::new(t)).index(1).unwrap();
+        match row {
+            Value::Dict(d) => assert!(d.get(&Value::symbol("a")).q_eq(&Value::long(6))),
+            other => panic!("expected dict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::long(42).to_string(), "42");
+        assert_eq!(Value::symbol("GOOG").to_string(), "`GOOG");
+        assert_eq!(Value::Longs(vec![1, 2, 3]).to_string(), "1 2 3");
+        assert_eq!(Value::Symbols(vec!["a".into(), "b".into()]).to_string(), "`a`b");
+        assert_eq!(Value::bool(true).to_string(), "1b");
+        assert_eq!(Value::Atom(Atom::Long(i64::MIN)).to_string(), "0N");
+    }
+
+    #[test]
+    fn list_q_eq_elementwise() {
+        assert!(Value::Longs(vec![1, i64::MIN]).q_eq(&Value::Longs(vec![1, i64::MIN])));
+        assert!(!Value::Longs(vec![1]).q_eq(&Value::Longs(vec![1, 2])));
+        // Cross-width numeric lists compare element-wise.
+        assert!(Value::Ints(vec![1, 2]).q_eq(&Value::Longs(vec![1, 2])));
+    }
+
+    #[test]
+    fn count_semantics() {
+        assert_eq!(Value::long(9).count(), 1);
+        assert_eq!(Value::Longs(vec![1, 2, 3]).count(), 3);
+    }
+}

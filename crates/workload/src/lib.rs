@@ -1,0 +1,25 @@
+//! # hyperq-workload — workload and data generators
+//!
+//! The paper's evaluation (§6) runs on a customer-derived *Analytical
+//! Workload*: "25 queries that involve three or more wide tables (e.g.,
+//! tables with more than 500 columns), joins, and various kinds of
+//! analytical aggregate functions." The customer data is proprietary, so
+//! this crate generates the same *shape*:
+//!
+//! * [`taq`] — NYSE-TAQ-style market data (trades and quotes with
+//!   symbols, random-walk prices and intraday times), the dataset class
+//!   the paper's §2.1 points to;
+//! * [`wide`] — wide analytical tables (500+ columns);
+//! * [`analytical`] — the 25-query workload over those tables, with
+//!   queries 10, 18, 19 and 20 joining more tables than the rest (the
+//!   paper observes exactly those queries translating slowest).
+//!
+//! All generation is seeded and deterministic.
+
+pub mod analytical;
+pub mod taq;
+pub mod wide;
+
+pub use analytical::{analytical_workload, AnalyticalQuery, WorkloadSpec};
+pub use taq::{generate_quotes, generate_trades, TaqConfig};
+pub use wide::{wide_table, WideConfig};

@@ -1,0 +1,201 @@
+//! NYSE-TAQ-style market data generation.
+//!
+//! Trades and quotes in the shape of the paper's motivating queries
+//! (Example 1): `Date`, `Symbol`, `Time`, plus `Price`/`Size` for trades
+//! and `Bid`/`Ask`/sizes for quotes. Prices follow a per-symbol random
+//! walk; times are sorted within each day, matching how a ticker plant
+//! would land them and what `aj` expects.
+
+use qlang::value::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Universe of ticker symbols used by the generators.
+pub const SYMBOLS: &[&str] = &[
+    "GOOG", "IBM", "MSFT", "AAPL", "ORCL", "INTC", "CSCO", "HPQ", "DELL", "EMC",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TaqConfig {
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// Number of distinct symbols (capped at [`SYMBOLS`] length).
+    pub symbols: usize,
+    /// Number of trading days, starting 2016.06.26.
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TaqConfig {
+    fn default() -> Self {
+        TaqConfig { rows: 1000, symbols: 4, days: 2, seed: 42 }
+    }
+}
+
+/// First trading day used by the generators: 2016.06.26 (SIGMOD'16),
+/// as days since 2000-01-01.
+pub const BASE_DATE: i32 = 6021;
+
+/// Market open in milliseconds since midnight (09:30).
+const OPEN_MS: i32 = 9 * 3_600_000 + 30 * 60_000;
+/// Trading session length in milliseconds (6.5 hours).
+const SESSION_MS: i32 = 6 * 3_600_000 + 30 * 60_000;
+
+fn gen_frame(cfg: &TaqConfig, rng: &mut StdRng) -> (Vec<i32>, Vec<String>, Vec<i32>) {
+    let nsym = cfg.symbols.clamp(1, SYMBOLS.len());
+    let mut dates = Vec::with_capacity(cfg.rows);
+    let mut syms = Vec::with_capacity(cfg.rows);
+    let mut times = Vec::with_capacity(cfg.rows);
+    let per_day = cfg.rows / cfg.days.max(1) + 1;
+    let mut day_times: Vec<i32> = Vec::with_capacity(per_day);
+    let mut day = 0usize;
+    for i in 0..cfg.rows {
+        if i % per_day == 0 {
+            // New day: fresh sorted intraday times.
+            day = i / per_day;
+            day_times = (0..per_day)
+                .map(|_| OPEN_MS + rng.gen_range(0..SESSION_MS))
+                .collect();
+            day_times.sort_unstable();
+        }
+        dates.push(BASE_DATE + day as i32);
+        syms.push(SYMBOLS[rng.gen_range(0..nsym)].to_string());
+        times.push(day_times[i % per_day]);
+    }
+    (dates, syms, times)
+}
+
+/// Generate a trades table: `Date, Symbol, Time, Price, Size`.
+pub fn generate_trades(cfg: &TaqConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (dates, syms, times) = gen_frame(cfg, &mut rng);
+    // Per-symbol random walk around a per-symbol base price.
+    let nsym = cfg.symbols.clamp(1, SYMBOLS.len());
+    let mut level: Vec<f64> = (0..nsym).map(|i| 50.0 + 25.0 * i as f64).collect();
+    let mut prices = Vec::with_capacity(cfg.rows);
+    let mut sizes = Vec::with_capacity(cfg.rows);
+    for s in &syms {
+        let idx = SYMBOLS.iter().position(|x| x == s).unwrap_or(0).min(nsym - 1);
+        level[idx] += rng.gen_range(-0.25..0.25);
+        level[idx] = level[idx].max(1.0);
+        prices.push((level[idx] * 100.0).round() / 100.0);
+        sizes.push(rng.gen_range(1..=100i64) * 100);
+    }
+    Table::new(
+        vec!["Date".into(), "Symbol".into(), "Time".into(), "Price".into(), "Size".into()],
+        vec![
+            Value::Dates(dates),
+            Value::Symbols(syms),
+            Value::Times(times),
+            Value::Floats(prices),
+            Value::Longs(sizes),
+        ],
+    )
+    .expect("generated columns are equal length")
+}
+
+/// Generate a quotes table: `Date, Symbol, Time, Bid, Ask, BidSize,
+/// AskSize`.
+pub fn generate_quotes(cfg: &TaqConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let (dates, syms, times) = gen_frame(cfg, &mut rng);
+    let nsym = cfg.symbols.clamp(1, SYMBOLS.len());
+    let mut level: Vec<f64> = (0..nsym).map(|i| 50.0 + 25.0 * i as f64).collect();
+    let mut bids = Vec::with_capacity(cfg.rows);
+    let mut asks = Vec::with_capacity(cfg.rows);
+    let mut bsz = Vec::with_capacity(cfg.rows);
+    let mut asz = Vec::with_capacity(cfg.rows);
+    for s in &syms {
+        let idx = SYMBOLS.iter().position(|x| x == s).unwrap_or(0).min(nsym - 1);
+        level[idx] += rng.gen_range(-0.25..0.25);
+        level[idx] = level[idx].max(1.0);
+        let spread = rng.gen_range(0.01..0.10);
+        bids.push(((level[idx] - spread / 2.0) * 100.0).round() / 100.0);
+        asks.push(((level[idx] + spread / 2.0) * 100.0).round() / 100.0);
+        bsz.push(rng.gen_range(1..=50i64) * 100);
+        asz.push(rng.gen_range(1..=50i64) * 100);
+    }
+    Table::new(
+        vec![
+            "Date".into(),
+            "Symbol".into(),
+            "Time".into(),
+            "Bid".into(),
+            "Ask".into(),
+            "BidSize".into(),
+            "AskSize".into(),
+        ],
+        vec![
+            Value::Dates(dates),
+            Value::Symbols(syms),
+            Value::Times(times),
+            Value::Floats(bids),
+            Value::Floats(asks),
+            Value::Longs(bsz),
+            Value::Longs(asz),
+        ],
+    )
+    .expect("generated columns are equal length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlang::value::Atom;
+
+    #[test]
+    fn trades_have_requested_shape() {
+        let t = generate_trades(&TaqConfig { rows: 100, symbols: 3, days: 2, seed: 7 });
+        assert_eq!(t.rows(), 100);
+        assert_eq!(t.names.len(), 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TaqConfig::default();
+        let a = generate_trades(&cfg);
+        let b = generate_trades(&cfg);
+        assert!(Value::Table(Box::new(a)).q_eq(&Value::Table(Box::new(b))));
+    }
+
+    #[test]
+    fn times_sorted_within_each_day() {
+        let t = generate_trades(&TaqConfig { rows: 200, symbols: 2, days: 2, seed: 1 });
+        let dates = t.column("Date").unwrap();
+        let times = t.column("Time").unwrap();
+        for i in 1..t.rows() {
+            if dates.index(i).unwrap().q_eq(&dates.index(i - 1).unwrap()) {
+                let (Some(Value::Atom(Atom::Time(a))), Some(Value::Atom(Atom::Time(b)))) =
+                    (times.index(i - 1), times.index(i))
+                else {
+                    panic!("bad time cells")
+                };
+                assert!(a <= b, "times must be non-decreasing within a day");
+            }
+        }
+    }
+
+    #[test]
+    fn quotes_have_positive_spread() {
+        let q = generate_quotes(&TaqConfig { rows: 300, symbols: 4, days: 1, seed: 9 });
+        let (Some(Value::Floats(bids)), Some(Value::Floats(asks))) =
+            (q.column("Bid").cloned(), q.column("Ask").cloned())
+        else {
+            panic!("bad columns")
+        };
+        for (b, a) in bids.iter().zip(&asks) {
+            assert!(a > b, "ask {a} must exceed bid {b}");
+        }
+    }
+
+    #[test]
+    fn symbols_restricted_to_universe_prefix() {
+        let t = generate_trades(&TaqConfig { rows: 50, symbols: 2, days: 1, seed: 3 });
+        let Some(Value::Symbols(syms)) = t.column("Symbol").cloned() else { panic!() };
+        for s in syms {
+            assert!(s == "GOOG" || s == "IBM", "unexpected symbol {s}");
+        }
+    }
+}

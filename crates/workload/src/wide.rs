@@ -1,0 +1,96 @@
+//! Wide analytical tables.
+//!
+//! The paper's evaluation tables have "more than 500 columns" (§6) —
+//! that width is what makes column pruning (§3.3) a first-order
+//! performance concern for the serialized SQL. Each generated table has
+//! a join key `k`, a grouping column `grp`, and `metrics` numeric
+//! columns named `m0..m{n-1}`.
+
+use qlang::value::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wide-table generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WideConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of metric columns (the paper's tables exceed 500).
+    pub metrics: usize,
+    /// Number of distinct join-key values.
+    pub key_cardinality: usize,
+    /// Number of distinct group values.
+    pub groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WideConfig {
+    fn default() -> Self {
+        WideConfig { rows: 100, metrics: 500, key_cardinality: 50, groups: 5, seed: 7 }
+    }
+}
+
+/// Generate one wide table.
+pub fn wide_table(cfg: &WideConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut names: Vec<String> = vec!["k".into(), "grp".into()];
+    let mut columns: Vec<Value> = Vec::with_capacity(cfg.metrics + 2);
+
+    // When the requested cardinality covers all rows, emit a unique
+    // (shuffled) key per row — join-friendly, star-schema-style. Smaller
+    // cardinalities produce duplicate keys for group-join scenarios.
+    let keys: Vec<i64> = if cfg.key_cardinality >= cfg.rows {
+        let mut v: Vec<i64> = (0..cfg.rows as i64).collect();
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    } else {
+        (0..cfg.rows).map(|_| rng.gen_range(0..cfg.key_cardinality as i64)).collect()
+    };
+    let groups: Vec<String> =
+        (0..cfg.rows).map(|_| format!("g{}", rng.gen_range(0..cfg.groups))).collect();
+    columns.push(Value::Longs(keys));
+    columns.push(Value::Symbols(groups));
+
+    for m in 0..cfg.metrics {
+        names.push(format!("m{m}"));
+        let col: Vec<f64> = (0..cfg.rows).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        columns.push(Value::Floats(col));
+    }
+    Table::new(names, columns).expect("generated columns are equal length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_matches_paper_scale() {
+        let t = wide_table(&WideConfig { rows: 10, metrics: 500, ..WideConfig::default() });
+        assert_eq!(t.width(), 502, "500 metrics + key + group");
+        assert_eq!(t.rows(), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WideConfig { rows: 20, metrics: 10, ..WideConfig::default() };
+        let a = wide_table(&cfg);
+        let b = wide_table(&cfg);
+        assert!(Value::Table(Box::new(a)).q_eq(&Value::Table(Box::new(b))));
+    }
+
+    #[test]
+    fn key_cardinality_respected() {
+        let t = wide_table(&WideConfig {
+            rows: 200,
+            metrics: 2,
+            key_cardinality: 5,
+            ..WideConfig::default()
+        });
+        let Some(Value::Longs(keys)) = t.column("k").cloned() else { panic!() };
+        assert!(keys.iter().all(|&k| (0..5).contains(&k)));
+    }
+}

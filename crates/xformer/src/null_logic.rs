@@ -1,0 +1,347 @@
+//! Correctness: two-valued null logic.
+//!
+//! In Q, two nulls compare equal; in SQL, `NULL = NULL` is unknown and a
+//! filter drops the row. The paper's fix (§3.3): "a transformation is used
+//! to replace strict equalities in XTRA expressions with Is Not Distinct
+//! From predicate, which provides the needed 2-valued logic for null
+//! values when serializing the outgoing SQL query."
+//!
+//! The rewrite is *nullability-aware*: comparisons whose operands are both
+//! provably non-null (NOT NULL columns, non-null constants) are left
+//! alone, since `=` and `IS NOT DISTINCT FROM` agree there and plain
+//! equality gives backends more optimizer latitude.
+
+use crate::XformReport;
+use xtra::{BinOp, ColumnDef, RelNode, ScalarExpr, UnOp};
+
+/// Apply the null-logic rewrite over the whole tree.
+pub fn apply(plan: RelNode, report: &mut XformReport) -> RelNode {
+    rewrite_node(&plan, report)
+}
+
+fn rewrite_node(node: &RelNode, report: &mut XformReport) -> RelNode {
+    match node {
+        RelNode::Get { .. } | RelNode::Values { .. } => node.clone(),
+        RelNode::Filter { input, predicate } => {
+            let new_input = rewrite_node(input, report);
+            let schema = new_input.props().output;
+            RelNode::Filter {
+                predicate: rewrite_scalar(predicate, &schema, report),
+                input: Box::new(new_input),
+            }
+        }
+        RelNode::Project { input, items } => {
+            let new_input = rewrite_node(input, report);
+            let schema = new_input.props().output;
+            RelNode::Project {
+                items: items
+                    .iter()
+                    .map(|(n, e)| (n.clone(), rewrite_scalar(e, &schema, report)))
+                    .collect(),
+                input: Box::new(new_input),
+            }
+        }
+        RelNode::Join { kind, left, right, on } => {
+            let l = rewrite_node(left, report);
+            let r = rewrite_node(right, report);
+            // The join condition sees both sides' columns.
+            let mut schema = l.props().output;
+            schema.extend(r.props().output);
+            RelNode::Join {
+                kind: *kind,
+                on: rewrite_scalar(on, &schema, report),
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        RelNode::Aggregate { input, group_by, aggs } => {
+            let new_input = rewrite_node(input, report);
+            let schema = new_input.props().output;
+            RelNode::Aggregate {
+                group_by: group_by
+                    .iter()
+                    .map(|(n, e)| (n.clone(), rewrite_scalar(e, &schema, report)))
+                    .collect(),
+                aggs: aggs
+                    .iter()
+                    .map(|(n, e)| (n.clone(), rewrite_scalar(e, &schema, report)))
+                    .collect(),
+                input: Box::new(new_input),
+            }
+        }
+        RelNode::Window { input, items } => {
+            let new_input = rewrite_node(input, report);
+            let schema = new_input.props().output;
+            RelNode::Window {
+                items: items
+                    .iter()
+                    .map(|(n, e)| (n.clone(), rewrite_scalar(e, &schema, report)))
+                    .collect(),
+                input: Box::new(new_input),
+            }
+        }
+        RelNode::Sort { input, keys } => RelNode::Sort {
+            input: Box::new(rewrite_node(input, report)),
+            keys: keys.clone(),
+        },
+        RelNode::Limit { input, limit, offset } => RelNode::Limit {
+            input: Box::new(rewrite_node(input, report)),
+            limit: *limit,
+            offset: *offset,
+        },
+        RelNode::SetOp { kind, left, right } => RelNode::SetOp {
+            kind: *kind,
+            left: Box::new(rewrite_node(left, report)),
+            right: Box::new(rewrite_node(right, report)),
+        },
+    }
+}
+
+/// Can this expression ever evaluate to NULL, given the schema?
+fn nullable(e: &ScalarExpr, schema: &[ColumnDef]) -> bool {
+    match e {
+        ScalarExpr::Column { name, .. } => schema
+            .iter()
+            .find(|c| c.name == *name)
+            .map(|c| c.nullable)
+            // Unknown columns: assume nullable (be safe).
+            .unwrap_or(true),
+        ScalarExpr::Const(d) => d.is_null(),
+        ScalarExpr::Binary { lhs, rhs, .. } => nullable(lhs, schema) || nullable(rhs, schema),
+        ScalarExpr::Unary { arg, .. } => nullable(arg, schema),
+        ScalarExpr::Cast { arg, .. } => nullable(arg, schema),
+        ScalarExpr::IsNull { .. } => false,
+        ScalarExpr::InList { needle, list, .. } => {
+            nullable(needle, schema) || list.iter().any(|e| nullable(e, schema))
+        }
+        // Aggregates over empty input, window functions at partition
+        // edges, CASE without ELSE, arbitrary functions: all nullable.
+        _ => true,
+    }
+}
+
+fn rewrite_scalar(e: &ScalarExpr, schema: &[ColumnDef], report: &mut XformReport) -> ScalarExpr {
+    match e {
+        ScalarExpr::Binary { op: BinOp::Eq, lhs, rhs } => {
+            let l = rewrite_scalar(lhs, schema, report);
+            let r = rewrite_scalar(rhs, schema, report);
+            if nullable(&l, schema) || nullable(&r, schema) {
+                report.null_rewrites += 1;
+                ScalarExpr::Binary {
+                    op: BinOp::IsNotDistinctFrom,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                }
+            } else {
+                ScalarExpr::Binary { op: BinOp::Eq, lhs: Box::new(l), rhs: Box::new(r) }
+            }
+        }
+        ScalarExpr::Binary { op: BinOp::Neq, lhs, rhs } => {
+            let l = rewrite_scalar(lhs, schema, report);
+            let r = rewrite_scalar(rhs, schema, report);
+            if nullable(&l, schema) || nullable(&r, schema) {
+                report.null_rewrites += 1;
+                ScalarExpr::Unary {
+                    op: UnOp::Not,
+                    arg: Box::new(ScalarExpr::Binary {
+                        op: BinOp::IsNotDistinctFrom,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    }),
+                }
+            } else {
+                ScalarExpr::Binary { op: BinOp::Neq, lhs: Box::new(l), rhs: Box::new(r) }
+            }
+        }
+        ScalarExpr::InSubquery { needle, plan, negated } => ScalarExpr::InSubquery {
+            needle: Box::new(rewrite_scalar(needle, schema, report)),
+            plan: Box::new(rewrite_node(plan, report)),
+            negated: *negated,
+        },
+        // Recurse structurally everywhere else.
+        other => other.rewrite(&mut |node| match &node {
+            // Already handled above when reached through Binary Eq/Neq;
+            // rewrite() visits bottom-up so nested equalities inside CASE
+            // branches etc. still need the same treatment.
+            ScalarExpr::Binary { op: BinOp::Eq, lhs, rhs } => {
+                if nullable(lhs, schema) || nullable(rhs, schema) {
+                    report.null_rewrites += 1;
+                    ScalarExpr::Binary {
+                        op: BinOp::IsNotDistinctFrom,
+                        lhs: lhs.clone(),
+                        rhs: rhs.clone(),
+                    }
+                } else {
+                    node
+                }
+            }
+            ScalarExpr::Binary { op: BinOp::Neq, lhs, rhs } => {
+                if nullable(lhs, schema) || nullable(rhs, schema) {
+                    report.null_rewrites += 1;
+                    ScalarExpr::Unary {
+                        op: UnOp::Not,
+                        arg: Box::new(ScalarExpr::Binary {
+                            op: BinOp::IsNotDistinctFrom,
+                            lhs: lhs.clone(),
+                            rhs: rhs.clone(),
+                        }),
+                    }
+                } else {
+                    node
+                }
+            }
+            _ => node,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtra::{Datum, SqlType, ORD_COL};
+
+    fn table() -> RelNode {
+        RelNode::get(
+            "t",
+            vec![
+                ColumnDef::not_null(ORD_COL, SqlType::Int8),
+                ColumnDef::new("Symbol", SqlType::Varchar),
+                ColumnDef::not_null("id", SqlType::Int8),
+            ],
+        )
+    }
+
+    fn eq(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinOp::Eq, l, r)
+    }
+
+    #[test]
+    fn nullable_equality_becomes_is_not_distinct_from() {
+        let plan = RelNode::Filter {
+            input: Box::new(table()),
+            predicate: eq(ScalarExpr::col("Symbol", SqlType::Varchar), ScalarExpr::str("GOOG")),
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        assert_eq!(report.null_rewrites, 1);
+        match out {
+            RelNode::Filter { predicate, .. } => {
+                assert!(matches!(
+                    predicate,
+                    ScalarExpr::Binary { op: BinOp::IsNotDistinctFrom, .. }
+                ));
+            }
+            other => panic!("expected filter, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn non_nullable_equality_is_left_alone() {
+        let plan = RelNode::Filter {
+            input: Box::new(table()),
+            predicate: eq(ScalarExpr::col("id", SqlType::Int8), ScalarExpr::i64(1)),
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        assert_eq!(report.null_rewrites, 0);
+        match out {
+            RelNode::Filter { predicate, .. } => {
+                assert!(matches!(predicate, ScalarExpr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("expected filter, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn inequality_becomes_negated_null_safe_equality() {
+        let plan = RelNode::Filter {
+            input: Box::new(table()),
+            predicate: ScalarExpr::binary(
+                BinOp::Neq,
+                ScalarExpr::col("Symbol", SqlType::Varchar),
+                ScalarExpr::str("GOOG"),
+            ),
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        assert_eq!(report.null_rewrites, 1);
+        match out {
+            RelNode::Filter { predicate, .. } => {
+                assert!(matches!(predicate, ScalarExpr::Unary { op: UnOp::Not, .. }));
+            }
+            other => panic!("expected filter, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn join_conditions_are_rewritten() {
+        let plan = RelNode::Join {
+            kind: xtra::JoinKind::Inner,
+            left: Box::new(table()),
+            right: Box::new(RelNode::get(
+                "u",
+                vec![ColumnDef::new("Symbol2", SqlType::Varchar)],
+            )),
+            on: eq(
+                ScalarExpr::col("Symbol", SqlType::Varchar),
+                ScalarExpr::col("Symbol2", SqlType::Varchar),
+            ),
+        };
+        let mut report = XformReport::default();
+        apply(plan, &mut report);
+        assert_eq!(report.null_rewrites, 1);
+    }
+
+    #[test]
+    fn null_constant_comparisons_are_rewritten() {
+        let plan = RelNode::Filter {
+            input: Box::new(table()),
+            predicate: eq(
+                ScalarExpr::col("id", SqlType::Int8),
+                ScalarExpr::Const(Datum::Null(SqlType::Int8)),
+            ),
+        };
+        let mut report = XformReport::default();
+        apply(plan, &mut report);
+        assert_eq!(report.null_rewrites, 1, "NULL literal forces null-safe compare");
+    }
+
+    #[test]
+    fn nested_equalities_in_case_are_rewritten() {
+        let case = ScalarExpr::Case {
+            branches: vec![(
+                eq(ScalarExpr::col("Symbol", SqlType::Varchar), ScalarExpr::str("X")),
+                ScalarExpr::i64(1),
+            )],
+            else_result: Some(Box::new(ScalarExpr::i64(0))),
+        };
+        let plan = RelNode::Project {
+            input: Box::new(table()),
+            items: vec![("flag".into(), case)],
+        };
+        let mut report = XformReport::default();
+        apply(plan, &mut report);
+        assert_eq!(report.null_rewrites, 1);
+    }
+
+    #[test]
+    fn comparisons_other_than_equality_untouched() {
+        let plan = RelNode::Filter {
+            input: Box::new(table()),
+            predicate: ScalarExpr::binary(
+                BinOp::Lt,
+                ScalarExpr::col("Symbol", SqlType::Varchar),
+                ScalarExpr::str("M"),
+            ),
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        assert_eq!(report.null_rewrites, 0);
+        match out {
+            RelNode::Filter { predicate, .. } => {
+                assert!(matches!(predicate, ScalarExpr::Binary { op: BinOp::Lt, .. }));
+            }
+            other => panic!("expected filter, got {}", other.explain()),
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Performance: column pruning.
+//!
+//! Each XTRA node is annotated with all the columns it can produce, but
+//! "the requested columns at each node may be however a small subset of
+//! the available columns" (paper §3.3). Against the evaluation's
+//! 500-column tables, serializing every available column would bloat the
+//! SQL text by orders of magnitude and hurt backend performance. This
+//! pass pushes the set of *required* columns down the tree and narrows
+//! every operator to it.
+
+use crate::XformReport;
+use std::collections::BTreeSet;
+use xtra::{RelNode, ScalarExpr};
+
+/// Apply column pruning: the root requires all of its output columns.
+pub fn apply(plan: RelNode, report: &mut XformReport) -> RelNode {
+    let required: BTreeSet<String> =
+        plan.props().output.iter().map(|c| c.name.clone()).collect();
+    prune(&plan, &required, report)
+}
+
+fn cols_of(e: &ScalarExpr) -> Vec<String> {
+    let mut v = Vec::new();
+    e.collect_columns(&mut v);
+    v
+}
+
+/// Prune the plans of nested `IN (SELECT ...)` subqueries; each subquery
+/// requires all of its own output columns.
+fn prune_scalar(e: &ScalarExpr, report: &mut XformReport) -> ScalarExpr {
+    e.rewrite(&mut |node| match node {
+        ScalarExpr::InSubquery { needle, plan, negated } => {
+            let required: BTreeSet<String> =
+                plan.props().output.iter().map(|c| c.name.clone()).collect();
+            ScalarExpr::InSubquery {
+                needle,
+                plan: Box::new(prune(&plan, &required, report)),
+                negated,
+            }
+        }
+        other => other,
+    })
+}
+
+fn prune(node: &RelNode, required: &BTreeSet<String>, report: &mut XformReport) -> RelNode {
+    match node {
+        RelNode::Get { table, cols, ord_col } => {
+            let kept: Vec<_> = cols.iter().filter(|c| required.contains(&c.name)).cloned().collect();
+            // A scan of zero columns is not valid SQL; keep the first
+            // column as a witness.
+            let kept = if kept.is_empty() {
+                cols.first().cloned().into_iter().collect()
+            } else {
+                kept
+            };
+            report.columns_pruned += cols.len() - kept.len();
+            let ord_col = ord_col.clone().filter(|oc| kept.iter().any(|c| c.name == *oc));
+            RelNode::Get { table: table.clone(), cols: kept, ord_col }
+        }
+        RelNode::Values { schema, rows } => {
+            let keep_idx: Vec<usize> = schema
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| required.contains(&c.name))
+                .map(|(i, _)| i)
+                .collect();
+            let keep_idx = if keep_idx.is_empty() { vec![0] } else { keep_idx };
+            report.columns_pruned += schema.len() - keep_idx.len();
+            RelNode::Values {
+                schema: keep_idx.iter().map(|&i| schema[i].clone()).collect(),
+                rows: rows
+                    .iter()
+                    .map(|r| keep_idx.iter().map(|&i| r[i].clone()).collect())
+                    .collect(),
+            }
+        }
+        RelNode::Project { input, items } => {
+            let kept: Vec<_> =
+                items.iter().filter(|(n, _)| required.contains(n)).cloned().collect();
+            let kept = if kept.is_empty() {
+                items.first().cloned().into_iter().collect()
+            } else {
+                kept
+            };
+            report.columns_pruned += items.len() - kept.len();
+            let mut child_req = BTreeSet::new();
+            for (_, e) in &kept {
+                child_req.extend(cols_of(e));
+            }
+            RelNode::Project { input: Box::new(prune(input, &child_req, report)), items: kept }
+        }
+        RelNode::Filter { input, predicate } => {
+            let mut child_req = required.clone();
+            child_req.extend(cols_of(predicate));
+            RelNode::Filter {
+                input: Box::new(prune(input, &child_req, report)),
+                predicate: prune_scalar(predicate, report),
+            }
+        }
+        RelNode::Join { kind, left, right, on } => {
+            let mut needed = required.clone();
+            needed.extend(cols_of(on));
+            let l_names: BTreeSet<String> =
+                left.props().output.iter().map(|c| c.name.clone()).collect();
+            let r_names: BTreeSet<String> =
+                right.props().output.iter().map(|c| c.name.clone()).collect();
+            let l_req: BTreeSet<String> = needed.intersection(&l_names).cloned().collect();
+            let r_req: BTreeSet<String> = needed.intersection(&r_names).cloned().collect();
+            RelNode::Join {
+                kind: *kind,
+                left: Box::new(prune(left, &l_req, report)),
+                right: Box::new(prune(right, &r_req, report)),
+                on: on.clone(),
+            }
+        }
+        RelNode::Aggregate { input, group_by, aggs } => {
+            // Grouping expressions are semantically load-bearing; keep
+            // them all. Aggregates not referenced upstream are dropped.
+            let kept_aggs: Vec<_> =
+                aggs.iter().filter(|(n, _)| required.contains(n)).cloned().collect();
+            let kept_aggs = if kept_aggs.is_empty() && group_by.is_empty() {
+                aggs.first().cloned().into_iter().collect()
+            } else {
+                kept_aggs
+            };
+            report.columns_pruned += aggs.len() - kept_aggs.len();
+            let mut child_req = BTreeSet::new();
+            for (_, e) in group_by {
+                child_req.extend(cols_of(e));
+            }
+            for (_, e) in &kept_aggs {
+                child_req.extend(cols_of(e));
+            }
+            RelNode::Aggregate {
+                input: Box::new(prune(input, &child_req, report)),
+                group_by: group_by.clone(),
+                aggs: kept_aggs,
+            }
+        }
+        RelNode::Window { input, items } => {
+            let kept: Vec<_> =
+                items.iter().filter(|(n, _)| required.contains(n)).cloned().collect();
+            report.columns_pruned += items.len() - kept.len();
+            let mut child_req: BTreeSet<String> = required
+                .iter()
+                .filter(|n| !items.iter().any(|(alias, _)| alias == *n))
+                .cloned()
+                .collect();
+            for (_, e) in &kept {
+                child_req.extend(cols_of(e));
+            }
+            RelNode::Window { input: Box::new(prune(input, &child_req, report)), items: kept }
+        }
+        RelNode::Sort { input, keys } => {
+            let mut child_req = required.clone();
+            for k in keys {
+                child_req.extend(cols_of(&k.expr));
+            }
+            RelNode::Sort { input: Box::new(prune(input, &child_req, report)), keys: keys.clone() }
+        }
+        RelNode::Limit { input, limit, offset } => RelNode::Limit {
+            input: Box::new(prune(input, required, report)),
+            limit: *limit,
+            offset: *offset,
+        },
+        RelNode::SetOp { kind, left, right } => RelNode::SetOp {
+            kind: *kind,
+            left: Box::new(prune(left, required, report)),
+            right: Box::new(prune(right, required, report)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtra::{BinOp, ColumnDef, SortKey, SqlType, ORD_COL};
+
+    /// A wide table in the spirit of the paper's 500-column workload.
+    fn wide(n: usize) -> RelNode {
+        let mut cols = vec![ColumnDef::not_null(ORD_COL, SqlType::Int8)];
+        for i in 0..n {
+            cols.push(ColumnDef::new(format!("c{i}"), SqlType::Float8));
+        }
+        RelNode::get("wide", cols)
+    }
+
+    #[test]
+    fn scan_narrows_to_projected_columns() {
+        let plan = RelNode::Project {
+            input: Box::new(wide(500)),
+            items: vec![
+                (ORD_COL.into(), ScalarExpr::col(ORD_COL, SqlType::Int8)),
+                ("c7".into(), ScalarExpr::col("c7", SqlType::Float8)),
+            ],
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        assert_eq!(report.columns_pruned, 499, "499 of 501 scan columns dropped");
+        match out {
+            RelNode::Project { input, .. } => match *input {
+                RelNode::Get { cols, .. } => {
+                    assert_eq!(cols.len(), 2);
+                }
+                other => panic!("expected get, got {}", other.explain()),
+            },
+            other => panic!("expected project, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn filter_columns_are_retained() {
+        let plan = RelNode::Project {
+            input: Box::new(RelNode::Filter {
+                input: Box::new(wide(10)),
+                predicate: ScalarExpr::binary(
+                    BinOp::Gt,
+                    ScalarExpr::col("c9", SqlType::Float8),
+                    ScalarExpr::i64(0),
+                ),
+            }),
+            items: vec![("c0".into(), ScalarExpr::col("c0", SqlType::Float8))],
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        let text = out.explain();
+        // c9 survives because the filter needs it, even though the
+        // projection doesn't.
+        fn scan_cols(n: &RelNode) -> Vec<String> {
+            match n {
+                RelNode::Get { cols, .. } => cols.iter().map(|c| c.name.clone()).collect(),
+                _ => n.inputs().into_iter().flat_map(scan_cols).collect(),
+            }
+        }
+        let cols = scan_cols(&out);
+        assert!(cols.contains(&"c0".to_string()), "{text}");
+        assert!(cols.contains(&"c9".to_string()), "{text}");
+        assert_eq!(cols.len(), 2, "{text}");
+    }
+
+    #[test]
+    fn sort_keys_are_retained() {
+        let plan = RelNode::Sort {
+            input: Box::new(RelNode::Project {
+                input: Box::new(wide(5)),
+                items: vec![
+                    ("c0".into(), ScalarExpr::col("c0", SqlType::Float8)),
+                    (ORD_COL.into(), ScalarExpr::col(ORD_COL, SqlType::Int8)),
+                ],
+            }),
+            keys: vec![SortKey::asc(ORD_COL, SqlType::Int8)],
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        assert!(out.props().has_column(ORD_COL));
+    }
+
+    #[test]
+    fn aggregate_inputs_narrow_to_args() {
+        let plan = RelNode::Aggregate {
+            input: Box::new(wide(100)),
+            group_by: vec![("c0".into(), ScalarExpr::col("c0", SqlType::Float8))],
+            aggs: vec![(
+                "s".into(),
+                ScalarExpr::Agg {
+                    func: xtra::AggFunc::Sum,
+                    arg: Some(Box::new(ScalarExpr::col("c1", SqlType::Float8))),
+                },
+            )],
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        match out {
+            RelNode::Aggregate { input, .. } => match *input {
+                RelNode::Get { cols, .. } => assert_eq!(cols.len(), 2),
+                other => panic!("expected get, got {}", other.explain()),
+            },
+            other => panic!("expected aggregate, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn unreferenced_aggregates_are_dropped() {
+        let agg = RelNode::Aggregate {
+            input: Box::new(wide(10)),
+            group_by: vec![],
+            aggs: vec![
+                (
+                    "keep".into(),
+                    ScalarExpr::Agg {
+                        func: xtra::AggFunc::Sum,
+                        arg: Some(Box::new(ScalarExpr::col("c1", SqlType::Float8))),
+                    },
+                ),
+                (
+                    "drop".into(),
+                    ScalarExpr::Agg {
+                        func: xtra::AggFunc::Max,
+                        arg: Some(Box::new(ScalarExpr::col("c2", SqlType::Float8))),
+                    },
+                ),
+            ],
+        };
+        let plan = RelNode::Project {
+            input: Box::new(agg),
+            items: vec![("keep".into(), ScalarExpr::col("keep", SqlType::Float8))],
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        assert!(report.columns_pruned > 0);
+        assert!(!format!("{out:?}").contains("\"drop\""));
+    }
+
+    #[test]
+    fn join_split_by_side() {
+        let right = RelNode::Project {
+            input: Box::new(wide(5)),
+            items: vec![
+                ("r0".into(), ScalarExpr::col("c0", SqlType::Float8)),
+                ("r1".into(), ScalarExpr::col("c1", SqlType::Float8)),
+            ],
+        };
+        let join = RelNode::Join {
+            kind: xtra::JoinKind::Inner,
+            left: Box::new(wide(5)),
+            right: Box::new(right),
+            on: ScalarExpr::binary(
+                BinOp::Eq,
+                ScalarExpr::col("c0", SqlType::Float8),
+                ScalarExpr::col("r0", SqlType::Float8),
+            ),
+        };
+        let plan = RelNode::Project {
+            input: Box::new(join),
+            items: vec![("r1".into(), ScalarExpr::col("r1", SqlType::Float8))],
+        };
+        let mut report = XformReport::default();
+        let out = apply(plan, &mut report);
+        let props_ok = out.props().has_column("r1");
+        assert!(props_ok);
+        assert!(report.columns_pruned > 0);
+    }
+
+    #[test]
+    fn pruning_is_idempotent() {
+        let plan = RelNode::Project {
+            input: Box::new(wide(50)),
+            items: vec![("c3".into(), ScalarExpr::col("c3", SqlType::Float8))],
+        };
+        let mut r1 = XformReport::default();
+        let once = apply(plan, &mut r1);
+        let mut r2 = XformReport::default();
+        let twice = apply(once.clone(), &mut r2);
+        assert_eq!(once, twice);
+        assert_eq!(r2.columns_pruned, 0);
+    }
+}

@@ -1,0 +1,628 @@
+//! Relational operators of the XTRA algebra and their derived properties.
+//!
+//! Property derivation is the binder's workhorse (paper §3.2.2): after
+//! binding each operator's inputs, the binder derives the operator's output
+//! columns, keys and order, then *checks* that the inputs are valid for the
+//! operator. The Xformer additionally relies on the order-preservation
+//! property to elide unnecessary `ORDER BY` clauses (§3.3).
+
+use crate::scalar::{ScalarExpr, SortDir};
+use crate::types::{ColumnDef, Datum, SqlType};
+use std::fmt;
+
+/// Join variants supported by XTRA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Inner join.
+    Inner,
+    /// Left outer join — the shape Q's `aj` and `lj` bind to.
+    LeftOuter,
+    /// Cross join.
+    Cross,
+}
+
+/// Set operation variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOpKind {
+    /// `UNION ALL` — Q's `uj`/`,` on tables keeps duplicates and order.
+    UnionAll,
+    /// `EXCEPT`
+    Except,
+    /// `INTERSECT`
+    Intersect,
+}
+
+/// A sort key: expression plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Key expression (usually a column reference).
+    pub expr: ScalarExpr,
+    /// Direction.
+    pub dir: SortDir,
+}
+
+impl SortKey {
+    /// Ascending sort on a column.
+    pub fn asc(name: impl Into<String>, ty: SqlType) -> SortKey {
+        SortKey { expr: ScalarExpr::col(name, ty), dir: SortDir::Asc }
+    }
+
+    /// Descending sort on a column.
+    pub fn desc(name: impl Into<String>, ty: SqlType) -> SortKey {
+        SortKey { expr: ScalarExpr::col(name, ty), dir: SortDir::Desc }
+    }
+}
+
+/// Derived relational properties (paper §3.2.2: "derived properties
+/// include the output columns with their names and types, keys, and
+/// order"; §3.3 adds the implicit order column and order preservation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RelProps {
+    /// Output columns, in order.
+    pub output: Vec<ColumnDef>,
+    /// Candidate keys: each entry is a set of column names that uniquely
+    /// identifies rows.
+    pub keys: Vec<Vec<String>>,
+    /// Sort order this operator delivers, outermost key first.
+    pub order: Vec<SortKey>,
+    /// Whether the operator preserves its (left) input's order.
+    pub preserves_order: bool,
+    /// Name of the implicit order column present in the output, if any.
+    pub ord_col: Option<String>,
+}
+
+impl RelProps {
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.output.iter().find(|c| c.name == name)
+    }
+
+    /// Does the output contain the named column?
+    pub fn has_column(&self, name: &str) -> bool {
+        self.column(name).is_some()
+    }
+}
+
+/// A relational XTRA operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelNode {
+    /// Base-table access: `xtra_get` in the paper's Figure 2.
+    Get {
+        /// Backend table name.
+        table: String,
+        /// Column definitions, from the metadata interface.
+        cols: Vec<ColumnDef>,
+        /// Name of the table's implicit order column, when the table was
+        /// created by Hyper-Q with ordered semantics.
+        ord_col: Option<String>,
+    },
+    /// Projection / computed columns. Replaces the output with `items`.
+    Project {
+        /// Input operator.
+        input: Box<RelNode>,
+        /// `(alias, expression)` output items.
+        items: Vec<(String, ScalarExpr)>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input operator.
+        input: Box<RelNode>,
+        /// Boolean predicate.
+        predicate: ScalarExpr,
+    },
+    /// Binary join.
+    Join {
+        /// Join kind.
+        kind: JoinKind,
+        /// Left input.
+        left: Box<RelNode>,
+        /// Right input.
+        right: Box<RelNode>,
+        /// Join condition (`TRUE` for cross joins).
+        on: ScalarExpr,
+    },
+    /// Grouped or scalar aggregation. With empty `group_by` this is a
+    /// scalar aggregate producing exactly one row.
+    Aggregate {
+        /// Input operator.
+        input: Box<RelNode>,
+        /// Grouping expressions with output aliases.
+        group_by: Vec<(String, ScalarExpr)>,
+        /// Aggregate output items (alias, expression containing `Agg`).
+        aggs: Vec<(String, ScalarExpr)>,
+    },
+    /// Window-function computation: passes all input columns through and
+    /// appends one column per item.
+    Window {
+        /// Input operator.
+        input: Box<RelNode>,
+        /// `(alias, window expression)` appended columns.
+        items: Vec<(String, ScalarExpr)>,
+    },
+    /// Explicit sort.
+    Sort {
+        /// Input operator.
+        input: Box<RelNode>,
+        /// Sort keys, outermost first.
+        keys: Vec<SortKey>,
+    },
+    /// Row-count limit/offset.
+    Limit {
+        /// Input operator.
+        input: Box<RelNode>,
+        /// Maximum rows to emit; `None` = unlimited.
+        limit: Option<u64>,
+        /// Rows to skip.
+        offset: u64,
+    },
+    /// In-line constant relation.
+    Values {
+        /// Schema of the rows.
+        schema: Vec<ColumnDef>,
+        /// Row data.
+        rows: Vec<Vec<Datum>>,
+    },
+    /// Set operation.
+    SetOp {
+        /// Variant.
+        kind: SetOpKind,
+        /// Left input.
+        left: Box<RelNode>,
+        /// Right input.
+        right: Box<RelNode>,
+    },
+}
+
+impl RelNode {
+    /// Construct a `Get` over columns, marking `ord_col` when present.
+    pub fn get(table: impl Into<String>, cols: Vec<ColumnDef>) -> RelNode {
+        let ord = cols.iter().find(|c| c.name == crate::ORD_COL).map(|c| c.name.clone());
+        RelNode::Get { table: table.into(), cols, ord_col: ord }
+    }
+
+    /// Immediate children of this node.
+    pub fn inputs(&self) -> Vec<&RelNode> {
+        match self {
+            RelNode::Get { .. } | RelNode::Values { .. } => vec![],
+            RelNode::Project { input, .. }
+            | RelNode::Filter { input, .. }
+            | RelNode::Aggregate { input, .. }
+            | RelNode::Window { input, .. }
+            | RelNode::Sort { input, .. }
+            | RelNode::Limit { input, .. } => vec![input],
+            RelNode::Join { left, right, .. } | RelNode::SetOp { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Rebuild this node with children transformed by `f` (bottom-up).
+    pub fn rewrite(&self, f: &mut impl FnMut(RelNode) -> RelNode) -> RelNode {
+        let rebuilt = match self {
+            RelNode::Get { .. } | RelNode::Values { .. } => self.clone(),
+            RelNode::Project { input, items } => RelNode::Project {
+                input: Box::new(input.rewrite(f)),
+                items: items.clone(),
+            },
+            RelNode::Filter { input, predicate } => RelNode::Filter {
+                input: Box::new(input.rewrite(f)),
+                predicate: predicate.clone(),
+            },
+            RelNode::Join { kind, left, right, on } => RelNode::Join {
+                kind: *kind,
+                left: Box::new(left.rewrite(f)),
+                right: Box::new(right.rewrite(f)),
+                on: on.clone(),
+            },
+            RelNode::Aggregate { input, group_by, aggs } => RelNode::Aggregate {
+                input: Box::new(input.rewrite(f)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            RelNode::Window { input, items } => RelNode::Window {
+                input: Box::new(input.rewrite(f)),
+                items: items.clone(),
+            },
+            RelNode::Sort { input, keys } => RelNode::Sort {
+                input: Box::new(input.rewrite(f)),
+                keys: keys.clone(),
+            },
+            RelNode::Limit { input, limit, offset } => RelNode::Limit {
+                input: Box::new(input.rewrite(f)),
+                limit: *limit,
+                offset: *offset,
+            },
+            RelNode::SetOp { kind, left, right } => RelNode::SetOp {
+                kind: *kind,
+                left: Box::new(left.rewrite(f)),
+                right: Box::new(right.rewrite(f)),
+            },
+        };
+        f(rebuilt)
+    }
+
+    /// Derive this operator's relational properties, recursively.
+    pub fn props(&self) -> RelProps {
+        match self {
+            RelNode::Get { cols, ord_col, .. } => RelProps {
+                output: cols.clone(),
+                keys: vec![],
+                order: ord_col
+                    .as_ref()
+                    .map(|c| vec![SortKey::asc(c.clone(), SqlType::Int8)])
+                    .unwrap_or_default(),
+                preserves_order: true,
+                ord_col: ord_col.clone(),
+            },
+            RelNode::Values { schema, .. } => RelProps {
+                output: schema.clone(),
+                keys: vec![],
+                order: vec![],
+                preserves_order: true,
+                ord_col: schema.iter().find(|c| c.name == crate::ORD_COL).map(|c| c.name.clone()),
+            },
+            RelNode::Project { input, items } => {
+                let ip = input.props();
+                let output = items
+                    .iter()
+                    .map(|(alias, e)| ColumnDef::new(alias.clone(), e.derived_type()))
+                    .collect::<Vec<_>>();
+                // Projection preserves row order; the implicit order column
+                // survives only if projected through.
+                let ord_col = ip.ord_col.filter(|oc| {
+                    items.iter().any(|(alias, e)| {
+                        alias == oc
+                            && matches!(e, ScalarExpr::Column { name, .. } if name == oc)
+                    })
+                });
+                RelProps {
+                    output,
+                    keys: vec![],
+                    order: if ord_col.is_some() { ip.order.clone() } else { vec![] },
+                    preserves_order: true,
+                    ord_col,
+                }
+            }
+            RelNode::Filter { input, .. } => {
+                let ip = input.props();
+                RelProps { preserves_order: true, ..ip }
+            }
+            RelNode::Join { left, right, kind, .. } => {
+                let lp = left.props();
+                let rp = right.props();
+                let mut output = lp.output.clone();
+                for c in &rp.output {
+                    // Right-side columns become nullable under a left join.
+                    let mut c = c.clone();
+                    if *kind == JoinKind::LeftOuter {
+                        c.nullable = true;
+                    }
+                    // Disambiguate duplicate names the way Hyper-Q's
+                    // serializer will (suffix _r).
+                    if output.iter().any(|l| l.name == c.name) {
+                        c.name = format!("{}_r", c.name);
+                    }
+                    output.push(c);
+                }
+                RelProps {
+                    output,
+                    keys: vec![],
+                    order: lp.order.clone(),
+                    // Left/inner joins in the generated nested-loop SQL
+                    // preserve left order only via explicit sort; be
+                    // conservative.
+                    preserves_order: false,
+                    ord_col: lp.ord_col,
+                }
+            }
+            RelNode::Aggregate { group_by, aggs, .. } => {
+                let mut output = Vec::with_capacity(group_by.len() + aggs.len());
+                for (alias, e) in group_by {
+                    output.push(ColumnDef::new(alias.clone(), e.derived_type()));
+                }
+                for (alias, e) in aggs {
+                    output.push(ColumnDef::new(alias.clone(), e.derived_type()));
+                }
+                let keys = if group_by.is_empty() {
+                    // Scalar aggregate: single row — every column is a key.
+                    vec![vec![]]
+                } else {
+                    vec![group_by.iter().map(|(a, _)| a.clone()).collect()]
+                };
+                RelProps {
+                    output,
+                    keys,
+                    order: vec![],
+                    // Aggregation destroys input order entirely.
+                    preserves_order: false,
+                    ord_col: None,
+                }
+            }
+            RelNode::Window { input, items } => {
+                let ip = input.props();
+                let mut output = ip.output.clone();
+                for (alias, e) in items {
+                    output.push(ColumnDef::new(alias.clone(), e.derived_type()));
+                }
+                RelProps {
+                    output,
+                    keys: ip.keys.clone(),
+                    order: ip.order.clone(),
+                    preserves_order: true,
+                    ord_col: ip.ord_col,
+                }
+            }
+            RelNode::Sort { input, keys } => {
+                let ip = input.props();
+                RelProps { order: keys.clone(), preserves_order: true, ..ip }
+            }
+            RelNode::Limit { input, .. } => {
+                let ip = input.props();
+                RelProps { preserves_order: true, ..ip }
+            }
+            RelNode::SetOp { left, .. } => {
+                let lp = left.props();
+                RelProps {
+                    output: lp.output,
+                    keys: vec![],
+                    order: vec![],
+                    preserves_order: false,
+                    ord_col: None,
+                }
+            }
+        }
+    }
+
+    /// Operator name for explain output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RelNode::Get { .. } => "xtra_get",
+            RelNode::Project { .. } => "xtra_project",
+            RelNode::Filter { .. } => "xtra_filter",
+            RelNode::Join { kind: JoinKind::Inner, .. } => "xtra_join_inner",
+            RelNode::Join { kind: JoinKind::LeftOuter, .. } => "xtra_join_left",
+            RelNode::Join { kind: JoinKind::Cross, .. } => "xtra_join_cross",
+            RelNode::Aggregate { .. } => "xtra_aggregate",
+            RelNode::Window { .. } => "xtra_window",
+            RelNode::Sort { .. } => "xtra_sort",
+            RelNode::Limit { .. } => "xtra_limit",
+            RelNode::Values { .. } => "xtra_values",
+            RelNode::SetOp { .. } => "xtra_setop",
+        }
+    }
+
+    /// Pretty-print the tree, one operator per line, indented by depth.
+    pub fn explain(&self) -> String {
+        fn walk(node: &RelNode, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(node.name());
+            match node {
+                RelNode::Get { table, .. } => {
+                    out.push_str(&format!("({table})"));
+                }
+                RelNode::Project { items, .. } => {
+                    let names: Vec<&str> = items.iter().map(|(a, _)| a.as_str()).collect();
+                    out.push_str(&format!("[{}]", names.join(", ")));
+                }
+                RelNode::Filter { predicate, .. } => {
+                    out.push_str(&format!("[{predicate}]"));
+                }
+                RelNode::Aggregate { group_by, aggs, .. } => {
+                    let g: Vec<&str> = group_by.iter().map(|(a, _)| a.as_str()).collect();
+                    let a: Vec<&str> = aggs.iter().map(|(a, _)| a.as_str()).collect();
+                    out.push_str(&format!("[by: {}; aggs: {}]", g.join(", "), a.join(", ")));
+                }
+                _ => {}
+            }
+            out.push('\n');
+            for child in node.inputs() {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        walk(self, 0, &mut s);
+        s
+    }
+
+    /// Count operators in the tree (used by translation metrics).
+    pub fn node_count(&self) -> usize {
+        1 + self.inputs().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for RelNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::BinOp;
+
+    fn trades_get() -> RelNode {
+        RelNode::get(
+            "trades",
+            vec![
+                ColumnDef::not_null(crate::ORD_COL, SqlType::Int8),
+                ColumnDef::new("Symbol", SqlType::Varchar),
+                ColumnDef::new("Price", SqlType::Float8),
+            ],
+        )
+    }
+
+    #[test]
+    fn get_exposes_ord_col_and_order() {
+        let g = trades_get();
+        let p = g.props();
+        assert_eq!(p.ord_col.as_deref(), Some(crate::ORD_COL));
+        assert_eq!(p.order.len(), 1);
+        assert!(p.preserves_order);
+        assert_eq!(p.output.len(), 3);
+    }
+
+    #[test]
+    fn get_without_ord_col() {
+        let g = RelNode::get("ext", vec![ColumnDef::new("a", SqlType::Int8)]);
+        let p = g.props();
+        assert!(p.ord_col.is_none());
+        assert!(p.order.is_empty());
+    }
+
+    #[test]
+    fn filter_preserves_everything() {
+        let f = RelNode::Filter {
+            input: Box::new(trades_get()),
+            predicate: ScalarExpr::binary(
+                BinOp::Gt,
+                ScalarExpr::col("Price", SqlType::Float8),
+                ScalarExpr::i64(0),
+            ),
+        };
+        let p = f.props();
+        assert_eq!(p.output.len(), 3);
+        assert_eq!(p.ord_col.as_deref(), Some(crate::ORD_COL));
+    }
+
+    #[test]
+    fn project_keeps_ord_col_only_if_passed_through() {
+        let keep = RelNode::Project {
+            input: Box::new(trades_get()),
+            items: vec![
+                (crate::ORD_COL.into(), ScalarExpr::col(crate::ORD_COL, SqlType::Int8)),
+                ("Price".into(), ScalarExpr::col("Price", SqlType::Float8)),
+            ],
+        };
+        assert_eq!(keep.props().ord_col.as_deref(), Some(crate::ORD_COL));
+
+        let drop = RelNode::Project {
+            input: Box::new(trades_get()),
+            items: vec![("Price".into(), ScalarExpr::col("Price", SqlType::Float8))],
+        };
+        assert!(drop.props().ord_col.is_none());
+    }
+
+    #[test]
+    fn aggregate_destroys_order_and_sets_keys() {
+        let agg = RelNode::Aggregate {
+            input: Box::new(trades_get()),
+            group_by: vec![("Symbol".into(), ScalarExpr::col("Symbol", SqlType::Varchar))],
+            aggs: vec![(
+                "mx".into(),
+                ScalarExpr::Agg {
+                    func: crate::AggFunc::Max,
+                    arg: Some(Box::new(ScalarExpr::col("Price", SqlType::Float8))),
+                },
+            )],
+        };
+        let p = agg.props();
+        assert!(!p.preserves_order);
+        assert!(p.ord_col.is_none());
+        assert_eq!(p.keys, vec![vec!["Symbol".to_string()]]);
+        assert_eq!(p.output.len(), 2);
+        assert_eq!(p.output[1].ty, SqlType::Float8);
+    }
+
+    #[test]
+    fn scalar_aggregate_has_singleton_key() {
+        let agg = RelNode::Aggregate {
+            input: Box::new(trades_get()),
+            group_by: vec![],
+            aggs: vec![("n".into(), ScalarExpr::Agg { func: crate::AggFunc::Count, arg: None })],
+        };
+        assert_eq!(agg.props().keys, vec![Vec::<String>::new()]);
+    }
+
+    #[test]
+    fn left_join_makes_right_nullable_and_disambiguates() {
+        let quotes = RelNode::get(
+            "quotes",
+            vec![
+                ColumnDef::new("Symbol", SqlType::Varchar),
+                ColumnDef::not_null("Bid", SqlType::Float8),
+            ],
+        );
+        let j = RelNode::Join {
+            kind: JoinKind::LeftOuter,
+            left: Box::new(trades_get()),
+            right: Box::new(quotes),
+            on: ScalarExpr::Const(Datum::Bool(true)),
+        };
+        let p = j.props();
+        assert_eq!(p.output.len(), 5);
+        let dup = p.output.iter().find(|c| c.name == "Symbol_r").unwrap();
+        assert!(dup.nullable);
+        let bid = p.output.iter().find(|c| c.name == "Bid").unwrap();
+        assert!(bid.nullable, "left join right side must become nullable");
+        assert_eq!(p.ord_col.as_deref(), Some(crate::ORD_COL));
+    }
+
+    #[test]
+    fn window_appends_columns() {
+        let w = RelNode::Window {
+            input: Box::new(trades_get()),
+            items: vec![(
+                "rn".into(),
+                ScalarExpr::Window {
+                    func: crate::WinFunc::RowNumber,
+                    args: vec![],
+                    partition_by: vec![],
+                    order_by: vec![],
+                },
+            )],
+        };
+        let p = w.props();
+        assert_eq!(p.output.len(), 4);
+        assert_eq!(p.output[3].name, "rn");
+        assert_eq!(p.output[3].ty, SqlType::Int8);
+        assert_eq!(p.ord_col.as_deref(), Some(crate::ORD_COL));
+    }
+
+    #[test]
+    fn sort_sets_order() {
+        let s = RelNode::Sort {
+            input: Box::new(trades_get()),
+            keys: vec![SortKey::desc("Price", SqlType::Float8)],
+        };
+        let p = s.props();
+        assert_eq!(p.order.len(), 1);
+        assert!(matches!(p.order[0].dir, SortDir::Desc));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let f = RelNode::Filter {
+            input: Box::new(trades_get()),
+            predicate: ScalarExpr::Const(Datum::Bool(true)),
+        };
+        let text = f.explain();
+        assert!(text.contains("xtra_filter"));
+        assert!(text.contains("  xtra_get(trades)"));
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        let f = RelNode::Filter {
+            input: Box::new(trades_get()),
+            predicate: ScalarExpr::Const(Datum::Bool(true)),
+        };
+        assert_eq!(f.node_count(), 2);
+    }
+
+    #[test]
+    fn rewrite_bottom_up() {
+        let f = RelNode::Filter {
+            input: Box::new(trades_get()),
+            predicate: ScalarExpr::Const(Datum::Bool(true)),
+        };
+        // Rename the scanned table.
+        let rewritten = f.rewrite(&mut |node| match node {
+            RelNode::Get { cols, ord_col, .. } => {
+                RelNode::Get { table: "trades_hist".into(), cols, ord_col }
+            }
+            other => other,
+        });
+        assert!(rewritten.explain().contains("trades_hist"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Full wire-level deployment: every protocol in the paper's Figure 1,
+//! over real TCP sockets.
+//!
+//! ```sh
+//! cargo run --example network_bridge
+//! ```
+//!
+//! Topology:
+//!
+//! ```text
+//!  Q app (QIPC client)  ──QIPC/TCP──▶  Hyper-Q endpoint
+//!                                        │ translate Q → SQL
+//!                                        ▼
+//!                                      pgdb session (backend)
+//! ```
+//!
+//! plus a separate demonstration of the Gateway speaking PG v3 to the
+//! pgdb TCP server with MD5 authentication — the same start-up flow a
+//! Greenplum deployment would use (§4.2).
+
+use hyperq::backend::Backend;
+use hyperq::endpoint::{EndpointConfig, QipcClient, QipcEndpoint};
+use hyperq::gateway::{Credentials, PgWireBackend};
+use hyperq::{loader, HyperQSession};
+use hyperq_workload::taq::{generate_trades, TaqConfig};
+use pgdb::server::{AuthMode, PgServer, ServerConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Backend database with data loaded. ---
+    let db = pgdb::Db::new();
+    let mut loader_session = HyperQSession::with_direct(&db);
+    loader::load_table(
+        &mut loader_session,
+        "trades",
+        &generate_trades(&TaqConfig { rows: 300, symbols: 3, days: 1, seed: 3 }),
+    )?;
+
+    // --- PG v3 TCP server (the "Greenplum"), with MD5 auth. ---
+    let mut creds = HashMap::new();
+    creds.insert("hyperq".to_string(), "s3cret".to_string());
+    let pg_server = PgServer::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerConfig { auth: AuthMode::Md5(creds) },
+    )?;
+    println!("pgdb PG-v3 server listening on {}", pg_server.addr);
+
+    // The Gateway authenticates over the wire (MD5 challenge/response).
+    let mut gateway = PgWireBackend::connect(
+        &pg_server.addr.to_string(),
+        &Credentials {
+            user: "hyperq".into(),
+            password: "s3cret".into(),
+            database: "hist".into(),
+        },
+    )?;
+    println!("gateway connected: {}", gateway.describe());
+    if let pgdb::QueryResult::Rows(rows) =
+        gateway.execute_sql("SELECT count(*) AS n FROM \"trades\"")?
+    {
+        println!("gateway sanity check — trades rows: {}", rows.data[0][0]);
+    }
+
+    // --- Hyper-Q QIPC endpoint (the "kdb+ server" the app sees). ---
+    let endpoint = QipcEndpoint::start(
+        db.clone(),
+        "127.0.0.1:0",
+        EndpointConfig {
+            authenticator: Arc::new(|user, pass| user == "trader" && pass == "pw"),
+            ..EndpointConfig::default()
+        },
+    )?;
+    println!("Hyper-Q QIPC endpoint listening on {}", endpoint.addr);
+
+    // --- The unchanged Q application. ---
+    let mut app = QipcClient::connect(&endpoint.addr.to_string(), "trader", "pw")?;
+    println!("\nQ application connected over QIPC; running queries:");
+
+    for q in [
+        "select mx: max Price by Symbol from trades",
+        "select vwap: (sum Price*Size) % sum Size from trades",
+        "select n: count i from trades where Price > 50.0",
+    ] {
+        println!("\nq) {q}");
+        println!("{}", app.query(q)?);
+    }
+
+    // Errors travel back as kdb+-style error frames.
+    match app.query("select from not_a_table") {
+        Err(e) => println!("\nerror round trip (verbose, per §5): {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    endpoint.detach();
+    pg_server.detach();
+    Ok(())
+}

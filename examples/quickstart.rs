@@ -1,0 +1,56 @@
+//! Quickstart: run Q queries against a PostgreSQL-compatible backend.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! This is the paper's Figure 1 pipeline in miniature: a Q program is
+//! parsed, algebrized into XTRA, transformed, serialized to SQL, executed
+//! on the `pgdb` backend, and the results are pivoted back into Q values.
+
+use hyperq::{loader, HyperQSession};
+use qlang::value::{Table, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A backend database ("Greenplum" in the paper's deployments).
+    let db = pgdb::Db::new();
+    let mut session = HyperQSession::with_direct(&db);
+
+    // Load a small trades table — the paper assumes data is loaded
+    // independently (§1); the loader maps the Q schema (adding the
+    // implicit ordcol the ordered-list semantics require).
+    let trades = Table::new(
+        vec!["Symbol".into(), "Price".into(), "Size".into()],
+        vec![
+            Value::Symbols(vec!["GOOG".into(), "IBM".into(), "GOOG".into(), "MSFT".into()]),
+            Value::Floats(vec![100.0, 50.5, 101.25, 70.0]),
+            Value::Longs(vec![100, 200, 150, 300]),
+        ],
+    )?;
+    loader::load_table(&mut session, "trades", &trades)?;
+
+    // Q queries run unchanged.
+    println!("== select from trades ==");
+    println!("{}", session.execute("select from trades")?);
+
+    println!("== select Price from trades where Symbol=`GOOG ==");
+    println!("{}", session.execute("select Price from trades where Symbol=`GOOG")?);
+
+    println!("== select mx: max Price, n: count i by Symbol from trades ==");
+    println!("{}", session.execute("select mx: max Price, n: count i by Symbol from trades")?);
+
+    // Peek behind the curtain: the SQL Hyper-Q generated.
+    let (_, translations) =
+        session.execute_traced("select Price from trades where Symbol=`GOOG")?;
+    println!("== generated SQL ==");
+    for tr in &translations {
+        for stmt in &tr.statements {
+            println!("{}", stmt.sql);
+        }
+        println!(
+            "(stages: parse {:?}, algebrize {:?}, optimize {:?}, serialize {:?})",
+            tr.timings.parse, tr.timings.algebrize, tr.timings.optimize, tr.timings.serialize
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+use hyperq::loader;
+use hyperq::HyperQSession;
+use hyperq_workload::analytical::{analytical_workload, small_spec, tables};
+
+#[test]
+fn all_25_analytical_queries_execute_end_to_end() {
+    let db = pgdb::Db::new();
+    let mut s = HyperQSession::with_direct(&db);
+    let spec = small_spec();
+    for (name, table) in tables(&spec) {
+        loader::load_table(&mut s, &name, &table).unwrap();
+    }
+    for q in analytical_workload(&spec) {
+        let v = s
+            .execute(&q.text)
+            .unwrap_or_else(|e| panic!("query {} failed: {e}\n{}", q.id, q.text));
+        assert!(
+            matches!(v, qlang::Value::Table(_) | qlang::Value::KeyedTable(_)),
+            "query {} returned unexpected shape",
+            q.id
+        );
+    }
+}

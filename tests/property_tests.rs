@@ -1,0 +1,233 @@
+//! Property-based tests over the core invariants:
+//!
+//! * QIPC (de)serialization round-trips arbitrary Q values;
+//! * PG v3 codec round-trips arbitrary message contents;
+//! * the Q parser never panics on arbitrary input;
+//! * **side-by-side equivalence** — randomly generated q-sql queries give
+//!   Q-equal results on the reference interpreter and through the full
+//!   Hyper-Q → SQL → pgdb pipeline (the paper's §5 framework as a
+//!   property).
+
+use bytes::BytesMut;
+use hyperq::side_by_side::SideBySide;
+use proptest::prelude::*;
+use qlang::value::{Atom, Table, Value};
+
+// ---------- strategies ----------
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        any::<bool>().prop_map(Atom::Bool),
+        any::<i16>().prop_map(Atom::Short),
+        any::<i32>().prop_map(Atom::Int),
+        any::<i64>().prop_map(Atom::Long),
+        any::<f64>().prop_map(Atom::Float),
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_map(Atom::Symbol),
+        Just(Atom::Symbol(String::new())),
+        (-40000i32..40000).prop_map(Atom::Date),
+        (0i32..86_400_000).prop_map(Atom::Time),
+        any::<i64>().prop_map(Atom::Timestamp),
+        Just(Atom::Long(i64::MIN)),
+        Just(Atom::Float(f64::NAN)),
+    ]
+}
+
+fn arb_vector() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        proptest::collection::vec(any::<bool>(), 0..20).prop_map(Value::Bools),
+        proptest::collection::vec(any::<i64>(), 0..20).prop_map(Value::Longs),
+        proptest::collection::vec(any::<f64>(), 0..20).prop_map(Value::Floats),
+        proptest::collection::vec("[a-z]{0,6}", 0..10).prop_map(Value::Symbols),
+        "[ -~]{0,24}".prop_map(Value::Chars),
+        proptest::collection::vec(-20000i32..20000, 0..20).prop_map(Value::Dates),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![arb_atom().prop_map(Value::Atom), arb_vector()];
+    leaf.prop_recursive(2, 16, 5, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::Mixed),
+            (proptest::collection::vec("[a-z]{1,5}", 1..4), inner).prop_map(|(keys, v)| {
+                let n = keys.len();
+                let vals = Value::Mixed(vec![v; n]);
+                Value::Dict(Box::new(
+                    qlang::Dict::new(Value::Symbols(keys), vals).unwrap(),
+                ))
+            }),
+        ]
+    })
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..5, 0usize..12).prop_flat_map(|(cols, rows)| {
+        let col = proptest::collection::vec(any::<i64>(), rows..=rows).prop_map(Value::Longs);
+        proptest::collection::vec(col, cols..=cols).prop_map(move |columns| {
+            let names = (0..columns.len()).map(|i| format!("c{i}")).collect();
+            Table::new(names, columns).unwrap()
+        })
+    })
+}
+
+// ---------- QIPC ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn qipc_round_trips_arbitrary_values(v in arb_value()) {
+        let msg = qipc::Message::response(v.clone());
+        let bytes = qipc::write_message(&msg).unwrap();
+        let (decoded, used) = qipc::read_message(&bytes).unwrap().unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(decoded.value.q_eq(&v), "decoded {:?} != {:?}", decoded.value, v);
+    }
+
+    #[test]
+    fn qipc_round_trips_tables(t in arb_table()) {
+        let v = Value::Table(Box::new(t));
+        let msg = qipc::Message::response(v.clone());
+        let bytes = qipc::write_message(&msg).unwrap();
+        let (decoded, _) = qipc::read_message(&bytes).unwrap().unwrap();
+        prop_assert!(decoded.value.q_eq(&v));
+    }
+
+    #[test]
+    fn qipc_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Errors are fine; panics are not.
+        let _ = qipc::read_message(&data);
+    }
+
+    #[test]
+    fn qipc_handshake_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = qipc::parse_handshake(&data);
+    }
+}
+
+// ---------- QIPC compression ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn qipc_compression_round_trips_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        if let Some(c) = qipc::compress::compress(&data) {
+            prop_assert!(c.len() < data.len(), "compress must only claim wins");
+            let back = qipc::compress::decompress(&c, data.len());
+            prop_assert_eq!(back.as_deref(), Some(data.as_slice()));
+        }
+    }
+
+    #[test]
+    fn qipc_compressed_messages_round_trip(t in arb_table()) {
+        // Force a payload large enough to hit the compression path by
+        // widening the table with a repetitive symbol column.
+        let n = t.rows();
+        let mut t = t;
+        t.push_column(
+            "Sym".into(),
+            Value::Symbols(vec!["REPEATED_TICKER".to_string(); n]),
+        ).unwrap();
+        let v = Value::Table(Box::new(t));
+        let msg = qipc::Message::response(v.clone());
+        let bytes = qipc::write_message_compressed(&msg).unwrap();
+        let (decoded, used) = qipc::read_message(&bytes).unwrap().unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(decoded.value.q_eq(&v));
+    }
+
+    #[test]
+    fn qipc_decompressor_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        len in 0usize..1024,
+    ) {
+        let _ = qipc::compress::decompress(&data, len);
+    }
+}
+
+// ---------- PG v3 ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pgwire_data_rows_round_trip(cells in proptest::collection::vec(
+        proptest::option::of("[ -~]{0,32}"), 0..10)) {
+        use pgwire::codec::{encode_backend, MessageReader};
+        use pgwire::messages::BackendMessage;
+        let msg = BackendMessage::DataRow(cells);
+        let mut buf = BytesMut::new();
+        encode_backend(&msg, &mut buf);
+        let mut reader = MessageReader::new(false);
+        reader.feed(&buf);
+        prop_assert_eq!(reader.next_backend(), Some(msg));
+    }
+
+    #[test]
+    fn pgwire_query_messages_round_trip(sql in "[ -~]{0,200}") {
+        use pgwire::codec::{encode_frontend, MessageReader};
+        use pgwire::messages::FrontendMessage;
+        let msg = FrontendMessage::Query(sql);
+        let mut buf = BytesMut::new();
+        encode_frontend(&msg, &mut buf);
+        let mut reader = MessageReader::new(false);
+        reader.feed(&buf);
+        prop_assert_eq!(reader.next_frontend(), Some(msg));
+    }
+}
+
+// ---------- Parsers never panic ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn q_parser_never_panics(src in "[ -~]{0,120}") {
+        let _ = qlang::parse(&src);
+    }
+
+    #[test]
+    fn sql_parser_never_panics(src in "[ -~]{0,120}") {
+        let _ = pgdb::sql::parse_statement(&src);
+    }
+}
+
+// ---------- Side-by-side equivalence on generated q-sql ----------
+
+#[derive(Debug, Clone)]
+struct GenQuery(String);
+
+fn arb_query() -> impl Strategy<Value = GenQuery> {
+    let agg = prop_oneof![
+        Just("max"), Just("min"), Just("sum"), Just("avg"), Just("count")
+    ];
+    let col = prop_oneof![Just("Price"), Just("Size")];
+    let cmp = prop_oneof![Just(">"), Just("<"), Just(">="), Just("<=")];
+    let by = prop_oneof![Just(""), Just(" by Symbol"), Just(" by Date")];
+    (agg, col, cmp, by, 0.0f64..150.0).prop_map(|(agg, col, cmp, by, thr)| {
+        GenQuery(format!(
+            "select r: {agg} {col}{by} from trades where Price {cmp} {thr:.2}"
+        ))
+    })
+}
+
+proptest! {
+    // Each case runs a full translate+execute on both engines: keep the
+    // case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_queries_agree_between_reference_and_hyperq(q in arb_query()) {
+        use hyperq_workload::taq::{generate_trades, TaqConfig};
+        let db = pgdb::Db::new();
+        let mut f = SideBySide::new(&db);
+        f.load(
+            "trades",
+            &generate_trades(&TaqConfig { rows: 60, symbols: 3, days: 2, seed: 99 }),
+        ).unwrap();
+        let c = f.check(&q.0);
+        prop_assert!(c.is_match(), "divergence on {}: {:?}", q.0, c);
+    }
+}

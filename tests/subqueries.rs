@@ -1,0 +1,86 @@
+//! IN-subquery support through the whole stack: Q's
+//! `Sym in exec Sym from universe` binds to an uncorrelated relational
+//! subquery, serializes as `IN (SELECT ...)`, and executes on pgdb.
+
+use hyperq::side_by_side::SideBySide;
+use hyperq::{loader, HyperQSession};
+use qlang::value::{Table, Value};
+
+fn universe() -> Table {
+    Table::new(
+        vec!["Sym".into(), "Sector".into()],
+        vec![
+            Value::Symbols(vec!["GOOG".into(), "MSFT".into(), "ORCL".into()]),
+            Value::Symbols(vec!["tech".into(), "tech".into(), "tech".into()]),
+        ],
+    )
+    .unwrap()
+}
+
+fn trades() -> Table {
+    Table::new(
+        vec!["Symbol".into(), "Price".into()],
+        vec![
+            Value::Symbols(vec!["GOOG".into(), "IBM".into(), "MSFT".into(), "GOOG".into()]),
+            Value::Floats(vec![100.0, 50.0, 70.0, 101.0]),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn in_subquery_generates_in_select_sql() {
+    let db = pgdb::Db::new();
+    let mut s = HyperQSession::with_direct(&db);
+    loader::load_table(&mut s, "trades", &trades()).unwrap();
+    loader::load_table(&mut s, "universe", &universe()).unwrap();
+    let (v, trs) = s
+        .execute_traced("select Price from trades where Symbol in exec Sym from universe")
+        .unwrap();
+    let sql = &trs[0].statements[0].sql;
+    assert!(sql.contains("IN (SELECT"), "{sql}");
+    match v {
+        Value::Table(t) => {
+            assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0, 70.0, 101.0])));
+        }
+        other => panic!("expected table, got {other:?}"),
+    }
+}
+
+#[test]
+fn in_subquery_agrees_with_reference() {
+    let db = pgdb::Db::new();
+    let mut f = SideBySide::new(&db);
+    f.load("trades", &trades()).unwrap();
+    f.load("universe", &universe()).unwrap();
+    f.assert_match("select from trades where Symbol in exec Sym from universe").unwrap();
+    f.assert_match(
+        "select n: count i by Symbol from trades where Symbol in exec Sym from universe",
+    )
+    .unwrap();
+}
+
+#[test]
+fn in_subquery_over_filtered_universe() {
+    let db = pgdb::Db::new();
+    let mut f = SideBySide::new(&db);
+    f.load("trades", &trades()).unwrap();
+    f.load("universe", &universe()).unwrap();
+    f.assert_match(
+        "select Price from trades where Symbol in exec Sym from universe where Sector=`tech",
+    )
+    .unwrap();
+}
+
+#[test]
+fn in_subquery_against_table_variable() {
+    let db = pgdb::Db::new();
+    let mut f = SideBySide::new(&db);
+    f.load("trades", &trades()).unwrap();
+    f.load("universe", &universe()).unwrap();
+    f.assert_match(concat!(
+        "watchlist: select Sym from universe where Sym in `GOOG`ORCL; ",
+        "select from trades where Symbol in exec Sym from watchlist"
+    ))
+    .unwrap();
+}

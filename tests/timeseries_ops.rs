@@ -1,0 +1,79 @@
+//! Side-by-side validation of the time-series vocabulary: prev/next
+//! (windowed shifts), deltas, xbar bucketing, first/last aggregates, and
+//! union joins — the primitives the paper's financial workloads lean on.
+
+use hyperq::side_by_side::SideBySide;
+use hyperq_workload::taq::{generate_trades, TaqConfig};
+use qlang::value::{Table, Value};
+
+fn framework() -> SideBySide {
+    let db = pgdb::Db::new();
+    let mut f = SideBySide::new(&db);
+    f.load(
+        "trades",
+        &generate_trades(&TaqConfig { rows: 120, symbols: 3, days: 1, seed: 77 }),
+    )
+    .unwrap();
+    f
+}
+
+#[test]
+fn prev_and_next_shift_by_row_order() {
+    let mut f = framework();
+    f.assert_match("select Price, prevPx: prev Price from trades").unwrap();
+    f.assert_match("select Price, nextPx: next Price from trades").unwrap();
+}
+
+#[test]
+fn deltas_computes_successive_differences() {
+    let mut f = framework();
+    f.assert_match("select d: deltas Size from trades").unwrap();
+}
+
+#[test]
+fn xbar_buckets_values() {
+    let mut f = framework();
+    // Price bucketed to 10-unit bins; Size to 500-unit bins.
+    f.assert_match("select bucket: 10.0 xbar Price, Price from trades").unwrap();
+    f.assert_match("select s: sum Size by 1000 xbar Size from trades").unwrap();
+}
+
+#[test]
+fn first_and_last_aggregates_by_group() {
+    let mut f = framework();
+    // Opening and closing price per symbol — order-sensitive aggregates.
+    f.assert_match("select open: first Price, close: last Price by Symbol from trades").unwrap();
+}
+
+#[test]
+fn union_join_aligns_tables() {
+    let db = pgdb::Db::new();
+    let mut f = SideBySide::new(&db);
+    let a = Table::new(
+        vec!["Sym".into(), "Px".into()],
+        vec![
+            Value::Symbols(vec!["A".into(), "B".into()]),
+            Value::Floats(vec![1.0, 2.0]),
+        ],
+    )
+    .unwrap();
+    let b = Table::new(
+        vec!["Sym".into(), "Px".into(), "Sz".into()],
+        vec![
+            Value::Symbols(vec!["C".into()]),
+            Value::Floats(vec![3.0]),
+            Value::Longs(vec![30]),
+        ],
+    )
+    .unwrap();
+    f.load("t1", &a).unwrap();
+    f.load("t2", &b).unwrap();
+    f.assert_match("t1 uj t2").unwrap();
+}
+
+#[test]
+fn returns_via_deltas_over_prices() {
+    let mut f = framework();
+    // Classic: per-row price change as fraction of previous price.
+    f.assert_match("select r: (deltas Price) % prev Price from trades").unwrap();
+}
