@@ -1354,7 +1354,7 @@ impl<'a> Binder<'a> {
                     partition_by: vec![],
                     order_by: vec![(ScalarExpr::col(oc.name.clone(), oc.ty), SortDir::Asc)],
                 };
-                return Ok(ScalarExpr::Func {
+                Ok(ScalarExpr::Func {
                     name: "coalesce".into(),
                     ty: a.derived_type(),
                     args: vec![
@@ -1362,7 +1362,7 @@ impl<'a> Binder<'a> {
                         a,
                     ],
                     volatile: false,
-                });
+                })
             }
             "prev" | "next" => {
                 // Windowed shift ordered by the implicit order column.

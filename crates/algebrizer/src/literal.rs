@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn tables_are_not_constants() {
-        let t = Value::Table(Box::new(qlang::Table::default()));
+        let t = Value::Table(Box::default());
         assert!(value_to_datum(&t).is_err());
     }
 

@@ -1,0 +1,116 @@
+//! Execution hot paths: hash-keyed executor primitives against their
+//! naive predecessors, plus the keyed translation cache.
+//!
+//! Naive arms run at reduced sizes — they are O(n·g)/O(n·m) scans and
+//! exist only to show the asymptotic gap; the JSON emitter
+//! (`cargo run --release --bin bench_exec`) measures the full-size
+//! speedups the acceptance numbers quote.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperq::SessionConfig;
+use hyperq_bench::exec_data::{grouping_keys, join_inputs, row_set};
+use hyperq_bench::{prepared_session, quick_spec};
+use hyperq_workload::analytical::analytical_workload;
+use pgdb::exec::{dedup_rows, except_rows, group_indices, hash_join, reference};
+use pgdb::sql::ast::JoinType;
+
+fn grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_by_high_cardinality");
+    group.sample_size(10);
+    for rows in [10_000usize, 100_000] {
+        let keys = grouping_keys(rows, rows / 2, 7);
+        group.bench_with_input(BenchmarkId::new("hash", rows), &keys, |b, keys| {
+            b.iter(|| group_indices(keys.clone()));
+        });
+    }
+    // Naive arm: 10k only — at 100k the per-group scan alone takes
+    // seconds per iteration.
+    let keys = grouping_keys(10_000, 5_000, 7);
+    group.bench_with_input(BenchmarkId::new("naive", 10_000usize), &keys, |b, keys| {
+        b.iter(|| reference::group_indices_naive(keys.clone()));
+    });
+    group.finish();
+}
+
+fn set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_ops");
+    group.sample_size(10);
+    let l = row_set(10_000, 8_000, 11);
+    let r = row_set(10_000, 8_000, 13);
+    group.bench_function("except/hash/10kx10k", |b| {
+        b.iter(|| {
+            let mut lhs = l.clone();
+            except_rows(&mut lhs, &r);
+            lhs
+        });
+    });
+    let (ls, rs) = (row_set(2_000, 1_600, 11), row_set(2_000, 1_600, 13));
+    group.bench_function("except/naive/2kx2k", |b| {
+        b.iter(|| {
+            let mut lhs = ls.clone();
+            reference::except_rows_naive(&mut lhs, &rs);
+            lhs
+        });
+    });
+    group.bench_function("distinct/hash/10k", |b| {
+        b.iter(|| {
+            let mut rows = l.clone();
+            dedup_rows(&mut rows);
+            rows
+        });
+    });
+    group.bench_function("distinct/naive/2k", |b| {
+        b.iter(|| {
+            let mut rows = ls.clone();
+            reference::dedup_rows_naive(&mut rows);
+            rows
+        });
+    });
+    group.finish();
+}
+
+fn joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_join_key");
+    group.sample_size(10);
+    let (l, r, pairs) = join_inputs(20_000, 20_000, 5_000, 17);
+    group.bench_function("cellkey/20kx20k", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            hash_join(&l, &r, &pairs, JoinType::Inner, &mut out);
+            out
+        });
+    });
+    group.bench_function("string_key/20kx20k", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            reference::hash_join_string_keyed(&l, &r, &pairs, JoinType::Inner, &mut out);
+            out
+        });
+    });
+    group.finish();
+}
+
+fn translation_cache(c: &mut Criterion) {
+    let spec = quick_spec();
+    let q = analytical_workload(&spec)[0].text.clone();
+    let mut group = c.benchmark_group("translation_cache");
+    group.sample_size(20);
+
+    // prepared_session pins the cache off — the pipeline arm.
+    let mut off = prepared_session(&spec, SessionConfig::default());
+    off.translate_only(&q).unwrap();
+    group.bench_function("repeat/cache_off", |b| {
+        b.iter(|| off.translate_only(&q).unwrap());
+    });
+
+    let mut on = prepared_session(&spec, SessionConfig::default());
+    on.set_translation_cache(256);
+    on.translate_only(&q).unwrap();
+    group.bench_function("repeat/cache_on", |b| {
+        b.iter(|| on.translate_only(&q).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, grouping, set_ops, joins, translation_cache);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Emit `BENCH_exec.json`: the executor hot-path speedups and the
+//! translation-cache effect quoted in EXPERIMENTS.md.
+//!
+//!     cargo run --release --bin bench_exec
+//!
+//! Measures, each best-of-N wall clock:
+//! * 100k-row / 50k-group GROUP BY — `group_indices` (hash) vs the
+//!   retained naive per-group scan (target ≥10×);
+//! * 10k × 10k EXCEPT — `except_rows` (hash) vs the naive scan
+//!   (target ≥5×);
+//! * 20k × 20k equi-join — `CellKey`-keyed `hash_join` vs the former
+//!   per-row formatted-String keying;
+//! * repeated translation of one analytical query with the translation
+//!   cache off vs on.
+
+use hyperq::SessionConfig;
+use hyperq_bench::exec_data::{grouping_keys, join_inputs, row_set};
+use hyperq_bench::{prepared_session, quick_spec};
+use hyperq_workload::analytical::analytical_workload;
+use pgdb::exec::{except_rows, group_indices, hash_join, reference};
+use pgdb::sql::ast::JoinType;
+use std::time::{Duration, Instant};
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    baseline_s: f64,
+    fast_s: f64,
+    target_speedup: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.fast_s > 0.0 { self.baseline_s / self.fast_s } else { f64::INFINITY }
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+
+    // 1. High-cardinality GROUP BY, 100k rows over ~50k groups.
+    let keys = grouping_keys(100_000, 50_000, 7);
+    let hash = best_of(3, || group_indices(keys.clone()));
+    let naive = best_of(1, || reference::group_indices_naive(keys.clone()));
+    entries.push(Entry {
+        name: "group_by_100k_rows_50k_groups",
+        baseline_s: naive.as_secs_f64(),
+        fast_s: hash.as_secs_f64(),
+        target_speedup: 10.0,
+    });
+
+    // 2. EXCEPT over two 10k-row sets.
+    let l = row_set(10_000, 8_000, 11);
+    let r = row_set(10_000, 8_000, 13);
+    let hash = best_of(3, || {
+        let mut lhs = l.clone();
+        except_rows(&mut lhs, &r);
+        lhs
+    });
+    let naive = best_of(1, || {
+        let mut lhs = l.clone();
+        reference::except_rows_naive(&mut lhs, &r);
+        lhs
+    });
+    entries.push(Entry {
+        name: "except_10k_x_10k",
+        baseline_s: naive.as_secs_f64(),
+        fast_s: hash.as_secs_f64(),
+        target_speedup: 5.0,
+    });
+
+    // 3. Join keying: CellKey vs the formatted-String key it replaced.
+    let (lf, rf, pairs) = join_inputs(20_000, 20_000, 5_000, 17);
+    let cellkey = best_of(3, || {
+        let mut out = Vec::new();
+        hash_join(&lf, &rf, &pairs, JoinType::Inner, &mut out);
+        out
+    });
+    let stringkey = best_of(3, || {
+        let mut out = Vec::new();
+        reference::hash_join_string_keyed(&lf, &rf, &pairs, JoinType::Inner, &mut out);
+        out
+    });
+    entries.push(Entry {
+        name: "join_20k_x_20k_cellkey_vs_string",
+        baseline_s: stringkey.as_secs_f64(),
+        fast_s: cellkey.as_secs_f64(),
+        target_speedup: 1.0,
+    });
+
+    // 4. Repeated translation, cache off vs on (100 repeats each).
+    let spec = quick_spec();
+    let q = analytical_workload(&spec)[0].text.clone();
+    let mut off = prepared_session(&spec, SessionConfig::default());
+    off.translate_only(&q).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(off.translate_only(&q).unwrap());
+    }
+    let off_t = t0.elapsed();
+
+    let mut on = prepared_session(&spec, SessionConfig::default());
+    on.set_translation_cache(256);
+    on.translate_only(&q).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(on.translate_only(&q).unwrap());
+    }
+    let on_t = t0.elapsed();
+    let stats = on.translation_cache_stats();
+    assert_eq!(stats.hits, 100, "all repeats must hit the cache");
+    entries.push(Entry {
+        name: "repeated_translation_100x_cache",
+        baseline_s: off_t.as_secs_f64(),
+        fast_s: on_t.as_secs_f64(),
+        target_speedup: 1.0,
+    });
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"baseline_s\": {:.6}, \"fast_s\": {:.6}, ",
+                "\"speedup\": {:.2}, \"target_speedup\": {:.1}, \"meets_target\": {}}}{}\n"
+            ),
+            e.name,
+            e.baseline_s,
+            e.fast_s,
+            e.speedup(),
+            e.target_speedup,
+            e.speedup() >= e.target_speedup,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+        println!(
+            "{:<36} baseline {:>10.3}ms   fast {:>10.3}ms   speedup {:>8.2}x (target {:.0}x)",
+            e.name,
+            e.baseline_s * 1e3,
+            e.fast_s * 1e3,
+            e.speedup(),
+            e.target_speedup,
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"cache_stats\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+        stats.hits, stats.misses
+    ));
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("wrote BENCH_exec.json");
+
+    let failed: Vec<&str> =
+        entries.iter().filter(|e| e.speedup() < e.target_speedup).map(|e| e.name).collect();
+    if !failed.is_empty() {
+        eprintln!("targets missed: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -49,7 +49,7 @@ fn main() {
     println!("\navg overhead: {:.2}%   max overhead: {:.2}% (query {})", avg * 100.0, max_r * 100.0, max_q);
     let mut slowest: Vec<(usize, Duration)> =
         measurements.iter().map(|m| (m.id, m.translation)).collect();
-    slowest.sort_by(|a, b| b.1.cmp(&a.1));
+    slowest.sort_by_key(|e| std::cmp::Reverse(e.1));
     let top4: Vec<usize> = slowest.iter().take(4).map(|(id, _)| *id).collect();
     println!(
         "slowest-to-translate queries: {:?}  (paper: 10, 18, 19, 20 — the multi-join quartet)",

@@ -66,6 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             match session.execute_traced(q) {
                 Ok((v, trs)) => {
                     for tr in &trs {
+                        if tr.timings.cache_hits > 0 {
+                            println!("translation cache hit — pipeline skipped");
+                            continue;
+                        }
                         println!(
                             "parse {:?}  algebrize {:?}  optimize {:?}  serialize {:?}",
                             tr.timings.parse,

@@ -19,13 +19,16 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Credential check for the QIPC handshake.
+pub type Authenticator = Arc<dyn Fn(&str, &str) -> bool + Send + Sync>;
+
 /// Endpoint configuration.
 #[derive(Clone)]
 pub struct EndpointConfig {
     /// Credential check for the QIPC handshake. Defaults to accepting
     /// everyone (kdb+'s historical posture, per §2.2: "kdb+ had no need
     /// for access control").
-    pub authenticator: Arc<dyn Fn(&str, &str) -> bool + Send + Sync>,
+    pub authenticator: Authenticator,
     /// Session configuration applied to every connection.
     pub session: SessionConfig,
 }

@@ -23,6 +23,9 @@
 //!   re-assembling it into Q's column-oriented values (§4.2, Figure 5).
 //! * [`session`] — a Hyper-Q session: variable scopes, eager
 //!   materialization of Q variables (§4.3), statement execution.
+//! * [`qcache`] — the keyed translation cache: repeated Q statements
+//!   skip the translation pipeline entirely until a scope or catalog
+//!   mutation invalidates them.
 //! * [`xc`] — the Cross Compiler's Protocol/Query Translator finite state
 //!   machines (§3.4).
 //! * [`endpoint`] — the kdb+-specific Endpoint plugin: a QIPC TCP server
@@ -66,11 +69,13 @@ pub mod gateway;
 pub mod loader;
 pub mod mdi_backend;
 pub mod pivot;
+pub mod qcache;
 pub mod session;
 pub mod side_by_side;
 pub mod translate;
 pub mod xc;
 
 pub use backend::{Backend, DirectBackend, SharedBackend};
+pub use qcache::{CacheStats, TranslationCache};
 pub use session::{HyperQSession, SessionConfig};
 pub use translate::{StageTimings, Translation, TranslationStats, Translator};

@@ -1,0 +1,281 @@
+//! Keyed translation cache: memoize full translations of repeated Q text.
+//!
+//! Q applications (paper §2.1) send the same statement shapes over and
+//! over — a dashboard refreshing `select last Price by Symbol from
+//! trades` pays the parse → algebrize → optimize → serialize pipeline
+//! on every refresh even though nothing about the translation changed.
+//! This cache short-circuits that: a bounded LRU keyed by the
+//! whitespace-normalized Q text plus two version counters,
+//!
+//! * `scope_epoch` — bumped whenever the session's variable-scope
+//!   hierarchy may have changed (assignments, function definitions,
+//!   session end). Translations bake in variable bindings, so any
+//!   scope mutation invalidates everything.
+//! * `catalog_epoch` — bumped on DDL (temp-table materialization,
+//!   external `invalidate_metadata`). Translations bake in column
+//!   lists from the MDI, so catalog changes invalidate too.
+//!
+//! Only *pure* translations are cacheable: every statement must return
+//! rows (no `CREATE TEMPORARY TABLE` side effects) and none may have
+//! been absorbed into session state. Everything else both bypasses the
+//! cache and bumps `scope_epoch`/`catalog_epoch`, because it mutated
+//! the state translations depend on.
+
+use crate::translate::Translation;
+use std::collections::HashMap;
+
+/// Cache key: normalized Q text + the state versions the translation
+/// was produced under. Epoch mismatches can never hit because lookups
+/// always use the current epochs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Whitespace-normalized Q program text.
+    pub text: String,
+    /// Variable-scope version at translation time.
+    pub scope_epoch: u64,
+    /// Catalog/metadata version at translation time.
+    pub catalog_epoch: u64,
+}
+
+/// Hit/miss/invalidation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the full translation pipeline.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Times the whole cache was invalidated by an epoch bump.
+    pub invalidations: u64,
+}
+
+struct Entry {
+    translations: Vec<Translation>,
+    last_used: u64,
+}
+
+/// Bounded LRU over [`Translation`] vectors (one per Q program).
+pub struct TranslationCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, Entry>,
+    tick: u64,
+    scope_epoch: u64,
+    catalog_epoch: u64,
+    stats: CacheStats,
+}
+
+impl TranslationCache {
+    /// A cache holding at most `capacity` programs. Zero disables
+    /// caching entirely (every lookup misses without counting).
+    pub fn new(capacity: usize) -> Self {
+        TranslationCache {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            scope_epoch: 0,
+            catalog_epoch: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Is caching enabled?
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Cached programs currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters since session start (survive invalidations).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Key for `q_text` under the current epochs.
+    pub fn key(&self, q_text: &str) -> CacheKey {
+        CacheKey {
+            text: normalize_q_text(q_text),
+            scope_epoch: self.scope_epoch,
+            catalog_epoch: self.catalog_epoch,
+        }
+    }
+
+    /// Look up a translation, refreshing its LRU position.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Vec<Translation>> {
+        if !self.enabled() {
+            return None;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(e.translations.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a translation, evicting the least-recently-used entry
+    /// when full.
+    pub fn put(&mut self, key: CacheKey, translations: Vec<Translation>) {
+        if !self.enabled() {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(key, Entry { translations, last_used: self.tick });
+    }
+
+    /// A scope mutation happened (assignment, function definition,
+    /// session end): all cached translations may bake in stale variable
+    /// bindings.
+    pub fn note_scope_mutation(&mut self) {
+        self.scope_epoch += 1;
+        self.invalidate();
+    }
+
+    /// A catalog mutation happened (DDL, temp-table materialization,
+    /// external metadata invalidation).
+    pub fn note_catalog_mutation(&mut self) {
+        self.catalog_epoch += 1;
+        self.invalidate();
+    }
+
+    fn invalidate(&mut self) {
+        if !self.entries.is_empty() {
+            self.stats.invalidations += 1;
+        }
+        self.entries.clear();
+    }
+}
+
+/// Collapse runs of spaces and tabs so formatting differences share a
+/// cache entry. Newlines are preserved (the Q grammar is
+/// newline-sensitive: a newline at top level separates statements) and
+/// so is everything inside string literals.
+pub fn normalize_q_text(q: &str) -> String {
+    let mut out = String::with_capacity(q.len());
+    let mut chars = q.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if c == '\\' {
+                // Escaped char inside a string: copy it verbatim.
+                if let Some(next) = chars.next() {
+                    out.push(next);
+                }
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            ' ' | '\t' => {
+                while matches!(chars.peek(), Some(' ' | '\t')) {
+                    chars.next();
+                }
+                // Trailing blanks before a newline or EOF vanish.
+                if !matches!(chars.peek(), Some('\n') | Some('\r') | None) {
+                    out.push(' ');
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    // Leading/trailing blank runs around the whole program.
+    out.trim_matches(|c| c == ' ' || c == '\n' || c == '\r').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::Translation;
+
+    fn tr(tag: &str) -> Vec<Translation> {
+        vec![Translation {
+            statements: vec![crate::translate::SqlStatement {
+                sql: tag.to_string(),
+                returns_rows: true,
+                shape: None,
+            }],
+            timings: Default::default(),
+            xform_report: Default::default(),
+            absorbed: false,
+        }]
+    }
+
+    #[test]
+    fn normalization_collapses_spaces_not_newlines() {
+        assert_eq!(normalize_q_text("select  a   from\tt"), "select a from t");
+        assert_eq!(normalize_q_text("a: 1\nb: 2"), "a: 1\nb: 2");
+        assert_eq!(normalize_q_text("  x + 1  "), "x + 1");
+        assert_eq!(normalize_q_text("f \"a  b\""), "f \"a  b\"");
+        assert_eq!(normalize_q_text("f \"a\\\"  b\""), "f \"a\\\"  b\"");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = TranslationCache::new(2);
+        let (ka, kb, kc) = (c.key("a"), c.key("b"), c.key("c"));
+        c.put(ka.clone(), tr("A"));
+        c.put(kb.clone(), tr("B"));
+        assert!(c.get(&ka).is_some()); // refresh a
+        c.put(kc.clone(), tr("C")); // evicts b
+        assert!(c.get(&kb).is_none());
+        assert!(c.get(&ka).is_some());
+        assert!(c.get(&kc).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn epoch_bumps_invalidate() {
+        let mut c = TranslationCache::new(8);
+        let k = c.key("q");
+        c.put(k.clone(), tr("Q"));
+        assert!(c.get(&k).is_some());
+        c.note_scope_mutation();
+        // Old key can't hit (epoch embedded) and a fresh key misses too.
+        assert!(c.get(&k).is_none());
+        let k2 = c.key("q");
+        assert_ne!(k, k2);
+        assert!(c.get(&k2).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = TranslationCache::new(0);
+        let k = c.key("q");
+        c.put(k.clone(), tr("Q"));
+        assert!(c.get(&k).is_none());
+        assert_eq!(c.stats(), CacheStats { misses: 0, ..Default::default() });
+    }
+}

@@ -9,6 +9,7 @@
 use crate::backend::{share, DirectBackend, SharedBackend};
 use crate::mdi_backend::BackendMdi;
 use crate::pivot::pivot;
+use crate::qcache::{CacheStats, TranslationCache};
 use crate::translate::{StageTimings, Translation, TranslationStats, Translator};
 use algebrizer::{CachingMdi, MaterializationPolicy, Scopes};
 use pgdb::QueryResult;
@@ -26,6 +27,10 @@ pub struct SessionConfig {
     /// Metadata cache TTL. The paper's experiments run with caching
     /// enabled; set to `Duration::ZERO` to disable (Ablation A).
     pub metadata_cache_ttl: Duration,
+    /// Translation cache capacity, in distinct Q programs. Repeated
+    /// statements skip the parse → algebrize → optimize → serialize
+    /// pipeline entirely; 0 disables the cache.
+    pub translation_cache: usize,
 }
 
 impl Default for SessionConfig {
@@ -34,6 +39,7 @@ impl Default for SessionConfig {
             policy: MaterializationPolicy::Logical,
             xform: XformConfig::default(),
             metadata_cache_ttl: Duration::from_secs(300),
+            translation_cache: 256,
         }
     }
 }
@@ -45,6 +51,7 @@ pub struct HyperQSession {
     scopes: Scopes,
     temp_seq: usize,
     translator: Translator,
+    qcache: TranslationCache,
     /// Accumulated translation statistics (drives the Figure 6/7
     /// harnesses).
     pub stats: TranslationStats,
@@ -63,6 +70,7 @@ impl HyperQSession {
                 xformer: xformer::Xformer::with_config(config.xform),
                 policy: config.policy,
             },
+            qcache: TranslationCache::new(config.translation_cache),
             stats: TranslationStats::default(),
         }
     }
@@ -87,9 +95,68 @@ impl HyperQSession {
         self.mdi.stats()
     }
 
-    /// Invalidate the metadata cache (after external DDL).
-    pub fn invalidate_metadata(&self) {
+    /// Invalidate the metadata cache (after external DDL). Also drops
+    /// all cached translations — they bake in catalog metadata.
+    pub fn invalidate_metadata(&mut self) {
         self.mdi.invalidate_all();
+        self.qcache.note_catalog_mutation();
+    }
+
+    /// Translation cache statistics.
+    pub fn translation_cache_stats(&self) -> CacheStats {
+        self.qcache.stats()
+    }
+
+    /// Resize the translation cache at runtime (`0` disables it).
+    /// Existing entries and statistics are dropped.
+    pub fn set_translation_cache(&mut self, capacity: usize) {
+        self.qcache = TranslationCache::new(capacity);
+    }
+
+    /// Translate `q_text`, consulting the translation cache.
+    ///
+    /// A program is cached only when every statement is *pure*: not
+    /// absorbed into session state and producing only row-returning
+    /// SQL. Anything else (assignments, function definitions, eager
+    /// `CREATE TEMPORARY TABLE` materializations) mutated scope or
+    /// catalog state, so it bumps the corresponding epoch instead —
+    /// wiping entries whose translations may now be stale.
+    fn translate_cached(&mut self, q_text: &str) -> QResult<Vec<Translation>> {
+        if !self.qcache.enabled() {
+            return self.translator.translate_program(
+                q_text,
+                &self.mdi,
+                &mut self.scopes,
+                &mut self.temp_seq,
+            );
+        }
+        let key = self.qcache.key(q_text);
+        if let Some(mut cached) = self.qcache.get(&key) {
+            for tr in &mut cached {
+                tr.timings = StageTimings { cache_hits: 1, ..StageTimings::default() };
+            }
+            return Ok(cached);
+        }
+        let mut translations = self.translator.translate_program(
+            q_text,
+            &self.mdi,
+            &mut self.scopes,
+            &mut self.temp_seq,
+        )?;
+        for tr in &mut translations {
+            tr.timings.cache_misses = 1;
+        }
+        let pure = translations.iter().all(|tr| {
+            !tr.absorbed
+                && !tr.statements.is_empty()
+                && tr.statements.iter().all(|s| s.returns_rows)
+        });
+        if pure {
+            self.qcache.put(key, translations.clone());
+        } else {
+            self.qcache.note_scope_mutation();
+        }
+        Ok(translations)
     }
 
     /// Execute a Q program; returns the value of the last statement.
@@ -101,12 +168,7 @@ impl HyperQSession {
     /// Execute and return the per-statement translations alongside the
     /// final value (for instrumentation).
     pub fn execute_traced(&mut self, q_text: &str) -> QResult<(Value, Vec<Translation>)> {
-        let translations = self.translator.translate_program(
-            q_text,
-            &self.mdi,
-            &mut self.scopes,
-            &mut self.temp_seq,
-        )?;
+        let translations = self.translate_cached(q_text)?;
         let mut last = Value::Nil;
         for tr in &translations {
             self.stats.statements += 1;
@@ -147,14 +209,9 @@ impl HyperQSession {
     }
 
     /// Translate without executing (used by the translation-overhead
-    /// benchmarks; still performs metadata lookups).
+    /// benchmarks; still performs metadata lookups on a cache miss).
     pub fn translate_only(&mut self, q_text: &str) -> QResult<Vec<Translation>> {
-        self.translator.translate_program(
-            q_text,
-            &self.mdi,
-            &mut self.scopes,
-            &mut self.temp_seq,
-        )
+        self.translate_cached(q_text)
     }
 
     /// Accumulated stage timings.
@@ -163,9 +220,11 @@ impl HyperQSession {
     }
 
     /// End the session: session-scope variables are promoted to server
-    /// scope (paper §3.2.3).
+    /// scope (paper §3.2.3). Cached translations may reference expired
+    /// bindings, so the cache is invalidated.
     pub fn end_session(&mut self) {
         self.scopes.end_session();
+        self.qcache.note_scope_mutation();
     }
 }
 

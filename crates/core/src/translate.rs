@@ -23,6 +23,11 @@ pub struct StageTimings {
     pub optimize: Duration,
     /// XTRA → SQL text.
     pub serialize: Duration,
+    /// Translations served from the session's translation cache: all
+    /// stage durations above are zero for such a statement.
+    pub cache_hits: u64,
+    /// Translations that ran the full pipeline (with a cache enabled).
+    pub cache_misses: u64,
 }
 
 impl StageTimings {
@@ -37,6 +42,8 @@ impl StageTimings {
         self.algebrize += other.algebrize;
         self.optimize += other.optimize;
         self.serialize += other.serialize;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 

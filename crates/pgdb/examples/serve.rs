@@ -1,0 +1,37 @@
+//! Serve the in-process database over the PG v3 wire protocol so any
+//! PostgreSQL client can poke it directly:
+//!
+//! ```sh
+//! cargo run --release -p pgdb --example serve [addr]
+//! ```
+//!
+//! Loads a tiny `t` table (with NULLs) for experimentation and blocks
+//! until killed. Trust auth: any user, no password.
+
+use pgdb::server::{PgServer, ServerConfig};
+use pgdb::{Cell, Column, Db, PgType};
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:0".into());
+    let db = Db::new();
+    db.put_table(
+        "t",
+        vec![
+            Column { name: "k".into(), ty: PgType::Int8 },
+            Column { name: "v".into(), ty: PgType::Varchar },
+        ],
+        vec![
+            vec![Cell::Int(1), Cell::Text("a".into())],
+            vec![Cell::Int(2), Cell::Text("b".into())],
+            vec![Cell::Int(2), Cell::Text("b".into())],
+            vec![Cell::Null, Cell::Text("n".into())],
+            vec![Cell::Null, Cell::Text("n".into())],
+            vec![Cell::Int(3), Cell::Null],
+        ],
+    );
+    let server = PgServer::start(db, &addr, ServerConfig::default()).expect("start server");
+    println!("pgdb listening on {}", server.addr);
+    loop {
+        std::thread::park();
+    }
+}

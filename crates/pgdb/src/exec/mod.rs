@@ -1,11 +1,16 @@
 //! Query execution: SELECT evaluation over in-memory tables.
 
 pub mod expr;
+pub mod key;
+pub mod reference;
 
 use crate::engine::DbError;
 use crate::sql::ast::*;
 use crate::types::{Cell, Column, PgType, Rows};
 use expr::{derive_type, eval, BoundCol};
+use key::{row_key, CellKey};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// Source of named tables during execution (sessions implement this:
 /// temp tables shadow globals shadow catalog virtual tables).
@@ -26,26 +31,53 @@ pub struct Frame {
 /// Execute a SELECT statement.
 pub fn run_select(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> {
     let mut out = run_block(src, stmt)?;
-    // Chained set operations.
+    // Chained set operations, left-folded. A single block with no set
+    // op short-circuits past all dedup work. Across a chain, `seen`
+    // carries the key set of the (distinct) accumulated result so
+    // UNION never re-deduplicates rows it already admitted; UNION ALL
+    // may reintroduce duplicates, which drops the set.
     let mut cursor = &stmt.set_op;
+    let mut seen: Option<HashSet<Vec<CellKey>>> = None;
     while let Some((op, rhs)) = cursor {
         let right = run_block(src, rhs)?;
         if right.columns.len() != out.columns.len() {
             return Err(DbError::exec("set operation column count mismatch"));
         }
         match op {
-            SetOp::UnionAll => out.data.extend(right.data),
-            SetOp::Union => {
+            SetOp::UnionAll => {
                 out.data.extend(right.data);
-                dedup_rows(&mut out.data);
+                seen = None;
+            }
+            SetOp::Union => {
+                let set = match seen.as_mut() {
+                    Some(set) => set,
+                    None => seen.insert(dedup_keyed(&mut out.data)),
+                };
+                for row in right.data {
+                    if set.insert(row_key(&row)) {
+                        out.data.push(row);
+                    }
+                }
             }
             SetOp::Except => {
-                out.data.retain(|r| !right.data.iter().any(|s| rows_equal(r, s)));
-                dedup_rows(&mut out.data);
+                let right_keys: HashSet<Vec<CellKey>> =
+                    right.data.iter().map(|r| row_key(r)).collect();
+                let mut kept = HashSet::with_capacity(out.data.len());
+                out.data.retain(|r| {
+                    let k = row_key(r);
+                    !right_keys.contains(&k) && kept.insert(k)
+                });
+                seen = Some(kept);
             }
             SetOp::Intersect => {
-                out.data.retain(|r| right.data.iter().any(|s| rows_equal(r, s)));
-                dedup_rows(&mut out.data);
+                let right_keys: HashSet<Vec<CellKey>> =
+                    right.data.iter().map(|r| row_key(r)).collect();
+                let mut kept = HashSet::with_capacity(out.data.len());
+                out.data.retain(|r| {
+                    let k = row_key(r);
+                    right_keys.contains(&k) && kept.insert(k)
+                });
+                seen = Some(kept);
             }
         }
         cursor = &rhs.set_op;
@@ -72,20 +104,81 @@ fn contains_subquery(e: &SqlExpr) -> bool {
     }
 }
 
-fn rows_equal(a: &[Cell], b: &[Cell]) -> bool {
+/// Row equality under `IS NOT DISTINCT FROM` (NULLs equal).
+pub fn rows_equal(a: &[Cell], b: &[Cell]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.not_distinct(y))
 }
 
-fn dedup_rows(rows: &mut Vec<Vec<Cell>>) {
-    let mut seen: Vec<Vec<Cell>> = Vec::new();
-    rows.retain(|r| {
-        if seen.iter().any(|s| rows_equal(s, r)) {
-            false
-        } else {
-            seen.push(r.clone());
-            true
-        }
+/// Single-pass hash dedup keeping first occurrences; returns the key
+/// set of the surviving rows so callers can extend it incrementally.
+fn dedup_keyed(rows: &mut Vec<Vec<Cell>>) -> HashSet<Vec<CellKey>> {
+    #[cfg(debug_assertions)]
+    let naive = (rows.len() <= 64).then(|| {
+        let mut copy = rows.clone();
+        reference::dedup_rows_naive(&mut copy);
+        copy
     });
+    let mut seen = HashSet::with_capacity(rows.len());
+    rows.retain(|r| seen.insert(row_key(r)));
+    #[cfg(debug_assertions)]
+    if let Some(naive) = naive {
+        debug_assert!(
+            rows.len() == naive.len() && rows.iter().zip(&naive).all(|(a, b)| rows_equal(a, b)),
+            "hash dedup disagrees with naive dedup: {rows:?} vs {naive:?}"
+        );
+    }
+    seen
+}
+
+/// Remove duplicate rows (first occurrence wins), O(n) via [`CellKey`].
+pub fn dedup_rows(rows: &mut Vec<Vec<Cell>>) {
+    dedup_keyed(rows);
+}
+
+/// `EXCEPT`: distinct left rows with no match on the right, O(n + m).
+pub fn except_rows(left: &mut Vec<Vec<Cell>>, right: &[Vec<Cell>]) {
+    let right_keys: HashSet<Vec<CellKey>> = right.iter().map(|r| row_key(r)).collect();
+    let mut kept = HashSet::with_capacity(left.len());
+    left.retain(|r| {
+        let k = row_key(r);
+        !right_keys.contains(&k) && kept.insert(k)
+    });
+}
+
+/// `INTERSECT`: distinct left rows with a match on the right, O(n + m).
+pub fn intersect_rows(left: &mut Vec<Vec<Cell>>, right: &[Vec<Cell>]) {
+    let right_keys: HashSet<Vec<CellKey>> = right.iter().map(|r| row_key(r)).collect();
+    let mut kept = HashSet::with_capacity(left.len());
+    left.retain(|r| {
+        let k = row_key(r);
+        right_keys.contains(&k) && kept.insert(k)
+    });
+}
+
+/// `UNION` (distinct): dedup `left` then admit unseen right rows.
+pub fn union_rows(left: &mut Vec<Vec<Cell>>, right: Vec<Vec<Cell>>) {
+    let mut seen = dedup_keyed(left);
+    for row in right {
+        if seen.insert(row_key(&row)) {
+            left.push(row);
+        }
+    }
+}
+
+/// Group row indices by key cells (first-seen group order), O(n).
+pub fn group_indices(keys: Vec<Vec<Cell>>) -> Vec<(Vec<Cell>, Vec<usize>)> {
+    let mut groups: Vec<(Vec<Cell>, Vec<usize>)> = Vec::new();
+    let mut index: HashMap<Vec<CellKey>, usize> = HashMap::with_capacity(keys.len());
+    for (ri, key) in keys.into_iter().enumerate() {
+        match index.entry(row_key(&key)) {
+            Entry::Occupied(e) => groups[*e.get()].1.push(ri),
+            Entry::Vacant(v) => {
+                v.insert(groups.len());
+                groups.push((key, vec![ri]));
+            }
+        }
+    }
+    groups
 }
 
 /// Replace uncorrelated `IN (SELECT ...)` subqueries with literal lists
@@ -259,7 +352,8 @@ fn run_block(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> 
             combined.extend(pair.1.clone());
             stmt.order_by.iter().map(|(e, _)| eval(e, &combined_cols, &combined)).collect()
         };
-        let mut keyed: Vec<(Vec<Cell>, (Vec<Cell>, Vec<Cell>))> = Vec::with_capacity(projected.len());
+        type SortEntry = (Vec<Cell>, (Vec<Cell>, Vec<Cell>));
+        let mut keyed: Vec<SortEntry> = Vec::with_capacity(projected.len());
         for p in projected.into_iter() {
             keyed.push((key_of(&p)?, p));
         }
@@ -300,23 +394,21 @@ fn default_output_name(e: &SqlExpr, i: usize) -> String {
 
 /// Grouped / scalar aggregation.
 fn aggregate_block(stmt: &SelectStmt, frame: Frame) -> Result<Rows, DbError> {
-    // Group rows by key.
-    let mut groups: Vec<(Vec<Cell>, Vec<usize>)> = Vec::new();
-    if stmt.group_by.is_empty() {
-        groups.push((vec![], (0..frame.rows.len()).collect()));
+    // Group rows by key (hash aggregation; first-seen group order).
+    let groups: Vec<(Vec<Cell>, Vec<usize>)> = if stmt.group_by.is_empty() {
+        vec![(vec![], (0..frame.rows.len()).collect())]
     } else {
-        for (ri, row) in frame.rows.iter().enumerate() {
-            let key: Vec<Cell> = stmt
-                .group_by
-                .iter()
-                .map(|e| eval(e, &frame.cols, row))
-                .collect::<Result<_, _>>()?;
-            match groups.iter_mut().find(|(k, _)| rows_equal(k, &key)) {
-                Some((_, rows)) => rows.push(ri),
-                None => groups.push((key, vec![ri])),
-            }
+        let mut keys = Vec::with_capacity(frame.rows.len());
+        for row in &frame.rows {
+            keys.push(
+                stmt.group_by
+                    .iter()
+                    .map(|e| eval(e, &frame.cols, row))
+                    .collect::<Result<Vec<Cell>, _>>()?,
+            );
         }
-    }
+        group_indices(keys)
+    };
 
     let items: Vec<(Option<String>, SqlExpr)> = stmt
         .items
@@ -586,26 +678,19 @@ fn fold_extreme(values: &[Cell], want_max: bool) -> Cell {
     best.cloned().unwrap_or(Cell::Null)
 }
 
-fn dedup_cells(values: &mut Vec<Cell>) {
-    let mut seen: Vec<Cell> = Vec::new();
-    values.retain(|v| {
-        if seen.iter().any(|s| s.not_distinct(v)) {
-            false
-        } else {
-            seen.push(v.clone());
-            true
-        }
-    });
+/// DISTINCT over aggregate inputs, O(n) via [`CellKey`].
+pub fn dedup_cells(values: &mut Vec<Cell>) {
+    let mut seen = HashSet::with_capacity(values.len());
+    values.retain(|v| seen.insert(CellKey::from_cell(v)));
 }
 
 /// Collect structurally distinct window-function nodes.
 fn collect_windows(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
     match e {
-        SqlExpr::WindowFunc { .. } => {
-            if !out.contains(e) {
+        SqlExpr::WindowFunc { .. }
+            if !out.contains(e) => {
                 out.push(e.clone());
             }
-        }
         SqlExpr::Binary { lhs, rhs, .. } => {
             collect_windows(lhs, out);
             collect_windows(rhs, out);
@@ -677,18 +762,17 @@ fn compute_window(w: &SqlExpr, frame: &Frame) -> Result<Vec<Cell>, DbError> {
         return Err(DbError::exec("not a window function"));
     };
     let n = frame.rows.len();
-    // Partition rows.
-    let mut partitions: Vec<(Vec<Cell>, Vec<usize>)> = Vec::new();
-    for ri in 0..n {
-        let key: Vec<Cell> = partition_by
-            .iter()
-            .map(|e| eval(e, &frame.cols, &frame.rows[ri]))
-            .collect::<Result<_, _>>()?;
-        match partitions.iter_mut().find(|(k, _)| rows_equal(k, &key)) {
-            Some((_, rows)) => rows.push(ri),
-            None => partitions.push((key, vec![ri])),
-        }
+    // Partition rows (hash partitioning; first-seen order).
+    let mut part_keys = Vec::with_capacity(n);
+    for row in &frame.rows {
+        part_keys.push(
+            partition_by
+                .iter()
+                .map(|e| eval(e, &frame.cols, row))
+                .collect::<Result<Vec<Cell>, _>>()?,
+        );
     }
+    let partitions = group_indices(part_keys);
 
     let mut out = vec![Cell::Null; n];
     for (_, mut rows) in partitions {
@@ -777,10 +861,10 @@ fn compute_window(w: &SqlExpr, frame: &Frame) -> Result<Vec<Cell>, DbError> {
 
 /// One equi-join key pair: left column index, right column index, and
 /// whether NULLs match (IS NOT DISTINCT FROM) or not (=).
-struct EquiPair {
-    left: usize,
-    right: usize,
-    nulls_match: bool,
+pub struct EquiPair {
+    pub left: usize,
+    pub right: usize,
+    pub nulls_match: bool,
 }
 
 /// Recognize a conjunction of cross-side column equalities. Returns
@@ -824,67 +908,42 @@ fn extract_equi_pairs(cond: &SqlExpr, l: &Frame, r: &Frame) -> Option<Vec<EquiPa
     }
 }
 
-/// Hashable projection of a cell for join keys.
-fn cell_hash_key(c: &Cell) -> String {
-    match c {
-        Cell::Null => "\u{0}N".to_string(),
-        Cell::Bool(b) => format!("b{b}"),
-        Cell::Int(v) => format!("i{v}"),
-        // Compare numerics across widths the way sql_eq does.
-        Cell::Float(f) => {
-            if f.fract() == 0.0 && f.is_finite() && f.abs() < 9e15 {
-                format!("i{}", *f as i64)
-            } else {
-                format!("f{}", f.to_bits())
-            }
+/// Build one side's join key, or `None` when a NULL key column under
+/// plain `=` disqualifies the row from matching (PG semantics).
+fn join_key(row: &[Cell], pairs: &[EquiPair], right_side: bool) -> Option<Vec<CellKey>> {
+    let mut key = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        let c = &row[if right_side { p.right } else { p.left }];
+        if c.is_null() && !p.nulls_match {
+            return None; // plain = never matches NULL
         }
-        Cell::Text(s) => format!("t{s}"),
-        Cell::Date(d) => format!("i{d}"),
-        Cell::Time(t) => format!("i{t}"),
-        Cell::Timestamp(t) => format!("i{t}"),
+        key.push(CellKey::from_cell(c));
     }
+    Some(key)
 }
 
-fn hash_join(l: &Frame, r: &Frame, pairs: &[EquiPair], kind: JoinType, out: &mut Vec<Vec<Cell>>) {
-    use std::collections::HashMap;
-    let mut index: HashMap<String, Vec<usize>> = HashMap::with_capacity(r.rows.len());
-    'right: for (ri, row) in r.rows.iter().enumerate() {
-        let mut key = String::new();
-        for p in pairs {
-            let c = &row[p.right];
-            if c.is_null() && !p.nulls_match {
-                continue 'right; // plain = never matches NULL
-            }
-            key.push_str(&cell_hash_key(c));
-            key.push('\u{1}');
+/// Equi-join via a hash index on the right side, keyed by the
+/// allocation-free-per-column [`CellKey`] (formerly a per-row
+/// formatted `String`).
+pub fn hash_join(l: &Frame, r: &Frame, pairs: &[EquiPair], kind: JoinType, out: &mut Vec<Vec<Cell>>) {
+    let mut index: HashMap<Vec<CellKey>, Vec<usize>> = HashMap::with_capacity(r.rows.len());
+    for (ri, row) in r.rows.iter().enumerate() {
+        if let Some(key) = join_key(row, pairs, true) {
+            index.entry(key).or_default().push(ri);
         }
-        index.entry(key).or_default().push(ri);
     }
-    'left: for lrow in &l.rows {
-        let mut key = String::new();
-        let mut skip = false;
-        for p in pairs {
-            let c = &lrow[p.left];
-            if c.is_null() && !p.nulls_match {
-                skip = true;
-                break;
+    for lrow in &l.rows {
+        if let Some(matches) = join_key(lrow, pairs, false).and_then(|k| index.get(&k)) {
+            for &ri in matches {
+                let mut row = lrow.clone();
+                row.extend(r.rows[ri].iter().cloned());
+                out.push(row);
             }
-            key.push_str(&cell_hash_key(c));
-            key.push('\u{1}');
-        }
-        if !skip {
-            if let Some(matches) = index.get(&key) {
-                for &ri in matches {
-                    let mut row = lrow.clone();
-                    row.extend(r.rows[ri].clone());
-                    out.push(row);
-                }
-                continue 'left;
-            }
+            continue;
         }
         if kind == JoinType::Left {
             let mut row = lrow.clone();
-            row.extend(std::iter::repeat(Cell::Null).take(r.cols.len()));
+            row.extend(std::iter::repeat_n(Cell::Null, r.cols.len()));
             out.push(row);
         }
     }
@@ -982,7 +1041,7 @@ fn eval_from(src: &dyn TableSource, item: &FromItem) -> Result<Frame, DbError> {
                             }
                             if !matched && *kind == JoinType::Left {
                                 let mut row = lr.clone();
-                                row.extend(std::iter::repeat(Cell::Null).take(r.cols.len()));
+                                row.extend(std::iter::repeat_n(Cell::Null, r.cols.len()));
                                 rows.push(row);
                             }
                         }
@@ -990,6 +1049,190 @@ fn eval_from(src: &dyn TableSource, item: &FromItem) -> Result<Frame, DbError> {
                 }
             }
             Ok(Frame { cols, rows })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PgType;
+
+    fn frame(name: &str, cols: &[&str], rows: Vec<Vec<Cell>>) -> Frame {
+        Frame {
+            cols: cols
+                .iter()
+                .map(|c| BoundCol {
+                    qualifier: Some(name.to_string()),
+                    name: (*c).to_string(),
+                    ty: PgType::Int8,
+                })
+                .collect(),
+            rows,
+        }
+    }
+
+    fn i(v: i64) -> Cell {
+        Cell::Int(v)
+    }
+
+    /// Regression: a NULL join key must never match another NULL under
+    /// plain `=` (PostgreSQL), only under IS NOT DISTINCT FROM.
+    #[test]
+    fn null_join_keys_never_match_under_eq() {
+        let l = frame("l", &["k", "a"], vec![vec![Cell::Null, i(1)], vec![i(7), i(2)]]);
+        let r = frame("r", &["k", "b"], vec![vec![Cell::Null, i(10)], vec![i(7), i(20)]]);
+        let pairs = [EquiPair { left: 0, right: 0, nulls_match: false }];
+
+        let mut inner = Vec::new();
+        hash_join(&l, &r, &pairs, JoinType::Inner, &mut inner);
+        assert_eq!(inner, vec![vec![i(7), i(2), i(7), i(20)]]);
+
+        // LEFT JOIN: the NULL-keyed left row survives with null padding.
+        let mut left = Vec::new();
+        hash_join(&l, &r, &pairs, JoinType::Left, &mut left);
+        assert_eq!(
+            left,
+            vec![
+                vec![Cell::Null, i(1), Cell::Null, Cell::Null],
+                vec![i(7), i(2), i(7), i(20)],
+            ]
+        );
+    }
+
+    /// IS NOT DISTINCT FROM joins NULL to NULL.
+    #[test]
+    fn nulls_match_pairs_join_nulls() {
+        let l = frame("l", &["k"], vec![vec![Cell::Null], vec![i(1)]]);
+        let r = frame("r", &["k"], vec![vec![Cell::Null], vec![i(2)]]);
+        let pairs = [EquiPair { left: 0, right: 0, nulls_match: true }];
+        let mut out = Vec::new();
+        hash_join(&l, &r, &pairs, JoinType::Inner, &mut out);
+        assert_eq!(out, vec![vec![Cell::Null, Cell::Null]]);
+    }
+
+    /// Hash join agrees with the retained String-keyed baseline.
+    #[test]
+    fn hash_join_matches_string_keyed_baseline() {
+        let l = frame(
+            "l",
+            &["k", "a"],
+            vec![
+                vec![i(1), i(100)],
+                vec![Cell::Float(2.0), i(200)],
+                vec![Cell::Null, i(300)],
+                vec![Cell::Text("x".into()), i(400)],
+                vec![i(2), i(500)],
+            ],
+        );
+        let r = frame(
+            "r",
+            &["k"],
+            vec![vec![i(2)], vec![Cell::Text("x".into())], vec![Cell::Null], vec![i(9)]],
+        );
+        for nulls_match in [false, true] {
+            let pairs = [EquiPair { left: 0, right: 0, nulls_match }];
+            for kind in [JoinType::Inner, JoinType::Left] {
+                let mut fast = Vec::new();
+                hash_join(&l, &r, &pairs, kind, &mut fast);
+                let mut slow = Vec::new();
+                reference::hash_join_string_keyed(&l, &r, &pairs, kind, &mut slow);
+                assert_eq!(fast.len(), slow.len());
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!(rows_equal(a, b), "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    fn table() -> Vec<Vec<Cell>> {
+        vec![
+            vec![i(1), Cell::Text("a".into())],
+            vec![Cell::Float(1.0), Cell::Text("a".into())],
+            vec![i(1), Cell::Text("a".into())],
+            vec![Cell::Null, Cell::Null],
+            vec![Cell::Null, Cell::Null],
+            vec![i(2), Cell::Text("b".into())],
+            vec![Cell::Float(f64::NAN), Cell::Null],
+            vec![Cell::Float(f64::NAN), Cell::Null],
+        ]
+    }
+
+    #[test]
+    fn hash_dedup_matches_naive() {
+        let mut fast = table();
+        let mut slow = table();
+        dedup_rows(&mut fast);
+        reference::dedup_rows_naive(&mut slow);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(rows_equal(a, b));
+        }
+    }
+
+    #[test]
+    fn hash_set_ops_match_naive() {
+        let right = vec![vec![i(1), Cell::Text("a".into())], vec![Cell::Null, Cell::Null]];
+
+        let mut fast = table();
+        let mut slow = table();
+        except_rows(&mut fast, &right);
+        reference::except_rows_naive(&mut slow, &right);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(rows_equal(a, b));
+        }
+
+        let mut fast = table();
+        let mut slow = table();
+        intersect_rows(&mut fast, &right);
+        reference::intersect_rows_naive(&mut slow, &right);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(rows_equal(a, b));
+        }
+
+        let mut fast = table();
+        let mut slow = table();
+        union_rows(&mut fast, right.clone());
+        reference::union_rows_naive(&mut slow, right);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(rows_equal(a, b));
+        }
+    }
+
+    #[test]
+    fn hash_grouping_matches_naive() {
+        let keys = table();
+        let fast = group_indices(keys.clone());
+        let slow = reference::group_indices_naive(keys);
+        assert_eq!(fast.len(), slow.len());
+        for ((ka, ia), (kb, ib)) in fast.iter().zip(&slow) {
+            assert!(rows_equal(ka, kb));
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn hash_distinct_cells_matches_naive() {
+        let cells = vec![
+            i(1),
+            Cell::Float(1.0),
+            Cell::Null,
+            Cell::Null,
+            Cell::Float(f64::NAN),
+            Cell::Float(f64::NAN),
+            Cell::Text("1".into()),
+            i(1),
+        ];
+        let mut fast = cells.clone();
+        let mut slow = cells;
+        dedup_cells(&mut fast);
+        reference::dedup_cells_naive(&mut slow);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(a.not_distinct(b));
         }
     }
 }

@@ -214,7 +214,7 @@ impl P {
         }
 
         if self.eat_kw("from") {
-            stmt.from = Some(self.from_item()?);
+            stmt.from = Some(self.parse_from_item()?);
         }
         if self.eat_kw("where") {
             stmt.where_clause = Some(self.expr()?);
@@ -288,8 +288,8 @@ impl P {
         Ok(stmt)
     }
 
-    fn from_item(&mut self) -> Result<FromItem, DbError> {
-        let mut left = self.from_primary()?;
+    fn parse_from_item(&mut self) -> Result<FromItem, DbError> {
+        let mut left = self.parse_from_primary()?;
         loop {
             let kind = if self.eat_kw("inner") {
                 self.expect_kw("join")?;
@@ -306,7 +306,7 @@ impl P {
             } else {
                 break;
             };
-            let right = self.from_primary()?;
+            let right = self.parse_from_primary()?;
             let on = if kind == JoinType::Cross {
                 None
             } else {
@@ -323,7 +323,7 @@ impl P {
         Ok(left)
     }
 
-    fn from_primary(&mut self) -> Result<FromItem, DbError> {
+    fn parse_from_primary(&mut self) -> Result<FromItem, DbError> {
         if self.eat_sym("(") {
             if self.peek_kw("values") {
                 self.i += 1;

@@ -141,8 +141,11 @@ impl Cell {
         match (self, other) {
             (Cell::Text(a), Cell::Text(b)) => a == b,
             (Cell::Bool(a), Cell::Bool(b)) => a == b,
+            // PostgreSQL float semantics: NaN equals NaN, unlike IEEE.
+            // This keeps GROUP BY / DISTINCT / set-op bucketing total
+            // and consistent with the hashed CellKey projection.
             _ => match (self.as_f64(), other.as_f64()) {
-                (Some(a), Some(b)) => a == b,
+                (Some(a), Some(b)) => a == b || (a.is_nan() && b.is_nan()),
                 _ => false,
             },
         }
@@ -345,7 +348,7 @@ pub fn ymd_to_days(year: i32, month: u32, day: u32) -> Option<i32> {
                     28
                 }
             }
-            _ => return 0,
+            _ => 0,
         }
     }
     if !(1..=12).contains(&month) || day < 1 || day as i32 > dim(year, month) {
@@ -430,6 +433,14 @@ mod tests {
     }
 
     #[test]
+    fn nan_equals_nan_like_postgres() {
+        assert_eq!(Cell::Float(f64::NAN).sql_eq(&Cell::Float(f64::NAN)), Some(true));
+        assert!(Cell::Float(f64::NAN).not_distinct(&Cell::Float(f64::NAN)));
+        assert_eq!(Cell::Float(f64::NAN).sql_eq(&Cell::Float(1.0)), Some(false));
+        assert!(!Cell::Float(f64::NAN).not_distinct(&Cell::Null));
+    }
+
+    #[test]
     fn cross_type_numeric_comparison() {
         assert_eq!(Cell::Int(2).sql_cmp(&Cell::Float(2.5)), Some(std::cmp::Ordering::Less));
         assert_eq!(Cell::Int(3).sql_eq(&Cell::Float(3.0)), Some(true));
@@ -437,7 +448,7 @@ mod tests {
 
     #[test]
     fn nulls_sort_first() {
-        let mut v = vec![Cell::Int(2), Cell::Null, Cell::Int(1)];
+        let mut v = [Cell::Int(2), Cell::Null, Cell::Int(1)];
         v.sort_by(|a, b| a.sort_cmp(b));
         assert_eq!(v[0], Cell::Null);
         assert_eq!(v[1], Cell::Int(1));

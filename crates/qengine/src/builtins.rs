@@ -5,8 +5,11 @@
 //! columnar value model so the side-by-side framework (paper §5) has a
 //! ground truth to compare Hyper-Q's translations against.
 
+use crate::hashkey::{atom_keys, QKey};
 use qlang::value::{Atom, Dict, KeyedTable, Table, Value};
 use qlang::{QError, QResult};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// `til n` — the first n naturals.
 pub fn til(a: &Value) -> QResult<Value> {
@@ -257,8 +260,22 @@ pub fn where_op(a: &Value) -> QResult<Value> {
 }
 
 /// `distinct x` — unique elements in first-seen order.
+///
+/// All-atom lists (every typed vector) go through a [`QKey`] hash set;
+/// mixed lists containing non-atoms fall back to the quadratic `q_eq`
+/// scan, which also handles list elements.
 pub fn distinct(a: &Value) -> QResult<Value> {
     let n = a.len().ok_or_else(|| QError::type_err("distinct: expected list"))?;
+    if let Some(keys) = atom_keys(a, n) {
+        let mut seen: HashSet<QKey> = HashSet::with_capacity(n);
+        let mut out: Vec<Value> = Vec::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            if seen.insert(key) {
+                out.push(a.index(i).unwrap());
+            }
+        }
+        return Ok(Value::from_elements(out));
+    }
     let mut seen: Vec<Value> = Vec::new();
     for i in 0..n {
         let v = a.index(i).unwrap();
@@ -270,17 +287,33 @@ pub fn distinct(a: &Value) -> QResult<Value> {
 }
 
 /// `group x` — dict from distinct values to index lists.
+///
+/// Same hash fast path / naive fallback split as [`distinct`].
 pub fn group(a: &Value) -> QResult<Value> {
     let n = a.len().ok_or_else(|| QError::type_err("group: expected list"))?;
     let mut keys: Vec<Value> = Vec::new();
     let mut groups: Vec<Vec<i64>> = Vec::new();
-    for i in 0..n {
-        let v = a.index(i).unwrap();
-        match keys.iter().position(|k| k.q_eq(&v)) {
-            Some(g) => groups[g].push(i as i64),
-            None => {
-                keys.push(v);
-                groups.push(vec![i as i64]);
+    if let Some(row_keys) = atom_keys(a, n) {
+        let mut index: HashMap<QKey, usize> = HashMap::with_capacity(n);
+        for (i, key) in row_keys.into_iter().enumerate() {
+            match index.entry(key) {
+                Entry::Occupied(e) => groups[*e.get()].push(i as i64),
+                Entry::Vacant(e) => {
+                    e.insert(keys.len());
+                    keys.push(a.index(i).unwrap());
+                    groups.push(vec![i as i64]);
+                }
+            }
+        }
+    } else {
+        for i in 0..n {
+            let v = a.index(i).unwrap();
+            match keys.iter().position(|k| k.q_eq(&v)) {
+                Some(g) => groups[g].push(i as i64),
+                None => {
+                    keys.push(v);
+                    groups.push(vec![i as i64]);
+                }
             }
         }
     }

@@ -1,0 +1,136 @@
+//! Canonical hashable keys over Q atoms.
+//!
+//! `distinct` and `group` bucket list elements by [`Atom::q_eq`], which
+//! is *two-valued*: NaN = NaN, same-type nulls compare equal, and all
+//! numeric/temporal atoms compare cross-type through `f64`. [`QKey`] is
+//! a normalized projection such that
+//!
+//! ```text
+//! QKey::from_atom(a) == QKey::from_atom(b)  ⟺  a.q_eq(b)
+//! ```
+//!
+//! letting those builtins (and the q-sql `by` path) use hash maps
+//! instead of linear scans over the distinct set. Note this is a
+//! different relation from [`crate::joins::KeyAtom`], which collapses
+//! *all* typed nulls into one join key; `q_eq` keeps e.g. `0N` and
+//! `0Nd` distinct because their `f64` views differ.
+
+use qlang::value::{Atom, Value};
+
+/// Normalized, hashable projection of one [`Atom`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum QKey {
+    /// Chars compare only against chars.
+    Char(char),
+    /// Symbols compare only against symbols (the null symbol is just
+    /// the empty string — symbols have no special null handling in
+    /// `q_eq` beyond ordinary string equality).
+    Symbol(String),
+    /// Every other atom, keyed by the canonical bit pattern of its
+    /// `f64` view: all NaNs collapse to one pattern (`q_eq`'s
+    /// NaN = NaN) and `-0.0` folds into `0.0`. Using the `f64` view
+    /// directly mirrors `q_eq`'s cross-type promotion, including its
+    /// precision loss for longs beyond 2^53.
+    Num(u64),
+}
+
+impl QKey {
+    pub fn from_atom(a: &Atom) -> QKey {
+        match a {
+            Atom::Char(c) => QKey::Char(*c),
+            Atom::Symbol(s) => QKey::Symbol(s.clone()),
+            other => {
+                let f = other.as_f64().expect("non-char/symbol atom is numeric");
+                if f.is_nan() {
+                    QKey::Num(f64::NAN.to_bits())
+                } else if f == 0.0 {
+                    QKey::Num(0f64.to_bits())
+                } else {
+                    QKey::Num(f.to_bits())
+                }
+            }
+        }
+    }
+}
+
+/// Keys for every element of `a`, provided they are all atoms.
+/// `None` (→ caller falls back to the naive `q_eq` scan) as soon as a
+/// non-atom element appears, e.g. rows of a mixed list of lists.
+pub fn atom_keys(a: &Value, n: usize) -> Option<Vec<QKey>> {
+    let mut keys = Vec::with_capacity(n);
+    for i in 0..n {
+        match a.index(i) {
+            Some(Value::Atom(at)) => keys.push(QKey::from_atom(&at)),
+            _ => return None,
+        }
+    }
+    Some(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agree(a: &Atom, b: &Atom) {
+        assert_eq!(
+            QKey::from_atom(a) == QKey::from_atom(b),
+            a.q_eq(b),
+            "key/q_eq disagree on {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn keys_match_q_eq_semantics() {
+        let atoms = [
+            Atom::Bool(true),
+            Atom::Bool(false),
+            Atom::Byte(1),
+            Atom::Short(1),
+            Atom::Short(i16::MIN),
+            Atom::Int(1),
+            Atom::Int(i32::MIN),
+            Atom::Long(0),
+            Atom::Long(1),
+            Atom::Long(i64::MIN),
+            Atom::Real(1.0),
+            Atom::Real(f32::NAN),
+            Atom::Float(0.0),
+            Atom::Float(-0.0),
+            Atom::Float(1.0),
+            Atom::Float(2.5),
+            Atom::Float(f64::NAN),
+            Atom::Char('a'),
+            Atom::Char(' '),
+            Atom::Symbol(String::new()),
+            Atom::Symbol("a".into()),
+            Atom::Timestamp(1),
+            Atom::Timestamp(i64::MIN),
+            Atom::Date(1),
+            Atom::Date(i32::MIN),
+            Atom::Time(1),
+        ];
+        for a in &atoms {
+            for b in &atoms {
+                agree(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_type_numerics_share_keys() {
+        assert_eq!(QKey::from_atom(&Atom::Long(1)), QKey::from_atom(&Atom::Float(1.0)));
+        assert_eq!(QKey::from_atom(&Atom::Bool(true)), QKey::from_atom(&Atom::Short(1)));
+        assert_eq!(
+            QKey::from_atom(&Atom::Float(f64::NAN)),
+            QKey::from_atom(&Atom::Real(f32::NAN))
+        );
+    }
+
+    #[test]
+    fn atom_keys_bails_on_non_atoms() {
+        let mixed = Value::Mixed(vec![Value::long(1), Value::Longs(vec![1, 2])]);
+        assert!(atom_keys(&mixed, 2).is_none());
+        let longs = Value::Longs(vec![1, 2, 3]);
+        assert_eq!(atom_keys(&longs, 3).map(|k| k.len()), Some(3));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod builtins;
 pub mod env;
+pub mod hashkey;
 pub mod interp;
 pub mod joins;
 pub mod ops;

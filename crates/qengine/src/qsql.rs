@@ -13,6 +13,8 @@ use crate::joins::KeyAtom;
 use qlang::ast::{Expr, SelectKind, TemplateExpr};
 use qlang::value::{Dict, KeyedTable, Table, Value};
 use qlang::{QError, QResult};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// Execute a q-sql template.
 pub fn exec_template(interp: &mut Interp, t: &TemplateExpr) -> QResult<Value> {
@@ -187,25 +189,25 @@ fn run_select(
         }
     }
 
-    // Group rows by key, tracking first-seen order, then sort keys
-    // ascending (kdb+ `by` returns a keyed table sorted by key).
-    let mut key_order: Vec<Vec<KeyAtom>> = Vec::new();
+    // Group rows by key via a hash index (first-seen order), then sort
+    // keys ascending (kdb+ `by` returns a keyed table sorted by key).
+    let mut key_index: HashMap<Vec<KeyAtom>, usize> = HashMap::new();
     let mut key_rows: Vec<Vec<usize>> = Vec::new();
     let mut key_samples: Vec<Vec<Value>> = Vec::new();
     for (pos, &row) in rows.iter().enumerate() {
         let key: Vec<KeyAtom> =
             by_cols.iter().map(|c| KeyAtom::from_value(&c.index(pos).unwrap())).collect();
-        match key_order.iter().position(|k| *k == key) {
-            Some(g) => key_rows[g].push(row),
-            None => {
-                key_order.push(key);
+        match key_index.entry(key) {
+            Entry::Occupied(e) => key_rows[*e.get()].push(row),
+            Entry::Vacant(e) => {
+                e.insert(key_rows.len());
                 key_rows.push(vec![row]);
                 key_samples.push(by_cols.iter().map(|c| c.index(pos).unwrap()).collect());
             }
         }
     }
     // Sort groups by key ascending.
-    let mut group_idx: Vec<usize> = (0..key_order.len()).collect();
+    let mut group_idx: Vec<usize> = (0..key_rows.len()).collect();
     group_idx.sort_by(|&a, &b| {
         for (ka, kb) in key_samples[a].iter().zip(&key_samples[b]) {
             if let (Value::Atom(x), Value::Atom(y)) = (ka, kb) {

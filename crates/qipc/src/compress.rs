@@ -123,15 +123,14 @@ pub fn decompress(src: &[u8], uncompressed_len: usize) -> Option<Vec<u8>> {
             d += 1;
             let n = *src.get(d)? as usize;
             d += 1;
-            let mut r = table[h];
-            if r == usize::MAX {
+            let start = table[h];
+            if start == usize::MAX {
                 return None;
             }
             // Copy 2 + n bytes (may overlap the bytes just written).
-            for _ in 0..2 + n {
+            for r in start..start + 2 + n {
                 let b = *dst.get(r)?;
                 dst.push(b);
-                r += 1;
             }
             // Hash up to the start of the copied run, then skip past it.
             while hashed + 1 < dst.len() - (2 + n) {
@@ -209,10 +208,7 @@ mod tests {
                 (x >> 24) as u8
             })
             .collect();
-        match compress(&data) {
-            Some(c) => assert_eq!(decompress(&c, data.len()).unwrap(), data),
-            None => {}
-        }
+        if let Some(c) = compress(&data) { assert_eq!(decompress(&c, data.len()).unwrap(), data) }
     }
 
     #[test]

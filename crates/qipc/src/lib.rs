@@ -1,9 +1,9 @@
 //! # qipc — the Q Inter-Process Communication wire protocol
 //!
 //! Q applications talk to kdb+ over QIPC (paper §3.1, §4.2): a TCP
-//! protocol with a credential handshake (`"user:password" + version byte
-//! + NUL`, answered by a single capability byte), followed by length-
-//! prefixed messages that carry whole serialized Q objects.
+//! protocol with a credential handshake (`"user:password" + version byte + NUL`,
+//! answered by a single capability byte), followed by length-prefixed
+//! messages that carry whole serialized Q objects.
 //!
 //! Crucially — and unlike PG v3 — QIPC is **object-based and
 //! column-oriented**: a query result travels as *one* message containing

@@ -383,7 +383,7 @@ impl<'a> Lexer<'a> {
                 }
             }
             let hex = &self.src[s..self.pos];
-            if hex.is_empty() || hex.len() % 2 != 0 {
+            if hex.is_empty() || !hex.len().is_multiple_of(2) {
                 return Err(QError::new(QErrorKind::Lex, "malformed byte literal").at(start));
             }
             let mut bytes = Vec::with_capacity(hex.len() / 2);

@@ -417,6 +417,8 @@ impl Value {
 
     /// List length; `None` for atoms and other non-list values.
     /// Tables report their row count, dictionaries their entry count.
+    /// (No `is_empty` counterpart: `None` vs `Some(0)` are distinct.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> Option<usize> {
         match self {
             Value::Atom(_) | Value::Lambda(_) | Value::Nil => None,
@@ -777,7 +779,7 @@ mod tests {
         assert_eq!(Value::Longs(vec![1]).type_code(), 7);
         assert_eq!(Value::Atom(sym("a")).type_code(), -11);
         assert_eq!(Value::Symbols(vec![]).type_code(), 11);
-        assert_eq!(Value::Table(Box::new(Table::default())).type_code(), 98);
+        assert_eq!(Value::Table(Box::default()).type_code(), 98);
     }
 
     #[test]
@@ -808,7 +810,7 @@ mod tests {
 
     #[test]
     fn nulls_sort_first() {
-        let mut v = vec![Atom::Long(2), Atom::Long(i64::MIN), Atom::Long(1)];
+        let mut v = [Atom::Long(2), Atom::Long(i64::MIN), Atom::Long(1)];
         v.sort_by(|a, b| a.q_cmp(b));
         assert!(v[0].is_null());
         assert_eq!(v[1], Atom::Long(1));
@@ -890,7 +892,7 @@ mod tests {
     fn enlist_promotes_atoms() {
         assert!(matches!(Value::long(7).enlist(), Value::Longs(v) if v == vec![7]));
         assert!(matches!(Value::symbol("s").enlist(), Value::Symbols(_)));
-        let t = Value::Table(Box::new(Table::default()));
+        let t = Value::Table(Box::default());
         assert!(matches!(t.enlist(), Value::Mixed(_)));
     }
 

@@ -1,0 +1,336 @@
+//! Offline shim for the `bytes` crate: `Bytes`/`BytesMut` plus the
+//! `Buf`/`BufMut` accessors this workspace uses (big-endian and
+//! little-endian fixed-width put/get, slicing, freezing).
+//!
+//! Both buffer types are a `Vec<u8>` with a read cursor; `advance`
+//! and the `get_*` methods move the cursor, `put_*` appends.
+
+use std::ops::Deref;
+
+macro_rules! buf_trait {
+    ($($be:ident, $le:ident -> $ty:ty),+ $(,)?) => {
+        /// Read-side accessors over a consumable byte buffer.
+        pub trait Buf {
+            fn remaining(&self) -> usize;
+            fn chunk(&self) -> &[u8];
+            fn advance(&mut self, cnt: usize);
+
+            fn has_remaining(&self) -> bool {
+                self.remaining() > 0
+            }
+
+            fn copy_to_slice(&mut self, dst: &mut [u8]) {
+                assert!(self.remaining() >= dst.len(), "buffer underflow");
+                dst.copy_from_slice(&self.chunk()[..dst.len()]);
+                self.advance(dst.len());
+            }
+
+            fn get_u8(&mut self) -> u8 {
+                let mut b = [0u8; 1];
+                self.copy_to_slice(&mut b);
+                b[0]
+            }
+
+            fn get_i8(&mut self) -> i8 {
+                self.get_u8() as i8
+            }
+
+            $(
+                fn $be(&mut self) -> $ty {
+                    let mut b = [0u8; std::mem::size_of::<$ty>()];
+                    self.copy_to_slice(&mut b);
+                    <$ty>::from_be_bytes(b)
+                }
+
+                fn $le(&mut self) -> $ty {
+                    let mut b = [0u8; std::mem::size_of::<$ty>()];
+                    self.copy_to_slice(&mut b);
+                    <$ty>::from_le_bytes(b)
+                }
+            )+
+        }
+    };
+}
+
+buf_trait! {
+    get_i16, get_i16_le -> i16,
+    get_u16, get_u16_le -> u16,
+    get_i32, get_i32_le -> i32,
+    get_u32, get_u32_le -> u32,
+    get_i64, get_i64_le -> i64,
+    get_u64, get_u64_le -> u64,
+    get_f32, get_f32_le -> f32,
+    get_f64, get_f64_le -> f64,
+}
+
+macro_rules! buf_mut_trait {
+    ($($be:ident, $le:ident -> $ty:ty),+ $(,)?) => {
+        /// Write-side accessors appending to a growable byte buffer.
+        pub trait BufMut {
+            fn put_slice(&mut self, src: &[u8]);
+
+            fn put_u8(&mut self, v: u8) {
+                self.put_slice(&[v]);
+            }
+
+            fn put_i8(&mut self, v: i8) {
+                self.put_slice(&[v as u8]);
+            }
+
+            $(
+                fn $be(&mut self, v: $ty) {
+                    self.put_slice(&v.to_be_bytes());
+                }
+
+                fn $le(&mut self, v: $ty) {
+                    self.put_slice(&v.to_le_bytes());
+                }
+            )+
+        }
+    };
+}
+
+buf_mut_trait! {
+    put_i16, put_i16_le -> i16,
+    put_u16, put_u16_le -> u16,
+    put_i32, put_i32_le -> i32,
+    put_u32, put_u32_le -> u32,
+    put_i64, put_i64_le -> i64,
+    put_u64, put_u64_le -> u64,
+    put_f32, put_f32_le -> f32,
+    put_f64, put_f64_le -> f64,
+}
+
+/// Growable byte buffer with a read cursor (shim for `bytes::BytesMut`).
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap), off: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.off = 0;
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Split off the first `at` readable bytes into their own buffer.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.buf[self.off..self.off + at].to_vec();
+        self.advance_cursor(at);
+        BytesMut { buf: head, off: 0 }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { buf: self.buf, off: self.off }
+    }
+
+    fn advance_cursor(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.off += cnt;
+        // Reclaim space once the consumed prefix dominates the buffer.
+        if self.off > 4096 && self.off * 2 > self.buf.len() {
+            self.buf.drain(..self.off);
+            self.off = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.off..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", &self[..])
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        self.advance_cursor(cnt);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable byte buffer with a read cursor (shim for `bytes::Bytes`).
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { buf: data.to_vec(), off: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off the first `at` readable bytes.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.buf[self.off..self.off + at].to_vec();
+        self.off += at;
+        Bytes { buf: head, off: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.off..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &self[..])
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        Bytes { buf, off: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.off += cnt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_i8(-7);
+        b.put_i16(-300);
+        b.put_i16_le(-301);
+        b.put_i32(1 << 20);
+        b.put_i32_le(-(1 << 20));
+        b.put_u32(0xdead_beef);
+        b.put_i64_le(i64::MIN + 1);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_i8(), -7);
+        assert_eq!(r.get_i16(), -300);
+        assert_eq!(r.get_i16_le(), -301);
+        assert_eq!(r.get_i32(), 1 << 20);
+        assert_eq!(r.get_i32_le(), -(1 << 20));
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_i64_le(), i64::MIN + 1);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn split_and_advance() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        b.advance(6);
+        assert_eq!(&b[..], b"world");
+        let head = b.split_to(3);
+        assert_eq!(&head[..], b"wor");
+        assert_eq!(&b[..], b"ld");
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 2);
+    }
+
+    #[test]
+    fn copy_to_slice_reads_exact() {
+        let mut r = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let mut out = [0u8; 4];
+        r.copy_to_slice(&mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert_eq!(r.remaining(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline shim for `rand 0.8`: `StdRng` + `SeedableRng::seed_from_u64`
+//! + `Rng::gen_range` over integer and float ranges.
+//!
+//! `StdRng` is a SplitMix64 generator — deterministic per seed (so
+//! workload generation is reproducible run-to-run) but the streams are
+//! not bit-identical to upstream `rand`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling API (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding API (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Element types uniform ranges can produce. The single generic
+/// `SampleRange` impl per range shape keeps type inference working for
+/// unsuffixed literals (`gen_range(100..900)`), matching real rand.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between<G: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut G) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+macro_rules! int_uniform {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl SampleUniform for $ty {
+                fn sample_between<G: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut G) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<G: RngCore>(lo: Self, hi: Self, _inclusive: bool, rng: &mut G) -> Self {
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + frac * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<G: RngCore>(lo: Self, hi: Self, _inclusive: bool, rng: &mut G) -> Self {
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (frac as f32) * (hi - lo)
+    }
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic generator (SplitMix64) standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0x1f12_3bb5_159a_55e5 }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(100..900);
+            assert!((100..900).contains(&v));
+            let f = r.gen_range(-0.25..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let i = r.gen_range(1..=50i64);
+            assert!((1..=50).contains(&i));
+            let u = r.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            match r.gen_range(0..=3u8) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

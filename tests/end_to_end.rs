@@ -208,7 +208,12 @@ fn two_valued_null_logic_end_to_end() {
 #[test]
 fn metadata_cache_reduces_backend_lookups_without_changing_results() {
     let db = pgdb::Db::new();
-    let mut warm = HyperQSession::with_direct(&db);
+    // Translation caching off: repeats must reach the MDI so the
+    // *metadata* cache is what serves them.
+    let mut warm = HyperQSession::with_direct_config(
+        &db,
+        SessionConfig { translation_cache: 0, ..Default::default() },
+    );
     loader::load_table(&mut warm, "trades", &generate_trades(&taq_cfg())).unwrap();
     let q = "select mx: max Price by Symbol from trades";
     let baseline = warm.execute(q).unwrap();

@@ -231,3 +231,204 @@ proptest! {
         prop_assert!(c.is_match(), "divergence on {}: {:?}", q.0, c);
     }
 }
+
+// ---------- Hash execution hot paths agree with the naive scans ----------
+//
+// The executor's GROUP BY / DISTINCT / set operations and the qengine's
+// distinct/group were rewritten from O(n²) scans to hash passes keyed
+// by canonical key types. These properties pin the rewrite to the old
+// semantics: over random tables with NULLs, NaNs and mixed numeric
+// widths, the hash paths produce exactly the sequence the naive
+// first-seen-order scans produce.
+
+use pgdb::exec::{
+    dedup_cells, dedup_rows, except_rows, group_indices, intersect_rows, reference, rows_equal,
+    union_rows,
+};
+use pgdb::Cell;
+
+/// Small domains force key collisions, cross-width equalities
+/// (`Int(1)` = `Float(1.0)`) and NULL/NaN duplicates.
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        Just(Cell::Null),
+        any::<bool>().prop_map(Cell::Bool),
+        (-3i64..4).prop_map(Cell::Int),
+        prop_oneof![
+            Just(0.0f64),
+            Just(-0.0f64),
+            Just(1.0),
+            Just(2.5),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+        ]
+        .prop_map(Cell::Float),
+        "[ab]{0,2}".prop_map(Cell::Text),
+        (-2i32..3).prop_map(Cell::Date),
+    ]
+}
+
+fn arb_cell_rows(max_rows: usize) -> impl Strategy<Value = Vec<Vec<Cell>>> {
+    (1usize..4).prop_flat_map(move |width| {
+        proptest::collection::vec(
+            proptest::collection::vec(arb_cell(), width..=width),
+            0..max_rows,
+        )
+    })
+}
+
+/// Rows of the same width as `left`, for set operations.
+fn arb_cell_rows_pair(max_rows: usize) -> impl Strategy<Value = (Vec<Vec<Cell>>, Vec<Vec<Cell>>)> {
+    (1usize..4).prop_flat_map(move |width| {
+        let side = move || {
+            proptest::collection::vec(
+                proptest::collection::vec(arb_cell(), width..=width),
+                0..max_rows,
+            )
+        };
+        (side(), side())
+    })
+}
+
+fn assert_same_rows(fast: &[Vec<Cell>], slow: &[Vec<Cell>]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fast.len(), slow.len(), "row counts differ");
+    for (a, b) in fast.iter().zip(slow) {
+        prop_assert!(rows_equal(a, b), "row mismatch: {:?} vs {:?}", a, b);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn hash_dedup_agrees_with_naive(rows in arb_cell_rows(24)) {
+        let mut fast = rows.clone();
+        let mut slow = rows;
+        dedup_rows(&mut fast);
+        reference::dedup_rows_naive(&mut slow);
+        assert_same_rows(&fast, &slow)?;
+    }
+
+    #[test]
+    fn hash_except_agrees_with_naive(lr in arb_cell_rows_pair(20)) {
+        let (l, r) = lr;
+        let mut fast = l.clone();
+        let mut slow = l;
+        except_rows(&mut fast, &r);
+        reference::except_rows_naive(&mut slow, &r);
+        assert_same_rows(&fast, &slow)?;
+    }
+
+    #[test]
+    fn hash_intersect_agrees_with_naive(lr in arb_cell_rows_pair(20)) {
+        let (l, r) = lr;
+        let mut fast = l.clone();
+        let mut slow = l;
+        intersect_rows(&mut fast, &r);
+        reference::intersect_rows_naive(&mut slow, &r);
+        assert_same_rows(&fast, &slow)?;
+    }
+
+    #[test]
+    fn hash_union_agrees_with_naive(lr in arb_cell_rows_pair(20)) {
+        let (l, r) = lr;
+        let mut fast = l.clone();
+        let mut slow = l;
+        union_rows(&mut fast, r.clone());
+        reference::union_rows_naive(&mut slow, r);
+        assert_same_rows(&fast, &slow)?;
+    }
+
+    #[test]
+    fn hash_grouping_agrees_with_naive(keys in arb_cell_rows(24)) {
+        let fast = group_indices(keys.clone());
+        let slow = reference::group_indices_naive(keys);
+        prop_assert_eq!(fast.len(), slow.len(), "group counts differ");
+        for ((ka, ia), (kb, ib)) in fast.iter().zip(&slow) {
+            prop_assert!(rows_equal(ka, kb), "group keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(ia, ib, "member indices diverge for key {:?}", ka);
+        }
+    }
+
+    #[test]
+    fn hash_distinct_cells_agrees_with_naive(
+        cells in proptest::collection::vec(arb_cell(), 0..32)
+    ) {
+        let mut fast = cells.clone();
+        let mut slow = cells;
+        dedup_cells(&mut fast);
+        reference::dedup_cells_naive(&mut slow);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!(a.not_distinct(b), "cell mismatch: {:?} vs {:?}", a, b);
+        }
+    }
+}
+
+// ---------- qengine distinct/group hash paths ----------
+
+fn arb_q_vector() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        proptest::collection::vec(-3i64..4, 0..24).prop_map(Value::Longs),
+        proptest::collection::vec(
+            prop_oneof![Just(0.0f64), Just(-0.0f64), Just(1.0), Just(f64::NAN)],
+            0..24
+        )
+        .prop_map(Value::Floats),
+        proptest::collection::vec("[ab]{0,2}", 0..16).prop_map(Value::Symbols),
+        proptest::collection::vec(-2i32..3, 0..24).prop_map(Value::Dates),
+    ]
+}
+
+/// The pre-optimization distinct: linear scan with `q_eq`.
+fn naive_q_distinct(a: &Value) -> Value {
+    let n = a.len().unwrap();
+    let mut seen: Vec<Value> = Vec::new();
+    for i in 0..n {
+        let v = a.index(i).unwrap();
+        if !seen.iter().any(|s| s.q_eq(&v)) {
+            seen.push(v);
+        }
+    }
+    Value::from_elements(seen)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn qengine_distinct_agrees_with_naive(v in arb_q_vector()) {
+        let fast = qengine::builtins::distinct(&v).unwrap();
+        let slow = naive_q_distinct(&v);
+        prop_assert!(fast.q_eq(&slow), "distinct diverges: {:?} vs {:?}", fast, slow);
+    }
+
+    #[test]
+    fn qengine_group_covers_all_indices(v in arb_q_vector()) {
+        // Every index appears exactly once across the groups, and all
+        // members of a group are q_eq to the group's key.
+        let n = v.len().unwrap();
+        let d = match qengine::builtins::group(&v).unwrap() {
+            Value::Dict(d) => d,
+            other => panic!("group must return dict, got {other:?}"),
+        };
+        let mut covered = vec![false; n];
+        let keys = &d.keys;
+        let vals = &d.values;
+        for g in 0..keys.len().unwrap() {
+            let key = keys.index(g).unwrap();
+            let members = vals.index(g).unwrap();
+            for m in 0..members.len().unwrap() {
+                let idx = match members.index(m).unwrap() {
+                    Value::Atom(a) => a.as_i64().unwrap() as usize,
+                    other => panic!("index must be long, got {other:?}"),
+                };
+                prop_assert!(!covered[idx], "index {} grouped twice", idx);
+                covered[idx] = true;
+                prop_assert!(v.index(idx).unwrap().q_eq(&key), "member not q_eq to key");
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "some index missing from groups");
+    }
+}

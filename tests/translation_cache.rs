@@ -1,0 +1,173 @@
+//! Translation-cache behavior through the public session API: repeated
+//! Q statements skip the translation pipeline, every state mutation
+//! that could make a cached translation stale invalidates, and caching
+//! is semantically invisible (cache-off output is byte-identical).
+
+use hyperq::{loader, HyperQSession, SessionConfig};
+use qlang::value::{Table, Value};
+
+fn trades() -> Table {
+    Table::new(
+        vec!["Symbol".into(), "Price".into(), "Size".into()],
+        vec![
+            Value::Symbols(vec!["GOOG".into(), "IBM".into(), "GOOG".into()]),
+            Value::Floats(vec![100.0, 50.0, 101.5]),
+            Value::Longs(vec![10, 20, 30]),
+        ],
+    )
+    .unwrap()
+}
+
+fn session() -> HyperQSession {
+    let db = pgdb::Db::new();
+    let mut s = HyperQSession::with_direct(&db);
+    loader::load_table(&mut s, "trades", &trades()).unwrap();
+    s
+}
+
+#[test]
+fn repeated_statement_hits_cache_and_skips_pipeline() {
+    let mut s = session();
+    let q = "select Price from trades where Symbol=`GOOG";
+    let (first, trs1) = s.execute_traced(q).unwrap();
+    assert_eq!(trs1[0].timings.cache_hits, 0);
+    assert_eq!(trs1[0].timings.cache_misses, 1);
+    assert!(trs1[0].timings.total() > std::time::Duration::ZERO);
+
+    let (second, trs2) = s.execute_traced(q).unwrap();
+    // The hit skips parse/algebrize/optimize/serialize entirely: all
+    // stage durations are zero and the hit counter is set.
+    assert_eq!(trs2[0].timings.cache_hits, 1);
+    assert_eq!(trs2[0].timings.cache_misses, 0);
+    assert_eq!(trs2[0].timings.total(), std::time::Duration::ZERO);
+    // Identical SQL, identical result.
+    assert_eq!(trs1[0].statements, trs2[0].statements);
+    assert!(first.q_eq(&second));
+
+    let stats = s.translation_cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+}
+
+#[test]
+fn whitespace_variants_share_one_entry() {
+    let mut s = session();
+    let (_, a) = s.execute_traced("select Price from trades where Symbol=`GOOG").unwrap();
+    let (_, b) = s.execute_traced("select  Price   from trades\twhere Symbol=`GOOG ").unwrap();
+    assert_eq!(b[0].timings.cache_hits, 1, "normalized text must hit");
+    assert_eq!(a[0].statements, b[0].statements);
+}
+
+#[test]
+fn newlines_are_not_collapsed() {
+    // A newline separates Q statements; "a b" and "a\nb" are different
+    // programs and must not normalize to the same cache key.
+    use hyperq::qcache::normalize_q_text;
+    assert_eq!(normalize_q_text("select Price\nfrom trades"), "select Price\nfrom trades");
+    assert_ne!(
+        normalize_q_text("select Price\nfrom trades"),
+        normalize_q_text("select Price from trades"),
+    );
+}
+
+#[test]
+fn variable_assignment_invalidates() {
+    let mut s = session();
+    s.execute("lim: 15").unwrap();
+    let q = "select Price from trades where Size>lim";
+    let v1 = s.execute(q).unwrap();
+    match &v1 {
+        Value::Table(t) => assert_eq!(t.rows(), 2),
+        other => panic!("expected table, got {other:?}"),
+    }
+    // Redefining the variable must invalidate: the cached translation
+    // baked in lim=15.
+    s.execute("lim: 25").unwrap();
+    let v2 = s.execute(q).unwrap();
+    match &v2 {
+        Value::Table(t) => assert_eq!(t.rows(), 1, "stale cached translation reused"),
+        other => panic!("expected table, got {other:?}"),
+    }
+    let (_, trs) = s.execute_traced(q).unwrap();
+    assert_eq!(trs[0].timings.cache_hits, 1, "re-translated entry is cached again");
+}
+
+#[test]
+fn create_temporary_table_invalidates() {
+    let db = pgdb::Db::new();
+    let cfg = SessionConfig {
+        policy: algebrizer::MaterializationPolicy::Physical,
+        ..SessionConfig::default()
+    };
+    let mut s = HyperQSession::with_direct_config(&db, cfg);
+    loader::load_table(&mut s, "trades", &trades()).unwrap();
+
+    let q = "select Price from trades where Symbol=`GOOG";
+    s.execute(q).unwrap();
+    let before = s.translation_cache_stats();
+
+    // Physical materialization emits CREATE TEMPORARY TABLE — DDL, so
+    // it must both bypass the cache and invalidate existing entries.
+    let (_, trs) = s.execute_traced("dt: select Price from trades where Symbol=`GOOG").unwrap();
+    assert!(
+        trs.iter().flat_map(|t| &t.statements).any(|st| st.sql.starts_with("CREATE TEMPORARY")),
+        "expected a CREATE TEMPORARY TABLE statement"
+    );
+    let (_, trs) = s.execute_traced(q).unwrap();
+    assert_eq!(trs[0].timings.cache_hits, 0, "DDL must invalidate the cached entry");
+    let after = s.translation_cache_stats();
+    assert_eq!(after.hits, before.hits, "no hit may be served across the DDL");
+}
+
+#[test]
+fn external_ddl_invalidation_hook_drops_entries() {
+    let mut s = session();
+    let q = "select Price from trades";
+    s.execute(q).unwrap();
+    s.invalidate_metadata();
+    let (_, trs) = s.execute_traced(q).unwrap();
+    assert_eq!(trs[0].timings.cache_hits, 0, "catalog epoch bump must invalidate");
+    assert_eq!(trs[0].timings.cache_misses, 1);
+}
+
+#[test]
+fn end_session_invalidates() {
+    let mut s = session();
+    let q = "select Price from trades";
+    s.execute(q).unwrap();
+    s.end_session();
+    let (_, trs) = s.execute_traced(q).unwrap();
+    assert_eq!(trs[0].timings.cache_hits, 0);
+}
+
+#[test]
+fn cache_off_is_bit_identical_to_cache_on() {
+    let db = pgdb::Db::new();
+    let mut on = HyperQSession::with_direct_config(&db, SessionConfig::default());
+    loader::load_table(&mut on, "trades", &trades()).unwrap();
+    let mut off = HyperQSession::with_direct_config(
+        &db,
+        SessionConfig { translation_cache: 0, ..SessionConfig::default() },
+    );
+
+    let queries = [
+        "select Price from trades where Symbol=`GOOG",
+        "select mx: max Price by Symbol from trades",
+        "select Price from trades where Symbol=`GOOG", // repeat: served from cache
+        "exec Price from trades",
+        "select mx: max Price by Symbol from trades", // repeat
+    ];
+    for q in queries {
+        let (v_on, trs_on) = on.execute_traced(q).unwrap();
+        let (v_off, trs_off) = off.execute_traced(q).unwrap();
+        let sql_on: Vec<&String> =
+            trs_on.iter().flat_map(|t| t.statements.iter().map(|s| &s.sql)).collect();
+        let sql_off: Vec<&String> =
+            trs_off.iter().flat_map(|t| t.statements.iter().map(|s| &s.sql)).collect();
+        assert_eq!(sql_on, sql_off, "generated SQL must be byte-identical for {q}");
+        assert!(v_on.q_eq(&v_off), "results diverge on {q}: {v_on:?} vs {v_off:?}");
+    }
+    assert!(on.translation_cache_stats().hits >= 2, "repeats must be cache hits");
+    assert_eq!(off.translation_cache_stats().hits, 0);
+    assert_eq!(off.translation_cache_stats().misses, 0, "disabled cache counts nothing");
+}
