@@ -1,0 +1,337 @@
+//! # chaosnet — a fault-injection TCP proxy
+//!
+//! Sits between a client and an upstream server and misbehaves *on
+//! command*: delay, truncate, corrupt or sever either direction of any
+//! connection. The point is **deterministic** chaos — each accepted
+//! connection consumes one scripted [`FaultPlan`] from a FIFO queue (or
+//! the default plan), so a test can state exactly which connection
+//! fails, where in the byte stream, and in which direction.
+//!
+//! Used by the Hyper-Q integration suite (`tests/chaos.rs`) to prove
+//! the wire path's retry/degradation behaviour: kill the backend
+//! mid-query and watch the Gateway reconnect, replay its session DDL
+//! journal and re-run the statement — all invisible to the Q client.
+//!
+//! Faults are expressed per *leg*:
+//!
+//! * `to_upstream` — bytes flowing client → upstream (queries);
+//! * `to_client` — bytes flowing upstream → client (results).
+//!
+//! Each leg supports a fixed per-chunk forwarding `delay`, a
+//! `truncate_after` byte budget (forward exactly N bytes, then sever
+//! the whole connection — the mid-frame cut), and `corrupt_at`, which
+//! flips the bits of one byte at an absolute stream offset (the corrupt
+//! length prefix).
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Faults applied to one direction of a proxied connection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LegFaults {
+    /// Sleep this long before forwarding each chunk.
+    pub delay: Option<Duration>,
+    /// Apply `delay` only once this many bytes have been forwarded on
+    /// the leg (0 = from the first byte). Lets a test keep a handshake
+    /// fast and stall only the frames after it.
+    pub delay_after: u64,
+    /// Forward exactly this many bytes on this leg, then sever the
+    /// connection (both directions, both sockets).
+    pub truncate_after: Option<u64>,
+    /// Flip the bits of the byte at this absolute offset of the leg's
+    /// stream.
+    pub corrupt_at: Option<u64>,
+}
+
+impl LegFaults {
+    /// Pass bytes through untouched.
+    pub fn clean() -> LegFaults {
+        LegFaults::default()
+    }
+
+    /// Sever the leg before a single byte is forwarded.
+    pub fn sever_immediately() -> LegFaults {
+        LegFaults { truncate_after: Some(0), ..LegFaults::default() }
+    }
+}
+
+/// The scripted faults for one proxied connection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Client → upstream leg (queries).
+    pub to_upstream: LegFaults,
+    /// Upstream → client leg (results).
+    pub to_client: LegFaults,
+}
+
+impl FaultPlan {
+    /// Forward everything faithfully.
+    pub fn clean() -> FaultPlan {
+        FaultPlan::default()
+    }
+}
+
+struct Shared {
+    /// One scripted plan per upcoming connection, FIFO.
+    queue: Mutex<VecDeque<FaultPlan>>,
+    /// Plan used when the queue is empty.
+    default_plan: Mutex<FaultPlan>,
+    /// Total connections accepted.
+    accepted: AtomicUsize,
+    /// Live sockets (client, upstream) for `sever_active`.
+    live: Mutex<Vec<(TcpStream, TcpStream)>>,
+}
+
+/// A running fault-injection proxy.
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ChaosProxy {
+    /// Start proxying `127.0.0.1:0` → `upstream`.
+    pub fn start(upstream: &str) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let upstream = upstream.to_string();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            default_plan: Mutex::new(FaultPlan::clean()),
+            accepted: AtomicUsize::new(0),
+            live: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(client) = stream else { continue };
+                let shared = Arc::clone(&accept_shared);
+                let upstream = upstream.clone();
+                shared.accepted.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let _ = proxy_connection(client, &upstream, shared);
+                });
+            }
+        });
+        Ok(ChaosProxy { addr, shared })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Script the next connection's faults (FIFO per connection).
+    pub fn push_plan(&self, plan: FaultPlan) {
+        self.shared.queue.lock().unwrap().push_back(plan);
+    }
+
+    /// Plan applied when the queue is empty (initially clean).
+    pub fn set_default_plan(&self, plan: FaultPlan) {
+        *self.shared.default_plan.lock().unwrap() = plan;
+    }
+
+    /// Sever every currently proxied connection (both sockets, both
+    /// directions) — the "backend crashed" event.
+    pub fn sever_active(&self) {
+        let mut live = self.shared.live.lock().unwrap();
+        for (client, upstream) in live.drain(..) {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Total connections accepted so far.
+    pub fn connections(&self) -> usize {
+        self.shared.accepted.load(Ordering::SeqCst)
+    }
+}
+
+fn proxy_connection(
+    client: TcpStream,
+    upstream_addr: &str,
+    shared: Arc<Shared>,
+) -> std::io::Result<()> {
+    let plan = shared
+        .queue
+        .lock()
+        .unwrap()
+        .pop_front()
+        .unwrap_or_else(|| *shared.default_plan.lock().unwrap());
+    let upstream = TcpStream::connect(upstream_addr)?;
+    shared
+        .live
+        .lock()
+        .unwrap()
+        .push((client.try_clone()?, upstream.try_clone()?));
+
+    let c2u = relay_thread(client.try_clone()?, upstream.try_clone()?, plan.to_upstream);
+    let u2c = relay_thread(upstream, client, plan.to_client);
+    let _ = c2u.join();
+    let _ = u2c.join();
+    Ok(())
+}
+
+fn relay_thread(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    faults: LegFaults,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut forwarded: u64 = 0;
+        let mut chunk = [0u8; 8192];
+        loop {
+            let n = match from.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            if let Some(d) = faults.delay {
+                if forwarded >= faults.delay_after {
+                    std::thread::sleep(d);
+                }
+            }
+            let mut slice = chunk[..n].to_vec();
+            if let Some(at) = faults.corrupt_at {
+                if at >= forwarded && at < forwarded + n as u64 {
+                    slice[(at - forwarded) as usize] ^= 0xFF;
+                }
+            }
+            // Enforce the byte budget: forward the allowed prefix, then
+            // sever the whole connection mid-frame.
+            if let Some(budget) = faults.truncate_after {
+                let left = budget.saturating_sub(forwarded);
+                if (slice.len() as u64) >= left {
+                    slice.truncate(left as usize);
+                    let _ = to.write_all(&slice);
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    break;
+                }
+            }
+            forwarded += slice.len() as u64;
+            if to.write_all(&slice).is_err() {
+                break;
+            }
+        }
+        // This direction is done; pass the EOF along.
+        let _ = to.shutdown(Shutdown::Write);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An upstream that echoes whatever it receives.
+    fn echo_server() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut chunk = [0u8; 4096];
+                    while let Ok(n) = s.read(&mut chunk) {
+                        if n == 0 || s.write_all(&chunk[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_secs(2)))?;
+        s.write_all(payload)?;
+        let mut got = vec![0u8; payload.len()];
+        s.read_exact(&mut got)?;
+        Ok(got)
+    }
+
+    #[test]
+    fn clean_plans_pass_bytes_through() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(&upstream.to_string()).unwrap();
+        let got = roundtrip(proxy.addr(), b"hello chaos").unwrap();
+        assert_eq!(&got, b"hello chaos");
+        assert_eq!(proxy.connections(), 1);
+    }
+
+    #[test]
+    fn truncation_severs_mid_stream() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(&upstream.to_string()).unwrap();
+        proxy.push_plan(FaultPlan {
+            to_upstream: LegFaults { truncate_after: Some(4), ..LegFaults::clean() },
+            ..FaultPlan::clean()
+        });
+        // Only 4 bytes ever reach the upstream; the echo comes back
+        // short and then the connection dies.
+        let err = roundtrip(proxy.addr(), b"hello chaos");
+        assert!(err.is_err(), "expected a severed connection, got {err:?}");
+    }
+
+    #[test]
+    fn corruption_flips_the_scripted_byte() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(&upstream.to_string()).unwrap();
+        proxy.push_plan(FaultPlan {
+            to_upstream: LegFaults { corrupt_at: Some(1), ..LegFaults::clean() },
+            ..FaultPlan::clean()
+        });
+        let got = roundtrip(proxy.addr(), b"abcd").unwrap();
+        assert_eq!(got[0], b'a');
+        assert_eq!(got[1], b'b' ^ 0xFF);
+        assert_eq!(&got[2..], b"cd");
+    }
+
+    #[test]
+    fn sever_active_kills_live_connections() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(&upstream.to_string()).unwrap();
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        s.write_all(b"ping").unwrap();
+        let mut got = [0u8; 4];
+        s.read_exact(&mut got).unwrap();
+        proxy.sever_active();
+        s.write_all(b"ping").ok();
+        let mut buf = [0u8; 4];
+        // Reads now hit EOF or a reset.
+        assert!(matches!(s.read(&mut buf), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn plans_apply_per_connection_in_fifo_order() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(&upstream.to_string()).unwrap();
+        proxy.push_plan(FaultPlan {
+            to_upstream: LegFaults::sever_immediately(),
+            ..FaultPlan::clean()
+        });
+        // First connection is scripted to die; second is clean.
+        assert!(roundtrip(proxy.addr(), b"dead").is_err());
+        let got = roundtrip(proxy.addr(), b"alive").unwrap();
+        assert_eq!(&got, b"alive");
+        assert_eq!(proxy.connections(), 2);
+    }
+
+    #[test]
+    fn delays_are_applied() {
+        let upstream = echo_server();
+        let proxy = ChaosProxy::start(&upstream.to_string()).unwrap();
+        proxy.push_plan(FaultPlan {
+            to_client: LegFaults { delay: Some(Duration::from_millis(80)), ..LegFaults::clean() },
+            ..FaultPlan::clean()
+        });
+        let t0 = std::time::Instant::now();
+        roundtrip(proxy.addr(), b"slow").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+    }
+}

@@ -6,13 +6,20 @@
 //! trait so the translation pipeline cannot tell the difference — that
 //! indifference is the point of ADV.
 
-use pgdb::{DbError, QueryResult, Session};
+use crate::wire::WireError;
+use pgdb::{QueryResult, Session};
 use std::sync::{Arc, Mutex};
 
 /// Something that executes SQL statements and returns rows.
+///
+/// Failures come back as the typed [`WireError`] taxonomy: a plain SQL
+/// error is `WireErrorKind::Db`, while wire-level failures (lost
+/// connections, deadlines, protocol violations, exhausted retries)
+/// carry their own kinds so callers can degrade gracefully instead of
+/// tearing the session down.
 pub trait Backend: Send {
     /// Execute one SQL statement.
-    fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, DbError>;
+    fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, WireError>;
 
     /// Human-readable description (for diagnostics).
     fn describe(&self) -> String {
@@ -33,8 +40,8 @@ impl DirectBackend {
 }
 
 impl Backend for DirectBackend {
-    fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, DbError> {
-        self.session.execute(sql)
+    fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, WireError> {
+        self.session.execute(sql).map_err(WireError::from)
     }
 
     fn describe(&self) -> String {

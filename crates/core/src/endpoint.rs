@@ -8,19 +8,34 @@
 //! Each accepted connection gets a [`ProtocolTranslator`] FSM and its own
 //! Hyper-Q session (scopes, temp tables, metadata cache) over a backend
 //! session — mirroring one kdb+ client connection.
+//!
+//! Robustness (see `DESIGN.md`, "Fault tolerance"): the accept loop
+//! survives transient `accept()` errors; a connection cap turns overload
+//! into a clean kdb+-style error frame instead of a reset; the client
+//! leg runs under the session's [`WireTimeouts`] read deadline, but only
+//! a peer stalled *mid-frame* is dropped — an idle Q application owes us
+//! nothing and is left alone; and when the backend cannot be reached the
+//! Endpoint degrades gracefully: the Q connection stays up and every
+//! query is answered with an error frame naming the backend failure.
 
-use crate::backend::{share, DirectBackend};
+use crate::backend::{share, DirectBackend, SharedBackend};
 use crate::session::{HyperQSession, SessionConfig};
+use crate::wire::WireError;
 use crate::xc::{ProtocolTranslator, PtAction};
 use qipc::{Message, MsgType};
 use qlang::{QResult, Value};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Credential check for the QIPC handshake.
 pub type Authenticator = Arc<dyn Fn(&str, &str) -> bool + Send + Sync>;
+
+/// Produces a backend connection for each accepted Q client. Failures
+/// put the connection in degraded mode rather than dropping it.
+pub type BackendFactory = Arc<dyn Fn() -> Result<SharedBackend, WireError> + Send + Sync>;
 
 /// Endpoint configuration.
 #[derive(Clone)]
@@ -29,13 +44,25 @@ pub struct EndpointConfig {
     /// everyone (kdb+'s historical posture, per §2.2: "kdb+ had no need
     /// for access control").
     pub authenticator: Authenticator,
-    /// Session configuration applied to every connection.
+    /// Session configuration applied to every connection (including the
+    /// wire deadlines for the client leg).
     pub session: SessionConfig,
+    /// Concurrent-connection ceiling; attempts beyond it complete the
+    /// handshake and then receive a kdb+ error frame (QIPC has no
+    /// pre-handshake error channel).
+    pub max_connections: usize,
+    /// Inbound QIPC frame-length ceiling.
+    pub max_frame: usize,
 }
 
 impl Default for EndpointConfig {
     fn default() -> Self {
-        EndpointConfig { authenticator: Arc::new(|_, _| true), session: SessionConfig::default() }
+        EndpointConfig {
+            authenticator: Arc::new(|_, _| true),
+            session: SessionConfig::default(),
+            max_connections: 64,
+            max_frame: qipc::DEFAULT_MAX_MESSAGE,
+        }
     }
 }
 
@@ -53,16 +80,43 @@ impl QipcEndpoint {
         bind_addr: &str,
         config: EndpointConfig,
     ) -> std::io::Result<QipcEndpoint> {
+        let factory: BackendFactory =
+            Arc::new(move || Ok(share(DirectBackend::new(&db))));
+        Self::start_with(bind_addr, config, factory)
+    }
+
+    /// Start the endpoint with an explicit backend factory — e.g. one
+    /// that opens a [`crate::gateway::PgWireBackend`] per connection.
+    pub fn start_with(
+        bind_addr: &str,
+        config: EndpointConfig,
+        factory: BackendFactory,
+    ) -> std::io::Result<QipcEndpoint> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
-        let handle = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                let Ok(stream) = stream else { break };
-                let db = db.clone();
-                let config = config.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, db, config);
-                });
+        let active = Arc::new(AtomicUsize::new(0));
+        let handle = std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let config = config.clone();
+                    let factory = Arc::clone(&factory);
+                    let active = Arc::clone(&active);
+                    let slot = active.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        if slot >= config.max_connections {
+                            let _ = reject_connection(stream, &config);
+                        } else {
+                            let _ = serve_connection(stream, factory, config);
+                        }
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                // One failed accept() (peer reset in the backlog, fd
+                // pressure, a signal) must not kill the listener.
+                Err(e) if transient_accept_error(&e) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(_) => break,
             }
         });
         Ok(QipcEndpoint { addr, handle: Some(handle) })
@@ -74,32 +128,112 @@ impl QipcEndpoint {
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    db: pgdb::Db,
-    config: EndpointConfig,
-) -> std::io::Result<()> {
-    let mut pt = ProtocolTranslator::new();
-    let mut session =
-        HyperQSession::new(share(DirectBackend::new(&db)), config.session);
-    let auth = config.authenticator;
-    let mut chunk = [0u8; 16384];
+fn transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
 
+/// Over the cap: complete the handshake (QIPC has no earlier error
+/// channel), answer the first synchronous request with a kdb+ error
+/// frame, then close.
+fn reject_connection(mut stream: TcpStream, config: &EndpointConfig) -> std::io::Result<()> {
+    let mut pt = ProtocolTranslator::with_max_frame(config.max_frame);
+    let auth = Arc::clone(&config.authenticator);
+    let mut chunk = [0u8; 4096];
     loop {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Ok(());
         }
+        let Ok(actions) = pt.on_bytes(&chunk[..n], &*auth) else { return Ok(()) };
+        for action in actions {
+            match action {
+                PtAction::Send(bytes) => stream.write_all(&bytes)?,
+                PtAction::Close => return Ok(()),
+                PtAction::ForwardQuery { respond, .. } => {
+                    if respond {
+                        if let PtAction::Send(bytes) =
+                            pt.on_error("'limit: too many connections")
+                        {
+                            stream.write_all(&bytes)?;
+                        }
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    factory: BackendFactory,
+    config: EndpointConfig,
+) -> std::io::Result<()> {
+    let mut pt = ProtocolTranslator::with_max_frame(config.max_frame);
+    // Graceful degradation: a backend we cannot reach does not cost the
+    // Q application its connection — queries are answered with error
+    // frames naming the failure instead.
+    let mut session: Result<HyperQSession, String> = match factory() {
+        Ok(backend) => Ok(HyperQSession::new(backend, config.session)),
+        Err(e) => Err(format!("'backend: unavailable ({e})")),
+    };
+    let auth = config.authenticator;
+    let mut chunk = [0u8; 16384];
+    // The client leg runs under the session's read deadline, but an
+    // *idle* Q application (no frame in progress) is never dropped —
+    // only a peer that stalls mid-frame.
+    let _ = stream.set_read_timeout(config.session.wire.read);
+    let _ = stream.set_write_timeout(config.session.wire.write);
+
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if pt.has_partial() {
+                    // Mid-frame stall: the peer is gone.
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(());
+        }
         let actions = match pt.on_bytes(&chunk[..n], &*auth) {
             Ok(a) => a,
-            Err(_) => return Ok(()), // malformed framing: drop connection
+            Err(e) => {
+                // Malformed framing: tell the peer why before dropping.
+                if let PtAction::Send(bytes) = pt.on_error(&format!("'ipc: {e}")) {
+                    let _ = stream.write_all(&bytes);
+                }
+                return Ok(());
+            }
         };
         for action in actions {
             match action {
                 PtAction::Send(bytes) => stream.write_all(&bytes)?,
                 PtAction::Close => return Ok(()),
                 PtAction::ForwardQuery { text, respond } => {
-                    let result = session.execute(&text);
+                    let result = match &mut session {
+                        Ok(s) => s.execute(&text),
+                        Err(reason) => Err(qlang::QError::new(
+                            qlang::error::QErrorKind::Other,
+                            reason.clone(),
+                        )),
+                    };
                     if respond {
                         let reply = match result {
                             Ok(value) => pt.on_results(value).unwrap_or_else(|e| {
@@ -155,7 +289,14 @@ impl QipcClient {
         self.stream.write_all(&bytes).map_err(io_err)
     }
 
-    fn read_response(&mut self) -> QResult<Value> {
+    /// Write raw bytes onto the connection (chaos tests use this to
+    /// inject malformed frames).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> QResult<()> {
+        self.stream.write_all(bytes).map_err(io_err)
+    }
+
+    /// Wait for the next response frame (also used after `send_raw`).
+    pub fn read_response(&mut self) -> QResult<Value> {
         let mut chunk = [0u8; 16384];
         loop {
             // kdb+-style error frame? (type byte -128 after the header)
@@ -285,5 +426,51 @@ mod tests {
         let v = client.query("2*3+4").unwrap();
         assert!(v.q_eq(&Value::long(14)));
         ep.detach();
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_error_frame_after_handshake() {
+        let db = pgdb::Db::new();
+        let config = EndpointConfig { max_connections: 1, ..EndpointConfig::default() };
+        let ep = QipcEndpoint::start(db, "127.0.0.1:0", config).unwrap();
+        let mut first = QipcClient::connect(&ep.addr.to_string(), "a", "").unwrap();
+        // The second connection handshakes fine, then its first query
+        // is answered with the rejection frame.
+        let mut second = QipcClient::connect(&ep.addr.to_string(), "b", "").unwrap();
+        let err = second.query("1+1").unwrap_err();
+        assert!(err.to_string().contains("too many connections"), "{err}");
+        // The first connection keeps working.
+        assert!(first.query("1+1").is_ok());
+        ep.detach();
+    }
+
+    #[test]
+    fn unreachable_backend_degrades_instead_of_dropping_the_client() {
+        let factory: BackendFactory = Arc::new(|| {
+            Err(WireError::connect("cannot connect to 10.255.255.1:5432: unreachable"))
+        });
+        let ep =
+            QipcEndpoint::start_with("127.0.0.1:0", EndpointConfig::default(), factory).unwrap();
+        let mut client = QipcClient::connect(&ep.addr.to_string(), "t", "").unwrap();
+        let err = client.query("select from trades").unwrap_err();
+        assert!(err.to_string().contains("backend: unavailable"), "{err}");
+        // The connection survives; subsequent queries answer too.
+        let err = client.query("1+1").unwrap_err();
+        assert!(err.to_string().contains("backend: unavailable"), "{err}");
+        ep.detach();
+    }
+
+    #[test]
+    fn oversized_frame_gets_an_error_frame_not_an_allocation() {
+        let db = pgdb::Db::new();
+        let config = EndpointConfig { max_frame: 1024, ..EndpointConfig::default() };
+        let ep = QipcEndpoint::start(db, "127.0.0.1:0", config).unwrap();
+        let mut client = QipcClient::connect(&ep.addr.to_string(), "t", "").unwrap();
+        // A header declaring 1 GiB.
+        let mut evil = vec![1, MsgType::Sync.as_byte(), 0, 0];
+        evil.extend_from_slice(&(1024u32 * 1024 * 1024).to_le_bytes());
+        client.send_raw(&evil).unwrap();
+        let err = client.read_response().unwrap_err();
+        assert!(err.to_string().contains("exceeding"), "{err}");
     }
 }

@@ -6,14 +6,34 @@
 //! tests, a real PostgreSQL/Greenplum in a deployment. Note the paper's
 //! rationale for not using ODBC/JDBC: processing network traffic natively
 //! is key for throughput.
+//!
+//! ## Fault tolerance
+//!
+//! The Gateway is the wire leg most likely to fail in production — the
+//! backend restarts, a switch drops the flow, a query stalls. Three
+//! mechanisms (see `DESIGN.md`, "Fault tolerance") keep a backend
+//! hiccup from killing the Q application's session:
+//!
+//! * [`WireTimeouts`] deadlines on connect/read/write, so a hung
+//!   backend surfaces as a typed timeout instead of blocking forever;
+//! * a [`RetryPolicy`]-driven reconnect loop that re-authenticates,
+//!   replays the session-establishment **DDL journal** (the
+//!   `CREATE TEMPORARY TABLE` statements materializing Q variables,
+//!   §4.3 — temp tables die with the backend connection, so they must
+//!   be rebuilt), and re-runs the in-flight statement *if it is
+//!   idempotent*;
+//! * a typed [`WireError`] taxonomy for everything that cannot be
+//!   retried: non-idempotent statements, protocol violations, expired
+//!   deadlines and exhausted retry budgets.
 
 use crate::backend::Backend;
+use crate::wire::{RetryPolicy, WireError, WireErrorKind, WireTimeouts};
 use bytes::BytesMut;
 use pgdb::{Cell, Column, DbError, PgType, QueryResult, Rows};
 use pgwire::codec::{encode_frontend, MessageReader};
 use pgwire::messages::{AuthRequest, BackendMessage, FrontendMessage, TypeOid};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 
 /// Map a wire type OID onto the engine type model.
 fn oid_to_pg_type(oid: TypeOid) -> PgType {
@@ -43,24 +63,142 @@ pub struct Credentials {
     pub database: String,
 }
 
-/// A PG v3 client connection implementing [`Backend`].
+/// How a statement behaves when its connection dies mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatementClass {
+    /// Row-returning and side-effect-free: safe to re-run on a fresh
+    /// connection.
+    Read,
+    /// Session-establishment DDL (temp-table materialization of Q
+    /// variables): journaled, and safe to re-run because the temp
+    /// table died with the old connection.
+    SessionDdl,
+    /// Anything that mutates durable state: re-running could apply the
+    /// mutation twice, so a mid-flight connection loss is fatal.
+    Mutation,
+}
+
+impl StatementClass {
+    fn of(sql: &str) -> StatementClass {
+        let head: String = sql
+            .trim_start()
+            .chars()
+            .take(32)
+            .collect::<String>()
+            .to_ascii_uppercase();
+        if head.starts_with("SELECT")
+            || head.starts_with("VALUES")
+            || head.starts_with("SHOW")
+            || head.starts_with("EXPLAIN")
+            || head.starts_with("WITH")
+        {
+            StatementClass::Read
+        } else if head.starts_with("CREATE TEMPORARY TABLE")
+            || head.starts_with("CREATE TEMP TABLE")
+        {
+            StatementClass::SessionDdl
+        } else {
+            StatementClass::Mutation
+        }
+    }
+
+    /// Safe to re-run after a reconnect?
+    fn replayable(self) -> bool {
+        !matches!(self, StatementClass::Mutation)
+    }
+}
+
+/// First few words of a statement, for error messages.
+fn summarize(sql: &str) -> String {
+    let mut s: String = sql.trim().chars().take(48).collect();
+    if s.len() < sql.trim().len() {
+        s.push('…');
+    }
+    s
+}
+
+/// A PG v3 client connection implementing [`Backend`], with deadlines
+/// and transparent reconnect.
 pub struct PgWireBackend {
     stream: TcpStream,
     reader: MessageReader,
     addr: String,
+    creds: Credentials,
+    timeouts: WireTimeouts,
+    retry: RetryPolicy,
+    /// Session-establishment DDL journal: every successfully executed
+    /// temp-table materialization, in order. Replayed after a
+    /// reconnect to rebuild the backend session's state.
+    journal: Vec<String>,
+    /// Number of reconnects performed over the life of this backend
+    /// (diagnostics; the chaos tests assert on it).
+    reconnects: u64,
 }
 
 impl PgWireBackend {
-    /// Connect, authenticate and wait for `ReadyForQuery`.
-    pub fn connect(addr: &str, creds: &Credentials) -> Result<Self, DbError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| DbError::exec(format!("cannot connect to {addr}: {e}")))?;
-        let mut client = PgWireBackend {
+    /// Connect, authenticate and wait for `ReadyForQuery`, using the
+    /// default deadlines and retry policy.
+    pub fn connect(addr: &str, creds: &Credentials) -> Result<Self, WireError> {
+        Self::connect_with(addr, creds, WireTimeouts::default(), RetryPolicy::default())
+    }
+
+    /// Connect with explicit deadlines and retry policy.
+    pub fn connect_with(
+        addr: &str,
+        creds: &Credentials,
+        timeouts: WireTimeouts,
+        retry: RetryPolicy,
+    ) -> Result<Self, WireError> {
+        let (stream, reader) = Self::open_stream(addr, creds, &timeouts)?;
+        Ok(PgWireBackend {
             stream,
-            reader: MessageReader::new(false),
+            reader,
             addr: addr.to_string(),
-        };
-        client.send(&FrontendMessage::Startup {
+            creds: creds.clone(),
+            timeouts,
+            retry,
+            journal: Vec::new(),
+            reconnects: 0,
+        })
+    }
+
+    /// The session-establishment DDL journal (diagnostics/tests).
+    pub fn journal(&self) -> &[String] {
+        &self.journal
+    }
+
+    /// How many times this backend has transparently reconnected.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Establish one authenticated connection: TCP connect under the
+    /// connect deadline, the start-up/authentication exchange, then
+    /// drain to `ReadyForQuery`.
+    fn open_stream(
+        addr: &str,
+        creds: &Credentials,
+        timeouts: &WireTimeouts,
+    ) -> Result<(TcpStream, MessageReader), WireError> {
+        let stream = match timeouts.connect {
+            Some(deadline) => {
+                let sock = addr
+                    .to_socket_addrs()
+                    .map_err(|e| WireError::connect(format!("cannot resolve {addr}: {e}")))?
+                    .next()
+                    .ok_or_else(|| WireError::connect(format!("{addr} resolves to nothing")))?;
+                TcpStream::connect_timeout(&sock, deadline)
+            }
+            None => TcpStream::connect(addr),
+        }
+        .map_err(|e| WireError::connect(format!("cannot connect to {addr}: {e}")))?;
+        timeouts
+            .apply(&stream)
+            .map_err(|e| WireError::connect(format!("cannot arm deadlines on {addr}: {e}")))?;
+
+        let mut stream = stream;
+        let mut reader = MessageReader::new(false);
+        send_on(&mut stream, &FrontendMessage::Startup {
             params: vec![
                 ("user".to_string(), creds.user.clone()),
                 ("database".to_string(), creds.database.clone()),
@@ -68,66 +206,75 @@ impl PgWireBackend {
         })?;
         // Authentication loop, then drain to ReadyForQuery.
         loop {
-            match client.recv()? {
+            match recv_on(&mut stream, &mut reader)? {
                 BackendMessage::Authentication(AuthRequest::Ok) => break,
                 BackendMessage::Authentication(AuthRequest::CleartextPassword) => {
-                    client.send(&FrontendMessage::Password(creds.password.clone()))?;
+                    send_on(&mut stream, &FrontendMessage::Password(creds.password.clone()))?;
                 }
                 BackendMessage::Authentication(AuthRequest::Md5Password { salt }) => {
                     let hashed = pgwire::md5_password(&creds.user, &creds.password, salt);
-                    client.send(&FrontendMessage::Password(hashed))?;
+                    send_on(&mut stream, &FrontendMessage::Password(hashed))?;
                 }
                 BackendMessage::ErrorResponse { code, message, .. } => {
-                    return Err(DbError { code, message });
+                    return Err(connect_rejection(code, message));
                 }
                 _ => {}
             }
         }
         loop {
-            match client.recv()? {
+            match recv_on(&mut stream, &mut reader)? {
                 BackendMessage::ReadyForQuery(_) => break,
                 BackendMessage::ErrorResponse { code, message, .. } => {
-                    return Err(DbError { code, message });
+                    return Err(connect_rejection(code, message));
                 }
                 _ => {}
             }
         }
-        Ok(client)
+        Ok((stream, reader))
     }
 
-    fn send(&mut self, msg: &FrontendMessage) -> Result<(), DbError> {
-        let mut buf = BytesMut::new();
-        encode_frontend(msg, &mut buf);
-        self.stream
-            .write_all(&buf)
-            .map_err(|e| DbError::exec(format!("write to backend failed: {e}")))
-    }
-
-    fn recv(&mut self) -> Result<BackendMessage, DbError> {
-        let mut chunk = [0u8; 8192];
-        loop {
-            if let Some(m) = self.reader.next_backend() {
-                return Ok(m);
+    /// Tear down the current connection, establish a fresh one and
+    /// replay the session-establishment journal on it.
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        let (stream, reader) = Self::open_stream(&self.addr, &self.creds, &self.timeouts)?;
+        self.stream = stream;
+        self.reader = reader;
+        self.reconnects += 1;
+        // Replay the journal; temp tables are session-scoped on the
+        // backend, so the fresh session starts empty and every entry
+        // re-applies cleanly.
+        let journal = std::mem::take(&mut self.journal);
+        for sql in &journal {
+            let result = self.run_statement(sql);
+            if let Err(e) = result {
+                // Put the journal back: a retryable failure will come
+                // around for another reconnect attempt.
+                self.journal = journal;
+                return Err(e);
             }
-            let n = self
-                .stream
-                .read(&mut chunk)
-                .map_err(|e| DbError::exec(format!("read from backend failed: {e}")))?;
-            if n == 0 {
-                return Err(DbError::exec("backend closed the connection"));
-            }
-            self.reader.feed(&chunk[..n]);
         }
+        self.journal = journal;
+        Ok(())
     }
-}
 
-impl Backend for PgWireBackend {
-    fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+    fn send(&mut self, msg: &FrontendMessage) -> Result<(), WireError> {
+        send_on(&mut self.stream, msg)
+    }
+
+    fn recv(&mut self) -> Result<BackendMessage, WireError> {
+        recv_on(&mut self.stream, &mut self.reader)
+    }
+
+    /// Run one statement on the *current* connection: no retry, no
+    /// journaling. The response stream is always drained to
+    /// `ReadyForQuery` (when the connection survives), so a decode
+    /// error poisons the result, not the connection.
+    fn run_statement(&mut self, sql: &str) -> Result<QueryResult, WireError> {
         self.send(&FrontendMessage::Query(sql.to_string()))?;
         let mut columns: Vec<Column> = Vec::new();
         let mut data: Vec<Vec<Cell>> = Vec::new();
         let mut tag: Option<String> = None;
-        let mut error: Option<DbError> = None;
+        let mut error: Option<WireError> = None;
         let mut saw_rows = false;
         loop {
             match self.recv()? {
@@ -139,22 +286,41 @@ impl Backend for PgWireBackend {
                         .collect();
                 }
                 BackendMessage::DataRow(cells) => {
-                    let row = cells
-                        .iter()
-                        .enumerate()
-                        .map(|(i, c)| match c {
-                            None => Cell::Null,
+                    if error.is_some() {
+                        continue; // already poisoned; keep draining
+                    }
+                    let mut row = Vec::with_capacity(cells.len());
+                    for (i, c) in cells.iter().enumerate() {
+                        match c {
+                            None => row.push(Cell::Null),
                             Some(text) => {
                                 let ty = columns.get(i).map(|c| c.ty).unwrap_or(PgType::Text);
-                                Cell::from_wire_text(text, ty).unwrap_or(Cell::Null)
+                                match Cell::from_wire_text(text, ty) {
+                                    Some(cell) => row.push(cell),
+                                    None => {
+                                        // Do NOT smuggle a Null in: a
+                                        // cell that fails to decode is
+                                        // a protocol-level error.
+                                        error = Some(WireError::protocol(format!(
+                                            "cannot decode cell {text:?} as {ty:?} (column {})",
+                                            columns
+                                                .get(i)
+                                                .map(|c| c.name.as_str())
+                                                .unwrap_or("?")
+                                        )));
+                                        break;
+                                    }
+                                }
                             }
-                        })
-                        .collect();
-                    data.push(row);
+                        }
+                    }
+                    if error.is_none() {
+                        data.push(row);
+                    }
                 }
                 BackendMessage::CommandComplete(t) => tag = Some(t),
                 BackendMessage::ErrorResponse { code, message, .. } => {
-                    error = Some(DbError { code, message });
+                    error = Some(WireError::from(DbError { code, message }));
                 }
                 BackendMessage::ReadyForQuery(_) => break,
                 _ => {}
@@ -169,6 +335,95 @@ impl Backend for PgWireBackend {
             Ok(QueryResult::Command(tag.unwrap_or_default()))
         }
     }
+}
+
+fn send_on(stream: &mut TcpStream, msg: &FrontendMessage) -> Result<(), WireError> {
+    let mut buf = BytesMut::new();
+    encode_frontend(msg, &mut buf);
+    stream
+        .write_all(&buf)
+        .map_err(|e| WireError::from_io("write to backend", &e))
+}
+
+fn recv_on(stream: &mut TcpStream, reader: &mut MessageReader) -> Result<BackendMessage, WireError> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        match reader.next_backend() {
+            Ok(Some(m)) => return Ok(m),
+            Ok(None) => {}
+            Err(e) => return Err(WireError::protocol(e.to_string())),
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| WireError::from_io("read from backend", &e))?;
+        if n == 0 {
+            return Err(WireError::lost("backend closed the connection"));
+        }
+        reader.feed(&chunk[..n]);
+    }
+}
+
+/// Classify an `ErrorResponse` received during session establishment.
+fn connect_rejection(code: String, message: String) -> WireError {
+    if code == "53300" {
+        WireError::rejected(message)
+    } else {
+        WireError::from(DbError { code, message })
+    }
+}
+
+impl Backend for PgWireBackend {
+    fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, WireError> {
+        let class = StatementClass::of(sql);
+        let mut attempt: u32 = 1;
+        loop {
+            let mut failure = match self.run_statement(sql) {
+                Ok(result) => {
+                    if class == StatementClass::SessionDdl {
+                        self.journal.push(sql.to_string());
+                    }
+                    return Ok(result);
+                }
+                Err(e) if e.retryable() => {
+                    if !class.replayable() {
+                        return Err(WireError::new(
+                            WireErrorKind::NonIdempotent,
+                            format!(
+                                "connection failed while a non-idempotent statement \
+                                 ({}) was in flight; not retrying: {e}",
+                                summarize(sql)
+                            ),
+                        ));
+                    }
+                    e
+                }
+                Err(e) => return Err(e),
+            };
+            // Reconnect-and-retry loop: each failed reconnect also
+            // burns an attempt, so a dead backend cannot stall us in
+            // here forever.
+            loop {
+                if attempt >= self.retry.max_attempts {
+                    return Err(WireError::new(
+                        WireErrorKind::RetriesExhausted,
+                        format!(
+                            "{} of {} attempts failed for ({}); last failure: {failure}",
+                            attempt,
+                            self.retry.max_attempts,
+                            summarize(sql)
+                        ),
+                    ));
+                }
+                std::thread::sleep(self.retry.backoff(attempt));
+                attempt += 1;
+                match self.reconnect() {
+                    Ok(()) => break,
+                    Err(e) if e.retryable() => failure = e,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
 
     fn describe(&self) -> String {
         format!("pg-wire backend at {}", self.addr)
@@ -179,7 +434,23 @@ impl Backend for PgWireBackend {
 mod tests {
     use super::*;
     use pgdb::server::{AuthMode, PgServer, ServerConfig};
+    use pgwire::codec::encode_backend;
+    use pgwire::messages::{FieldDesc, TransactionStatus};
     use std::collections::HashMap;
+    use std::net::TcpListener;
+
+    #[test]
+    fn statement_classification() {
+        assert_eq!(StatementClass::of("SELECT 1"), StatementClass::Read);
+        assert_eq!(StatementClass::of("  with x as (select 1) select * from x"), StatementClass::Read);
+        assert_eq!(
+            StatementClass::of("CREATE TEMPORARY TABLE \"HQ_TEMP_1\" AS SELECT 1"),
+            StatementClass::SessionDdl
+        );
+        assert_eq!(StatementClass::of("INSERT INTO t VALUES (1)"), StatementClass::Mutation);
+        assert_eq!(StatementClass::of("CREATE TABLE t (x bigint)"), StatementClass::Mutation);
+        assert_eq!(StatementClass::of("DELETE FROM t"), StatementClass::Mutation);
+    }
 
     #[test]
     fn wire_backend_executes_queries_end_to_end() {
@@ -212,7 +483,7 @@ mod tests {
         let server = PgServer::start(
             db,
             "127.0.0.1:0",
-            ServerConfig { auth: AuthMode::Md5(creds_map) },
+            ServerConfig { auth: AuthMode::Md5(creds_map), ..ServerConfig::default() },
         )
         .unwrap();
         let good = Credentials {
@@ -233,7 +504,8 @@ mod tests {
         let creds = Credentials { user: "x".into(), ..Default::default() };
         let mut backend = PgWireBackend::connect(&server.addr.to_string(), &creds).unwrap();
         let err = backend.execute_sql("SELECT * FROM ghost").unwrap_err();
-        assert_eq!(err.code, "42P01");
+        assert_eq!(err.kind, WireErrorKind::Db);
+        assert_eq!(err.db.as_ref().unwrap().code, "42P01");
         // Connection remains usable after an error.
         assert!(backend.execute_sql("SELECT 1").is_ok());
         server.detach();
@@ -260,5 +532,153 @@ mod tests {
             other => panic!("expected rows, got {other:?}"),
         }
         server.detach();
+    }
+
+    /// A hand-rolled fake PG server speaking just enough of the
+    /// protocol to misbehave on demand.
+    fn fake_server_once(
+        responses: impl FnOnce(&mut TcpStream) + Send + 'static,
+    ) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Swallow the startup packet.
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf).unwrap();
+            // Auth OK + ReadyForQuery.
+            let mut out = BytesMut::new();
+            encode_backend(&BackendMessage::Authentication(AuthRequest::Ok), &mut out);
+            encode_backend(
+                &BackendMessage::ReadyForQuery(TransactionStatus::Idle),
+                &mut out,
+            );
+            stream.write_all(&out).unwrap();
+            responses(&mut stream);
+        });
+        addr
+    }
+
+    #[test]
+    fn undecodable_cell_text_is_a_protocol_error_not_a_silent_null() {
+        // Regression: unparseable cell text used to become Cell::Null
+        // via unwrap_or — silent data corruption.
+        let addr = fake_server_once(|stream| {
+            // Wait for the query, then answer with a bigint column whose
+            // cell text is not a number.
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf).unwrap();
+            let mut out = BytesMut::new();
+            encode_backend(
+                &BackendMessage::RowDescription(vec![FieldDesc {
+                    name: "x".into(),
+                    type_oid: TypeOid::Int8,
+                }]),
+                &mut out,
+            );
+            encode_backend(&BackendMessage::DataRow(vec![Some("notanumber".into())]), &mut out);
+            encode_backend(&BackendMessage::CommandComplete("SELECT 1".into()), &mut out);
+            encode_backend(&BackendMessage::ReadyForQuery(TransactionStatus::Idle), &mut out);
+            stream.write_all(&out).unwrap();
+            // Keep the connection open until the client is done.
+            let _ = stream.read(&mut buf);
+        });
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let mut backend = PgWireBackend::connect_with(
+            &addr.to_string(),
+            &creds,
+            WireTimeouts::default(),
+            RetryPolicy::no_retry(),
+        )
+        .unwrap();
+        let err = backend.execute_sql("SELECT x FROM t").unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Protocol, "{err}");
+        assert!(err.message.contains("notanumber"), "{err}");
+    }
+
+    #[test]
+    fn session_ddl_is_journaled_and_reads_are_not() {
+        let db = pgdb::Db::new();
+        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let mut backend = PgWireBackend::connect(&server.addr.to_string(), &creds).unwrap();
+        backend.execute_sql("CREATE TABLE base (x bigint)").unwrap();
+        backend.execute_sql("INSERT INTO base VALUES (1)").unwrap();
+        backend
+            .execute_sql("CREATE TEMPORARY TABLE \"HQ_TEMP_1\" AS SELECT x FROM base")
+            .unwrap();
+        backend.execute_sql("SELECT x FROM \"HQ_TEMP_1\"").unwrap();
+        assert_eq!(backend.journal().len(), 1);
+        assert!(backend.journal()[0].starts_with("CREATE TEMPORARY TABLE"));
+        server.detach();
+    }
+
+    #[test]
+    fn read_deadline_trips_on_a_silent_backend() {
+        // A server that accepts, authenticates, then never answers the
+        // query.
+        let addr = fake_server_once(|stream| {
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        });
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let timeouts = WireTimeouts {
+            read: Some(std::time::Duration::from_millis(50)),
+            ..WireTimeouts::default()
+        };
+        let mut backend =
+            PgWireBackend::connect_with(&addr.to_string(), &creds, timeouts, RetryPolicy::no_retry())
+                .unwrap();
+        let err = backend.execute_sql("SELECT 1").unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Timeout, "{err}");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_from_backend_is_a_protocol_error() {
+        let addr = fake_server_once(|stream| {
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf).unwrap();
+            // A 'T' frame declaring 512 MiB.
+            let mut evil = vec![b'T'];
+            evil.extend_from_slice(&(512 * 1024 * 1024i32).to_be_bytes());
+            stream.write_all(&evil).unwrap();
+            let _ = stream.read(&mut buf);
+        });
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let mut backend = PgWireBackend::connect_with(
+            &addr.to_string(),
+            &creds,
+            WireTimeouts::default(),
+            RetryPolicy::no_retry(),
+        )
+        .unwrap();
+        let err = backend.execute_sql("SELECT 1").unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Protocol, "{err}");
+    }
+
+    #[test]
+    fn connection_refused_is_a_typed_connect_failure() {
+        // Grab a port that nothing is listening on.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let timeouts = WireTimeouts {
+            connect: Some(std::time::Duration::from_millis(250)),
+            ..WireTimeouts::default()
+        };
+        let t0 = std::time::Instant::now();
+        let Err(err) = PgWireBackend::connect_with(
+            &addr.to_string(),
+            &creds,
+            timeouts,
+            RetryPolicy::no_retry(),
+        ) else {
+            panic!("connect to a dead port succeeded");
+        };
+        assert_eq!(err.kind, WireErrorKind::ConnectFailed, "{err}");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
     }
 }

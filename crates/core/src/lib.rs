@@ -30,6 +30,9 @@
 //!   machines (§3.4).
 //! * [`endpoint`] — the kdb+-specific Endpoint plugin: a QIPC TCP server
 //!   that Q applications connect to unchanged (§3.1).
+//! * [`wire`] — wire-path resilience: the typed [`wire::WireError`]
+//!   taxonomy, [`wire::WireTimeouts`] deadlines on both TCP legs and the
+//!   deterministic [`wire::RetryPolicy`] driving Gateway reconnects.
 //! * [`loader`] — schema mapping and data movement helpers (the part the
 //!   paper's customers found easy; we provide it for the examples).
 //! * [`side_by_side`] — the §5 side-by-side testing framework: runs the
@@ -73,9 +76,11 @@ pub mod qcache;
 pub mod session;
 pub mod side_by_side;
 pub mod translate;
+pub mod wire;
 pub mod xc;
 
 pub use backend::{Backend, DirectBackend, SharedBackend};
 pub use qcache::{CacheStats, TranslationCache};
 pub use session::{HyperQSession, SessionConfig};
 pub use translate::{StageTimings, Translation, TranslationStats, Translator};
+pub use wire::{RetryPolicy, WireError, WireErrorKind, WireTimeouts};

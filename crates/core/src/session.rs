@@ -11,6 +11,7 @@ use crate::mdi_backend::BackendMdi;
 use crate::pivot::pivot;
 use crate::qcache::{CacheStats, TranslationCache};
 use crate::translate::{StageTimings, Translation, TranslationStats, Translator};
+use crate::wire::{RetryPolicy, WireTimeouts};
 use algebrizer::{CachingMdi, MaterializationPolicy, Scopes};
 use pgdb::QueryResult;
 use qlang::{QError, QResult, Value};
@@ -31,6 +32,11 @@ pub struct SessionConfig {
     /// statements skip the parse → algebrize → optimize → serialize
     /// pipeline entirely; 0 disables the cache.
     pub translation_cache: usize,
+    /// Connect/read/write deadlines for both TCP legs: the client-facing
+    /// Endpoint leg and the backend-facing Gateway leg.
+    pub wire: WireTimeouts,
+    /// Reconnect policy for the Gateway's backend leg.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SessionConfig {
@@ -40,6 +46,8 @@ impl Default for SessionConfig {
             xform: XformConfig::default(),
             metadata_cache_ttl: Duration::from_secs(300),
             translation_cache: 256,
+            wire: WireTimeouts::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -184,11 +192,23 @@ impl HyperQSession {
                     .execute_sql(&stmt.sql)
                     .map_err(|e| {
                         // Hyper-Q error messages are deliberately more
-                        // verbose than kdb+'s (paper §5).
-                        QError::new(
-                            qlang::error::QErrorKind::Other,
-                            format!("backend error {} while executing {:?}: {}", e.code, stmt.sql, e.message),
-                        )
+                        // verbose than kdb+'s (paper §5). Wire-level
+                        // failures keep their taxonomy label so a Q
+                        // client can tell a lost backend from a SQL
+                        // error.
+                        let rendered = match &e.db {
+                            Some(db) => format!(
+                                "backend error {} while executing {:?}: {}",
+                                db.code, stmt.sql, db.message
+                            ),
+                            None => format!(
+                                "wire error ({}) while executing {:?}: {}",
+                                e.kind.label(),
+                                stmt.sql,
+                                e.message
+                            ),
+                        };
+                        QError::new(qlang::error::QErrorKind::Other, rendered)
                     })?;
                 if stmt.returns_rows {
                     match result {

@@ -55,6 +55,7 @@ pub type Authenticator = dyn Fn(&str, &str) -> bool + Send + Sync;
 pub struct ProtocolTranslator {
     state: PtState,
     buffer: Vec<u8>,
+    max_frame: usize,
 }
 
 impl Default for ProtocolTranslator {
@@ -66,12 +67,27 @@ impl Default for ProtocolTranslator {
 impl ProtocolTranslator {
     /// New connection: awaiting handshake.
     pub fn new() -> Self {
-        ProtocolTranslator { state: PtState::AwaitHandshake, buffer: Vec::new() }
+        Self::with_max_frame(qipc::DEFAULT_MAX_MESSAGE)
+    }
+
+    /// New connection with an explicit inbound-frame length ceiling; a
+    /// message declaring more than `max_frame` bytes is a protocol error
+    /// rather than an allocation.
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        ProtocolTranslator { state: PtState::AwaitHandshake, buffer: Vec::new(), max_frame }
     }
 
     /// Current state.
     pub fn state(&self) -> PtState {
         self.state
+    }
+
+    /// Whether an incomplete frame is sitting in the buffer. The socket
+    /// loop uses this to tell an *idle* peer (no bytes owed — a read
+    /// deadline expiring is fine) from a *stalled* one (mid-frame — the
+    /// peer is gone and the connection should be dropped).
+    pub fn has_partial(&self) -> bool {
+        !self.buffer.is_empty()
     }
 
     /// Feed raw socket bytes; returns the actions to perform, in order.
@@ -100,7 +116,7 @@ impl ProtocolTranslator {
                         }
                     }
                 }
-                PtState::Idle => match qipc::read_message(&self.buffer)? {
+                PtState::Idle => match qipc::read_message_limited(&self.buffer, self.max_frame)? {
                     None => break,
                     Some((msg, used)) => {
                         self.buffer.drain(..used);
@@ -178,6 +194,11 @@ pub enum QtState {
     Serializing,
     /// Translation finished; SQL available.
     Done,
+    /// A stage failed; the FSM is discarding in-flight state before
+    /// returning to `Idle`. Explicit so the trajectory records error
+    /// recovery, and so a re-entrant caller never observes a
+    /// half-translated FSM as `Idle`.
+    Recovering,
 }
 
 /// The Query Translator FSM: drives one translation, recording the state
@@ -227,7 +248,13 @@ impl QueryTranslator {
                 self.transition(QtState::Serializing);
                 self.transition(QtState::Done);
             }
-            Err(_) => self.transition(QtState::Idle),
+            Err(_) => {
+                // Error recovery is an explicit transition, not a
+                // silent reset: Recovering discards in-flight state,
+                // then the FSM is Idle and re-entrant again.
+                self.transition(QtState::Recovering);
+                self.transition(QtState::Idle);
+            }
         }
         result
     }
@@ -366,12 +393,42 @@ mod tests {
     }
 
     #[test]
-    fn qt_failure_returns_to_idle() {
+    fn qt_failure_recovers_explicitly_then_returns_to_idle() {
         let mdi = algebrizer::StaticMdi::new();
         let mut scopes = Scopes::new();
         let mut seq = 0;
         let mut qt = QueryTranslator::new(Translator::new());
         assert!(qt.translate("select from ghost", &mdi, &mut scopes, &mut seq).is_err());
         assert_eq!(qt.state(), QtState::Idle);
+        assert!(
+            qt.trajectory().contains(&QtState::Recovering),
+            "error recovery is an observable transition: {:?}",
+            qt.trajectory()
+        );
+        // Re-entrant after recovery.
+        assert!(qt.translate("select from ghost", &mdi, &mut scopes, &mut seq).is_err());
+        assert_eq!(qt.state(), QtState::Idle);
+    }
+
+    #[test]
+    fn oversized_qipc_frame_is_a_protocol_error() {
+        let mut pt = ProtocolTranslator::with_max_frame(64);
+        let mut bytes = qipc::client_handshake("u", "p", 3);
+        // A syntactically valid header whose length declares 1 MiB.
+        bytes.extend_from_slice(&[1, 1, 0, 0]);
+        bytes.extend_from_slice(&(1024u32 * 1024).to_le_bytes());
+        let err = pt.on_bytes(&bytes, &trust).unwrap_err();
+        assert!(err.to_string().contains("exceeding"), "{err}");
+    }
+
+    #[test]
+    fn partial_frames_are_visible_to_the_socket_loop() {
+        let mut pt = ProtocolTranslator::new();
+        let hs = qipc::client_handshake("u", "p", 3);
+        pt.on_bytes(&hs, &trust).unwrap();
+        assert!(!pt.has_partial(), "idle peer owes nothing");
+        let msg = qipc::write_message(&Message::query("1+1")).unwrap();
+        pt.on_bytes(&msg[..4], &trust).unwrap();
+        assert!(pt.has_partial(), "mid-frame stall must be detectable");
     }
 }

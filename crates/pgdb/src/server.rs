@@ -5,6 +5,12 @@
 //! lists) → `ReadyForQuery` → a loop of `Query` messages answered with
 //! `RowDescription` + streamed `DataRow`s + `CommandComplete` (the
 //! row-oriented stream of Figure 5).
+//!
+//! Robustness: the accept loop survives transient `accept()` errors, a
+//! configurable connection cap turns overload into a clean
+//! protocol-level rejection (SQLSTATE 53300, like PostgreSQL), and
+//! malformed frames are answered with an `08P01` protocol-violation
+//! error instead of killing the process or hanging the peer.
 
 use crate::engine::{Db, QueryResult};
 use crate::types::PgType;
@@ -14,6 +20,7 @@ use pgwire::messages::{AuthRequest, BackendMessage, FieldDesc, FrontendMessage, 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -30,10 +37,20 @@ pub enum AuthMode {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Authentication policy.
     pub auth: AuthMode,
+    /// Concurrent-connection ceiling; connection attempts beyond it are
+    /// rejected with SQLSTATE 53300 ("too many connections") after the
+    /// start-up packet, mirroring PostgreSQL.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { auth: AuthMode::default(), max_connections: 64 }
+    }
 }
 
 /// A running PG v3 server.
@@ -49,14 +66,30 @@ impl PgServer {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         let cfg = Arc::new(config);
-        let handle = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                let Ok(stream) = stream else { break };
-                let db = db.clone();
-                let cfg = Arc::clone(&cfg);
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, db, &cfg);
-                });
+        let active = Arc::new(AtomicUsize::new(0));
+        let handle = std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let db = db.clone();
+                    let cfg = Arc::clone(&cfg);
+                    let active = Arc::clone(&active);
+                    let slot = active.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        if slot >= cfg.max_connections {
+                            let _ = reject_connection(stream);
+                        } else {
+                            let _ = serve_connection(stream, db, &cfg);
+                        }
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                // A failed accept() of one connection (peer reset the
+                // socket while it sat in the backlog, fd pressure, a
+                // signal) must not take the listener down with it.
+                Err(e) if transient_accept_error(&e) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(_) => break,
             }
         });
         Ok(PgServer { addr, handle: Some(handle) })
@@ -66,6 +99,17 @@ impl PgServer {
     pub fn detach(mut self) {
         self.handle.take();
     }
+}
+
+fn transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
 }
 
 fn send(stream: &mut TcpStream, msg: &BackendMessage) -> std::io::Result<()> {
@@ -90,6 +134,58 @@ fn pg_type_oid(ty: PgType) -> TypeOid {
     }
 }
 
+/// Pull the next frontend message off the wire. `Ok(None)` means the
+/// conversation is over: the peer closed cleanly, or it sent a malformed
+/// frame and has already been answered with an `08P01` error.
+fn recv_frontend(
+    stream: &mut TcpStream,
+    reader: &mut MessageReader,
+    chunk: &mut [u8],
+) -> std::io::Result<Option<FrontendMessage>> {
+    loop {
+        match reader.next_frontend() {
+            Ok(Some(m)) => return Ok(Some(m)),
+            Ok(None) => {}
+            Err(e) => {
+                let _ = send(
+                    stream,
+                    &BackendMessage::ErrorResponse {
+                        severity: "FATAL".into(),
+                        code: "08P01".into(),
+                        message: e.to_string(),
+                    },
+                );
+                return Ok(None);
+            }
+        }
+        let n = stream.read(chunk)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        reader.feed(&chunk[..n]);
+    }
+}
+
+/// Over the cap: accept the start-up packet, answer with 53300, close.
+fn reject_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = MessageReader::new(true);
+    let mut chunk = [0u8; 8192];
+    // Wait for the start-up packet so the client sees a protocol-level
+    // error rather than a connection reset mid-handshake.
+    while recv_frontend(&mut stream, &mut reader, &mut chunk)?
+        .map(|m| !matches!(m, FrontendMessage::Startup { .. }))
+        .unwrap_or(false)
+    {}
+    send(
+        &mut stream,
+        &BackendMessage::ErrorResponse {
+            severity: "FATAL".into(),
+            code: "53300".into(),
+            message: "too many connections".into(),
+        },
+    )
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     db: Db,
@@ -100,14 +196,11 @@ fn serve_connection(
 
     // Start-up.
     let params = loop {
-        if let Some(FrontendMessage::Startup { params }) = reader.next_frontend() {
-            break params;
+        match recv_frontend(&mut stream, &mut reader, &mut chunk)? {
+            Some(FrontendMessage::Startup { params }) => break params,
+            Some(_) => {}
+            None => return Ok(()),
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(());
-        }
-        reader.feed(&chunk[..n]);
     };
     let user = params
         .iter()
@@ -120,17 +213,21 @@ fn serve_connection(
         AuthMode::Trust => true,
         AuthMode::Cleartext(creds) => {
             send(&mut stream, &BackendMessage::Authentication(AuthRequest::CleartextPassword))?;
-            let pw = read_password(&mut stream, &mut reader, &mut chunk)?;
-            creds.get(&user).map(|expect| *expect == pw).unwrap_or(false)
+            match read_password(&mut stream, &mut reader, &mut chunk)? {
+                Some(pw) => creds.get(&user).map(|expect| *expect == pw).unwrap_or(false),
+                None => return Ok(()),
+            }
         }
         AuthMode::Md5(creds) => {
             let salt = [0x13, 0x37, 0xBE, 0xEF];
             send(&mut stream, &BackendMessage::Authentication(AuthRequest::Md5Password { salt }))?;
-            let pw = read_password(&mut stream, &mut reader, &mut chunk)?;
-            creds
-                .get(&user)
-                .map(|expect| pgwire::md5_password(&user, expect, salt) == pw)
-                .unwrap_or(false)
+            match read_password(&mut stream, &mut reader, &mut chunk)? {
+                Some(pw) => creds
+                    .get(&user)
+                    .map(|expect| pgwire::md5_password(&user, expect, salt) == pw)
+                    .unwrap_or(false),
+                None => return Ok(()),
+            }
         }
     };
     if !authenticated {
@@ -156,15 +253,8 @@ fn serve_connection(
 
     // Query loop.
     loop {
-        let msg = loop {
-            if let Some(m) = reader.next_frontend() {
-                break m;
-            }
-            let n = stream.read(&mut chunk)?;
-            if n == 0 {
-                return Ok(());
-            }
-            reader.feed(&chunk[..n]);
+        let Some(msg) = recv_frontend(&mut stream, &mut reader, &mut chunk)? else {
+            return Ok(());
         };
         match msg {
             FrontendMessage::Query(sql) => {
@@ -226,16 +316,13 @@ fn read_password(
     stream: &mut TcpStream,
     reader: &mut MessageReader,
     chunk: &mut [u8],
-) -> std::io::Result<String> {
+) -> std::io::Result<Option<String>> {
     loop {
-        if let Some(FrontendMessage::Password(p)) = reader.next_frontend() {
-            return Ok(p);
+        match recv_frontend(stream, reader, chunk)? {
+            Some(FrontendMessage::Password(p)) => return Ok(Some(p)),
+            Some(_) => {}
+            None => return Ok(None),
         }
-        let n = stream.read(chunk)?;
-        if n == 0 {
-            return Ok(String::new());
-        }
-        reader.feed(&chunk[..n]);
     }
 }
 
@@ -301,7 +388,7 @@ mod tests {
         fn recv(&mut self) -> BackendMessage {
             let mut chunk = [0u8; 4096];
             loop {
-                if let Some(m) = self.reader.next_backend() {
+                if let Some(m) = self.reader.next_backend().unwrap() {
                     return m;
                 }
                 let n = self.stream.read(&mut chunk).unwrap();
@@ -351,9 +438,12 @@ mod tests {
         let db = Db::new();
         let mut creds = HashMap::new();
         creds.insert("trader".to_string(), "secret".to_string());
-        let server =
-            PgServer::start(db, "127.0.0.1:0", ServerConfig { auth: AuthMode::Cleartext(creds) })
-                .unwrap();
+        let server = PgServer::start(
+            db,
+            "127.0.0.1:0",
+            ServerConfig { auth: AuthMode::Cleartext(creds), ..ServerConfig::default() },
+        )
+        .unwrap();
 
         // Good password.
         let mut ok = TestClient::connect(server.addr, "trader");
@@ -379,8 +469,12 @@ mod tests {
         let db = Db::new();
         let mut creds = HashMap::new();
         creds.insert("trader".to_string(), "secret".to_string());
-        let server =
-            PgServer::start(db, "127.0.0.1:0", ServerConfig { auth: AuthMode::Md5(creds) }).unwrap();
+        let server = PgServer::start(
+            db,
+            "127.0.0.1:0",
+            ServerConfig { auth: AuthMode::Md5(creds), ..ServerConfig::default() },
+        )
+        .unwrap();
         let mut client = TestClient::connect(server.addr, "trader");
         let salt = match client.recv() {
             BackendMessage::Authentication(AuthRequest::Md5Password { salt }) => salt,
@@ -407,9 +501,45 @@ mod tests {
     }
 
     #[test]
-    fn statement_splitting_respects_quotes() {
-        assert_eq!(split_statements("SELECT 1; SELECT 2"), vec!["SELECT 1", "SELECT 2"]);
-        assert_eq!(split_statements("SELECT 'a;b'"), vec!["SELECT 'a;b'"]);
-        assert_eq!(split_statements("SELECT \"a;b\" FROM t"), vec!["SELECT \"a;b\" FROM t"]);
+    fn connection_cap_rejects_with_53300() {
+        let db = Db::new();
+        let server = PgServer::start(
+            db,
+            "127.0.0.1:0",
+            ServerConfig { max_connections: 1, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut first = TestClient::connect(server.addr, "a");
+        first.recv_until_ready();
+        // The second concurrent connection must be turned away cleanly.
+        let mut second = TestClient::connect(server.addr, "b");
+        let m = second.recv();
+        assert!(
+            matches!(&m, BackendMessage::ErrorResponse { code, .. } if code == "53300"),
+            "expected 53300 rejection, got {m:?}"
+        );
+        // The first connection keeps working.
+        first.send(&FrontendMessage::Query("SELECT 1".into()));
+        let msgs = first.recv_until_ready();
+        assert!(msgs.iter().any(|m| matches!(m, BackendMessage::DataRow(_))));
+        server.detach();
+    }
+
+    #[test]
+    fn malformed_frame_gets_a_protocol_violation_error() {
+        let db = Db::new();
+        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = TestClient::connect(server.addr, "x");
+        client.recv_until_ready();
+        // A Query frame whose length prefix declares half a gigabyte.
+        let mut evil = vec![b'Q'];
+        evil.extend_from_slice(&(512 * 1024 * 1024i32).to_be_bytes());
+        client.stream.write_all(&evil).unwrap();
+        let m = client.recv();
+        assert!(
+            matches!(&m, BackendMessage::ErrorResponse { code, .. } if code == "08P01"),
+            "expected 08P01, got {m:?}"
+        );
+        server.detach();
     }
 }

@@ -2,11 +2,59 @@
 //!
 //! Framing (paper §4.2): one type byte (absent on the start-up packet),
 //! then a big-endian i32 length that *includes itself*, then the body.
+//!
+//! The length prefix is attacker-controlled input: a corrupt or hostile
+//! peer can declare any frame size it likes. Decoding therefore rejects
+//! frames whose declared length is negative, smaller than the length
+//! field itself, or larger than a configurable ceiling
+//! ([`DEFAULT_MAX_FRAME`]) — a [`FrameError`] instead of an unbounded
+//! allocation.
 
 use crate::messages::{
     AuthRequest, BackendMessage, FieldDesc, FrontendMessage, TransactionStatus, TypeOid,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Default ceiling on a declared frame length: 64 MiB.
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// A framing-level protocol violation (corrupt or hostile length
+/// prefix, undecodable message body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// What was wrong with the frame.
+    pub message: String,
+}
+
+impl FrameError {
+    fn new(message: impl Into<String>) -> Self {
+        FrameError { message: message.into() }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pgwire protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Validate a declared frame length (the 4 length bytes themselves are
+/// included in `len`).
+fn check_len(len: i32, max: usize) -> Result<usize, FrameError> {
+    if len < 4 {
+        return Err(FrameError::new(format!("declared frame length {len} is below the minimum of 4")));
+    }
+    let len = len as usize;
+    if len > max {
+        return Err(FrameError::new(format!(
+            "declared frame length {len} exceeds the {max}-byte limit"
+        )));
+    }
+    Ok(len)
+}
 
 /// Encode a frontend message into `out`.
 pub fn encode_frontend(msg: &FrontendMessage, out: &mut BytesMut) {
@@ -135,47 +183,75 @@ fn get_cstr(buf: &mut Bytes) -> Option<String> {
 }
 
 /// Try to read one *typed* message from `buf`. Returns `(type, body)` and
-/// consumes the bytes, or `None` if the buffer does not yet hold a
-/// complete message.
-pub fn read_message(buf: &mut BytesMut) -> Option<(u8, Bytes)> {
+/// consumes the bytes, `None` if the buffer does not yet hold a complete
+/// message, or a [`FrameError`] when the declared length is corrupt or
+/// exceeds `max`.
+pub fn read_message(buf: &mut BytesMut, max: usize) -> Result<Option<(u8, Bytes)>, FrameError> {
     if buf.len() < 5 {
-        return None;
+        return Ok(None);
     }
-    let len = i32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    let len = check_len(i32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]), max)?;
     if buf.len() < 1 + len {
-        return None;
+        return Ok(None);
     }
     let ty = buf[0];
     buf.advance(5);
     let body = buf.split_to(len - 4).freeze();
-    Some((ty, body))
+    Ok(Some((ty, body)))
 }
 
 /// Try to read the untyped start-up packet.
-pub fn read_startup(buf: &mut BytesMut) -> Option<FrontendMessage> {
+pub fn read_startup(
+    buf: &mut BytesMut,
+    max: usize,
+) -> Result<Option<FrontendMessage>, FrameError> {
     if buf.len() < 4 {
-        return None;
+        return Ok(None);
     }
-    let len = i32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let len = check_len(i32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]), max)?;
     if buf.len() < len {
-        return None;
+        return Ok(None);
     }
     buf.advance(4);
     let mut body = buf.split_to(len - 4).freeze();
+    if body.remaining() < 4 {
+        return Err(FrameError::new("start-up packet too short for a protocol version"));
+    }
     let _version = body.get_i32();
     let mut params = Vec::new();
     while body.remaining() > 1 {
-        let k = get_cstr(&mut body)?;
+        let Some(k) = get_cstr(&mut body) else {
+            return Err(FrameError::new("unterminated start-up parameter name"));
+        };
         if k.is_empty() {
             break;
         }
-        let v = get_cstr(&mut body)?;
+        let Some(v) = get_cstr(&mut body) else {
+            return Err(FrameError::new("unterminated start-up parameter value"));
+        };
         params.push((k, v));
     }
-    Some(FrontendMessage::Startup { params })
+    Ok(Some(FrontendMessage::Startup { params }))
 }
 
-/// Decode a typed frontend message body.
+fn try_u8(b: &mut Bytes) -> Option<u8> {
+    (b.remaining() >= 1).then(|| b.get_u8())
+}
+
+fn try_i16(b: &mut Bytes) -> Option<i16> {
+    (b.remaining() >= 2).then(|| b.get_i16())
+}
+
+fn try_i32(b: &mut Bytes) -> Option<i32> {
+    (b.remaining() >= 4).then(|| b.get_i32())
+}
+
+fn try_u32(b: &mut Bytes) -> Option<u32> {
+    (b.remaining() >= 4).then(|| b.get_u32())
+}
+
+/// Decode a typed frontend message body. `None` means the body is
+/// malformed for its type.
 pub fn decode_frontend(ty: u8, mut body: Bytes) -> Option<FrontendMessage> {
     match ty {
         b'p' => Some(FrontendMessage::Password(get_cstr(&mut body)?)),
@@ -185,15 +261,20 @@ pub fn decode_frontend(ty: u8, mut body: Bytes) -> Option<FrontendMessage> {
     }
 }
 
-/// Decode a typed backend message body.
+/// Decode a typed backend message body. `None` means the body is
+/// malformed for its type. Every multi-byte read is bounds-checked so a
+/// lying body yields `None`, never a panic.
 pub fn decode_backend(ty: u8, mut body: Bytes) -> Option<BackendMessage> {
     match ty {
         b'R' => {
-            let code = body.get_i32();
+            let code = try_i32(&mut body)?;
             Some(BackendMessage::Authentication(match code {
                 0 => AuthRequest::Ok,
                 3 => AuthRequest::CleartextPassword,
                 5 => {
+                    if body.remaining() < 4 {
+                        return None;
+                    }
                     let mut salt = [0u8; 4];
                     body.copy_to_slice(&mut salt);
                     AuthRequest::Md5Password { salt }
@@ -206,11 +287,11 @@ pub fn decode_backend(ty: u8, mut body: Bytes) -> Option<BackendMessage> {
             value: get_cstr(&mut body)?,
         }),
         b'K' => Some(BackendMessage::BackendKeyData {
-            pid: body.get_i32(),
-            secret: body.get_i32(),
+            pid: try_i32(&mut body)?,
+            secret: try_i32(&mut body)?,
         }),
         b'Z' => {
-            let status = match body.get_u8() {
+            let status = match try_u8(&mut body)? {
                 b'I' => TransactionStatus::Idle,
                 b'T' => TransactionStatus::InTransaction,
                 _ => TransactionStatus::Failed,
@@ -218,28 +299,37 @@ pub fn decode_backend(ty: u8, mut body: Bytes) -> Option<BackendMessage> {
             Some(BackendMessage::ReadyForQuery(status))
         }
         b'T' => {
-            let n = body.get_i16();
+            let n = try_i16(&mut body)?;
+            if n < 0 {
+                return None;
+            }
             let mut fields = Vec::with_capacity(n as usize);
             for _ in 0..n {
                 let name = get_cstr(&mut body)?;
-                let _table_oid = body.get_i32();
-                let _attnum = body.get_i16();
-                let oid = body.get_u32();
-                let _typlen = body.get_i16();
-                let _typmod = body.get_i32();
-                let _format = body.get_i16();
+                let _table_oid = try_i32(&mut body)?;
+                let _attnum = try_i16(&mut body)?;
+                let oid = try_u32(&mut body)?;
+                let _typlen = try_i16(&mut body)?;
+                let _typmod = try_i32(&mut body)?;
+                let _format = try_i16(&mut body)?;
                 fields.push(FieldDesc { name, type_oid: TypeOid::from_u32(oid)? });
             }
             Some(BackendMessage::RowDescription(fields))
         }
         b'D' => {
-            let n = body.get_i16();
+            let n = try_i16(&mut body)?;
+            if n < 0 {
+                return None;
+            }
             let mut cells = Vec::with_capacity(n as usize);
             for _ in 0..n {
-                let len = body.get_i32();
+                let len = try_i32(&mut body)?;
                 if len < 0 {
                     cells.push(None);
                 } else {
+                    if body.remaining() < len as usize {
+                        return None;
+                    }
                     let bytes = body.split_to(len as usize);
                     cells.push(Some(String::from_utf8_lossy(&bytes).into_owned()));
                 }
@@ -271,20 +361,48 @@ pub fn decode_backend(ty: u8, mut body: Bytes) -> Option<BackendMessage> {
     }
 }
 
+/// Message types this implementation understands; anything else in the
+/// stream is a well-framed message we simply skip (PG peers may send
+/// e.g. `NoticeResponse` frames).
+fn known_frontend(ty: u8) -> bool {
+    matches!(ty, b'p' | b'Q' | b'X')
+}
+
+fn known_backend(ty: u8) -> bool {
+    matches!(ty, b'R' | b'S' | b'K' | b'Z' | b'T' | b'D' | b'C' | b'I' | b'E')
+}
+
 /// Incremental reader that feeds raw bytes in and yields decoded
 /// messages — the shape both TCP loops use.
-#[derive(Debug, Default)]
+///
+/// The reader enforces a per-frame size ceiling
+/// ([`DEFAULT_MAX_FRAME`] unless overridden with [`MessageReader::with_max_frame`]):
+/// a frame whose declared length exceeds it is a [`FrameError`], not an
+/// allocation.
+#[derive(Debug)]
 pub struct MessageReader {
     buf: BytesMut,
+    max_frame: usize,
     /// Whether the next message is the untyped start-up packet
     /// (server side only).
     pub expect_startup: bool,
 }
 
+impl Default for MessageReader {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
 impl MessageReader {
     /// Create a reader; set `expect_startup` for server-side use.
     pub fn new(expect_startup: bool) -> Self {
-        MessageReader { buf: BytesMut::new(), expect_startup }
+        Self::with_max_frame(expect_startup, DEFAULT_MAX_FRAME)
+    }
+
+    /// Create a reader with an explicit per-frame size ceiling.
+    pub fn with_max_frame(expect_startup: bool, max_frame: usize) -> Self {
+        MessageReader { buf: BytesMut::new(), max_frame, expect_startup }
     }
 
     /// Append raw bytes from the socket.
@@ -292,21 +410,59 @@ impl MessageReader {
         self.buf.extend_from_slice(data);
     }
 
+    /// Whether a partial frame is buffered — bytes have arrived but do
+    /// not yet form a complete message. Drives partial-frame-aware read
+    /// deadlines: an idle peer is fine, a peer that stalls mid-frame is
+    /// not.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
     /// Pop the next complete frontend message, if any.
-    pub fn next_frontend(&mut self) -> Option<FrontendMessage> {
+    pub fn next_frontend(&mut self) -> Result<Option<FrontendMessage>, FrameError> {
         if self.expect_startup {
-            let msg = read_startup(&mut self.buf)?;
-            self.expect_startup = false;
-            return Some(msg);
+            return match read_startup(&mut self.buf, self.max_frame)? {
+                Some(msg) => {
+                    self.expect_startup = false;
+                    Ok(Some(msg))
+                }
+                None => Ok(None),
+            };
         }
-        let (ty, body) = read_message(&mut self.buf)?;
-        decode_frontend(ty, body)
+        loop {
+            let Some((ty, body)) = read_message(&mut self.buf, self.max_frame)? else {
+                return Ok(None);
+            };
+            if !known_frontend(ty) {
+                continue;
+            }
+            return match decode_frontend(ty, body) {
+                Some(m) => Ok(Some(m)),
+                None => Err(FrameError::new(format!(
+                    "malformed '{}' frontend message body",
+                    ty as char
+                ))),
+            };
+        }
     }
 
     /// Pop the next complete backend message, if any.
-    pub fn next_backend(&mut self) -> Option<BackendMessage> {
-        let (ty, body) = read_message(&mut self.buf)?;
-        decode_backend(ty, body)
+    pub fn next_backend(&mut self) -> Result<Option<BackendMessage>, FrameError> {
+        loop {
+            let Some((ty, body)) = read_message(&mut self.buf, self.max_frame)? else {
+                return Ok(None);
+            };
+            if !known_backend(ty) {
+                continue;
+            }
+            return match decode_backend(ty, body) {
+                Some(m) => Ok(Some(m)),
+                None => Err(FrameError::new(format!(
+                    "malformed '{}' backend message body",
+                    ty as char
+                ))),
+            };
+        }
     }
 }
 
@@ -320,7 +476,7 @@ mod tests {
         let startup = matches!(msg, FrontendMessage::Startup { .. });
         let mut reader = MessageReader::new(startup);
         reader.feed(&buf);
-        reader.next_frontend().expect("decode")
+        reader.next_frontend().expect("framing").expect("decode")
     }
 
     fn round_trip_backend(msg: BackendMessage) -> BackendMessage {
@@ -328,7 +484,7 @@ mod tests {
         encode_backend(&msg, &mut buf);
         let mut reader = MessageReader::new(false);
         reader.feed(&buf);
-        reader.next_backend().expect("decode")
+        reader.next_backend().expect("framing").expect("decode")
     }
 
     #[test]
@@ -417,7 +573,7 @@ mod tests {
         let mut produced = None;
         for b in buf.iter() {
             reader.feed(&[*b]);
-            if let Some(m) = reader.next_backend() {
+            if let Some(m) = reader.next_backend().unwrap() {
                 produced = Some(m);
             }
         }
@@ -432,10 +588,97 @@ mod tests {
         encode_backend(&BackendMessage::CommandComplete("SELECT 2".into()), &mut buf);
         let mut reader = MessageReader::new(false);
         reader.feed(&buf);
-        assert!(matches!(reader.next_backend(), Some(BackendMessage::DataRow(_))));
-        assert!(matches!(reader.next_backend(), Some(BackendMessage::DataRow(_))));
-        assert!(matches!(reader.next_backend(), Some(BackendMessage::CommandComplete(_))));
-        assert!(reader.next_backend().is_none());
+        assert!(matches!(reader.next_backend().unwrap(), Some(BackendMessage::DataRow(_))));
+        assert!(matches!(reader.next_backend().unwrap(), Some(BackendMessage::DataRow(_))));
+        assert!(matches!(
+            reader.next_backend().unwrap(),
+            Some(BackendMessage::CommandComplete(_))
+        ));
+        assert!(reader.next_backend().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_a_frame_error_not_an_allocation() {
+        // A frame claiming 100 MiB: rejected as soon as the header is
+        // visible, far before 100 MiB ever arrives.
+        let mut reader = MessageReader::new(false);
+        let mut bytes = vec![b'D'];
+        bytes.extend_from_slice(&(100 * 1024 * 1024i32).to_be_bytes());
+        reader.feed(&bytes);
+        let err = reader.next_backend().unwrap_err();
+        assert!(err.message.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_undersized_lengths_are_frame_errors() {
+        for len in [-1i32, 0, 3] {
+            let mut reader = MessageReader::new(false);
+            let mut bytes = vec![b'C'];
+            bytes.extend_from_slice(&len.to_be_bytes());
+            reader.feed(&bytes);
+            assert!(reader.next_backend().is_err(), "length {len} accepted");
+        }
+    }
+
+    #[test]
+    fn custom_frame_ceiling_is_enforced() {
+        let mut reader = MessageReader::with_max_frame(false, 16);
+        let mut buf = BytesMut::new();
+        encode_backend(
+            &BackendMessage::CommandComplete("SELECT 123456789012345".into()),
+            &mut buf,
+        );
+        reader.feed(&buf);
+        assert!(reader.next_backend().is_err());
+    }
+
+    #[test]
+    fn oversized_startup_packet_rejected() {
+        let mut reader = MessageReader::new(true);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(1_000_000_000i32).to_be_bytes());
+        reader.feed(&bytes);
+        assert!(reader.next_frontend().is_err());
+    }
+
+    #[test]
+    fn unknown_message_types_are_skipped_not_fatal() {
+        // An 'N' (NoticeResponse) frame followed by a CommandComplete:
+        // the reader skips what it does not understand.
+        let mut bytes = vec![b'N'];
+        bytes.extend_from_slice(&9i32.to_be_bytes());
+        bytes.extend_from_slice(b"hello");
+        let mut buf = BytesMut::new();
+        encode_backend(&BackendMessage::CommandComplete("SELECT 1".into()), &mut buf);
+        bytes.extend_from_slice(&buf);
+        let mut reader = MessageReader::new(false);
+        reader.feed(&bytes);
+        assert_eq!(
+            reader.next_backend().unwrap(),
+            Some(BackendMessage::CommandComplete("SELECT 1".into()))
+        );
+    }
+
+    #[test]
+    fn malformed_body_of_known_type_is_a_frame_error_not_a_panic() {
+        // A DataRow claiming one cell of 1000 bytes with a 2-byte body.
+        let mut bytes = vec![b'D'];
+        bytes.extend_from_slice(&12i32.to_be_bytes());
+        bytes.extend_from_slice(&1i16.to_be_bytes());
+        bytes.extend_from_slice(&1000i32.to_be_bytes());
+        bytes.extend_from_slice(b"xx");
+        let mut reader = MessageReader::new(false);
+        reader.feed(&bytes);
+        assert!(reader.next_backend().is_err());
+    }
+
+    #[test]
+    fn partial_frame_detection() {
+        let mut reader = MessageReader::new(false);
+        assert!(!reader.has_partial());
+        reader.feed(&[b'C', 0, 0]);
+        assert!(reader.next_backend().unwrap().is_none());
+        assert!(reader.has_partial());
     }
 
     #[test]
@@ -457,7 +700,7 @@ mod tests {
         let mut reader = MessageReader::new(false);
         reader.feed(&buf);
         let mut kinds = Vec::new();
-        while let Some(m) = reader.next_backend() {
+        while let Some(m) = reader.next_backend().unwrap() {
             kinds.push(match m {
                 BackendMessage::RowDescription(_) => 'T',
                 BackendMessage::DataRow(_) => 'D',

@@ -21,7 +21,7 @@ pub mod codec;
 pub mod md5;
 pub mod messages;
 
-pub use codec::{read_message, read_startup, MessageReader};
+pub use codec::{read_message, read_startup, FrameError, MessageReader, DEFAULT_MAX_FRAME};
 pub use messages::{
     AuthRequest, BackendMessage, FieldDesc, FrontendMessage, TransactionStatus, TypeOid,
 };

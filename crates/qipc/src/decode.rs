@@ -86,13 +86,26 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn vec_len(&mut self) -> QResult<usize> {
+    /// Read a vector header and validate the declared element count
+    /// against the bytes actually present: `n` elements of at least
+    /// `min_elem_size` bytes each must fit in the remaining payload.
+    /// A lying length prefix is a length error, not a giant
+    /// `Vec::with_capacity`.
+    fn vec_len(&mut self, min_elem_size: usize) -> QResult<usize> {
         let _attr = self.u8()?;
         let n = self.i32()?;
         if n < 0 {
             return Err(QError::length("negative vector length"));
         }
-        Ok(n as usize)
+        let n = n as usize;
+        let remaining = self.data.len() - self.pos;
+        let needed = n.checked_mul(min_elem_size);
+        if needed.is_none_or(|bytes| bytes > remaining) {
+            return Err(QError::length(format!(
+                "vector claims {n} elements but only {remaining} payload bytes remain"
+            )));
+        }
+        Ok(n)
     }
 }
 
@@ -114,7 +127,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
         -19 => Value::Atom(Atom::Time(c.i32()?)),
         // Vectors.
         0 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(1)?;
             let mut items = Vec::with_capacity(n);
             for _ in 0..n {
                 items.push(decode_inner(c)?);
@@ -122,16 +135,16 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Mixed(items)
         }
         1 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(1)?;
             let raw = c.bytes(n)?;
             Value::Bools(raw.iter().map(|&b| b != 0).collect())
         }
         4 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(1)?;
             Value::Bytes(c.bytes(n)?.to_vec())
         }
         5 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(2)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.i16()?);
@@ -139,7 +152,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Shorts(v)
         }
         6 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(4)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.i32()?);
@@ -147,7 +160,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Ints(v)
         }
         7 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(8)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.i64()?);
@@ -155,7 +168,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Longs(v)
         }
         8 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(4)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.f32()?);
@@ -163,7 +176,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Reals(v)
         }
         9 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(8)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.f64()?);
@@ -171,12 +184,12 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Floats(v)
         }
         10 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(1)?;
             let raw = c.bytes(n)?;
             Value::Chars(String::from_utf8_lossy(raw).into_owned())
         }
         11 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(1)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.sym()?);
@@ -184,7 +197,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Symbols(v)
         }
         12 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(8)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.i64()?);
@@ -192,7 +205,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Timestamps(v)
         }
         14 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(4)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.i32()?);
@@ -200,7 +213,7 @@ fn decode_inner(c: &mut Cursor<'_>) -> QResult<Value> {
             Value::Dates(v)
         }
         19 => {
-            let n = c.vec_len()?;
+            let n = c.vec_len(4)?;
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
                 v.push(c.i32()?);
@@ -267,9 +280,21 @@ pub fn decode_value(data: &[u8]) -> QResult<Value> {
     Ok(v)
 }
 
+/// Default ceiling on a declared QIPC frame length: 64 MiB.
+pub const DEFAULT_MAX_MESSAGE: usize = 64 * 1024 * 1024;
+
 /// Decode one message from the front of `buf`. Returns the message plus
-/// consumed byte count, or `None` if the buffer is incomplete.
+/// consumed byte count, or `None` if the buffer is incomplete. Frames
+/// declaring more than [`DEFAULT_MAX_MESSAGE`] bytes are rejected.
 pub fn decode_message(buf: &[u8]) -> QResult<Option<(Message, usize)>> {
+    decode_message_limited(buf, DEFAULT_MAX_MESSAGE)
+}
+
+/// [`decode_message`] with an explicit ceiling on the declared frame
+/// length. The length prefix is attacker-controlled: rejecting it here
+/// turns a hostile 2 GiB declaration into a protocol error instead of
+/// an unbounded buffer build-up.
+pub fn decode_message_limited(buf: &[u8], max: usize) -> QResult<Option<(Message, usize)>> {
     if buf.len() < 8 {
         return Ok(None);
     }
@@ -287,6 +312,11 @@ pub fn decode_message(buf: &[u8]) -> QResult<Option<(Message, usize)>> {
     if total < 8 {
         return Err(QError::length("QIPC message length too small"));
     }
+    if total > max {
+        return Err(QError::length(format!(
+            "QIPC frame declares {total} bytes, exceeding the {max}-byte limit"
+        )));
+    }
     if buf.len() < total {
         return Ok(None);
     }
@@ -298,6 +328,11 @@ pub fn decode_message(buf: &[u8]) -> QResult<Option<(Message, usize)>> {
             u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
         if uncompressed_total < 8 {
             return Err(QError::length("bad uncompressed length"));
+        }
+        if uncompressed_total > max {
+            return Err(QError::length(format!(
+                "compressed QIPC frame expands to {uncompressed_total} bytes, exceeding the {max}-byte limit"
+            )));
         }
         let payload = crate::compress::decompress(&buf[12..total], uncompressed_total - 8)
             .ok_or_else(|| QError::type_err("corrupt compressed QIPC payload"))?;
@@ -458,6 +493,33 @@ mod tests {
         bytes[11] = 0x03;
         let err = decode_message(&bytes);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn oversized_declared_frame_is_rejected_before_buffering() {
+        // Header claims ~2 GiB: rejected from the 8 header bytes alone.
+        let mut bytes = vec![1u8, 1, 0, 0];
+        bytes.extend_from_slice(&(2_000_000_000u32).to_le_bytes());
+        let err = decode_message(&bytes).unwrap_err();
+        assert!(err.to_string().contains("exceed"), "{err}");
+    }
+
+    #[test]
+    fn custom_frame_ceiling_is_enforced() {
+        let msg = Message::query("a fairly long query text that exceeds a tiny cap");
+        let bytes = encode_message(&msg).unwrap();
+        assert!(decode_message_limited(&bytes, 16).is_err());
+        assert!(decode_message_limited(&bytes, DEFAULT_MAX_MESSAGE).unwrap().is_some());
+    }
+
+    #[test]
+    fn lying_vector_length_is_bounded_by_payload_size() {
+        // A long vector claiming u32::MAX/8 elements in a 30-byte frame
+        // must not allocate gigabytes before failing.
+        let msg = Message::response(Value::Longs(vec![1, 2, 3]));
+        let mut bytes = encode_message(&msg).unwrap();
+        bytes[10..14].copy_from_slice(&(400_000_000i32).to_le_bytes());
+        assert!(decode_message(&bytes).is_err());
     }
 
     #[test]

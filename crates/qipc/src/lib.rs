@@ -20,7 +20,7 @@ pub mod decode;
 pub mod encode;
 pub mod handshake;
 
-pub use decode::{decode_message, decode_value};
+pub use decode::{decode_message, decode_message_limited, decode_value, DEFAULT_MAX_MESSAGE};
 pub use encode::{encode_message, encode_value};
 pub use handshake::{client_handshake, parse_handshake, HandshakeReply};
 
@@ -93,9 +93,15 @@ pub fn write_message_compressed(msg: &Message) -> QResult<Vec<u8>> {
 }
 
 /// Try to decode one message from the front of `buf`; returns the
-/// message and the number of bytes consumed.
+/// message and the number of bytes consumed. Frames declaring more than
+/// [`DEFAULT_MAX_MESSAGE`] bytes are rejected as protocol errors.
 pub fn read_message(buf: &[u8]) -> QResult<Option<(Message, usize)>> {
     decode_message(buf)
+}
+
+/// [`read_message`] with an explicit frame-length ceiling.
+pub fn read_message_limited(buf: &[u8], max: usize) -> QResult<Option<(Message, usize)>> {
+    decode_message_limited(buf, max)
 }
 
 #[cfg(test)]

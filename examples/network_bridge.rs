@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pg_server = PgServer::start(
         db.clone(),
         "127.0.0.1:0",
-        ServerConfig { auth: AuthMode::Md5(creds) },
+        ServerConfig { auth: AuthMode::Md5(creds), ..ServerConfig::default() },
     )?;
     println!("pgdb PG-v3 server listening on {}", pg_server.addr);
 

@@ -1,0 +1,290 @@
+//! Wire-path chaos suite: deterministic fault injection across both TCP
+//! legs (QIPC client leg and PG v3 backend leg) via the `chaosnet`
+//! proxy.
+//!
+//! Every scenario scripts *exactly* which connection fails, at which
+//! byte offset, in which direction — and asserts the typed outcome:
+//! transparent retry, journal replay, retry exhaustion, deadline
+//! expiry, protocol rejection, or non-idempotent refusal.
+
+use chaosnet::{ChaosProxy, FaultPlan, LegFaults};
+use hyperq::backend::{share, Backend};
+use hyperq::endpoint::{BackendFactory, EndpointConfig, QipcClient, QipcEndpoint};
+use hyperq::gateway::{Credentials, PgWireBackend};
+use hyperq::{loader, HyperQSession, RetryPolicy, SessionConfig, WireError, WireErrorKind, WireTimeouts};
+use pgdb::server::{PgServer, ServerConfig};
+use pgdb::{Cell, QueryResult};
+use qlang::value::{Table, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn creds() -> Credentials {
+    Credentials { user: "u".into(), password: String::new(), database: "hist".into() }
+}
+
+/// Byte length of the startup packet the Gateway sends for [`creds`] —
+/// used to place faults precisely at the first post-handshake frame.
+fn startup_len() -> u64 {
+    let mut buf = bytes::BytesMut::new();
+    pgwire::codec::encode_frontend(
+        &pgwire::messages::FrontendMessage::Startup {
+            params: vec![
+                ("user".to_string(), "u".to_string()),
+                ("database".to_string(), "hist".to_string()),
+            ],
+        },
+        &mut buf,
+    );
+    buf.len() as u64
+}
+
+/// pgdb TCP server + chaos proxy in front of it.
+fn chaotic_backend() -> (PgServer, ChaosProxy) {
+    let db = pgdb::Db::new();
+    let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let proxy = ChaosProxy::start(&server.addr.to_string()).unwrap();
+    (server, proxy)
+}
+
+fn gateway_via(proxy: &ChaosProxy, retry: RetryPolicy) -> PgWireBackend {
+    PgWireBackend::connect_with(
+        &proxy.addr().to_string(),
+        &creds(),
+        WireTimeouts::default(),
+        retry,
+    )
+    .unwrap()
+}
+
+#[test]
+fn mid_query_sever_is_transparently_retried() {
+    let (server, proxy) = chaotic_backend();
+    // Connection 1: forward the whole startup packet plus one byte of
+    // the first Query frame, then sever — the classic mid-query cut.
+    proxy.push_plan(FaultPlan {
+        to_upstream: LegFaults { truncate_after: Some(startup_len() + 1), ..LegFaults::clean() },
+        ..FaultPlan::clean()
+    });
+    let mut gw = gateway_via(&proxy, RetryPolicy::immediate(3));
+    match gw.execute_sql("SELECT 1 AS x").unwrap() {
+        QueryResult::Rows(rows) => assert_eq!(rows.data[0][0], Cell::Int(1)),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    assert_eq!(gw.reconnects(), 1, "exactly one transparent reconnect");
+    assert_eq!(proxy.connections(), 2);
+    server.detach();
+}
+
+#[test]
+fn journal_replay_rebuilds_temp_tables_after_reconnect() {
+    let (server, proxy) = chaotic_backend();
+    let mut gw = gateway_via(&proxy, RetryPolicy::immediate(3));
+    gw.execute_sql("CREATE TABLE base (x bigint)").unwrap();
+    gw.execute_sql("INSERT INTO base VALUES (7), (9)").unwrap();
+    gw.execute_sql("CREATE TEMPORARY TABLE \"HQ_TEMP_1\" AS SELECT x FROM base WHERE x > 8")
+        .unwrap();
+    assert_eq!(gw.journal().len(), 1);
+
+    // The backend "crashes": the temp table dies with its session.
+    proxy.sever_active();
+
+    // The next read reconnects, replays the journal (recreating the
+    // temp table on the fresh session) and re-runs transparently.
+    match gw.execute_sql("SELECT x FROM \"HQ_TEMP_1\"").unwrap() {
+        QueryResult::Rows(rows) => {
+            assert_eq!(rows.data.len(), 1);
+            assert_eq!(rows.data[0][0], Cell::Int(9));
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+    assert_eq!(gw.reconnects(), 1);
+    server.detach();
+}
+
+#[test]
+fn retry_exhaustion_yields_a_typed_error() {
+    let (server, proxy) = chaotic_backend();
+    let mut gw = gateway_via(&proxy, RetryPolicy::immediate(3));
+    // Every future connection dies before a byte crosses; the current
+    // one dies now.
+    proxy.set_default_plan(FaultPlan {
+        to_upstream: LegFaults::sever_immediately(),
+        ..FaultPlan::clean()
+    });
+    proxy.sever_active();
+    let err = gw.execute_sql("SELECT 1").unwrap_err();
+    assert_eq!(err.kind, WireErrorKind::RetriesExhausted, "{err}");
+    assert!(err.message.contains("3 of 3 attempts"), "{err}");
+    server.detach();
+}
+
+#[test]
+fn slow_backend_trips_the_read_deadline() {
+    let (server, proxy) = chaotic_backend();
+    // Handshake at full speed; every frame after the startup packet is
+    // stalled well past the Gateway's read deadline.
+    proxy.push_plan(FaultPlan {
+        to_upstream: LegFaults {
+            delay: Some(Duration::from_millis(500)),
+            delay_after: startup_len(),
+            ..LegFaults::clean()
+        },
+        ..FaultPlan::clean()
+    });
+    let timeouts = WireTimeouts {
+        read: Some(Duration::from_millis(80)),
+        ..WireTimeouts::default()
+    };
+    let mut gw = PgWireBackend::connect_with(
+        &proxy.addr().to_string(),
+        &creds(),
+        timeouts,
+        RetryPolicy::no_retry(),
+    )
+    .unwrap();
+    let err = gw.execute_sql("SELECT 1").unwrap_err();
+    // Deliberately NOT retried: the statement may still be executing.
+    assert_eq!(err.kind, WireErrorKind::Timeout, "{err}");
+    server.detach();
+}
+
+#[test]
+fn corrupt_backend_length_prefix_is_a_protocol_error() {
+    let (server, proxy) = chaotic_backend();
+    // Flip a length byte of the very first backend frame (AuthenticationOk).
+    proxy.push_plan(FaultPlan {
+        to_client: LegFaults { corrupt_at: Some(1), ..LegFaults::clean() },
+        ..FaultPlan::clean()
+    });
+    let Err(err) = PgWireBackend::connect_with(
+        &proxy.addr().to_string(),
+        &creds(),
+        WireTimeouts::default(),
+        RetryPolicy::no_retry(),
+    ) else {
+        panic!("corrupt stream accepted");
+    };
+    assert_eq!(err.kind, WireErrorKind::Protocol, "{err}");
+    server.detach();
+}
+
+#[test]
+fn non_idempotent_statements_are_not_replayed() {
+    let (server, proxy) = chaotic_backend();
+    let mut gw = gateway_via(&proxy, RetryPolicy::immediate(5));
+    gw.execute_sql("CREATE TABLE t (x bigint)").unwrap();
+    // Sever every live connection mid-flight on the next frame.
+    proxy.set_default_plan(FaultPlan {
+        to_upstream: LegFaults::sever_immediately(),
+        ..FaultPlan::clean()
+    });
+    proxy.sever_active();
+    let before = gw.reconnects();
+    let err = gw.execute_sql("INSERT INTO t VALUES (1)").unwrap_err();
+    assert_eq!(err.kind, WireErrorKind::NonIdempotent, "{err}");
+    // No reconnect was attempted for the write: replaying could apply
+    // the mutation twice.
+    assert_eq!(gw.reconnects(), before);
+    server.detach();
+}
+
+/// The acceptance demo: a Q application on one QIPC connection, the
+/// backend dying and recovering underneath it — queries keep answering
+/// on the SAME client connection throughout.
+#[test]
+fn q_client_survives_backend_crash_end_to_end() {
+    let db = pgdb::Db::new();
+    {
+        let mut s = HyperQSession::with_direct(&db);
+        let trades = Table::new(
+            vec!["Symbol".into(), "Price".into()],
+            vec![
+                Value::Symbols(vec!["GOOG".into(), "IBM".into()]),
+                Value::Floats(vec![100.0, 50.0]),
+            ],
+        )
+        .unwrap();
+        loader::load_table(&mut s, "trades", &trades).unwrap();
+    }
+    let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let proxy = Arc::new(ChaosProxy::start(&server.addr.to_string()).unwrap());
+
+    // Endpoint whose per-connection backend is a Gateway THROUGH the
+    // chaos proxy, configured from the session's own knobs.
+    let session_cfg = SessionConfig { retry: RetryPolicy::immediate(4), ..SessionConfig::default() };
+    let proxy_addr = proxy.addr().to_string();
+    let factory: BackendFactory = Arc::new(move || {
+        let gw = PgWireBackend::connect_with(
+            &proxy_addr,
+            &creds(),
+            session_cfg.wire,
+            session_cfg.retry,
+        )?;
+        Ok(share(gw))
+    });
+    let config = EndpointConfig { session: session_cfg, ..EndpointConfig::default() };
+    let ep = QipcEndpoint::start_with("127.0.0.1:0", config, factory).unwrap();
+    let mut client = QipcClient::connect(&ep.addr.to_string(), "trader", "").unwrap();
+
+    // Healthy round trip.
+    let v = client.query("select Price from trades where Symbol=`GOOG").unwrap();
+    assert!(matches!(v, Value::Table(_)), "{v:?}");
+
+    // Backend crashes; the Gateway reconnects transparently — the Q
+    // client sees a correct answer, not an error.
+    proxy.sever_active();
+    let v = client.query("select Price from trades where Symbol=`IBM").unwrap();
+    assert!(matches!(v, Value::Table(_)), "{v:?}");
+
+    // Backend goes DOWN hard: retries exhaust, and the client gets a
+    // typed error frame on the still-open connection.
+    proxy.set_default_plan(FaultPlan {
+        to_upstream: LegFaults::sever_immediately(),
+        ..FaultPlan::clean()
+    });
+    proxy.sever_active();
+    let err = client.query("select Price from trades").unwrap_err();
+    assert!(err.to_string().contains("retries-exhausted"), "{err}");
+
+    // Backend comes back: the SAME client connection recovers.
+    proxy.set_default_plan(FaultPlan::clean());
+    let v = client.query("select Price from trades where Symbol=`GOOG").unwrap();
+    assert!(matches!(v, Value::Table(_)), "{v:?}");
+
+    ep.detach();
+    server.detach();
+}
+
+#[test]
+fn corrupt_qipc_frame_yields_an_error_frame() {
+    let db = pgdb::Db::new();
+    let ep = QipcEndpoint::start(db, "127.0.0.1:0", EndpointConfig::default()).unwrap();
+    // Chaos proxy on the CLIENT leg this time.
+    let proxy = ChaosProxy::start(&ep.addr.to_string()).unwrap();
+    let hs_len = qipc::client_handshake("trader", "", 3).len() as u64;
+    // Flip the most significant byte of the first query frame's length
+    // field (little-endian u32 at bytes 4..8 of the QIPC header), so
+    // the frame claims ~4 GiB.
+    proxy.push_plan(FaultPlan {
+        to_upstream: LegFaults { corrupt_at: Some(hs_len + 7), ..LegFaults::clean() },
+        ..FaultPlan::clean()
+    });
+    let mut client = QipcClient::connect(&proxy.addr().to_string(), "trader", "").unwrap();
+    let err = client.query("1+1").unwrap_err();
+    assert!(err.to_string().contains("'ipc"), "{err}");
+}
+
+#[test]
+fn degraded_endpoint_answers_queries_with_backend_errors() {
+    // The factory cannot reach the backend at all: the Q client still
+    // connects, and every query is answered with a typed error frame.
+    let factory: BackendFactory =
+        Arc::new(|| Err(WireError::connect("cannot connect to backend: refused")));
+    let ep = QipcEndpoint::start_with("127.0.0.1:0", EndpointConfig::default(), factory).unwrap();
+    let mut client = QipcClient::connect(&ep.addr.to_string(), "t", "").unwrap();
+    for _ in 0..2 {
+        let err = client.query("select from trades").unwrap_err();
+        assert!(err.to_string().contains("backend: unavailable"), "{err}");
+    }
+    ep.detach();
+}

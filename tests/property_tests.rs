@@ -162,7 +162,7 @@ proptest! {
         encode_backend(&msg, &mut buf);
         let mut reader = MessageReader::new(false);
         reader.feed(&buf);
-        prop_assert_eq!(reader.next_backend(), Some(msg));
+        prop_assert_eq!(reader.next_backend().unwrap(), Some(msg));
     }
 
     #[test]
@@ -174,7 +174,7 @@ proptest! {
         encode_frontend(&msg, &mut buf);
         let mut reader = MessageReader::new(false);
         reader.feed(&buf);
-        prop_assert_eq!(reader.next_frontend(), Some(msg));
+        prop_assert_eq!(reader.next_frontend().unwrap(), Some(msg));
     }
 }
 
