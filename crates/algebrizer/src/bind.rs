@@ -660,7 +660,17 @@ impl<'a> Binder<'a> {
                 ScalarExpr::i64(1),
             ),
         };
-        self.bind_equijoin(key_cols, left, deduped, kind)
+        // Project the helper row-number away so it cannot leak into the
+        // join output.
+        let restored = RelNode::Project {
+            input: Box::new(deduped),
+            items: rp
+                .output
+                .iter()
+                .map(|c| (c.name.clone(), ScalarExpr::col(c.name.clone(), c.ty)))
+                .collect(),
+        };
+        self.bind_equijoin(key_cols, left, restored, kind)
     }
 
     /// `uj` — UNION ALL with aligned columns (missing columns null).
@@ -1248,13 +1258,15 @@ impl<'a> Binder<'a> {
             if !agg_ok {
                 return Err(QError::type_err(format!("aggregate {name} not allowed here")));
             }
-            // count over the virtual row index (or anything) is COUNT(*).
+            // Q `count` is length: it counts nulls too, so every
+            // argument — the virtual row index `i` or a column — maps to
+            // COUNT(*). SQL's COUNT(col) would silently skip NULLs.
             if f == AggFunc::Count {
-                if let Expr::Var(v) = arg {
-                    if v == "i" {
-                        return Ok(ScalarExpr::Agg { func: AggFunc::Count, arg: None });
-                    }
+                if !matches!(arg, Expr::Var(v) if v == "i") {
+                    // Still bind the argument so bad names error.
+                    me.bind_scalar(arg, schema, false)?;
                 }
+                return Ok(ScalarExpr::Agg { func: AggFunc::Count, arg: None });
             }
             let a = me.bind_scalar(arg, schema, false)?;
             Ok(ScalarExpr::Agg { func: f, arg: Some(Box::new(a)) })

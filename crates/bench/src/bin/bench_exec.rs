@@ -157,6 +157,14 @@ fn main() {
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     println!("wrote BENCH_exec.json");
 
+    // Snapshot of the observability registry alongside the timings:
+    // execute the workload query once for real so the query/stage
+    // metrics reflect this run, then dump Prometheus text.
+    on.execute(&q).expect("workload query executes");
+    std::fs::write("BENCH_metrics.prom", obs::global_registry().render_prometheus())
+        .expect("write BENCH_metrics.prom");
+    println!("wrote BENCH_metrics.prom");
+
     let failed: Vec<&str> =
         entries.iter().filter(|e| e.speedup() < e.target_speedup).map(|e| e.name).collect();
     if !failed.is_empty() {

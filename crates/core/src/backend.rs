@@ -25,6 +25,14 @@ pub trait Backend: Send {
     fn describe(&self) -> String {
         "backend".to_string()
     }
+
+    /// How many times this backend has transparently reconnected over
+    /// its lifetime (0 for backends that cannot reconnect). Sessions
+    /// diff this around statement execution to surface `Recovering`
+    /// span events in query traces.
+    fn reconnects(&self) -> u64 {
+        0
+    }
 }
 
 /// In-process backend: a `pgdb` session (temp tables and all).

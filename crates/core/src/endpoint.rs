@@ -27,8 +27,25 @@ use qlang::{QResult, Value};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+/// Bytes written back to Q applications across all endpoint connections.
+fn response_bytes_counter() -> &'static Arc<obs::Counter> {
+    static COUNTER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| obs::global_registry().counter("qipc_response_bytes_total"))
+}
+
+/// Q system commands answered by the endpoint itself (never forwarded to
+/// the session): `\metrics` dumps the process-wide registry in
+/// Prometheus text format, `\slowlog` renders the slow-query ring.
+fn admin_command(text: &str) -> Option<String> {
+    match text.trim() {
+        "\\metrics" => Some(obs::global_registry().render_prometheus()),
+        "\\slowlog" => Some(obs::global_slowlog().render()),
+        _ => None,
+    }
+}
 
 /// Credential check for the QIPC handshake.
 pub type Authenticator = Arc<dyn Fn(&str, &str) -> bool + Send + Sync>;
@@ -224,15 +241,21 @@ fn serve_connection(
         };
         for action in actions {
             match action {
-                PtAction::Send(bytes) => stream.write_all(&bytes)?,
+                PtAction::Send(bytes) => {
+                    response_bytes_counter().add(bytes.len() as u64);
+                    stream.write_all(&bytes)?;
+                }
                 PtAction::Close => return Ok(()),
                 PtAction::ForwardQuery { text, respond } => {
-                    let result = match &mut session {
-                        Ok(s) => s.execute(&text),
-                        Err(reason) => Err(qlang::QError::new(
-                            qlang::error::QErrorKind::Other,
-                            reason.clone(),
-                        )),
+                    let result = match admin_command(&text) {
+                        Some(body) => Ok(Value::Chars(body)),
+                        None => match &mut session {
+                            Ok(s) => s.execute(&text),
+                            Err(reason) => Err(qlang::QError::new(
+                                qlang::error::QErrorKind::Other,
+                                reason.clone(),
+                            )),
+                        },
                     };
                     if respond {
                         let reply = match result {
@@ -242,6 +265,7 @@ fn serve_connection(
                             Err(e) => pt.on_error(&e.to_string()),
                         };
                         if let PtAction::Send(bytes) = reply {
+                            response_bytes_counter().add(bytes.len() as u64);
                             stream.write_all(&bytes)?;
                         }
                     }
@@ -425,6 +449,25 @@ mod tests {
         let mut client = QipcClient::connect(&ep.addr.to_string(), "t", "").unwrap();
         let v = client.query("2*3+4").unwrap();
         assert!(v.q_eq(&Value::long(14)));
+        ep.detach();
+    }
+
+    #[test]
+    fn metrics_and_slowlog_system_commands_answer_inline() {
+        let (ep, _db) = start_with_trades();
+        let mut client = QipcClient::connect(&ep.addr.to_string(), "ops", "").unwrap();
+        client.query("select Price from trades").unwrap();
+        match client.query("\\metrics").unwrap() {
+            Value::Chars(dump) => {
+                assert!(dump.contains("hyperq_queries_total"), "{dump}");
+                assert!(dump.contains("# TYPE"), "{dump}");
+            }
+            other => panic!("expected chars, got {other:?}"),
+        }
+        match client.query("\\slowlog").unwrap() {
+            Value::Chars(text) => assert!(!text.is_empty()),
+            other => panic!("expected chars, got {other:?}"),
+        }
         ep.detach();
     }
 

@@ -34,6 +34,25 @@ use pgwire::codec::{encode_frontend, MessageReader};
 use pgwire::messages::{AuthRequest, BackendMessage, FrontendMessage, TypeOid};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, OnceLock};
+
+/// Wire-path fault-tolerance counters, aggregated process-wide across
+/// every gateway connection.
+struct WireMetrics {
+    reconnects: Arc<obs::Counter>,
+    retries: Arc<obs::Counter>,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: OnceLock<WireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::global_registry();
+        WireMetrics {
+            reconnects: reg.counter("wire_reconnects_total"),
+            retries: reg.counter("wire_retries_total"),
+        }
+    })
+}
 
 /// Map a wire type OID onto the engine type model.
 fn oid_to_pg_type(oid: TypeOid) -> PgType {
@@ -240,6 +259,7 @@ impl PgWireBackend {
         self.stream = stream;
         self.reader = reader;
         self.reconnects += 1;
+        wire_metrics().reconnects.inc();
         // Replay the journal; temp tables are session-scoped on the
         // backend, so the fresh session starts empty and every entry
         // re-applies cleanly.
@@ -414,6 +434,7 @@ impl Backend for PgWireBackend {
                         ),
                     ));
                 }
+                wire_metrics().retries.inc();
                 std::thread::sleep(self.retry.backoff(attempt));
                 attempt += 1;
                 match self.reconnect() {
@@ -427,6 +448,10 @@ impl Backend for PgWireBackend {
 
     fn describe(&self) -> String {
         format!("pg-wire backend at {}", self.addr)
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 }
 

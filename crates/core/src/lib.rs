@@ -38,6 +38,15 @@
 //! * [`side_by_side`] — the §5 side-by-side testing framework: runs the
 //!   same Q on the reference engine and through Hyper-Q and diffs.
 //!
+//! Observability: every stage boundary above is instrumented through the
+//! zero-dependency `obs` crate. [`session::HyperQSession::execute_observed`]
+//! returns a per-query span tree ([`obs::QueryTrace`]); counters and
+//! latency histograms aggregate in [`obs::global_registry`] (dumped via
+//! the pgdb server's `\metrics` admin query or the QIPC endpoint's
+//! `\metrics` system command); queries slower than
+//! [`session::SessionConfig::slow_query`] land in [`obs::global_slowlog`]
+//! (the endpoint's `\slowlog` command).
+//!
 //! # Example
 //!
 //! ```
@@ -80,6 +89,7 @@ pub mod wire;
 pub mod xc;
 
 pub use backend::{Backend, DirectBackend, SharedBackend};
+pub use obs::{QueryTrace, Span, SpanEvent, Stage};
 pub use qcache::{CacheStats, TranslationCache};
 pub use session::{HyperQSession, SessionConfig};
 pub use translate::{StageTimings, Translation, TranslationStats, Translator};

@@ -13,9 +13,11 @@ use crate::qcache::{CacheStats, TranslationCache};
 use crate::translate::{StageTimings, Translation, TranslationStats, Translator};
 use crate::wire::{RetryPolicy, WireTimeouts};
 use algebrizer::{CachingMdi, MaterializationPolicy, Scopes};
+use obs::{QueryTrace, SlowQueryRecord, Span, SpanEvent, Stage};
 use pgdb::QueryResult;
 use qlang::{QError, QResult, Value};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xformer::XformConfig;
 
 /// Session configuration.
@@ -37,6 +39,11 @@ pub struct SessionConfig {
     pub wire: WireTimeouts,
     /// Reconnect policy for the Gateway's backend leg.
     pub retry: RetryPolicy,
+    /// Queries slower than this land in the process-wide slow-query log
+    /// with their Q text, generated SQL and per-stage timings
+    /// (README knob `obs.slow_query_ms`). `Duration::ZERO` disables the
+    /// log for this session.
+    pub slow_query: Duration,
 }
 
 impl Default for SessionConfig {
@@ -48,7 +55,45 @@ impl Default for SessionConfig {
             translation_cache: 256,
             wire: WireTimeouts::default(),
             retry: RetryPolicy::default(),
+            slow_query: Duration::from_millis(250),
         }
+    }
+}
+
+/// Pre-resolved handles into the global metrics registry: resolved once
+/// per session, so recording on the query hot path is pure atomics.
+struct SessionMetrics {
+    queries: Arc<obs::Counter>,
+    query_errors: Arc<obs::Counter>,
+    query_seconds: Arc<obs::Histogram>,
+    stage_seconds: [Arc<obs::Histogram>; 6],
+    cache_hits: Arc<obs::Counter>,
+    cache_misses: Arc<obs::Counter>,
+    statements: Arc<obs::Counter>,
+    rows: Arc<obs::Counter>,
+    slow_queries: Arc<obs::Counter>,
+}
+
+impl SessionMetrics {
+    fn resolve() -> Self {
+        let reg = obs::global_registry();
+        SessionMetrics {
+            queries: reg.counter("hyperq_queries_total"),
+            query_errors: reg.counter("hyperq_query_errors_total"),
+            query_seconds: reg.histogram("hyperq_query_seconds"),
+            stage_seconds: Stage::ALL.map(|s| {
+                reg.histogram(&format!("hyperq_stage_seconds{{stage=\"{}\"}}", s.name()))
+            }),
+            cache_hits: reg.counter("hyperq_translation_cache_hits_total"),
+            cache_misses: reg.counter("hyperq_translation_cache_misses_total"),
+            statements: reg.counter("hyperq_statements_total"),
+            rows: reg.counter("hyperq_rows_total"),
+            slow_queries: reg.counter("hyperq_slow_queries_total"),
+        }
+    }
+
+    fn stage(&self, stage: Stage) -> &obs::Histogram {
+        &self.stage_seconds[stage.index()]
     }
 }
 
@@ -60,6 +105,9 @@ pub struct HyperQSession {
     temp_seq: usize,
     translator: Translator,
     qcache: TranslationCache,
+    metrics: SessionMetrics,
+    slow_query: Duration,
+    last_trace: Option<QueryTrace>,
     /// Accumulated translation statistics (drives the Figure 6/7
     /// harnesses).
     pub stats: TranslationStats,
@@ -79,6 +127,9 @@ impl HyperQSession {
                 policy: config.policy,
             },
             qcache: TranslationCache::new(config.translation_cache),
+            metrics: SessionMetrics::resolve(),
+            slow_query: config.slow_query,
+            last_trace: None,
             stats: TranslationStats::default(),
         }
     }
@@ -140,11 +191,13 @@ impl HyperQSession {
         }
         let key = self.qcache.key(q_text);
         if let Some(mut cached) = self.qcache.get(&key) {
+            self.metrics.cache_hits.inc();
             for tr in &mut cached {
                 tr.timings = StageTimings { cache_hits: 1, ..StageTimings::default() };
             }
             return Ok(cached);
         }
+        self.metrics.cache_misses.inc();
         let mut translations = self.translator.translate_program(
             q_text,
             &self.mdi,
@@ -169,28 +222,104 @@ impl HyperQSession {
 
     /// Execute a Q program; returns the value of the last statement.
     pub fn execute(&mut self, q_text: &str) -> QResult<Value> {
-        let (value, _) = self.execute_traced(q_text)?;
+        let (value, _, _) = self.execute_inner(q_text)?;
         Ok(value)
     }
 
     /// Execute and return the per-statement translations alongside the
     /// final value (for instrumentation).
     pub fn execute_traced(&mut self, q_text: &str) -> QResult<(Value, Vec<Translation>)> {
-        let translations = self.translate_cached(q_text)?;
-        let mut last = Value::Nil;
+        let (value, translations, _) = self.execute_inner(q_text)?;
+        Ok((value, translations))
+    }
+
+    /// Execute and return the structured [`QueryTrace`]: a span per
+    /// pipeline stage with durations, row/byte counts and events.
+    pub fn execute_observed(&mut self, q_text: &str) -> QResult<(Value, QueryTrace)> {
+        let (value, _, trace) = self.execute_inner(q_text)?;
+        Ok((value, trace))
+    }
+
+    /// The trace of the most recently completed query, if any.
+    pub fn last_trace(&self) -> Option<&QueryTrace> {
+        self.last_trace.as_ref()
+    }
+
+    /// The shared execute path: translate (through the cache), run the
+    /// SQL on the backend, pivot rows back to Q values — building the
+    /// span tree and recording metrics and the slow-query log as it
+    /// goes.
+    fn execute_inner(
+        &mut self,
+        q_text: &str,
+    ) -> QResult<(Value, Vec<Translation>, QueryTrace)> {
+        let wall = Instant::now();
+        self.metrics.queries.inc();
+        let mut trace = QueryTrace::begin(q_text);
+
+        let translations = match self.translate_cached(q_text) {
+            Ok(t) => t,
+            Err(e) => {
+                self.metrics.query_errors.inc();
+                trace.total = wall.elapsed();
+                self.last_trace = Some(trace);
+                return Err(e);
+            }
+        };
+
+        // Translation-stage spans: statement-weighted sums across the
+        // program (see `StageTimings::add` for the merge semantics).
+        let mut timings = StageTimings::default();
         for tr in &translations {
+            timings.add(&tr.timings);
+            trace.sql.extend(tr.statements.iter().map(|s| s.sql.clone()));
+        }
+        trace.cache_hit = timings.cache_hits > 0 && timings.cache_misses == 0;
+        let mut parse_span = Span::stage(Stage::Parse, timings.parse);
+        if timings.cache_hits > 0 {
+            parse_span.events.push(SpanEvent::CacheHit);
+        }
+        if timings.cache_misses > 0 {
+            parse_span.events.push(SpanEvent::CacheMiss);
+        }
+        trace.spans.push(parse_span);
+        trace.spans.push(Span::stage(Stage::Algebrize, timings.algebrize));
+        trace.spans.push(Span::stage(Stage::Optimize, timings.optimize));
+        trace.spans.push(Span::stage(Stage::Serialize, timings.serialize));
+
+        let mut exec_span = Span::stage(Stage::Execute, Duration::ZERO);
+        let mut pivot_dur = Duration::ZERO;
+        let mut pivot_rows: u64 = 0;
+        let mut last = Value::Nil;
+        let mut failed: Option<QError> = None;
+
+        'outer: for tr in &translations {
             self.stats.statements += 1;
             self.stats.timings.add(&tr.timings);
             self.stats.rules.null_rewrites += tr.xform_report.null_rewrites;
             self.stats.rules.columns_pruned += tr.xform_report.columns_pruned;
             self.stats.rules.sorts_elided += tr.xform_report.sorts_elided;
             for stmt in &tr.statements {
-                let result = self
-                    .backend
-                    .lock()
-                    .map_err(|_| QError::new(qlang::error::QErrorKind::Other, "backend poisoned"))?
-                    .execute_sql(&stmt.sql)
-                    .map_err(|e| {
+                self.metrics.statements.inc();
+                let mut child = Span { stage: "statement", bytes: stmt.sql.len() as u64, ..Span::default() };
+                let (result, recovered) = {
+                    let mut be = self.backend.lock().map_err(|_| {
+                        QError::new(qlang::error::QErrorKind::Other, "backend poisoned")
+                    })?;
+                    let reconnects_before = be.reconnects();
+                    let t0 = Instant::now();
+                    let result = be.execute_sql(&stmt.sql);
+                    child.duration = t0.elapsed();
+                    (result, be.reconnects() - reconnects_before)
+                };
+                if recovered > 0 {
+                    // The wire layer transparently reconnected while
+                    // this statement was in flight.
+                    child.events.push(SpanEvent::Recovering { reconnects: recovered });
+                }
+                let result = match result {
+                    Ok(r) => r,
+                    Err(e) => {
                         // Hyper-Q error messages are deliberately more
                         // verbose than kdb+'s (paper §5). Wire-level
                         // failures keep their taxonomy label so a Q
@@ -208,24 +337,83 @@ impl HyperQSession {
                                 e.message
                             ),
                         };
-                        QError::new(qlang::error::QErrorKind::Other, rendered)
-                    })?;
+                        exec_span.duration += child.duration;
+                        exec_span.children.push(child);
+                        failed = Some(QError::new(qlang::error::QErrorKind::Other, rendered));
+                        break 'outer;
+                    }
+                };
                 if stmt.returns_rows {
                     match result {
                         QueryResult::Rows(rows) => {
-                            last = pivot(&rows, stmt.shape.unwrap())?;
+                            let n = rows.data.len() as u64;
+                            child.rows = n;
+                            exec_span.rows += n;
+                            self.metrics.rows.add(n);
+                            let t0 = Instant::now();
+                            let pivoted = pivot(&rows, stmt.shape.unwrap());
+                            pivot_dur += t0.elapsed();
+                            match pivoted {
+                                Ok(v) => {
+                                    pivot_rows += n;
+                                    last = v;
+                                }
+                                Err(e) => {
+                                    exec_span.duration += child.duration;
+                                    exec_span.children.push(child);
+                                    failed = Some(e);
+                                    break 'outer;
+                                }
+                            }
                         }
                         QueryResult::Command(tag) => {
-                            return Err(QError::new(
+                            exec_span.duration += child.duration;
+                            exec_span.children.push(child);
+                            failed = Some(QError::new(
                                 qlang::error::QErrorKind::Other,
                                 format!("expected rows, backend answered {tag}"),
-                            ))
+                            ));
+                            break 'outer;
                         }
                     }
                 }
+                exec_span.duration += child.duration;
+                exec_span.children.push(child);
             }
         }
-        Ok((last, translations))
+
+        let mut pivot_span = Span::stage(Stage::Pivot, pivot_dur);
+        pivot_span.rows = pivot_rows;
+        trace.spans.push(exec_span);
+        trace.spans.push(pivot_span);
+        trace.total = wall.elapsed();
+
+        for stage in Stage::ALL {
+            if let Some(span) = trace.span(stage) {
+                self.metrics.stage(stage).observe(span.duration);
+            }
+        }
+        self.metrics.query_seconds.observe(trace.total);
+
+        if let Some(e) = failed {
+            self.metrics.query_errors.inc();
+            self.last_trace = Some(trace);
+            return Err(e);
+        }
+
+        if self.slow_query > Duration::ZERO && trace.total >= self.slow_query {
+            self.metrics.slow_queries.inc();
+            obs::global_slowlog().record(SlowQueryRecord {
+                id: trace.id,
+                q_text: trace.q_text.clone(),
+                sql: trace.sql.clone(),
+                total: trace.total,
+                stages: trace.spans.iter().map(|s| (s.stage, s.duration)).collect(),
+            });
+        }
+
+        self.last_trace = Some(trace.clone());
+        Ok((last, translations, trace))
     }
 
     /// Translate without executing (used by the translation-overhead

@@ -36,7 +36,17 @@ impl StageTimings {
         self.parse + self.algebrize + self.optimize + self.serialize
     }
 
-    /// Accumulate another measurement.
+    /// Accumulate another measurement. **Merge semantics**: durations
+    /// and cache counters are both *statement-weighted sums*. Each
+    /// per-statement measurement carries `cache_hits + cache_misses ∈
+    /// {0, 1}` (exactly one of them set when a translation cache is
+    /// enabled, neither when it is disabled), so after any number of
+    /// `add` calls — including merges across unrelated sessions —
+    /// `cache_hits + cache_misses` is the number of cache-consulting
+    /// statement translations, and [`StageTimings::hit_ratio`] stays
+    /// meaningful. A cache-hit statement contributes zero to every
+    /// duration (the pipeline never ran), so aggregated durations are
+    /// "time actually spent translating", not "time per statement".
     pub fn add(&mut self, other: &StageTimings) {
         self.parse += other.parse;
         self.algebrize += other.algebrize;
@@ -44,6 +54,18 @@ impl StageTimings {
         self.serialize += other.serialize;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+    }
+
+    /// Fraction of cache-consulting translations served from the cache;
+    /// `None` when no translation ever consulted a cache (so a report
+    /// over cache-disabled sessions reads "n/a" instead of "0%").
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let consulted = self.cache_hits + self.cache_misses;
+        if consulted == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / consulted as f64)
+        }
     }
 }
 
@@ -258,6 +280,43 @@ mod tests {
         let t = &translate("select max Price from trades")[0];
         assert!(t.timings.total() > Duration::ZERO);
         assert!(t.timings.algebrize > Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_timings_merge_is_statement_weighted() {
+        // Pin the cross-session merge semantics: counters sum as
+        // statement counts, durations sum as time actually spent, and
+        // the hit ratio of the merge is the statement-weighted ratio —
+        // NOT an average of per-session ratios.
+        let session_a = StageTimings {
+            parse: Duration::from_micros(10),
+            cache_hits: 3,
+            cache_misses: 1,
+            ..StageTimings::default()
+        };
+        let session_b = StageTimings {
+            parse: Duration::from_micros(30),
+            cache_hits: 0,
+            cache_misses: 1,
+            ..StageTimings::default()
+        };
+        let mut merged = StageTimings::default();
+        merged.add(&session_a);
+        merged.add(&session_b);
+        assert_eq!(merged.parse, Duration::from_micros(40));
+        assert_eq!(merged.cache_hits + merged.cache_misses, 5, "statement count is preserved");
+        // Statement-weighted: 3 hits of 5 consultations = 0.6. An
+        // average of per-session ratios would give (0.75 + 0.0) / 2 =
+        // 0.375 — the wrong answer for an aggregated report.
+        assert_eq!(merged.hit_ratio(), Some(3.0 / 5.0));
+        assert_eq!(session_a.hit_ratio(), Some(0.75));
+        assert_eq!(session_b.hit_ratio(), Some(0.0));
+        // Cache-disabled sessions contribute no consultations and leave
+        // the ratio untouched rather than dragging it toward zero.
+        let disabled = StageTimings { parse: Duration::from_micros(5), ..StageTimings::default() };
+        assert_eq!(disabled.hit_ratio(), None);
+        merged.add(&disabled);
+        assert_eq!(merged.hit_ratio(), Some(3.0 / 5.0));
     }
 
     #[test]

@@ -201,6 +201,45 @@ pub enum QtState {
     Recovering,
 }
 
+impl QtState {
+    /// Stable lower-case label, used as the metric label for the
+    /// `xc_qt_transitions_total` counter family.
+    pub fn name(self) -> &'static str {
+        match self {
+            QtState::Idle => "idle",
+            QtState::Algebrizing => "algebrizing",
+            QtState::Optimizing => "optimizing",
+            QtState::Serializing => "serializing",
+            QtState::Done => "done",
+            QtState::Recovering => "recovering",
+        }
+    }
+
+    const ALL: [QtState; 6] = [
+        QtState::Idle,
+        QtState::Algebrizing,
+        QtState::Optimizing,
+        QtState::Serializing,
+        QtState::Done,
+        QtState::Recovering,
+    ];
+}
+
+/// One pre-resolved counter per QT state, so recording a transition is a
+/// single atomic increment.
+fn qt_transition_counter(state: QtState) -> &'static std::sync::Arc<obs::Counter> {
+    static COUNTERS: std::sync::OnceLock<[std::sync::Arc<obs::Counter>; 6]> =
+        std::sync::OnceLock::new();
+    let all = COUNTERS.get_or_init(|| {
+        let reg = obs::global_registry();
+        QtState::ALL.map(|s| {
+            reg.counter(&format!("xc_qt_transitions_total{{state=\"{}\"}}", s.name()))
+        })
+    });
+    let idx = QtState::ALL.iter().position(|s| *s == state).unwrap();
+    &all[idx]
+}
+
 /// The Query Translator FSM: drives one translation, recording the state
 /// trajectory.
 pub struct QueryTranslator {
@@ -228,6 +267,7 @@ impl QueryTranslator {
     fn transition(&mut self, to: QtState) {
         self.state = to;
         self.trajectory.push(to);
+        qt_transition_counter(to).inc();
     }
 
     /// Translate one Q program, stepping through the stage states.
@@ -390,6 +430,22 @@ mod tests {
         );
         qt.reset();
         assert_eq!(qt.state(), QtState::Idle);
+    }
+
+    #[test]
+    fn qt_transitions_are_counted_in_the_global_registry() {
+        use algebrizer::{StaticMdi, TableMeta};
+        use xtra::{ColumnDef, SqlType};
+        let reg = obs::global_registry();
+        let key = "xc_qt_transitions_total{state=\"done\"}";
+        let before = reg.counter_value(key);
+        let mdi = StaticMdi::new()
+            .with(TableMeta::new("t", vec![ColumnDef::new("x", SqlType::Int8)]));
+        let mut scopes = Scopes::new();
+        let mut seq = 0;
+        let mut qt = QueryTranslator::new(Translator::new());
+        qt.translate("select x from t", &mdi, &mut scopes, &mut seq).unwrap();
+        assert_eq!(reg.counter_value(key), before + 1);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! # obs — end-to-end observability for the Hyper-Q pipeline
+//!
+//! Hyper-Q is opaque middleware: a Q application talks QIPC on one side,
+//! a PG backend talks PG v3 on the other, and everything in between —
+//! parse, algebrize, optimize, serialize, execute, pivot — is invisible
+//! to both. Middleware-rewriting systems (QueryBooster, and the paper's
+//! own §6 evaluation) live or die by per-stage visibility: operators
+//! must be able to answer "where did this query's time go?", "is the
+//! translation cache earning its keep?", and "did the wire layer
+//! silently reconnect?" without attaching a debugger.
+//!
+//! Three cooperating pieces, all dependency-free so every crate in the
+//! workspace (including the wire codecs) can use them:
+//!
+//! * [`span`] — per-query structured tracing: each query gets a
+//!   [`QueryId`] and a span tree covering the six pipeline stages
+//!   ([`Stage`]), with durations, row/byte counts and events (cache
+//!   hit/miss, wire recovery, XC state transitions).
+//! * [`metrics`] — a lock-cheap [`MetricsRegistry`] of counters, gauges
+//!   and fixed-bucket histograms. Handles are `Arc`s over atomics:
+//!   registration takes a lock once, the hot path is a single
+//!   `fetch_add`. Rendered in Prometheus text format.
+//! * [`slowlog`] — a bounded ring buffer of [`SlowQueryRecord`]s:
+//!   queries slower than a configurable threshold are captured with
+//!   their Q text, generated SQL and per-stage timings.
+//!
+//! A process-wide registry ([`global_registry`]) and slow-query log
+//! ([`global_slowlog`]) aggregate across sessions; they back the pgdb
+//! server's metrics admin query and the QIPC endpoint's `\metrics` and
+//! `\slowlog` system commands.
+
+pub mod metrics;
+pub mod slowlog;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use slowlog::{SlowQueryLog, SlowQueryRecord};
+pub use span::{next_query_id, QueryId, QueryTrace, Span, SpanEvent, Stage};
+
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide metrics registry: sessions, wire codecs and servers
+/// all record here, so one dump shows the whole process.
+pub fn global_registry() -> Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new())))
+}
+
+/// The process-wide slow-query log (capacity 128). Sessions apply their
+/// own thresholds before recording, so tests with different thresholds
+/// do not race each other.
+pub fn global_slowlog() -> Arc<SlowQueryLog> {
+    static GLOBAL: OnceLock<Arc<SlowQueryLog>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(SlowQueryLog::new(128))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        global_registry().counter("obs_selftest_total").inc();
+        let dump = global_registry().render_prometheus();
+        assert!(dump.contains("obs_selftest_total"), "{dump}");
+    }
+
+    #[test]
+    fn global_slowlog_is_shared() {
+        let before = global_slowlog().recorded();
+        global_slowlog().record(SlowQueryRecord {
+            id: next_query_id(),
+            q_text: "select from trades".into(),
+            sql: vec!["SELECT 1".into()],
+            total: std::time::Duration::from_millis(500),
+            stages: vec![("parse", std::time::Duration::from_millis(1))],
+        });
+        assert_eq!(global_slowlog().recorded(), before + 1);
+    }
+}

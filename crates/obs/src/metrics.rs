@@ -1,0 +1,366 @@
+//! A lock-cheap metrics registry: counters, gauges and fixed-bucket
+//! latency histograms, rendered in Prometheus text format.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost.** Call sites hold an `Arc` handle and the record
+//!    operation is a single `fetch_add` (`Ordering::Relaxed` — metrics
+//!    tolerate reordering, they never synchronize data). The registry
+//!    lock is taken only to *resolve* a handle, which call sites do once
+//!    (per session, or per process via `OnceLock`).
+//! 2. **Aggregation across sessions.** Handles to the same name share
+//!    one atomic, so N sessions incrementing `hyperq_queries_total`
+//!    produce one process-wide series.
+//! 3. **No allocation while recording.** Histograms use fixed bucket
+//!    bounds chosen at registration; observing is bucket search plus
+//!    two `fetch_add`s.
+//!
+//! Metric names may carry Prometheus labels inline:
+//! `r#"hyperq_stage_seconds{stage="parse"}"#` is one series, distinct
+//! from `{stage="execute"}`. The renderer splices histogram `le` labels
+//! into existing label sets correctly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in seconds: 100µs → 10s.
+pub const LATENCY_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+/// A fixed-bucket histogram (cumulative rendering, Prometheus style).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus a final +Inf bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations in nanoseconds.
+    sum_nanos: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_nanos: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation in seconds.
+    pub fn observe_secs(&self, secs: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_secs(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: name (with optional inline labels) → metric.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn resolve<T>(
+        &self,
+        name: &str,
+        pick: impl Fn(&Metric) -> Option<T>,
+        create: impl FnOnce() -> Metric,
+    ) -> T {
+        if let Some(m) = self.metrics.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+            return pick(m).unwrap_or_else(|| {
+                panic!("metric {name:?} already registered as a {}", m.type_name())
+            });
+        }
+        let mut map = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        let m = map.entry(name.to_string()).or_insert_with(create);
+        pick(m).unwrap_or_else(|| {
+            panic!("metric {name:?} already registered as a {}", m.type_name())
+        })
+    }
+
+    /// Get or create a counter. Panics if `name` is registered as a
+    /// different metric type (a programming error, not a runtime one).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.resolve(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || Metric::Counter(Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.resolve(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || Metric::Gauge(Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Get or create a histogram with the default latency buckets.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, LATENCY_BUCKETS)
+    }
+
+    /// Get or create a histogram with explicit bucket upper bounds
+    /// (seconds). Bounds are fixed at first registration.
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || Metric::Histogram(Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Current value of a counter, zero if unregistered (test helper).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.metrics.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Render every metric in Prometheus text exposition format,
+    /// sorted by name, with `# TYPE` headers.
+    pub fn render_prometheus(&self) -> String {
+        let snapshot: Vec<(String, Metric)> = self
+            .metrics
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, metric) in snapshot {
+            let (base, labels) = split_labels(&name);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} {}\n", metric.type_name()));
+                last_base = base.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        cumulative += h.counts[i].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{}_bucket{} {cumulative}\n",
+                            base,
+                            with_le(labels, &format!("{bound}")),
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        base,
+                        with_le(labels, "+Inf"),
+                        h.count()
+                    ));
+                    out.push_str(&format!("{base}_sum{labels} {:.9}\n", h.sum_secs()));
+                    out.push_str(&format!("{base}_count{labels} {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Split `name{labels}` into `(name, "{labels}")`; labels may be empty.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Splice an `le` label into an existing (possibly empty) label set.
+fn with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        // `{a="b"}` → `{a="b",le="..."}`
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_one_atomic_per_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("x_total"), 3);
+    }
+
+    #[test]
+    fn gauges_go_up_and_down() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("active");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with("lat_seconds", &[0.001, 0.01, 0.1]);
+        h.observe_secs(0.0005); // bucket 0
+        h.observe_secs(0.005); // bucket 1
+        h.observe_secs(5.0); // +Inf
+        assert_eq!(h.count(), 3);
+        let dump = r.render_prometheus();
+        assert!(dump.contains("lat_seconds_bucket{le=\"0.001\"} 1"), "{dump}");
+        assert!(dump.contains("lat_seconds_bucket{le=\"0.01\"} 2"), "{dump}");
+        assert!(dump.contains("lat_seconds_bucket{le=\"0.1\"} 2"), "{dump}");
+        assert!(dump.contains("lat_seconds_bucket{le=\"+Inf\"} 3"), "{dump}");
+        assert!(dump.contains("lat_seconds_count 3"), "{dump}");
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_render_with_spliced_le() {
+        let r = MetricsRegistry::new();
+        r.histogram_with(r#"stage_seconds{stage="parse"}"#, &[0.01])
+            .observe_secs(0.001);
+        r.histogram_with(r#"stage_seconds{stage="execute"}"#, &[0.01])
+            .observe_secs(1.0);
+        let dump = r.render_prometheus();
+        assert!(
+            dump.contains(r#"stage_seconds_bucket{stage="parse",le="0.01"} 1"#),
+            "{dump}"
+        );
+        assert!(
+            dump.contains(r#"stage_seconds_bucket{stage="execute",le="+Inf"} 1"#),
+            "{dump}"
+        );
+        // One TYPE header for the shared base name.
+        assert_eq!(dump.matches("# TYPE stage_seconds histogram").count(), 1, "{dump}");
+    }
+
+    #[test]
+    fn render_is_sorted_and_typed() {
+        let r = MetricsRegistry::new();
+        r.counter("b_total").inc();
+        r.counter("a_total").inc();
+        let dump = r.render_prometheus();
+        let a = dump.find("a_total").unwrap();
+        let b = dump.find("b_total").unwrap();
+        assert!(a < b, "{dump}");
+        assert!(dump.contains("# TYPE a_total counter"), "{dump}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

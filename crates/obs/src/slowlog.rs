@@ -1,0 +1,155 @@
+//! A bounded ring buffer of slow queries.
+//!
+//! Sessions decide *what* is slow (their configured threshold) and the
+//! log decides *how much* to keep (its capacity): the newest records
+//! evict the oldest. Each record keeps enough to reproduce and explain
+//! the query — the Q text as received, the generated SQL, and the
+//! per-stage timing breakdown — without holding result data alive.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::span::QueryId;
+
+/// One slow query, captured at completion.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    pub id: QueryId,
+    /// The Q text as received.
+    pub q_text: String,
+    /// Generated SQL, one entry per emitted statement.
+    pub sql: Vec<String>,
+    /// Wall-clock total.
+    pub total: Duration,
+    /// Per-stage breakdown, in pipeline order.
+    pub stages: Vec<(&'static str, Duration)>,
+}
+
+/// Fixed-capacity ring buffer of [`SlowQueryRecord`]s.
+pub struct SlowQueryLog {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    ring: VecDeque<SlowQueryRecord>,
+    /// Total records ever accepted, including ones since evicted.
+    recorded: u64,
+}
+
+impl SlowQueryLog {
+    /// A log holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::new(),
+                recorded: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn record(&self, rec: SlowQueryRecord) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(rec);
+        inner.recorded += 1;
+    }
+
+    /// Snapshot of the retained records, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryRecord> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Total records ever accepted (monotonic; survives eviction).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).recorded
+    }
+
+    /// Drop all retained records (the `recorded` total is preserved).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .clear();
+    }
+
+    /// Human-readable render, oldest first.
+    pub fn render(&self) -> String {
+        let entries = self.entries();
+        if entries.is_empty() {
+            return "slow-query log: empty\n".to_string();
+        }
+        let mut out = String::new();
+        for rec in &entries {
+            out.push_str(&format!("{} total={:?} q={:?}\n", rec.id, rec.total, rec.q_text));
+            for sql in &rec.sql {
+                out.push_str(&format!("  sql: {sql}\n"));
+            }
+            for (stage, d) in &rec.stages {
+                out.push_str(&format!("  {stage}: {d:?}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::next_query_id;
+
+    fn rec(q: &str, ms: u64) -> SlowQueryRecord {
+        SlowQueryRecord {
+            id: next_query_id(),
+            q_text: q.to_string(),
+            sql: vec![format!("SELECT /* {q} */ 1")],
+            total: Duration::from_millis(ms),
+            stages: vec![("parse", Duration::from_micros(10))],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = SlowQueryLog::new(2);
+        log.record(rec("a", 1));
+        log.record(rec("b", 2));
+        log.record(rec("c", 3));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].q_text, "b");
+        assert_eq!(entries[1].q_text, "c");
+        assert_eq!(log.recorded(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_recorded_total() {
+        let log = SlowQueryLog::new(4);
+        log.record(rec("a", 1));
+        log.clear();
+        assert!(log.entries().is_empty());
+        assert_eq!(log.recorded(), 1);
+    }
+
+    #[test]
+    fn render_shows_text_sql_and_stages() {
+        let log = SlowQueryLog::new(4);
+        assert!(log.render().contains("empty"));
+        log.record(rec("select from trades", 120));
+        let r = log.render();
+        assert!(r.contains("select from trades"), "{r}");
+        assert!(r.contains("sql:"), "{r}");
+        assert!(r.contains("parse:"), "{r}");
+    }
+}

@@ -101,6 +101,11 @@ impl PgServer {
     }
 }
 
+fn queries_counter() -> &'static Arc<obs::Counter> {
+    static COUNTER: std::sync::OnceLock<Arc<obs::Counter>> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| obs::global_registry().counter("pgdb_queries_total"))
+}
+
 fn transient_accept_error(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
@@ -116,6 +121,30 @@ fn send(stream: &mut TcpStream, msg: &BackendMessage) -> std::io::Result<()> {
     let mut buf = BytesMut::new();
     encode_backend(msg, &mut buf);
     stream.write_all(&buf)
+}
+
+/// Admin path (observability): `\metrics` or `SHOW metrics` answers with
+/// the process-wide Prometheus dump as a one-column result set, without
+/// entering the SQL engine. Operators can point any PG client at the
+/// server to scrape it.
+fn is_metrics_query(sql: &str) -> bool {
+    sql == "\\metrics" || sql.eq_ignore_ascii_case("show metrics")
+}
+
+fn send_metrics_dump(stream: &mut TcpStream) -> std::io::Result<()> {
+    let dump = obs::global_registry().render_prometheus();
+    send(
+        stream,
+        &BackendMessage::RowDescription(vec![FieldDesc {
+            name: "metrics".into(),
+            type_oid: TypeOid::Text,
+        }]),
+    )?;
+    let count = dump.lines().count();
+    for line in dump.lines() {
+        send(stream, &BackendMessage::DataRow(vec![Some(line.to_string())]))?;
+    }
+    send(stream, &BackendMessage::CommandComplete(format!("SELECT {count}")))
 }
 
 fn pg_type_oid(ty: PgType) -> TypeOid {
@@ -264,6 +293,12 @@ fn serve_connection(
                     send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
                     continue;
                 }
+                if is_metrics_query(trimmed) {
+                    send_metrics_dump(&mut stream)?;
+                    send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
+                    continue;
+                }
+                queries_counter().inc();
                 // Multiple statements separated by ';'.
                 for stmt_sql in split_statements(trimmed) {
                     match session.execute(&stmt_sql) {
@@ -522,6 +557,34 @@ mod tests {
         first.send(&FrontendMessage::Query("SELECT 1".into()));
         let msgs = first.recv_until_ready();
         assert!(msgs.iter().any(|m| matches!(m, BackendMessage::DataRow(_))));
+        server.detach();
+    }
+
+    #[test]
+    fn metrics_admin_query_returns_prometheus_dump() {
+        let db = Db::new();
+        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = TestClient::connect(server.addr, "ops");
+        client.recv_until_ready();
+        // Run a normal query first so pgdb_queries_total is registered.
+        client.send(&FrontendMessage::Query("SELECT 1".into()));
+        client.recv_until_ready();
+        for admin in ["SHOW metrics", "\\metrics"] {
+            client.send(&FrontendMessage::Query(admin.into()));
+            let msgs = client.recv_until_ready();
+            let lines: Vec<String> = msgs
+                .iter()
+                .filter_map(|m| match m {
+                    BackendMessage::DataRow(cells) => cells[0].clone(),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                lines.iter().any(|l| l.starts_with("pgdb_queries_total")),
+                "{admin}: {lines:?}"
+            );
+            assert!(lines.iter().any(|l| l.starts_with("# TYPE")), "{admin}: {lines:?}");
+        }
         server.detach();
     }
 

@@ -15,9 +15,29 @@ use crate::messages::{
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Default ceiling on a declared frame length: 64 MiB.
 pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Frame counters on the PG v3 leg, registered once in the global
+/// metrics registry. Encoded counts frames produced by this process
+/// (either direction); decoded counts complete frames read off the wire.
+struct PgwireMetrics {
+    frames_encoded: Arc<obs::Counter>,
+    frames_decoded: Arc<obs::Counter>,
+}
+
+fn metrics() -> &'static PgwireMetrics {
+    static METRICS: OnceLock<PgwireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::global_registry();
+        PgwireMetrics {
+            frames_encoded: reg.counter("pgwire_frames_encoded_total"),
+            frames_decoded: reg.counter("pgwire_frames_decoded_total"),
+        }
+    })
+}
 
 /// A framing-level protocol violation (corrupt or hostile length
 /// prefix, undecodable message body).
@@ -58,6 +78,7 @@ fn check_len(len: i32, max: usize) -> Result<usize, FrameError> {
 
 /// Encode a frontend message into `out`.
 pub fn encode_frontend(msg: &FrontendMessage, out: &mut BytesMut) {
+    metrics().frames_encoded.inc();
     match msg {
         FrontendMessage::Startup { params } => {
             let mut body = BytesMut::new();
@@ -86,6 +107,7 @@ pub fn encode_frontend(msg: &FrontendMessage, out: &mut BytesMut) {
 
 /// Encode a backend message into `out`.
 pub fn encode_backend(msg: &BackendMessage, out: &mut BytesMut) {
+    metrics().frames_encoded.inc();
     match msg {
         BackendMessage::Authentication(req) => {
             let mut body = BytesMut::new();
@@ -424,6 +446,7 @@ impl MessageReader {
             return match read_startup(&mut self.buf, self.max_frame)? {
                 Some(msg) => {
                     self.expect_startup = false;
+                    metrics().frames_decoded.inc();
                     Ok(Some(msg))
                 }
                 None => Ok(None),
@@ -437,7 +460,10 @@ impl MessageReader {
                 continue;
             }
             return match decode_frontend(ty, body) {
-                Some(m) => Ok(Some(m)),
+                Some(m) => {
+                    metrics().frames_decoded.inc();
+                    Ok(Some(m))
+                }
                 None => Err(FrameError::new(format!(
                     "malformed '{}' frontend message body",
                     ty as char
@@ -456,7 +482,10 @@ impl MessageReader {
                 continue;
             }
             return match decode_backend(ty, body) {
-                Some(m) => Ok(Some(m)),
+                Some(m) => {
+                    metrics().frames_decoded.inc();
+                    Ok(Some(m))
+                }
                 None => Err(FrameError::new(format!(
                     "malformed '{}' backend message body",
                     ty as char

@@ -25,6 +25,30 @@ pub use encode::{encode_message, encode_value};
 pub use handshake::{client_handshake, parse_handshake, HandshakeReply};
 
 use qlang::QResult;
+use std::sync::{Arc, OnceLock};
+
+/// Frame/byte counters on the QIPC leg, registered once in the global
+/// metrics registry. Encoded = frames leaving this process (responses to
+/// the Q application), decoded = complete frames read off the wire.
+struct QipcMetrics {
+    frames_encoded: Arc<obs::Counter>,
+    bytes_encoded: Arc<obs::Counter>,
+    frames_decoded: Arc<obs::Counter>,
+    bytes_decoded: Arc<obs::Counter>,
+}
+
+fn metrics() -> &'static QipcMetrics {
+    static METRICS: OnceLock<QipcMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::global_registry();
+        QipcMetrics {
+            frames_encoded: reg.counter("qipc_frames_encoded_total"),
+            bytes_encoded: reg.counter("qipc_bytes_encoded_total"),
+            frames_decoded: reg.counter("qipc_frames_decoded_total"),
+            bytes_decoded: reg.counter("qipc_bytes_decoded_total"),
+        }
+    })
+}
 
 /// QIPC message type byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,26 +106,46 @@ impl Message {
 
 /// Encode a full message (header + payload).
 pub fn write_message(msg: &Message) -> QResult<Vec<u8>> {
-    encode_message(msg)
+    let bytes = encode_message(msg)?;
+    let m = metrics();
+    m.frames_encoded.inc();
+    m.bytes_encoded.add(bytes.len() as u64);
+    Ok(bytes)
 }
 
 /// Encode a message, compressing the payload when it is large enough to
 /// benefit (kdb+ behaviour for remote peers; paper §3.1 lists
 /// compression as part of the QIPC protocol).
 pub fn write_message_compressed(msg: &Message) -> QResult<Vec<u8>> {
-    encode::encode_message_compressed(msg)
+    let bytes = encode::encode_message_compressed(msg)?;
+    let m = metrics();
+    m.frames_encoded.inc();
+    m.bytes_encoded.add(bytes.len() as u64);
+    Ok(bytes)
 }
 
 /// Try to decode one message from the front of `buf`; returns the
 /// message and the number of bytes consumed. Frames declaring more than
 /// [`DEFAULT_MAX_MESSAGE`] bytes are rejected as protocol errors.
 pub fn read_message(buf: &[u8]) -> QResult<Option<(Message, usize)>> {
-    decode_message(buf)
+    let decoded = decode_message(buf)?;
+    if let Some((_, used)) = &decoded {
+        let m = metrics();
+        m.frames_decoded.inc();
+        m.bytes_decoded.add(*used as u64);
+    }
+    Ok(decoded)
 }
 
 /// [`read_message`] with an explicit frame-length ceiling.
 pub fn read_message_limited(buf: &[u8], max: usize) -> QResult<Option<(Message, usize)>> {
-    decode_message_limited(buf, max)
+    let decoded = decode_message_limited(buf, max)?;
+    if let Some((_, used)) = &decoded {
+        let m = metrics();
+        m.frames_decoded.inc();
+        m.bytes_decoded.add(*used as u64);
+    }
+    Ok(decoded)
 }
 
 #[cfg(test)]

@@ -75,6 +75,36 @@ fn mid_query_sever_is_transparently_retried() {
     server.detach();
 }
 
+/// Observability of recovery: a mid-query sever that is transparently
+/// retried increments `wire_reconnects_total` in the global metrics
+/// registry and stamps a `Recovering` event into the query's span tree.
+#[test]
+fn mid_query_sever_increments_reconnect_metric_and_emits_recovering_event() {
+    let (server, proxy) = chaotic_backend();
+    proxy.push_plan(FaultPlan {
+        to_upstream: LegFaults { truncate_after: Some(startup_len() + 1), ..LegFaults::clean() },
+        ..FaultPlan::clean()
+    });
+    let gw = gateway_via(&proxy, RetryPolicy::immediate(3));
+    let reg = obs::global_registry();
+    let reconnects_before = reg.counter_value("wire_reconnects_total");
+
+    let mut session = HyperQSession::new(share(gw), SessionConfig::default());
+    let (v, trace) = session.execute_observed("1+2").unwrap();
+    assert!(v.q_eq(&Value::Atom(qlang::value::Atom::Long(3))), "{v:?}");
+
+    assert!(
+        reg.counter_value("wire_reconnects_total") > reconnects_before,
+        "reconnect not counted"
+    );
+    assert!(
+        trace.has_event(|e| matches!(e, hyperq::SpanEvent::Recovering { reconnects } if *reconnects >= 1)),
+        "no Recovering event in trace:\n{}",
+        trace.render()
+    );
+    server.detach();
+}
+
 #[test]
 fn journal_replay_rebuilds_temp_tables_after_reconnect() {
     let (server, proxy) = chaotic_backend();

@@ -1,0 +1,142 @@
+//! Differential oracle suite: every statement below runs twice — once on
+//! the reference Q interpreter, once through the full Hyper-Q
+//! translate → SQL → pgdb pipeline — and the results must be Q-equal.
+//!
+//! This is the paper's §5 side-by-side framework wielded as a broad
+//! oracle: q-sql selects, `by` aggregations, the join vocabulary
+//! (aj/lj/ij/uj), two-valued null logic, and ordcol-sensitive queries
+//! whose answers depend on row order.
+
+use hyperq::side_by_side::SideBySide;
+use hyperq_workload::taq::{generate_quotes, generate_trades, TaqConfig};
+use qlang::value::{Table, Value};
+
+fn taq_cfg() -> TaqConfig {
+    TaqConfig { rows: 200, symbols: 4, days: 2, seed: 4242 }
+}
+
+/// Framework loaded with generated TAQ trades + quotes and a small
+/// table whose columns carry typed nulls.
+fn oracle() -> SideBySide {
+    let db = pgdb::Db::new();
+    let mut f = SideBySide::new(&db);
+    f.load("trades", &generate_trades(&taq_cfg())).unwrap();
+    f.load("quotes", &generate_quotes(&TaqConfig { rows: 600, ..taq_cfg() })).unwrap();
+    let nullable = Table::new(
+        vec!["Sym".into(), "Qty".into(), "Px".into()],
+        vec![
+            Value::Symbols(vec!["A".into(), "B".into(), "A".into(), "C".into(), "B".into()]),
+            Value::Longs(vec![10, i64::MIN, 30, i64::MIN, 50]),
+            Value::Floats(vec![1.5, 2.5, f64::NAN, 4.0, f64::NAN]),
+        ],
+    )
+    .unwrap();
+    f.load("nullable", &nullable).unwrap();
+    // Static reference data keyed by Symbol, for lj/ij lookups.
+    let refdata = Table::new(
+        vec!["Symbol".into(), "Sector".into(), "Lot".into()],
+        vec![
+            Value::Symbols(vec!["AAPL".into(), "GOOG".into(), "IBM".into()]),
+            Value::Symbols(vec!["tech".into(), "tech".into(), "services".into()]),
+            Value::Longs(vec![100, 10, 50]),
+        ],
+    )
+    .unwrap();
+    f.load("refdata", &refdata).unwrap();
+    f
+}
+
+/// The oracle statements. Kept as one list so the suite's breadth is
+/// auditable in a single place; the count is pinned below.
+const STATEMENTS: &[&str] = &[
+    // --- q-sql selects and filters ---
+    "select from trades",
+    "select Symbol, Price from trades",
+    "select Price from trades where Symbol=`GOOG",
+    "select Price, Size from trades where Date=2016.06.26",
+    "select from trades where Price within 50 150",
+    "select Price from trades where Symbol in `GOOG`IBM, Size>100",
+    "select Notional: Price*Size from trades where Size>500",
+    "exec Price from trades where Symbol=`GOOG",
+    "select from quotes where Ask>Bid",
+    // --- plain aggregations ---
+    "select mx: max Price, mn: min Price from trades",
+    "select s: sum Size, a: avg Price from trades",
+    "select n: count i from trades where Symbol=`IBM",
+    "select spread: avg Ask-Bid from quotes",
+    // --- `by` aggregations ---
+    "select mx: max Price by Symbol from trades",
+    "select s: sum Size by Date from trades",
+    "select n: count i by Symbol from trades",
+    "select vwap: (sum Price*Size) % sum Size by Symbol from trades",
+    "select mx: max Price by Date, Symbol from trades",
+    "select s: sum Size by 1000 xbar Size from trades",
+    // --- joins: aj (as-of), lj/ij (keyed), uj (union) ---
+    "aj[`Symbol`Time; select Symbol, Time, Price from trades; \
+     select Symbol, Time, Bid, Ask from quotes]",
+    "aj[`Symbol`Time; select Symbol, Time, Price from trades where Date=2016.06.26; \
+     select Symbol, Time, Bid, Ask from quotes where Date=2016.06.26]",
+    "trades lj 1!refdata",
+    "trades ij 1!refdata",
+    "select mx: max Price by Sector from trades lj 1!refdata",
+    "(select Symbol, Price from trades where Size>900) uj \
+     select Symbol, Price, Size from trades where Size<100",
+    // --- null logic: typed nulls compare two-valued ---
+    "select from nullable where Qty=0N",
+    "select from nullable where Qty>20",
+    "select s: sum Qty by Sym from nullable",
+    "select n: count Px, m: count i from nullable",
+    "select mx: max Px, mn: min Px from nullable",
+    "update Qty: 0N from nullable where Sym=`A",
+    // --- ordcol-sensitive: answers depend on row order ---
+    "select Price, prevPx: prev Price from trades",
+    "select d: deltas Price from trades where Symbol=`GOOG",
+    "select open: first Price, close: last Price by Symbol from trades",
+    "select Price, nextPx: next Price from trades where Symbol=`IBM",
+    "`Price xdesc select from trades where Date=2016.06.26",
+    "`Symbol`Time xasc select Symbol, Time, Price from trades",
+    "select last Bid by Symbol from quotes",
+];
+
+#[test]
+fn oracle_suite_has_at_least_thirty_statements() {
+    assert!(
+        STATEMENTS.len() >= 30,
+        "oracle breadth regressed: {} statements",
+        STATEMENTS.len()
+    );
+}
+
+#[test]
+fn all_oracle_statements_agree_between_engines() {
+    let mut f = oracle();
+    let failures = f.check_all(STATEMENTS);
+    assert!(
+        failures.is_empty(),
+        "{} of {} statements diverged:\n{:#?}",
+        failures.len(),
+        STATEMENTS.len(),
+        failures
+    );
+}
+
+/// The oracle holds with the translation cache disabled too — the cached
+/// and uncached pipelines must be indistinguishable to the application.
+#[test]
+fn oracle_statements_agree_with_translation_cache_disabled() {
+    let mut f = oracle();
+    f.hyperq.set_translation_cache(0);
+    let failures = f.check_all(STATEMENTS);
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// Repeated execution (cache-hit path) returns the same answers as the
+/// first (cache-miss) pass.
+#[test]
+fn oracle_statements_are_stable_across_repeated_execution() {
+    let mut f = oracle();
+    for q in STATEMENTS.iter().take(12) {
+        f.assert_match(q).unwrap();
+        f.assert_match(q).unwrap();
+    }
+}

@@ -232,6 +232,52 @@ proptest! {
     }
 }
 
+// ---------- Translation cache is observationally transparent ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With the keyed translation cache on (and hitting) versus off, a
+    /// generated query must produce byte-identical SQL AND an identical
+    /// obs span structure — the cache must be invisible except for the
+    /// hit/miss events themselves.
+    #[test]
+    fn cached_and_uncached_translation_agree_in_sql_and_span_shape(q in arb_query()) {
+        use hyperq::{HyperQSession, SessionConfig};
+        use hyperq_workload::taq::{generate_trades, TaqConfig};
+        use std::time::Duration;
+        let trades = generate_trades(&TaqConfig { rows: 40, symbols: 3, days: 2, seed: 5 });
+        let mk = |capacity: usize| {
+            let db = pgdb::Db::new();
+            let cfg = SessionConfig {
+                translation_cache: capacity,
+                slow_query: Duration::ZERO,
+                ..SessionConfig::default()
+            };
+            let mut s = HyperQSession::with_direct_config(&db, cfg);
+            hyperq::loader::load_table(&mut s, "trades", &trades).unwrap();
+            s
+        };
+        let mut cached = mk(256);
+        let mut uncached = mk(0);
+        // Run twice on the cached session so the second pass is a hit.
+        cached.execute_observed(&q.0).unwrap();
+        let (cv, ct) = cached.execute_observed(&q.0).unwrap();
+        let (uv, ut) = uncached.execute_observed(&q.0).unwrap();
+        prop_assert!(ct.cache_hit, "second pass must hit the cache");
+        prop_assert!(!ut.cache_hit, "cache disabled must never hit");
+        prop_assert!(cv.q_eq(&uv), "values diverge on {}: {cv:?} vs {uv:?}", q.0);
+        prop_assert_eq!(&ct.sql, &ut.sql, "generated SQL diverges on {}", q.0);
+        prop_assert_eq!(
+            ct.stage_names(),
+            ut.stage_names(),
+            "span structure diverges on {}",
+            q.0
+        );
+        prop_assert!(ct.covers_all_stages() && ut.covers_all_stages());
+    }
+}
+
 // ---------- Hash execution hot paths agree with the naive scans ----------
 //
 // The executor's GROUP BY / DISTINCT / set operations and the qengine's
