@@ -1172,6 +1172,20 @@ impl<'a> Binder<'a> {
 
         let l = self.bind_scalar(lhs, schema, agg_ok)?;
         let r = self.bind_scalar(rhs, schema, agg_ok)?;
+        // Q orders every typed null below every value (`0N < x` is 1b),
+        // while SQL comparisons against NULL yield NULL; translate the
+        // four ordering operators with the null ranking made explicit.
+        if let Some(bop) =
+            match op {
+                "<" => Some(BinOp::Lt),
+                "<=" => Some(BinOp::Le),
+                ">" => Some(BinOp::Gt),
+                ">=" => Some(BinOp::Ge),
+                _ => None,
+            }
+        {
+            return Ok(q_ordered_cmp(bop, l, r));
+        }
         let bop = match op {
             "+" => BinOp::Add,
             "-" => BinOp::Sub,
@@ -1180,10 +1194,6 @@ impl<'a> Binder<'a> {
             "%" => BinOp::Div,
             "=" => BinOp::Eq,
             "<>" => BinOp::Neq,
-            "<" => BinOp::Lt,
-            "<=" => BinOp::Le,
-            ">" => BinOp::Gt,
-            ">=" => BinOp::Ge,
             "and" => BinOp::And,
             "or" => BinOp::Or,
             "mod" => BinOp::Mod,
@@ -1264,7 +1274,16 @@ impl<'a> Binder<'a> {
             if f == AggFunc::Count {
                 if !matches!(arg, Expr::Var(v) if v == "i") {
                     // Still bind the argument so bad names error.
-                    me.bind_scalar(arg, schema, false)?;
+                    let bound = me.bind_scalar(arg, schema, false)?;
+                    // Test-only fault injection (crate::testhooks): emit
+                    // the pre-PR-3 null-skipping COUNT(col) on demand so
+                    // the fuzz harness can demonstrate detect→shrink.
+                    if crate::testhooks::reintroduce_count_col_bug() {
+                        return Ok(ScalarExpr::Agg {
+                            func: AggFunc::Count,
+                            arg: Some(Box::new(bound)),
+                        });
+                    }
                 }
                 return Ok(ScalarExpr::Agg { func: AggFunc::Count, arg: None });
             }
@@ -1353,27 +1372,35 @@ impl<'a> Binder<'a> {
             }
             "deltas" => {
                 // deltas x → x - prev x, ordered by the implicit order
-                // column (first element keeps its value: lag yields NULL,
-                // coalesce to 0 difference via CASE).
+                // column. Only the FIRST row keeps its value; rows whose
+                // predecessor is a genuine null must stay null (q: x-0N is
+                // 0N), so the row-1 test is on row_number(), not on
+                // lag() IS NULL — COALESCE(x - lag(x), x) can't tell the
+                // two apart.
                 let a = self.bind_scalar(arg, schema, false)?;
                 let oc = schema
                     .iter()
                     .find(|c| c.name == ORD_COL)
                     .ok_or_else(|| QError::type_err("deltas requires ordered input"))?;
+                let order_by = vec![(ScalarExpr::col(oc.name.clone(), oc.ty), SortDir::Asc)];
                 let lagged = ScalarExpr::Window {
                     func: WinFunc::Lag,
                     args: vec![a.clone()],
                     partition_by: vec![],
-                    order_by: vec![(ScalarExpr::col(oc.name.clone(), oc.ty), SortDir::Asc)],
+                    order_by: order_by.clone(),
                 };
-                Ok(ScalarExpr::Func {
-                    name: "coalesce".into(),
-                    ty: a.derived_type(),
-                    args: vec![
-                        ScalarExpr::binary(BinOp::Sub, a.clone(), lagged),
-                        a,
-                    ],
-                    volatile: false,
+                let row_number = ScalarExpr::Window {
+                    func: WinFunc::RowNumber,
+                    args: vec![],
+                    partition_by: vec![],
+                    order_by,
+                };
+                Ok(ScalarExpr::Case {
+                    branches: vec![(
+                        ScalarExpr::binary(BinOp::Eq, row_number, ScalarExpr::i64(1)),
+                        a.clone(),
+                    )],
+                    else_result: Some(Box::new(ScalarExpr::binary(BinOp::Sub, a, lagged))),
                 })
             }
             "prev" | "next" => {
@@ -1507,6 +1534,37 @@ pub fn fold_const(e: &ScalarExpr) -> Option<Datum> {
             }
         }
         _ => None,
+    }
+}
+
+/// Bind a Q ordering comparison with the null ranking made explicit.
+/// Q treats a typed null as smaller than every value of its type
+/// (`0N < x` is 1b for non-null x, `x <= 0N` only when x is null, two
+/// nulls rank equal), while in SQL any comparison against NULL is NULL.
+/// The raw operator keeps its SQL meaning for non-null operands; a
+/// disjunct encodes the null-as-minus-infinity cases, and the outer
+/// COALESCE pins the remaining NULL outcomes to q's `false` so the
+/// expression is exact in projection context too, not just in filters.
+fn q_ordered_cmp(op: BinOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    let is_null =
+        |e: &ScalarExpr| ScalarExpr::IsNull { arg: Box::new(e.clone()), negated: false };
+    let not_null =
+        |e: &ScalarExpr| ScalarExpr::IsNull { arg: Box::new(e.clone()), negated: true };
+    let null_wins = match op {
+        BinOp::Lt => ScalarExpr::binary(BinOp::And, is_null(&l), not_null(&r)),
+        BinOp::Le => is_null(&l),
+        BinOp::Gt => ScalarExpr::binary(BinOp::And, is_null(&r), not_null(&l)),
+        BinOp::Ge => is_null(&r),
+        _ => unreachable!("q_ordered_cmp only handles ordering operators"),
+    };
+    ScalarExpr::Func {
+        name: "coalesce".into(),
+        ty: SqlType::Bool,
+        args: vec![
+            ScalarExpr::binary(BinOp::Or, ScalarExpr::binary(op, l, r), null_wins),
+            ScalarExpr::Const(Datum::Bool(false)),
+        ],
+        volatile: false,
     }
 }
 

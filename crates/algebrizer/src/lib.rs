@@ -26,6 +26,32 @@ pub mod literal;
 pub mod mdi;
 pub mod scopes;
 
+/// Test-only fault injection for the conformance harness (DESIGN §9).
+///
+/// The differential fuzzer's shrinker needs a *known* translation bug it
+/// can be pointed at, so the PR-3 `count col` mistranslation (Q `count`
+/// is length and counts nulls; SQL `COUNT(col)` silently skips them) can
+/// be deliberately re-introduced behind this process-global flag. It
+/// exists purely so `tests/fuzz_differential.rs` can prove the
+/// detect→shrink→repro pipeline end to end; production code never sets
+/// it.
+#[doc(hidden)]
+pub mod testhooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static COUNT_COL_BUG: AtomicBool = AtomicBool::new(false);
+
+    /// Re-introduce (or clear) the `count col` → `COUNT(col)` bug.
+    pub fn set_reintroduce_count_col_bug(on: bool) {
+        COUNT_COL_BUG.store(on, Ordering::SeqCst);
+    }
+
+    /// Is the deliberate bug currently active?
+    pub fn reintroduce_count_col_bug() -> bool {
+        COUNT_COL_BUG.load(Ordering::SeqCst)
+    }
+}
+
 pub use bind::{BindOutput, Binder, Bound, MaterializationPolicy, ResultShape, SideStatement};
 pub use mdi::{CachingMdi, Mdi, MdiStats, StaticMdi, TableMeta};
 pub use scopes::{Scopes, VarDef};

@@ -1,0 +1,94 @@
+//! Emit `BENCH_qgen.json`: throughput of the differential-fuzz
+//! subsystem, so fuzz-budget sizing in CI rests on measured numbers.
+//!
+//!     cargo run --release --bin bench_qgen
+//!
+//! Measures wall clock for:
+//! * **generation** — seeded datasets + grammar-driven programs, no
+//!   execution (how fast the generator alone can feed the loop);
+//! * **differential checking** — the full tri-executor loop (reference
+//!   interpreter + cache-cold pipeline + cache-warm pipeline) over a
+//!   fixed budget, i.e. the per-program cost the CI gate pays.
+
+use hyperq::BatchDriver;
+use qgen::{gen_dataset, Coverage, FuzzConfig, ProgramGen};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const GEN_DATASETS: usize = 200;
+const GEN_PROGRAMS_PER_DATASET: usize = 10;
+const CHECK_BUDGET: usize = 200;
+
+fn main() {
+    // 1. Pure generation throughput.
+    let mut programs = 0usize;
+    let mut statements = 0usize;
+    let mut cov = Coverage::default();
+    let t0 = Instant::now();
+    for seed in 0..GEN_DATASETS as u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = gen_dataset(&mut rng);
+        let mut pg = ProgramGen::default();
+        for _ in 0..GEN_PROGRAMS_PER_DATASET {
+            let prog = pg.gen_program(&mut rng, &ds, &mut cov);
+            programs += 1;
+            statements += prog.stmts.len();
+            std::hint::black_box(&prog);
+        }
+    }
+    let gen_t = t0.elapsed();
+
+    // 2. Tri-executor differential checking over a fixed budget. Same
+    // shape as the CI gate (fresh driver every PROGRAMS_PER_DATASET
+    // programs), minus shrinking — the clean-run path.
+    let cfg = FuzzConfig { seed: 42, budget: CHECK_BUDGET, corpus_dir: None, shrink: false };
+    let t0 = Instant::now();
+    let report = qgen::run_fuzz(&cfg);
+    let check_t = t0.elapsed();
+    assert_eq!(report.programs, CHECK_BUDGET);
+    assert!(
+        report.bugs.is_empty(),
+        "bench expects a divergence-free run, got {} bug(s)",
+        report.bugs.len()
+    );
+
+    // 3. Single-program check latency on a small fixed program, the
+    // marginal cost of growing the budget by one.
+    let mut rng = StdRng::seed_from_u64(7);
+    let ds = gen_dataset(&mut rng);
+    let prog = ProgramGen::default().gen_program(&mut rng, &ds, &mut cov);
+    let stmts: Vec<String> = prog.stmts.iter().map(|s| s.render()).collect();
+    let t0 = Instant::now();
+    let mut driver = BatchDriver::new(&ds.tables).expect("driver");
+    std::hint::black_box(driver.run_program(&stmts));
+    let single_t = t0.elapsed();
+
+    let gen_rate = programs as f64 / gen_t.as_secs_f64();
+    let check_rate = report.programs as f64 / check_t.as_secs_f64();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"generation\": {{\"programs\": {}, \"statements\": {}, ",
+            "\"seconds\": {:.6}, \"programs_per_s\": {:.1}}},\n",
+            "  \"differential_check\": {{\"programs\": {}, \"statements\": {}, ",
+            "\"seconds\": {:.6}, \"programs_per_s\": {:.1}}},\n",
+            "  \"single_program_check_s\": {:.6}\n",
+            "}}\n"
+        ),
+        programs,
+        statements,
+        gen_t.as_secs_f64(),
+        gen_rate,
+        report.programs,
+        report.statements,
+        check_t.as_secs_f64(),
+        check_rate,
+        single_t.as_secs_f64(),
+    );
+    std::fs::write("BENCH_qgen.json", &json).expect("write BENCH_qgen.json");
+    println!("wrote BENCH_qgen.json");
+    println!(
+        "generation: {gen_rate:.0} programs/s; differential check: {check_rate:.0} programs/s"
+    );
+}

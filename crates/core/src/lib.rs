@@ -76,6 +76,7 @@
 //! ```
 
 pub mod backend;
+pub mod batch;
 pub mod endpoint;
 pub mod gateway;
 pub mod loader;
@@ -89,6 +90,7 @@ pub mod wire;
 pub mod xc;
 
 pub use backend::{Backend, DirectBackend, SharedBackend};
+pub use batch::{BatchDriver, BatchReport, DivergenceKind, Outcome, StatementOutcome};
 pub use obs::{QueryTrace, Span, SpanEvent, Stage};
 pub use qcache::{CacheStats, TranslationCache};
 pub use session::{HyperQSession, SessionConfig};

@@ -41,6 +41,21 @@ impl Comparison {
     pub fn is_match(&self) -> bool {
         matches!(self, Comparison::Match(_))
     }
+
+    /// Do the two paths *behave the same* toward the application? Like
+    /// [`Comparison::is_match`], but both sides erroring also counts as
+    /// agreement — the application observes an error either way, which is
+    /// exactly the paper's §5 criterion ("the exact same behavior to the
+    /// application"). A one-sided error remains a divergence.
+    pub fn is_agreement(&self) -> bool {
+        match self {
+            Comparison::Match(_) => true,
+            Comparison::Mismatch { .. } => false,
+            Comparison::ErrorDivergence { reference_err, translated_err } => {
+                reference_err.is_some() && translated_err.is_some()
+            }
+        }
+    }
 }
 
 /// The framework: one reference interpreter and one Hyper-Q session over
@@ -100,12 +115,19 @@ impl SideBySide {
         }
     }
 
-    /// Run a batch of queries; return the failures.
+    /// Run a batch of queries; return **all** divergent statements.
+    ///
+    /// The runner never stops at the first mismatch: every statement in
+    /// the batch executes and every divergence is collected, so one
+    /// oracle (or fuzz) run yields the full bug batch rather than the
+    /// first symptom. Both-sides-erroring statements count as agreement
+    /// ([`Comparison::is_agreement`]) — the application cannot tell the
+    /// paths apart there.
     pub fn check_all(&mut self, queries: &[&str]) -> Vec<(String, Comparison)> {
         let mut failures = Vec::new();
         for q in queries {
             let c = self.check(q);
-            if !c.is_match() {
+            if !c.is_agreement() {
                 failures.push((q.to_string(), c));
             }
         }
@@ -135,8 +157,10 @@ impl SideBySide {
 /// Q-equality with tolerance for representational differences between
 /// the engine and the pivoted backend results: an engine table compares
 /// equal to a pivoted table with identical columns even when numeric
-/// widths differ (the backend promotes).
-fn values_agree(a: &Value, b: &Value) -> bool {
+/// widths differ (the backend promotes). Public because the qgen
+/// differential fuzzer applies the same criterion before drilling into
+/// cell-level diffs.
+pub fn values_agree(a: &Value, b: &Value) -> bool {
     if a.q_eq(b) {
         return true;
     }
@@ -151,7 +175,9 @@ fn values_agree(a: &Value, b: &Value) -> bool {
     }
 }
 
-fn flatten(k: &qlang::KeyedTable) -> Table {
+/// Flatten a keyed table into key-columns-then-value-columns (used when
+/// comparing keyed results whose key/value split differs representationally).
+pub fn flatten(k: &qlang::KeyedTable) -> Table {
     Table {
         names: k.key.names.iter().chain(&k.value.names).cloned().collect(),
         columns: k.key.columns.iter().chain(&k.value.columns).cloned().collect(),

@@ -571,6 +571,16 @@ fn compute_aggregate(
     let arg = args
         .first()
         .ok_or_else(|| DbError::exec(format!("{name}: missing argument")))?;
+    // The hq_first/hq_last toolbox aggregates model q's order-sensitive
+    // first/last, which do NOT skip nulls: `first 0N 1 2` is 0N. They
+    // must see the raw group, before the SQL null filter below.
+    if matches!(name, "hq_first" | "hq_last") {
+        let pos = if name == "hq_first" { group.first() } else { group.last() };
+        return match pos {
+            Some(&ri) => eval(arg, &frame.cols, &frame.rows[ri]),
+            None => Ok(Cell::Null),
+        };
+    }
     let mut values: Vec<Cell> = Vec::with_capacity(group.len());
     for &ri in group {
         let v = eval(arg, &frame.cols, &frame.rows[ri])?;
@@ -640,11 +650,6 @@ fn compute_aggregate(
                 })
             }
         }
-        // Hyper-Q toolbox: order-sensitive first/last. The engine
-        // processes rows in storage order, which Hyper-Q guarantees
-        // matches ordcol order for materialized inputs.
-        "hq_first" => values.first().cloned().unwrap_or(Cell::Null),
-        "hq_last" => values.last().cloned().unwrap_or(Cell::Null),
         "bool_and" => {
             if values.is_empty() {
                 Cell::Null

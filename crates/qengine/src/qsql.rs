@@ -44,6 +44,12 @@ fn push_column_frame(interp: &mut Interp, table: &Table, rows: &[usize]) {
 fn filter_rows(interp: &mut Interp, t: &TemplateExpr, table: &Table) -> QResult<Vec<usize>> {
     let mut rows: Vec<usize> = (0..table.rows()).collect();
     for pred in &t.predicates {
+        if rows.is_empty() {
+            // No rows can survive further conjuncts — and predicates over
+            // the now-empty column frame would evaluate to empty untyped
+            // lists, which the boolean check below cannot classify.
+            break;
+        }
         push_column_frame(interp, table, &rows);
         let verdict = interp.eval(pred);
         interp.env.pop_frame();

@@ -1,0 +1,41 @@
+//! qgen — grammar-driven differential fuzzing for the Hyper-Q pipeline.
+//!
+//! The hand-written differential oracle (tests/differential_oracle.rs)
+//! checks a fixed statement list; this crate *generates* the scenarios.
+//! It is the conformance subsystem from DESIGN §9:
+//!
+//! * [`schema`] — randomized-but-valid TAQ-shaped datasets (random
+//!   column names, symbol universes, null densities; fixed column
+//!   *roles* so statements stay well-typed by construction);
+//! * [`grammar`] — seeded, structured Q statement generation (selects,
+//!   by-aggregations, all four join families, null logic, ordcol
+//!   functions, variable assignment + reuse) with per-statement shrink
+//!   candidates;
+//! * [`fuzz`] — the loop: every program runs through three executors
+//!   (qengine reference, cache-cold translate pipeline, cache-warm
+//!   translate pipeline) via `hyperq::BatchDriver`, and every divergent
+//!   statement is reported;
+//! * [`diff`] — cell-level divergence explanation under Q's 2-valued
+//!   null semantics;
+//! * [`shrink`] — delta-debugging reduction of (program, dataset) to a
+//!   minimal diverging form;
+//! * [`corpus`] — self-contained `.q` repro files, written on discovery
+//!   and replayed forever after as pinned regression tests.
+//!
+//! Knobs: `QGEN_SEED` (master seed, default 42) and `QGEN_BUDGET`
+//! (program count, default 500), read by [`FuzzConfig::from_env`].
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod diff;
+pub mod fuzz;
+pub mod grammar;
+pub mod schema;
+pub mod shrink;
+
+pub use corpus::{load_repro, replay, write_repro, Repro};
+pub use fuzz::{run_fuzz, FoundBug, FuzzConfig, FuzzReport};
+pub use grammar::{Coverage, GenStmt, Program, ProgramGen};
+pub use schema::{gen_dataset, Dataset, NumKind, TableSpec};
+pub use shrink::{ShrinkResult, Shrinker};

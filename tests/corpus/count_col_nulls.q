@@ -1,0 +1,7 @@
+/ PR-3 oracle bug, fixed and pinned: q `count col` counts every row
+/ (nulls included) but was serialized as SQL COUNT(col), which skips
+/ NULLs — so any null in the counted column made the pipeline undercount.
+trades: ([] Sym: `A`B`C; Px: 1.5 0n 2.75)
+/ ---
+select c: count Px from trades
+select c: count Px by Sym from trades

@@ -1,0 +1,9 @@
+/ PR-3 oracle bug, fixed and pinned: lj/ij went through a row_number()
+/ dedup rewrite and leaked the internal hq_rn column into the joined
+/ result's column set, so the pipeline returned one column more than q.
+trades: ([] Sym: `A`B`A; Px: 1.5 2.25 3.5)
+refdata: ([] Sym: `A`B; Sector: `tech`fin)
+/ ---
+trades lj 1!refdata
+trades ij 1!refdata
+select s: sum Px by Sector from trades lj 1!refdata

@@ -1,0 +1,97 @@
+//! Replay every checked-in corpus repro (`tests/corpus/*.q`) through the
+//! tri-executor harness and require agreement.
+//!
+//! Checked-in repros are *fixed* bugs: each file pins a divergence the
+//! differential fuzzer (or the PR-3 oracle suite) once caught, minimized
+//! to a self-contained script. Replaying them on every test run turns
+//! each past bug into a permanent regression gate.
+//!
+//! Files with the `found_` prefix are skipped: those are freshly-shrunk
+//! repros the fuzzer wrote for bugs that are *not fixed yet* (CI uploads
+//! them as artifacts). They graduate into pinned, prefix-free files once
+//! the underlying bug is fixed and the replay is clean.
+//!
+//! Replays are fully deterministic — data is inlined in each file and
+//! the harness runs in-process, so no network or wall-clock enters.
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn every_pinned_corpus_repro_replays_clean() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "q"))
+        .collect();
+    entries.sort();
+    let pinned: Vec<&PathBuf> = entries
+        .iter()
+        .filter(|p| {
+            !p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("found_"))
+        })
+        .collect();
+    assert!(
+        !pinned.is_empty(),
+        "corpus must contain at least the two pinned PR-3 repros"
+    );
+
+    let mut failures = Vec::new();
+    for path in &pinned {
+        let repro = match qgen::load_repro(path) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        assert!(
+            !repro.statements.is_empty(),
+            "{}: no statements after the / --- separator",
+            path.display()
+        );
+        match qgen::replay(&repro) {
+            Ok(report) => {
+                for s in report.divergent() {
+                    failures.push(format!(
+                        "{}: statement {} `{}` diverges: {:?}",
+                        path.display(),
+                        s.index,
+                        s.q,
+                        s.divergences()
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("{}: replay error: {e}", path.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} pinned repro failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn replay_is_deterministic_across_runs() {
+    // Same file, two independent replays — identical outcome shape. This
+    // guards against wall-clock or randomness sneaking into the harness.
+    let path = corpus_dir().join("count_col_nulls.q");
+    let repro = qgen::load_repro(&path).expect("pinned repro must load");
+    let a = qgen::replay(&repro).expect("replay");
+    let b = qgen::replay(&repro).expect("replay");
+    assert_eq!(a.statements.len(), b.statements.len());
+    for (x, y) in a.statements.iter().zip(&b.statements) {
+        assert_eq!(format!("{:?}", x.reference), format!("{:?}", y.reference));
+        assert_eq!(format!("{:?}", x.cold), format!("{:?}", y.cold));
+        assert_eq!(format!("{:?}", x.warm), format!("{:?}", y.warm));
+    }
+}

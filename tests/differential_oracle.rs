@@ -131,12 +131,24 @@ fn oracle_statements_agree_with_translation_cache_disabled() {
 }
 
 /// Repeated execution (cache-hit path) returns the same answers as the
-/// first (cache-miss) pass.
+/// first (cache-miss) pass. Like every runner in this suite, it checks
+/// the whole statement list and reports the complete divergence batch —
+/// a bug in statement 3 must not mask one in statement 30.
 #[test]
 fn oracle_statements_are_stable_across_repeated_execution() {
     let mut f = oracle();
-    for q in STATEMENTS.iter().take(12) {
-        f.assert_match(q).unwrap();
-        f.assert_match(q).unwrap();
+    let mut failures = Vec::new();
+    for q in STATEMENTS {
+        for pass in ["cold", "warm"] {
+            if let Err(e) = f.assert_match(q) {
+                failures.push(format!("[{pass}] {q}: {e}"));
+            }
+        }
     }
+    assert!(
+        failures.is_empty(),
+        "{} repeated-execution divergence(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
 }

@@ -69,6 +69,58 @@ fn arb_table() -> impl Strategy<Value = Table> {
     })
 }
 
+/// One typed column of exactly `rows` cells, with every Q column type
+/// represented and a healthy dose of typed nulls (`0N`, `0n`, `0Nd`,
+/// `0Nt`, the empty symbol). `rows` may be 0 — empty typed lists must
+/// survive the wire with their type intact.
+fn arb_typed_column(rows: usize) -> impl Strategy<Value = Value> {
+    // The offline proptest shim has no weighted prop_oneof; repeating
+    // the non-null arm biases toward values while keeping nulls common.
+    prop_oneof![
+        proptest::collection::vec(
+            prop_oneof![any::<i64>(), any::<i64>(), any::<i64>(), Just(i64::MIN)],
+            rows..=rows
+        )
+        .prop_map(Value::Longs),
+        proptest::collection::vec(
+            prop_oneof![any::<f64>(), any::<f64>(), any::<f64>(), Just(f64::NAN)],
+            rows..=rows
+        )
+        .prop_map(Value::Floats),
+        proptest::collection::vec(
+            prop_oneof![
+                "[A-Z]{1,4}".prop_map(String::from),
+                "[A-Z]{1,4}".prop_map(String::from),
+                Just(String::new())
+            ],
+            rows..=rows
+        )
+        .prop_map(Value::Symbols),
+        proptest::collection::vec(
+            prop_oneof![-20000i32..20000, -20000i32..20000, Just(i32::MIN)],
+            rows..=rows
+        )
+        .prop_map(Value::Dates),
+        proptest::collection::vec(
+            prop_oneof![0i32..86_400_000, 0i32..86_400_000, Just(i32::MIN)],
+            rows..=rows
+        )
+        .prop_map(Value::Times),
+        proptest::collection::vec(any::<bool>(), rows..=rows).prop_map(Value::Bools),
+    ]
+}
+
+fn arb_typed_table() -> impl Strategy<Value = Table> {
+    (1usize..6, 0usize..10).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(arb_typed_column(rows), cols..=cols).prop_map(
+            move |columns| {
+                let names = (0..columns.len()).map(|i| format!("c{i}")).collect();
+                Table::new(names, columns).unwrap()
+            },
+        )
+    })
+}
+
 // ---------- QIPC ----------
 
 proptest! {
@@ -90,6 +142,31 @@ proptest! {
         let bytes = qipc::write_message(&msg).unwrap();
         let (decoded, _) = qipc::read_message(&bytes).unwrap().unwrap();
         prop_assert!(decoded.value.q_eq(&v));
+    }
+
+    #[test]
+    fn qipc_round_trips_typed_columns_with_nulls(t in arb_typed_table()) {
+        // Typed nulls and zero-row tables must survive the wire with
+        // column types intact — q_eq treats typed nulls as equal to
+        // themselves (0n == 0n), so a dropped or retyped null fails here.
+        let v = Value::Table(Box::new(t));
+        let msg = qipc::Message::response(v.clone());
+        let bytes = qipc::write_message(&msg).unwrap();
+        let (decoded, used) = qipc::read_message(&bytes).unwrap().unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(decoded.value.q_eq(&v), "decoded {:?} != {:?}", decoded.value, v);
+    }
+
+    #[test]
+    fn qipc_round_trips_empty_typed_vectors(col in arb_typed_column(0)) {
+        // The degenerate case deserves its own property: an empty typed
+        // list must come back as the same empty typed list, not a
+        // generic empty list or an error.
+        let msg = qipc::Message::response(col.clone());
+        let bytes = qipc::write_message(&msg).unwrap();
+        let (decoded, used) = qipc::read_message(&bytes).unwrap().unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(decoded.value.q_eq(&col), "decoded {:?} != {:?}", decoded.value, col);
     }
 
     #[test]
