@@ -1,0 +1,220 @@
+//! Emit `BENCH_columnar.json`: the columnar executor against the
+//! retained row-at-a-time oracle, same statements, same data
+//! (EXPERIMENTS.md, DESIGN §10).
+//!
+//!     cargo run --release --bin bench_columnar
+//!
+//! Measures, each best-of-N wall clock, over a source holding *both*
+//! representations pre-built (so neither side pays a conversion tax at
+//! scan time — exactly what `pgdb`'s engine stores):
+//!
+//! * 200k-row predicate filter (`WHERE v > c`);
+//! * 100k-row / 1k-group `GROUP BY k, sum/avg`;
+//! * 50k × 50k equi-join over a 10k key domain;
+//! * end-to-end pivot: SELECT over 100k rows all the way to a Q table
+//!   (columnar: `run_select_batch` → `pivot_batch` column hand-off;
+//!   rows: `run_select_rows` → per-cell transpose pivot).
+//!
+//! The acceptance bar is a ≥2× columnar speedup on at least two of the
+//! four shapes.
+
+use algebrizer::ResultShape;
+use hyperq::pivot::{pivot, pivot_batch};
+use pgdb::exec::columnar::run_select_batch;
+use pgdb::exec::{run_select_rows, TableSource};
+use pgdb::sql::ast::Stmt;
+use pgdb::sql::parse_statement;
+use pgdb::{Batch, Cell, Column, PgType, Rows};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+type DualTable = (Vec<Column>, Vec<Vec<Cell>>, Batch);
+
+/// Both representations of every table, pre-built — the engine's own
+/// storage is columnar and the row path transposes on scan, so handing
+/// each executor its native representation isolates execution cost.
+struct DualSource {
+    tables: HashMap<String, DualTable>,
+}
+
+impl DualSource {
+    fn new() -> Self {
+        DualSource { tables: HashMap::new() }
+    }
+
+    fn put(&mut self, name: &str, columns: Vec<Column>, rows: Vec<Vec<Cell>>) {
+        let batch =
+            Batch::from_rows(Rows { columns: columns.clone(), data: rows.clone() });
+        self.tables.insert(name.to_string(), (columns, rows, batch));
+    }
+}
+
+impl TableSource for DualSource {
+    fn get_table(&self, name: &str) -> Option<(Vec<Column>, Vec<Vec<Cell>>)> {
+        let (columns, rows, _) = self.tables.get(name)?;
+        Some((columns.clone(), rows.clone()))
+    }
+
+    fn get_table_batch(&self, name: &str) -> Option<Batch> {
+        let (_, _, batch) = self.tables.get(name)?;
+        Some(batch.clone())
+    }
+}
+
+fn select(sql: &str) -> pgdb::sql::ast::SelectStmt {
+    match parse_statement(sql).expect("bench SQL parses") {
+        Stmt::Select(s) => s,
+        other => panic!("expected SELECT, got {other:?}"),
+    }
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    row_s: f64,
+    columnar_s: f64,
+    target_speedup: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.columnar_s > 0.0 { self.row_s / self.columnar_s } else { f64::INFINITY }
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut src = DualSource::new();
+
+    // t: 200k rows, int key + int value + symbol tag.
+    let t_cols = vec![
+        Column::new("k", PgType::Int8),
+        Column::new("v", PgType::Int8),
+        Column::new("s", PgType::Varchar),
+    ];
+    let t_rows: Vec<Vec<Cell>> = (0..200_000)
+        .map(|_| {
+            let k = rng.gen_range(0..1_000i64);
+            vec![Cell::Int(k), Cell::Int(rng.gen_range(0..1_000_000)), Cell::Text(format!("s{}", k % 97))]
+        })
+        .collect();
+    src.put("t", t_cols, t_rows);
+
+    // l/r: 50k rows each over a 10k key domain.
+    let join_cols = |v: &str| {
+        vec![Column::new("k", PgType::Int8), Column::new(v, PgType::Int8)]
+    };
+    let join_rows = |rng: &mut StdRng, n: usize| -> Vec<Vec<Cell>> {
+        (0..n)
+            .map(|i| vec![Cell::Int(rng.gen_range(0..10_000i64)), Cell::Int(i as i64)])
+            .collect()
+    };
+    let lr = join_rows(&mut rng, 50_000);
+    let rr = join_rows(&mut rng, 50_000);
+    src.put("l", join_cols("lv"), lr);
+    src.put("r", join_cols("rv"), rr);
+
+    let mut entries = Vec::new();
+    let bench = |name: &'static str, sql: &str, target: f64, entries: &mut Vec<Entry>| {
+        let stmt = select(sql);
+        let columnar = best_of(5, || run_select_batch(&src, &stmt).expect(name));
+        let row = best_of(3, || run_select_rows(&src, &stmt).expect(name));
+        // Same answer before the same timing.
+        let a = run_select_batch(&src, &stmt).unwrap();
+        let b = Batch::from_rows(run_select_rows(&src, &stmt).unwrap());
+        assert!(a.structurally_equal(&b), "{name}: executors disagree");
+        entries.push(Entry {
+            name,
+            row_s: row.as_secs_f64(),
+            columnar_s: columnar.as_secs_f64(),
+            target_speedup: target,
+        });
+    };
+
+    bench("filter_200k_int_predicate", "SELECT v FROM t WHERE v > 500000", 2.0, &mut entries);
+    bench(
+        "group_by_100k_1k_groups",
+        "SELECT k, sum(v) AS sv, avg(v) AS av, count(*) AS n FROM t GROUP BY k",
+        2.0,
+        &mut entries,
+    );
+    bench(
+        "equi_join_50k_x_50k",
+        "SELECT l.k, l.lv, r.rv FROM l JOIN r ON l.k = r.k",
+        1.0,
+        &mut entries,
+    );
+
+    // End to end: SELECT through the executor AND the pivot into a Q
+    // table — the full internal-backend result path.
+    let stmt = select("SELECT k, v, s FROM t");
+    let columnar = best_of(5, || {
+        let batch = run_select_batch(&src, &stmt).expect("pivot select");
+        pivot_batch(batch, ResultShape::Table).expect("pivot")
+    });
+    let row = best_of(3, || {
+        let rows = run_select_rows(&src, &stmt).expect("pivot select");
+        pivot(&rows, ResultShape::Table).expect("pivot")
+    });
+    entries.push(Entry {
+        name: "end_to_end_pivot_100k_to_q_table",
+        row_s: row.as_secs_f64(),
+        columnar_s: columnar.as_secs_f64(),
+        target_speedup: 2.0,
+    });
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"row_s\": {:.6}, \"columnar_s\": {:.6}, ",
+                "\"speedup\": {:.2}, \"target_speedup\": {:.1}, \"meets_target\": {}}}{}\n"
+            ),
+            e.name,
+            e.row_s,
+            e.columnar_s,
+            e.speedup(),
+            e.target_speedup,
+            e.speedup() >= e.target_speedup,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+        println!(
+            "{:<36} row {:>10.3}ms   columnar {:>10.3}ms   speedup {:>8.2}x (target {:.0}x)",
+            e.name,
+            e.row_s * 1e3,
+            e.columnar_s * 1e3,
+            e.speedup(),
+            e.target_speedup,
+        );
+    }
+    let at_least_2x = entries.iter().filter(|e| e.speedup() >= 2.0).count();
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"shapes_at_2x_or_better\": {at_least_2x}\n}}\n"));
+    std::fs::write("BENCH_columnar.json", &json).expect("write BENCH_columnar.json");
+    println!("wrote BENCH_columnar.json");
+
+    let failed: Vec<&str> = entries
+        .iter()
+        .filter(|e| e.speedup() < e.target_speedup)
+        .map(|e| e.name)
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("targets missed: {failed:?}");
+        std::process::exit(1);
+    }
+    if at_least_2x < 2 {
+        eprintln!("acceptance: need >=2 shapes at >=2x, got {at_least_2x}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Canonical hashable keys over runtime cells.
+//!
+//! The executor's grouping, DISTINCT, set operations, and hash joins
+//! all need to bucket rows by equality. Equality here is
+//! [`Cell::not_distinct`] (`IS NOT DISTINCT FROM`): NULLs compare
+//! equal, and numerics compare across widths through `f64` (so
+//! `Int(1)`, `Float(1.0)`, `Bool(true)`, and `Date(1)` are one
+//! equivalence class). [`CellKey`] is a normalized projection of a
+//! `Cell` such that
+//!
+//! ```text
+//! CellKey::from_cell(a) == CellKey::from_cell(b)  ⟺  a.not_distinct(b)
+//! ```
+//!
+//! which lets every hot path use `HashMap`/`HashSet` instead of the
+//! previous linear scans or per-row `String` keys.
+
+use crate::types::Cell;
+
+/// Normalized, hashable projection of one [`Cell`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellKey {
+    Null,
+    /// Text compares only against text.
+    Text(String),
+    /// Any numeric (or bool/date/time/timestamp) whose `f64` value is
+    /// integral and exactly representable: normalized to `i64`.
+    Int(i64),
+    /// Remaining numerics, keyed by canonical bit pattern: `-0.0`
+    /// never reaches here (it is `Int(0)`) and every NaN collapses to
+    /// one bit pattern, matching `not_distinct`'s NaN = NaN.
+    Float(u64),
+}
+
+impl CellKey {
+    pub fn from_cell(c: &Cell) -> CellKey {
+        match c {
+            Cell::Null => CellKey::Null,
+            Cell::Text(s) => CellKey::Text(s.clone()),
+            Cell::Int(v) => CellKey::Int(*v),
+            // Bool/Date/Time/Timestamp compare numerically via as_f64,
+            // exactly like Cell::eq_not_null's fallback arm.
+            _ => {
+                let f = c.as_f64().expect("non-text cell is numeric");
+                Self::from_f64(f)
+            }
+        }
+    }
+
+    fn from_f64(f: f64) -> CellKey {
+        if f.is_nan() {
+            return CellKey::Float(f64::NAN.to_bits());
+        }
+        // i64 values up to 2^53 round-trip exactly through f64; the
+        // 9e15 guard keeps the Int arm inside that exact window.
+        if f.fract() == 0.0 && f.is_finite() && f.abs() < 9e15 {
+            // Folds -0.0 into Int(0).
+            return CellKey::Int(f as i64);
+        }
+        CellKey::Float(f.to_bits())
+    }
+}
+
+/// Key a whole row (e.g. for set operations where every column is part
+/// of the identity).
+pub fn row_key(row: &[Cell]) -> Vec<CellKey> {
+    row.iter().map(CellKey::from_cell).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agree(a: &Cell, b: &Cell) {
+        assert_eq!(
+            CellKey::from_cell(a) == CellKey::from_cell(b),
+            a.not_distinct(b),
+            "key/not_distinct disagree on {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn keys_match_not_distinct_semantics() {
+        let cells = [
+            Cell::Null,
+            Cell::Bool(true),
+            Cell::Bool(false),
+            Cell::Int(0),
+            Cell::Int(1),
+            Cell::Int(-1),
+            Cell::Int(i64::MAX),
+            Cell::Float(0.0),
+            Cell::Float(-0.0),
+            Cell::Float(1.0),
+            Cell::Float(1.5),
+            Cell::Float(f64::NAN),
+            Cell::Float(f64::INFINITY),
+            Cell::Float(f64::NEG_INFINITY),
+            Cell::Float(9.5e15),
+            Cell::Text(String::new()),
+            Cell::Text("1".into()),
+            Cell::Date(1),
+            Cell::Time(1),
+            Cell::Timestamp(1),
+        ];
+        for a in &cells {
+            for b in &cells {
+                agree(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_width_numerics_share_keys() {
+        assert_eq!(CellKey::from_cell(&Cell::Int(1)), CellKey::from_cell(&Cell::Float(1.0)));
+        assert_eq!(CellKey::from_cell(&Cell::Bool(true)), CellKey::from_cell(&Cell::Int(1)));
+        assert_eq!(CellKey::from_cell(&Cell::Date(5)), CellKey::from_cell(&Cell::Int(5)));
+        assert_eq!(CellKey::from_cell(&Cell::Float(-0.0)), CellKey::from_cell(&Cell::Int(0)));
+    }
+
+    #[test]
+    fn text_never_collides_with_numbers() {
+        assert_ne!(CellKey::from_cell(&Cell::Text("1".into())), CellKey::from_cell(&Cell::Int(1)));
+        assert_ne!(CellKey::from_cell(&Cell::Null), CellKey::from_cell(&Cell::Int(0)));
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared columnar representation for the Hyper-Q stack (DESIGN §10).
+//!
+//! One typed batch format flows from the pgdb executor through the
+//! gateway pivot to QIPC encoding: a [`Batch`] is a schema plus one
+//! [`ColumnVec`] per column, where each `ColumnVec` is a typed vector
+//! with a [`Validity`] bitmap for SQL NULLs. The row-major [`Rows`]
+//! type and the dynamically-typed [`Cell`] remain the interchange
+//! format at the PG-wire codec boundary and for the row-based
+//! reference executor; [`Batch::from_rows`]/[`Batch::to_rows`] convert
+//! losslessly between the two worlds.
+//!
+//! This crate is dependency-free on purpose: pgdb, core, qengine, and
+//! qipc all sit on top of it without forming cycles.
+
+pub mod batch;
+pub mod key;
+pub mod types;
+
+pub use batch::{Batch, ColumnVec, Validity};
+pub use key::{row_key, CellKey};
+pub use types::{days_to_ymd, ymd_to_days, Cell, Column, PgType, Rows};

@@ -7,7 +7,7 @@
 //! indifference is the point of ADV.
 
 use crate::wire::WireError;
-use pgdb::{QueryResult, Session};
+use pgdb::{BatchQueryResult, QueryResult, Session};
 use std::sync::{Arc, Mutex};
 
 /// Something that executes SQL statements and returns rows.
@@ -20,6 +20,20 @@ use std::sync::{Arc, Mutex};
 pub trait Backend: Send {
     /// Execute one SQL statement.
     fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, WireError>;
+
+    /// Execute one SQL statement and hand the result back *columnar*,
+    /// if this backend can. `Ok(None)` means "rows only" — external
+    /// backends reached over the PG v3 wire stream rows, so they return
+    /// `None` without executing anything and the caller falls back to
+    /// [`Backend::execute_sql`] plus the row pivot. The in-process
+    /// backend overrides this: its executor is already columnar, so the
+    /// pivot becomes a near-no-op column hand-off (DESIGN §10).
+    fn execute_sql_batch(
+        &mut self,
+        _sql: &str,
+    ) -> Result<Option<BatchQueryResult>, WireError> {
+        Ok(None)
+    }
 
     /// Human-readable description (for diagnostics).
     fn describe(&self) -> String {
@@ -50,6 +64,13 @@ impl DirectBackend {
 impl Backend for DirectBackend {
     fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, WireError> {
         self.session.execute(sql).map_err(WireError::from)
+    }
+
+    fn execute_sql_batch(
+        &mut self,
+        sql: &str,
+    ) -> Result<Option<BatchQueryResult>, WireError> {
+        self.session.execute_batch(sql).map(Some).map_err(WireError::from)
     }
 
     fn describe(&self) -> String {

@@ -51,9 +51,23 @@ impl Outcome {
     /// Do two outcomes agree toward the application? Both erroring
     /// agrees (the application sees an error either way); a one-sided
     /// error or differing values do not.
+    ///
+    /// Table results are compared *structurally* where possible: both
+    /// sides are lowered onto the shared columnar representation via
+    /// [`qengine::colbridge`] and diffed batch against batch
+    /// (`Batch::structurally_equal`, which keys every cell), which
+    /// catches representation-level drift (e.g. a null carried in-band
+    /// on one side and out-of-band on the other) that value equality
+    /// would paper over. Shapes the bridge cannot express fall back to
+    /// [`values_agree`].
     pub fn agrees_with(&self, other: &Outcome) -> bool {
         match (self, other) {
-            (Outcome::Value(a), Outcome::Value(b)) => values_agree(a, b),
+            (Outcome::Value(a), Outcome::Value(b)) => {
+                if let (Some(ba), Some(bb)) = (as_batch(a), as_batch(b)) {
+                    return ba.structurally_equal(&bb) && values_agree(a, b);
+                }
+                values_agree(a, b)
+            }
             (Outcome::Error(_), Outcome::Error(_)) => true,
             _ => false,
         }
@@ -128,6 +142,20 @@ impl BatchReport {
     /// True when every statement agreed across all three executors.
     pub fn clean(&self) -> bool {
         self.statements.iter().all(|s| s.agreed())
+    }
+}
+
+/// Lower a table-shaped value onto the shared columnar representation,
+/// if every column has a storage class there. Keyed tables are
+/// flattened first (key columns then value columns), matching the
+/// representational tolerance of [`values_agree`].
+fn as_batch(v: &Value) -> Option<colstore::Batch> {
+    match v {
+        Value::Table(t) => qengine::colbridge::table_to_batch(t),
+        Value::KeyedTable(k) => {
+            qengine::colbridge::table_to_batch(&crate::side_by_side::flatten(k))
+        }
+        _ => None,
     }
 }
 

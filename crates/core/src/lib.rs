@@ -89,7 +89,7 @@ pub mod translate;
 pub mod wire;
 pub mod xc;
 
-pub use backend::{Backend, DirectBackend, SharedBackend};
+pub use backend::{share, Backend, DirectBackend, SharedBackend};
 pub use batch::{BatchDriver, BatchReport, DivergenceKind, Outcome, StatementOutcome};
 pub use obs::{QueryTrace, Span, SpanEvent, Stage};
 pub use qcache::{CacheStats, TranslationCache};

@@ -8,10 +8,20 @@
 //! microsecond temporals → Q resolutions).
 
 use algebrizer::ResultShape;
-use pgdb::{Cell, PgType, Rows};
+use pgdb::{Batch, Cell, ColumnVec, PgType, Rows};
 use qlang::value::{Atom, Dict, KeyedTable, Table, Value};
 use qlang::{QError, QResult};
+use std::sync::Arc;
 use xtra::ORD_COL;
+
+/// Columns handed from the columnar executor to Q without element-wise
+/// re-materialization: the typed vector's storage is moved (null slots
+/// patched to Q sentinels in place). Stays at zero when results arrive
+/// over an external row-streaming backend.
+fn zero_copy_counter() -> &'static Arc<obs::Counter> {
+    static COUNTER: std::sync::OnceLock<Arc<obs::Counter>> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| obs::global_registry().counter("hyperq_pivot_zero_copy_total"))
+}
 
 /// Convert one SQL cell into a Q atom of the column's type.
 fn cell_to_atom(cell: &Cell, ty: PgType) -> Atom {
@@ -79,6 +89,128 @@ fn pivot_column(rows: &Rows, idx: usize) -> Value {
     Value::from_elements(atoms)
 }
 
+/// Turn one typed column into the matching Q vector, moving storage
+/// where the representations line up. Returns the value and whether the
+/// column's backing vector was reused (vs rebuilt element-wise).
+///
+/// Null slots become the Q sentinels [`cell_to_atom`] uses, patched in
+/// place on the moved storage. Width-changing conversions (`int4`,
+/// `int2`, `float4`, millisecond times) still rebuild, as does the
+/// mixed [`ColumnVec::Cells`] fallback.
+fn column_to_value(col: ColumnVec, ty: PgType) -> (Value, bool) {
+    if col.is_empty() {
+        return (empty_vector(ty), false);
+    }
+    match (col, ty) {
+        (ColumnVec::Bool(mut d, v), PgType::Bool) => {
+            for (i, slot) in d.iter_mut().enumerate() {
+                if v.is_null(i) {
+                    *slot = false;
+                }
+            }
+            (Value::Bools(d), true)
+        }
+        (ColumnVec::Int(mut d, v), PgType::Int8) => {
+            for (i, slot) in d.iter_mut().enumerate() {
+                if v.is_null(i) {
+                    *slot = i64::MIN;
+                }
+            }
+            (Value::Longs(d), true)
+        }
+        (ColumnVec::Int(d, v), PgType::Int4) => {
+            let out = d
+                .iter()
+                .enumerate()
+                .map(|(i, x)| if v.is_null(i) { i32::MIN } else { *x as i32 })
+                .collect();
+            (Value::Ints(out), false)
+        }
+        (ColumnVec::Int(d, v), PgType::Int2) => {
+            let out = d
+                .iter()
+                .enumerate()
+                .map(|(i, x)| if v.is_null(i) { i16::MIN } else { *x as i16 })
+                .collect();
+            (Value::Shorts(out), false)
+        }
+        (ColumnVec::Float(mut d, v), PgType::Float8) => {
+            for (i, slot) in d.iter_mut().enumerate() {
+                if v.is_null(i) {
+                    *slot = f64::NAN;
+                }
+            }
+            (Value::Floats(d), true)
+        }
+        (ColumnVec::Float(d, v), PgType::Float4) => {
+            let out = d
+                .iter()
+                .enumerate()
+                .map(|(i, x)| if v.is_null(i) { f32::NAN } else { *x as f32 })
+                .collect();
+            (Value::Reals(out), false)
+        }
+        (ColumnVec::Text(mut d, v), PgType::Varchar | PgType::Text) => {
+            for (i, slot) in d.iter_mut().enumerate() {
+                if v.is_null(i) {
+                    *slot = String::new();
+                }
+            }
+            (Value::Symbols(d), true)
+        }
+        (ColumnVec::Date(mut d, v), PgType::Date) => {
+            for (i, slot) in d.iter_mut().enumerate() {
+                if v.is_null(i) {
+                    *slot = i32::MIN;
+                }
+            }
+            (Value::Dates(d), true)
+        }
+        // µs → ms (and i64 → i32): width changes, so rebuild.
+        (ColumnVec::Time(d, v), PgType::Time) => {
+            let out = d
+                .iter()
+                .enumerate()
+                .map(|(i, us)| if v.is_null(i) { i32::MIN } else { (us / 1000) as i32 })
+                .collect();
+            (Value::Times(out), false)
+        }
+        // µs → ns in place on the moved storage.
+        (ColumnVec::Timestamp(mut d, v), PgType::Timestamp) => {
+            for (i, x) in d.iter_mut().enumerate() {
+                *x = if v.is_null(i) { i64::MIN } else { x.saturating_mul(1000) };
+            }
+            (Value::Timestamps(d), true)
+        }
+        (col, ty) => {
+            let atoms: Vec<Value> = (0..col.len())
+                .map(|i| Value::Atom(cell_to_atom(&col.cell_at(i), ty)))
+                .collect();
+            (Value::from_elements(atoms), false)
+        }
+    }
+}
+
+/// Pivot a columnar result into a Q table, stripping the implicit order
+/// column. Where column representations line up this moves storage
+/// instead of copying (counted by `hyperq_pivot_zero_copy_total`).
+pub fn batch_to_table(mut batch: Batch) -> QResult<Table> {
+    let schema = std::mem::take(&mut batch.schema);
+    let columns = std::mem::take(&mut batch.columns);
+    let mut t = Table::default();
+    for (col, vec) in schema.into_iter().zip(columns) {
+        if col.name == ORD_COL {
+            continue;
+        }
+        let (v, moved) = column_to_value(vec, col.ty);
+        if moved {
+            zero_copy_counter().inc();
+        }
+        t.push_column(col.name, v)?;
+    }
+    Ok(t)
+}
+
 /// Pivot a full row set into a Q table, stripping the implicit order
 /// column.
 pub fn rows_to_table(rows: &Rows) -> QResult<Table> {
@@ -94,10 +226,21 @@ pub fn rows_to_table(rows: &Rows) -> QResult<Table> {
 
 /// Pivot a row set into the Q value shape the application expects.
 pub fn pivot(rows: &Rows, shape: ResultShape) -> QResult<Value> {
+    shape_value(rows_to_table(rows)?, shape)
+}
+
+/// Pivot a columnar result into the Q value shape the application
+/// expects: the batch counterpart of [`pivot`], used for the in-process
+/// backend where no row stream ever exists (DESIGN §10).
+pub fn pivot_batch(batch: Batch, shape: ResultShape) -> QResult<Value> {
+    shape_value(batch_to_table(batch)?, shape)
+}
+
+/// Reshape the pivoted table into the Q value the translation promised.
+fn shape_value(full: Table, shape: ResultShape) -> QResult<Value> {
     match shape {
-        ResultShape::Table => Ok(Value::Table(Box::new(rows_to_table(rows)?))),
+        ResultShape::Table => Ok(Value::Table(Box::new(full))),
         ResultShape::KeyedTable { key_cols } => {
-            let full = rows_to_table(rows)?;
             if key_cols > full.width() {
                 return Err(QError::length("keyed result has fewer columns than keys"));
             }
@@ -112,14 +255,14 @@ pub fn pivot(rows: &Rows, shape: ResultShape) -> QResult<Value> {
             Ok(Value::KeyedTable(Box::new(KeyedTable { key, value })))
         }
         ResultShape::Column => {
-            let t = rows_to_table(rows)?;
+            let t = full;
             t.columns
                 .into_iter()
                 .next()
                 .ok_or_else(|| QError::length("exec result has no columns"))
         }
         ResultShape::Dict => {
-            let t = rows_to_table(rows)?;
+            let t = full;
             Ok(Value::Dict(Box::new(Dict::new(
                 Value::Symbols(t.names),
                 Value::Mixed(t.columns),
@@ -127,7 +270,7 @@ pub fn pivot(rows: &Rows, shape: ResultShape) -> QResult<Value> {
         }
         ResultShape::GroupDict => {
             // `exec agg by g`: first column keys, second column values.
-            let t = rows_to_table(rows)?;
+            let t = full;
             let mut cols = t.columns.into_iter();
             let keys = cols
                 .next()
@@ -138,7 +281,7 @@ pub fn pivot(rows: &Rows, shape: ResultShape) -> QResult<Value> {
             Ok(Value::Dict(Box::new(Dict::new(keys, values)?)))
         }
         ResultShape::Atom => {
-            let t = rows_to_table(rows)?;
+            let t = full;
             let col = t
                 .columns
                 .into_iter()

@@ -8,13 +8,13 @@
 
 use crate::backend::{share, DirectBackend, SharedBackend};
 use crate::mdi_backend::BackendMdi;
-use crate::pivot::pivot;
+use crate::pivot::{pivot, pivot_batch};
 use crate::qcache::{CacheStats, TranslationCache};
 use crate::translate::{StageTimings, Translation, TranslationStats, Translator};
 use crate::wire::{RetryPolicy, WireTimeouts};
 use algebrizer::{CachingMdi, MaterializationPolicy, Scopes};
 use obs::{QueryTrace, SlowQueryRecord, Span, SpanEvent, Stage};
-use pgdb::QueryResult;
+use pgdb::{BatchQueryResult, QueryResult};
 use qlang::{QError, QResult, Value};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -95,6 +95,13 @@ impl SessionMetrics {
     fn stage(&self, stage: Stage) -> &obs::Histogram {
         &self.stage_seconds[stage.index()]
     }
+}
+
+/// One statement's result in whichever representation the backend
+/// produced: columnar from the in-process engine, rows off the wire.
+enum StmtResult {
+    Batch(BatchQueryResult),
+    Rows(QueryResult),
 }
 
 /// A live Hyper-Q session.
@@ -308,7 +315,14 @@ impl HyperQSession {
                     })?;
                     let reconnects_before = be.reconnects();
                     let t0 = Instant::now();
-                    let result = be.execute_sql(&stmt.sql);
+                    // Prefer the columnar path; backends that only
+                    // stream rows (the PG v3 gateway) answer `None`
+                    // without executing and we fall back to rows.
+                    let result = match be.execute_sql_batch(&stmt.sql) {
+                        Ok(Some(r)) => Ok(StmtResult::Batch(r)),
+                        Ok(None) => be.execute_sql(&stmt.sql).map(StmtResult::Rows),
+                        Err(e) => Err(e),
+                    };
                     child.duration = t0.elapsed();
                     (result, be.reconnects() - reconnects_before)
                 };
@@ -344,8 +358,18 @@ impl HyperQSession {
                     }
                 };
                 if stmt.returns_rows {
-                    match result {
-                        QueryResult::Rows(rows) => {
+                    let pivoted = match result {
+                        StmtResult::Batch(BatchQueryResult::Batch(batch)) => {
+                            let n = batch.rows() as u64;
+                            child.rows = n;
+                            exec_span.rows += n;
+                            self.metrics.rows.add(n);
+                            let t0 = Instant::now();
+                            let pivoted = pivot_batch(batch, stmt.shape.unwrap());
+                            pivot_dur += t0.elapsed();
+                            pivoted.map(|v| (v, n))
+                        }
+                        StmtResult::Rows(QueryResult::Rows(rows)) => {
                             let n = rows.data.len() as u64;
                             child.rows = n;
                             exec_span.rows += n;
@@ -353,26 +377,28 @@ impl HyperQSession {
                             let t0 = Instant::now();
                             let pivoted = pivot(&rows, stmt.shape.unwrap());
                             pivot_dur += t0.elapsed();
-                            match pivoted {
-                                Ok(v) => {
-                                    pivot_rows += n;
-                                    last = v;
-                                }
-                                Err(e) => {
-                                    exec_span.duration += child.duration;
-                                    exec_span.children.push(child);
-                                    failed = Some(e);
-                                    break 'outer;
-                                }
-                            }
+                            pivoted.map(|v| (v, n))
                         }
-                        QueryResult::Command(tag) => {
+                        StmtResult::Batch(BatchQueryResult::Command(tag))
+                        | StmtResult::Rows(QueryResult::Command(tag)) => {
                             exec_span.duration += child.duration;
                             exec_span.children.push(child);
                             failed = Some(QError::new(
                                 qlang::error::QErrorKind::Other,
                                 format!("expected rows, backend answered {tag}"),
                             ));
+                            break 'outer;
+                        }
+                    };
+                    match pivoted {
+                        Ok((v, n)) => {
+                            pivot_rows += n;
+                            last = v;
+                        }
+                        Err(e) => {
+                            exec_span.duration += child.duration;
+                            exec_span.children.push(child);
+                            failed = Some(e);
                             break 'outer;
                         }
                     }

@@ -7,11 +7,13 @@
 //! materialization of Q variables (§4.3).
 
 use crate::catalog;
+use crate::exec::columnar::run_select_batch;
 use crate::exec::expr::{cast, eval};
-use crate::exec::{run_select, TableSource};
+use crate::exec::TableSource;
 use crate::sql::ast::Stmt;
 use crate::sql::parse_statement;
 use crate::types::{Cell, Column, Rows};
+use colstore::Batch;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -62,13 +64,25 @@ impl fmt::Display for DbError {
 
 impl std::error::Error for DbError {}
 
-/// A stored table: schema and row data.
+/// A stored table. Storage is columnar (DESIGN §10): scans hand the
+/// executor typed vectors without per-cell work, and `CREATE TABLE AS`
+/// stores the executor's result batch without transposing it.
 #[derive(Debug, Clone, Default)]
 pub struct StoredTable {
+    /// Columnar data (schema + typed column vectors).
+    pub batch: Batch,
+}
+
+impl StoredTable {
     /// Column definitions.
-    pub columns: Vec<Column>,
-    /// Row-major data.
-    pub rows: Vec<Vec<Cell>>,
+    pub fn columns(&self) -> &[Column] {
+        &self.batch.schema
+    }
+
+    /// Row-major snapshot of the data.
+    pub fn rows(&self) -> Vec<Vec<Cell>> {
+        self.batch.to_rows().data
+    }
 }
 
 /// The shared database: a handle cloneable across threads/sessions.
@@ -86,6 +100,17 @@ pub enum QueryResult {
     Command(String),
 }
 
+/// Result of executing one statement, columnar: row sets stay batches
+/// all the way to the wire codec (which serializes cells only at the
+/// protocol boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchQueryResult {
+    /// A columnar row set (SELECT).
+    Batch(Batch),
+    /// A command tag (DDL/DML): e.g. `CREATE TABLE`, `INSERT 0 3`.
+    Command(String),
+}
+
 impl Db {
     /// Create an empty database.
     pub fn new() -> Self {
@@ -99,7 +124,8 @@ impl Db {
 
     /// Host API: create (or replace) a global table directly.
     pub fn put_table(&self, name: &str, columns: Vec<Column>, rows: Vec<Vec<Cell>>) {
-        self.tables.write().insert(name.to_string(), StoredTable { columns, rows });
+        let batch = Batch::from_rows(Rows { columns, data: rows });
+        self.tables.write().insert(name.to_string(), StoredTable { batch });
     }
 
     /// Host API: fetch a snapshot of a global table.
@@ -125,12 +151,23 @@ pub struct Session {
 impl TableSource for Session {
     fn get_table(&self, name: &str) -> Option<(Vec<Column>, Vec<Vec<Cell>>)> {
         if let Some(t) = self.temps.get(name) {
-            return Some((t.columns.clone(), t.rows.clone()));
+            return Some((t.columns().to_vec(), t.rows()));
         }
         if let Some(t) = self.db.tables.read().get(name) {
-            return Some((t.columns.clone(), t.rows.clone()));
+            return Some((t.columns().to_vec(), t.rows()));
         }
         catalog::virtual_table(self, name)
+    }
+
+    fn get_table_batch(&self, name: &str) -> Option<Batch> {
+        if let Some(t) = self.temps.get(name) {
+            return Some(t.batch.clone());
+        }
+        if let Some(t) = self.db.tables.read().get(name) {
+            return Some(t.batch.clone());
+        }
+        let (columns, rows) = catalog::virtual_table(self, name)?;
+        Some(Batch::from_rows(Rows { columns, data: rows }))
     }
 }
 
@@ -152,43 +189,50 @@ impl Session {
         let mut out: Vec<(String, Vec<Column>)> = self
             .temps
             .iter()
-            .map(|(n, t)| (n.clone(), t.columns.clone()))
+            .map(|(n, t)| (n.clone(), t.columns().to_vec()))
             .collect();
         for (n, t) in self.db.tables.read().iter() {
-            out.push((n.clone(), t.columns.clone()));
+            out.push((n.clone(), t.columns().to_vec()));
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement, row-major result (transposes the
+    /// batch at the API boundary; see [`Session::execute_batch`]).
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        Ok(match self.execute_batch(sql)? {
+            BatchQueryResult::Batch(b) => QueryResult::Rows(b.into_rows()),
+            BatchQueryResult::Command(tag) => QueryResult::Command(tag),
+        })
+    }
+
+    /// Execute one SQL statement, columnar result.
+    pub fn execute_batch(&mut self, sql: &str) -> Result<BatchQueryResult, DbError> {
         let stmt = parse_statement(sql)?;
         match stmt {
             Stmt::Select(s) => {
-                let rows = run_select(self, &s)?;
-                Ok(QueryResult::Rows(rows))
+                let batch = run_select_batch(self, &s)?;
+                Ok(BatchQueryResult::Batch(batch))
             }
             Stmt::CreateTableAs { name, query, temp } => {
                 if self.table_exists(&name) {
                     return Err(DbError::duplicate_table(&name));
                 }
-                let rows = run_select(self, &query)?;
-                let stored = StoredTable { columns: rows.columns, rows: rows.data };
-                let count = stored.rows.len();
-                self.store(name, stored, temp);
-                Ok(QueryResult::Command(format!("SELECT {count}")))
+                let batch = run_select_batch(self, &query)?;
+                let count = batch.rows();
+                self.store(name, StoredTable { batch }, temp);
+                Ok(BatchQueryResult::Command(format!("SELECT {count}")))
             }
             Stmt::CreateTable { name, columns, temp } => {
                 if self.table_exists(&name) {
                     return Err(DbError::duplicate_table(&name));
                 }
-                let stored = StoredTable {
-                    columns: columns.into_iter().map(|(n, t)| Column::new(n, t)).collect(),
-                    rows: vec![],
-                };
+                let schema: Vec<Column> =
+                    columns.into_iter().map(|(n, t)| Column::new(n, t)).collect();
+                let stored = StoredTable { batch: Batch::empty(schema) };
                 self.store(name, stored, temp);
-                Ok(QueryResult::Command("CREATE TABLE".into()))
+                Ok(BatchQueryResult::Command("CREATE TABLE".into()))
             }
             Stmt::Insert { table, columns, rows } => {
                 let meta = self
@@ -221,7 +265,7 @@ impl Session {
                 }
                 let count = new_rows.len();
                 self.append_rows(&table, new_rows)?;
-                Ok(QueryResult::Command(format!("INSERT 0 {count}")))
+                Ok(BatchQueryResult::Command(format!("INSERT 0 {count}")))
             }
             Stmt::DropTable { name, if_exists } => {
                 let existed = self.temps.remove(&name).is_some()
@@ -229,9 +273,9 @@ impl Session {
                 if !existed && !if_exists {
                     return Err(DbError::undefined_table(&name));
                 }
-                Ok(QueryResult::Command("DROP TABLE".into()))
+                Ok(BatchQueryResult::Command("DROP TABLE".into()))
             }
-            Stmt::NoOp(tag) => Ok(QueryResult::Command(tag)),
+            Stmt::NoOp(tag) => Ok(BatchQueryResult::Command(tag)),
         }
     }
 
@@ -248,14 +292,18 @@ impl Session {
     }
 
     fn append_rows(&mut self, name: &str, rows: Vec<Vec<Cell>>) -> Result<(), DbError> {
+        fn extend(t: &mut StoredTable, rows: Vec<Vec<Cell>>) {
+            let add = Batch::from_rows(Rows { columns: t.batch.schema.clone(), data: rows });
+            t.batch.append(add);
+        }
         if let Some(t) = self.temps.get_mut(name) {
-            t.rows.extend(rows);
+            extend(t, rows);
             return Ok(());
         }
         let mut guard = self.db.tables.write();
         match guard.get_mut(name) {
             Some(t) => {
-                t.rows.extend(rows);
+                extend(t, rows);
                 Ok(())
             }
             None => Err(DbError::undefined_table(name)),

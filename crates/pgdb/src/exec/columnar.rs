@@ -1,0 +1,935 @@
+//! Columnar (batch-at-a-time) SELECT execution over [`ColumnVec`]s.
+//!
+//! This is the default production executor (DESIGN §10). Every operator
+//! — scan, filter, project, group/aggregate, equi-join, set ops, order,
+//! limit — runs column-major over a [`ColFrame`], and the result leaves
+//! as a [`Batch`] so the engine, the gateway pivot, and QIPC encoding
+//! never re-transpose it. Semantics are defined by the retained
+//! row-major pipeline in the parent module: evaluation is *eager* per
+//! expression node (so per-element application of the same scalar
+//! kernels is value-identical), except for `CASE` and `IN (list)`,
+//! which are lazy per row and therefore fall back to row-wise
+//! evaluation of that subtree. Window-function blocks and aggregate
+//! shapes outside the narrow fast path delegate wholesale to the row
+//! pipeline — correctness first, vectorization where it pays.
+//!
+//! In debug builds every top-level statement is cross-checked against
+//! [`run_select_rows`](super::run_select_rows): values must agree
+//! structurally; when both sides fail they may differ in *which* error
+//! they report (column-major evaluation order visits rows in a
+//! different sequence), which counts as agreement.
+
+use super::expr::{self, derive_type, eval, kleene, resolve_column, BoundCol};
+use super::{
+    aggregate_block, contains_subquery, default_output_name, extract_equi_pairs,
+    resolve_subqueries, run_block, EquiPair, Frame, TableSource,
+};
+use crate::engine::DbError;
+use crate::sql::ast::*;
+use crate::types::{Cell, Column, PgType};
+use colstore::{Batch, CellKey, ColumnVec};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Column-major intermediate result: the batch dual of [`Frame`].
+pub(crate) struct ColFrame {
+    /// Bound columns (with source qualifiers).
+    cols: Vec<BoundCol>,
+    /// One vector per bound column.
+    columns: Vec<ColumnVec>,
+    /// Explicit row count (meaningful with zero columns: the FROM-less
+    /// unit relation is zero columns × one row).
+    len: usize,
+}
+
+impl ColFrame {
+    /// The unit relation — one row to project expressions over, no
+    /// columns to read. Replaces the row executor's
+    /// `Frame { cols: vec![], rows: vec![vec![]] }` hack.
+    fn unit() -> ColFrame {
+        ColFrame { cols: Vec::new(), columns: Vec::new(), len: 1 }
+    }
+
+    /// Gather rows by index (indices may repeat or reorder).
+    fn take(&self, idx: &[usize]) -> ColFrame {
+        ColFrame {
+            cols: self.cols.clone(),
+            columns: self.columns.iter().map(|c| c.take(idx)).collect(),
+            len: idx.len(),
+        }
+    }
+
+    /// Materialize row-major data (for row-wise fallbacks).
+    fn materialize(&self) -> Vec<Vec<Cell>> {
+        (0..self.len)
+            .map(|i| self.columns.iter().map(|c| c.cell_at(i)).collect())
+            .collect()
+    }
+
+    /// Convert to the row executor's frame type.
+    fn to_frame(&self) -> Frame {
+        Frame { cols: self.cols.clone(), rows: self.materialize() }
+    }
+
+    /// Transpose row-major data into a frame (lossless).
+    fn from_parts(cols: Vec<BoundCol>, rows: Vec<Vec<Cell>>) -> ColFrame {
+        let len = rows.len();
+        let mut data: Vec<Vec<Cell>> = (0..cols.len()).map(|_| Vec::with_capacity(len)).collect();
+        for row in rows {
+            for (j, cell) in row.into_iter().enumerate() {
+                data[j].push(cell);
+            }
+        }
+        let columns = cols
+            .iter()
+            .zip(data)
+            .map(|(c, cells)| ColumnVec::from_cells(c.ty, cells))
+            .collect();
+        ColFrame { cols, columns, len }
+    }
+}
+
+fn exec_batches_counter() -> &'static Arc<obs::Counter> {
+    static C: std::sync::OnceLock<Arc<obs::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::global_registry().counter("pgdb_exec_batches_total"))
+}
+
+fn batch_rows_histogram() -> &'static Arc<obs::Histogram> {
+    static H: std::sync::OnceLock<Arc<obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        obs::global_registry()
+            .histogram_with("pgdb_batch_rows", &[1.0, 16.0, 256.0, 4096.0, 65536.0, 1048576.0])
+    })
+}
+
+/// Execute a SELECT statement, returning the result as a batch.
+///
+/// Debug builds re-run the statement on the row-major oracle and
+/// assert structural agreement.
+pub fn run_select_batch(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Batch, DbError> {
+    let result = run_select_columnar(src, stmt);
+    if let Ok(b) = &result {
+        exec_batches_counter().inc();
+        batch_rows_histogram().observe_secs(b.rows() as f64);
+    }
+    #[cfg(debug_assertions)]
+    cross_check(src, stmt, &result);
+    result
+}
+
+/// Differential gate: the columnar engine must agree with the row-major
+/// oracle on every statement. Both-failed counts as agreement (the two
+/// engines visit (row, node) pairs in different orders, so they may
+/// surface different errors from the same statement).
+#[cfg(debug_assertions)]
+fn cross_check(src: &dyn TableSource, stmt: &SelectStmt, got: &Result<Batch, DbError>) {
+    match (got, super::run_select_rows(src, stmt)) {
+        (Ok(b), Ok(rows)) => {
+            let oracle = Batch::from_rows(rows);
+            debug_assert!(
+                b.structurally_equal(&oracle),
+                "columnar/row divergence\nstmt: {stmt:?}\ncolumnar: {:?}\nrow oracle: {:?}",
+                b.to_rows(),
+                oracle.to_rows(),
+            );
+        }
+        (Ok(_), Err(e)) => panic!("columnar succeeded where the row oracle failed: {e:?}\nstmt: {stmt:?}"),
+        (Err(e), Ok(_)) => panic!("columnar failed ({e:?}) where the row oracle succeeded\nstmt: {stmt:?}"),
+        (Err(_), Err(_)) => {}
+    }
+}
+
+/// Chained set operations over batches, mirroring the row pipeline's
+/// left fold (including the incremental `seen` key set).
+fn run_select_columnar(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Batch, DbError> {
+    let mut out = run_block_batch(src, stmt)?;
+    let mut cursor = &stmt.set_op;
+    let mut seen: Option<HashSet<Vec<CellKey>>> = None;
+    while let Some((op, rhs)) = cursor {
+        let right = run_block_batch(src, rhs)?;
+        if right.schema.len() != out.schema.len() {
+            return Err(DbError::exec("set operation column count mismatch"));
+        }
+        match op {
+            SetOp::UnionAll => {
+                out.append(right);
+                seen = None;
+            }
+            SetOp::Union => {
+                if seen.is_none() {
+                    let mut set = HashSet::with_capacity(out.rows());
+                    let mut idx = Vec::with_capacity(out.rows());
+                    for i in 0..out.rows() {
+                        if set.insert(out.row_key(i)) {
+                            idx.push(i);
+                        }
+                    }
+                    out = out.take(&idx);
+                    seen = Some(set);
+                }
+                let set = seen.as_mut().expect("just installed");
+                let mut admit = Vec::new();
+                for i in 0..right.rows() {
+                    if set.insert(right.row_key(i)) {
+                        admit.push(i);
+                    }
+                }
+                out.append(right.take(&admit));
+            }
+            SetOp::Except | SetOp::Intersect => {
+                let want = *op == SetOp::Intersect;
+                let right_keys: HashSet<Vec<CellKey>> =
+                    (0..right.rows()).map(|i| right.row_key(i)).collect();
+                let mut kept = HashSet::with_capacity(out.rows());
+                let mut idx = Vec::new();
+                for i in 0..out.rows() {
+                    let k = out.row_key(i);
+                    if right_keys.contains(&k) == want && kept.insert(k) {
+                        idx.push(i);
+                    }
+                }
+                out = out.take(&idx);
+                seen = Some(kept);
+            }
+        }
+        cursor = &rhs.set_op;
+    }
+    Ok(out)
+}
+
+/// Execute one SELECT block (no set ops), column-major.
+fn run_block_batch(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Batch, DbError> {
+    let has_agg = !stmt.group_by.is_empty()
+        || stmt.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            SelectItem::Wildcard => false,
+        });
+    let has_window = stmt.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_window(),
+        SelectItem::Wildcard => false,
+    });
+    if has_window && !has_agg {
+        // Window blocks stay on the row pipeline wholesale: window
+        // materialization is inherently row-order-sensitive and cold.
+        return run_block(src, stmt).map(Batch::from_rows);
+    }
+
+    // Uncorrelated subqueries are resolved up front (same as the row
+    // pipeline; the subqueries themselves run columnar via run_select).
+    let resolved_where = match &stmt.where_clause {
+        Some(p) if contains_subquery(p) => Some(resolve_subqueries(p, src)?),
+        _ => None,
+    };
+    let stmt_storage;
+    let stmt = if resolved_where.is_some() {
+        stmt_storage = SelectStmt { where_clause: resolved_where, ..stmt.clone() };
+        &stmt_storage
+    } else {
+        stmt
+    };
+
+    // FROM.
+    let mut frame = match &stmt.from {
+        Some(item) => eval_from_batch(src, item)?,
+        None => ColFrame::unit(),
+    };
+
+    // WHERE (3VL: keep definite TRUE only).
+    if let Some(pred) = &stmt.where_clause {
+        let mut rows_cache = None;
+        let mask = eval_vec(pred, &frame, &mut rows_cache)?;
+        let mut keep = Vec::with_capacity(frame.len);
+        match &mask {
+            ColumnVec::Bool(d, v) if !v.any_null() => {
+                for (i, &b) in d.iter().enumerate() {
+                    if b {
+                        keep.push(i);
+                    }
+                }
+            }
+            m => {
+                for i in 0..frame.len {
+                    if matches!(m.cell_at(i), Cell::Bool(true)) {
+                        keep.push(i);
+                    }
+                }
+            }
+        }
+        frame = frame.take(&keep);
+    }
+
+    if has_agg {
+        return aggregate_batch(stmt, frame);
+    }
+
+    // Wildcard expansion.
+    let mut items: Vec<(Option<String>, SqlExpr)> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for c in frame.cols.clone() {
+                    items.push((
+                        Some(c.name.clone()),
+                        SqlExpr::Column { qualifier: c.qualifier.clone(), name: c.name },
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => items.push((alias.clone(), expr.clone())),
+        }
+    }
+
+    // Projection.
+    let out_cols: Vec<Column> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (alias, e))| {
+            let name = alias.clone().unwrap_or_else(|| default_output_name(e, i));
+            Column::new(name, derive_type(e, &frame.cols))
+        })
+        .collect();
+    let mut rows_cache = None;
+    let mut out_columns = Vec::with_capacity(items.len());
+    for (_, e) in &items {
+        out_columns.push(eval_vec(e, &frame, &mut rows_cache)?);
+    }
+    let out = Batch::new(out_cols, out_columns, frame.len);
+
+    // ORDER BY resolves output aliases first, then input columns.
+    order_and_page(stmt, out, Some(&frame))
+}
+
+/// ORDER BY + OFFSET/LIMIT over an output batch. `input` supplies the
+/// pre-projection columns for ORDER BY resolution in non-aggregate
+/// blocks (output aliases take precedence); aggregate output orders
+/// over its own columns only, exactly like the row pipeline.
+fn order_and_page(stmt: &SelectStmt, out: Batch, input: Option<&ColFrame>) -> Result<Batch, DbError> {
+    let mut out = out;
+    if !stmt.order_by.is_empty() {
+        let mut cols: Vec<BoundCol> = out
+            .schema
+            .iter()
+            .map(|c| BoundCol { qualifier: None, name: c.name.clone(), ty: c.ty })
+            .collect();
+        let mut columns = out.columns.clone();
+        if let Some(f) = input {
+            cols.extend(f.cols.iter().cloned());
+            columns.extend(f.columns.iter().cloned());
+        }
+        let combined = ColFrame { cols, columns, len: out.rows() };
+        let mut rows_cache = None;
+        let mut key_cells: Vec<Vec<Cell>> = Vec::with_capacity(stmt.order_by.len());
+        for (e, _) in &stmt.order_by {
+            key_cells.push(eval_vec(e, &combined, &mut rows_cache)?.to_cells());
+        }
+        let mut idx: Vec<usize> = (0..out.rows()).collect();
+        idx.sort_by(|&a, &b| {
+            for (k, (_, desc)) in key_cells.iter().zip(&stmt.order_by) {
+                let ord = k[a].sort_cmp(&k[b]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out = out.take(&idx);
+    }
+    let offset = stmt.offset.unwrap_or(0) as usize;
+    let limit = stmt.limit.map(|l| l as usize);
+    if offset > 0 || limit.is_some() {
+        let n = out.rows();
+        let start = offset.min(n);
+        let end = limit.map_or(n, |l| start.saturating_add(l).min(n));
+        let idx: Vec<usize> = (start..end).collect();
+        out = out.take(&idx);
+    }
+    Ok(out)
+}
+
+/// Aggregation over a batch: a narrow vectorized fast path for the
+/// common shapes, otherwise materialize and delegate to the row
+/// pipeline's [`aggregate_block`] (the semantics of aggregate laziness
+/// — HAVING gating item evaluation, empty groups skipping resolution —
+/// live there and are not worth duplicating).
+fn aggregate_batch(stmt: &SelectStmt, frame: ColFrame) -> Result<Batch, DbError> {
+    if let Some(out) = aggregate_batch_fast(stmt, &frame) {
+        return order_and_page(stmt, out, None);
+    }
+    aggregate_block(stmt, frame.to_frame()).map(Batch::from_rows)
+}
+
+/// One aggregate item the fast path understands.
+enum FastAgg {
+    /// Bare column: the group's first-row value (group keys are
+    /// constant within a group; the row pipeline allows any column).
+    Col(usize),
+    Lit(Cell),
+    CountStar,
+    /// count/sum/avg/min/max over a plain non-DISTINCT column.
+    Agg(AggKind, usize),
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum AggKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// Vectorized aggregation for: no HAVING, bare-column group keys, and
+/// items that are bare columns, literals, `count(*)`, or
+/// count/sum/avg/min/max over one plain column of Int/Float storage
+/// (count: any storage). Returns `None` for anything else — including
+/// any resolution failure, whose error (or non-error over empty input)
+/// the row pipeline must produce.
+fn aggregate_batch_fast(stmt: &SelectStmt, frame: &ColFrame) -> Option<Batch> {
+    if stmt.having.is_some() {
+        return None;
+    }
+    let mut key_cols = Vec::with_capacity(stmt.group_by.len());
+    for e in &stmt.group_by {
+        let SqlExpr::Column { qualifier, name } = e else { return None };
+        key_cols.push(resolve_column(&frame.cols, qualifier.as_deref(), name).ok()?);
+    }
+    let mut items: Vec<(Option<String>, &SqlExpr, FastAgg)> = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        let SelectItem::Expr { expr, alias } = item else { return None };
+        let fast = match expr {
+            SqlExpr::Column { qualifier, name } => {
+                FastAgg::Col(resolve_column(&frame.cols, qualifier.as_deref(), name).ok()?)
+            }
+            SqlExpr::Literal(c) => FastAgg::Lit(c.clone()),
+            SqlExpr::Func { name, args, distinct } if is_aggregate_name(name) => {
+                if name == "count" && matches!(args.first(), Some(SqlExpr::Star)) {
+                    // count(*) short-circuits before DISTINCT handling
+                    // in the row pipeline too.
+                    FastAgg::CountStar
+                } else {
+                    if *distinct || args.len() != 1 {
+                        return None;
+                    }
+                    let SqlExpr::Column { qualifier, name: cname } = &args[0] else {
+                        return None;
+                    };
+                    let idx = resolve_column(&frame.cols, qualifier.as_deref(), cname).ok()?;
+                    let kind = match name.as_str() {
+                        "count" => AggKind::Count,
+                        "sum" => AggKind::Sum,
+                        "avg" => AggKind::Avg,
+                        "min" => AggKind::Min,
+                        "max" => AggKind::Max,
+                        _ => return None,
+                    };
+                    // sum/avg/min/max carry f64-mediated semantics that
+                    // this path replicates only for numeric storage;
+                    // temporal/text/bool/mixed columns take the oracle
+                    // path.
+                    if kind != AggKind::Count
+                        && !matches!(
+                            frame.columns[idx],
+                            ColumnVec::Int(..) | ColumnVec::Float(..)
+                        )
+                    {
+                        return None;
+                    }
+                    FastAgg::Agg(kind, idx)
+                }
+            }
+            _ => return None,
+        };
+        items.push((alias.clone(), expr, fast));
+    }
+
+    // Hash grouping on canonical keys (first-seen group order).
+    let n = frame.len;
+    let groups: Vec<Vec<usize>> = if stmt.group_by.is_empty() {
+        vec![(0..n).collect()]
+    } else {
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut index: HashMap<Vec<CellKey>, usize> = HashMap::with_capacity(n);
+        for i in 0..n {
+            let key: Vec<CellKey> =
+                key_cols.iter().map(|&c| frame.columns[c].key_at(i)).collect();
+            match index.entry(key) {
+                Entry::Occupied(e) => groups[*e.get()].push(i),
+                Entry::Vacant(v) => {
+                    v.insert(groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        groups
+    };
+
+    let out_cols: Vec<Column> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (alias, e, _))| {
+            let name = alias.clone().unwrap_or_else(|| default_output_name(e, i));
+            Column::new(name, derive_type(e, &frame.cols))
+        })
+        .collect();
+    let mut out_columns = Vec::with_capacity(items.len());
+    for (_, e, fast) in &items {
+        let mut cells = Vec::with_capacity(groups.len());
+        for group in &groups {
+            cells.push(compute_fast_agg(fast, frame, group));
+        }
+        out_columns.push(ColumnVec::from_cells(derive_type(e, &frame.cols), cells));
+    }
+    Some(Batch::new(out_cols, out_columns, groups.len()))
+}
+
+/// One fast-path aggregate over one group, value-identical to the row
+/// pipeline's `compute_aggregate` for the supported shapes (including
+/// f64-accumulation order and NaN-keeps-current min/max folding).
+fn compute_fast_agg(fast: &FastAgg, frame: &ColFrame, group: &[usize]) -> Cell {
+    match fast {
+        FastAgg::Col(idx) => match group.first() {
+            Some(&i) => frame.columns[*idx].cell_at(i),
+            None => Cell::Null,
+        },
+        FastAgg::Lit(c) => c.clone(),
+        FastAgg::CountStar => Cell::Int(group.len() as i64),
+        FastAgg::Agg(kind, idx) => {
+            let col = &frame.columns[*idx];
+            if *kind == AggKind::Count {
+                return Cell::Int(group.iter().filter(|&&i| !col.is_null(i)).count() as i64);
+            }
+            match col {
+                ColumnVec::Int(d, v) => {
+                    fold_numeric(*kind, group.iter().filter(|&&i| !v.is_null(i)).map(|&i| d[i]),
+                        |x| x as f64, Cell::Int, true)
+                }
+                ColumnVec::Float(d, v) => {
+                    fold_numeric(*kind, group.iter().filter(|&&i| !v.is_null(i)).map(|&i| d[i]),
+                        |x| x, Cell::Float, false)
+                }
+                _ => unreachable!("gated by aggregate_batch_fast"),
+            }
+        }
+    }
+}
+
+/// Shared sum/avg/min/max fold over a typed numeric iterator.
+///
+/// `as_f64` mirrors `Cell::as_f64`; `wrap` rebuilds the storage cell;
+/// `int_sum` applies the row pipeline's all-Int rule (`sum` of an
+/// integer column comes back as `Int(f64_total as i64)`).
+fn fold_numeric<T: Copy>(
+    kind: AggKind,
+    values: impl Iterator<Item = T>,
+    as_f64: impl Fn(T) -> f64,
+    wrap: impl Fn(T) -> Cell,
+    int_sum: bool,
+) -> Cell {
+    match kind {
+        AggKind::Sum | AggKind::Avg => {
+            let mut acc = 0.0f64;
+            let mut count = 0usize;
+            for v in values {
+                acc += as_f64(v);
+                count += 1;
+            }
+            if count == 0 {
+                Cell::Null
+            } else if kind == AggKind::Avg {
+                Cell::Float(acc / count as f64)
+            } else if int_sum {
+                Cell::Int(acc as i64)
+            } else {
+                Cell::Float(acc)
+            }
+        }
+        AggKind::Min | AggKind::Max => {
+            let mut best: Option<T> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    // Replace only on a strict ordering, exactly like
+                    // fold_extreme: incomparable (NaN) keeps current.
+                    Some(b) => match as_f64(v).partial_cmp(&as_f64(b)) {
+                        Some(std::cmp::Ordering::Greater) if kind == AggKind::Max => v,
+                        Some(std::cmp::Ordering::Less) if kind == AggKind::Min => v,
+                        _ => b,
+                    },
+                });
+            }
+            best.map(wrap).unwrap_or(Cell::Null)
+        }
+        AggKind::Count => unreachable!("handled by caller"),
+    }
+}
+
+/// Vectorized expression evaluation over a frame.
+///
+/// Eager nodes apply the row pipeline's scalar kernels per element
+/// (identical values; error *ordering* may differ column-major). The
+/// lazy nodes (`CASE`, `IN (list)`) and everything exotic fall back to
+/// row-wise [`eval`] over `rows_cache`, materialized at most once per
+/// block.
+fn eval_vec(
+    e: &SqlExpr,
+    f: &ColFrame,
+    rows_cache: &mut Option<Vec<Vec<Cell>>>,
+) -> Result<ColumnVec, DbError> {
+    let n = f.len;
+    match e {
+        SqlExpr::Column { qualifier, name } => {
+            let idx = resolve_column(&f.cols, qualifier.as_deref(), name)?;
+            Ok(f.columns[idx].clone())
+        }
+        SqlExpr::Literal(c) => Ok(ColumnVec::broadcast(c, n)),
+        SqlExpr::Binary { op, lhs, rhs } => {
+            let lv = eval_vec(lhs, f, rows_cache)?;
+            let rv = eval_vec(rhs, f, rows_cache)?;
+            if *op == SqlBinOp::And || *op == SqlBinOp::Or {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(kleene(*op, &lv.cell_at(i), &rv.cell_at(i)));
+                }
+                return Ok(ColumnVec::from_cells(PgType::Bool, out));
+            }
+            if let Some(v) = binary_fast(*op, &lv, &rv) {
+                return Ok(v);
+            }
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(expr::binary(*op, &lv.cell_at(i), &rv.cell_at(i))?);
+            }
+            Ok(ColumnVec::from_cells(derive_type(e, &f.cols), out))
+        }
+        SqlExpr::Not(inner) => {
+            let v = eval_vec(inner, f, rows_cache)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match v.cell_at(i) {
+                    Cell::Null => Cell::Null,
+                    Cell::Bool(b) => Cell::Bool(!b),
+                    other => return Err(DbError::exec(format!("NOT applied to {other:?}"))),
+                });
+            }
+            Ok(ColumnVec::from_cells(PgType::Bool, out))
+        }
+        SqlExpr::Neg(inner) => {
+            let v = eval_vec(inner, f, rows_cache)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match v.cell_at(i) {
+                    Cell::Null => Cell::Null,
+                    Cell::Int(x) => Cell::Int(-x),
+                    Cell::Float(x) => Cell::Float(-x),
+                    other => return Err(DbError::exec(format!("cannot negate {other:?}"))),
+                });
+            }
+            Ok(ColumnVec::from_cells(derive_type(e, &f.cols), out))
+        }
+        SqlExpr::Func { name, args, .. } if !is_aggregate_name(name) => {
+            let mut avs = Vec::with_capacity(args.len());
+            for a in args {
+                avs.push(eval_vec(a, f, rows_cache)?);
+            }
+            let mut out = Vec::with_capacity(n);
+            let mut buf: Vec<Cell> = Vec::with_capacity(avs.len());
+            for i in 0..n {
+                buf.clear();
+                buf.extend(avs.iter().map(|av| av.cell_at(i)));
+                out.push(expr::scalar_function(name, &buf)?);
+            }
+            Ok(ColumnVec::from_cells(derive_type(e, &f.cols), out))
+        }
+        SqlExpr::Cast { expr: inner, ty } => {
+            let v = eval_vec(inner, f, rows_cache)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(expr::cast(&v.cell_at(i), *ty)?);
+            }
+            Ok(ColumnVec::from_cells(*ty, out))
+        }
+        SqlExpr::IsNull { expr: inner, negated } => {
+            let v = eval_vec(inner, f, rows_cache)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(Cell::Bool(v.is_null(i) != *negated));
+            }
+            Ok(ColumnVec::from_cells(PgType::Bool, out))
+        }
+        // CASE and IN (list) are lazy per row; Star/window/subquery
+        // nodes and aggregate calls produce the row pipeline's exact
+        // errors. All take the row-wise fallback.
+        other => {
+            let rows = rows_cache.get_or_insert_with(|| f.materialize());
+            let mut out = Vec::with_capacity(n);
+            for row in rows.iter() {
+                out.push(eval(other, &f.cols, row)?);
+            }
+            Ok(ColumnVec::from_cells(derive_type(other, &f.cols), out))
+        }
+    }
+}
+
+/// Typed no-NULL kernels for the hot comparisons and Int arithmetic,
+/// value-identical to `expr::arith`/`sql_cmp`'s f64-mediated semantics
+/// (including `wrapping_*` on the post-f64 i64 round trip). Anything
+/// with NULLs, mixed storage, division, or NaN-capable comparison goes
+/// per-element through the scalar kernels instead.
+fn binary_fast(op: SqlBinOp, l: &ColumnVec, r: &ColumnVec) -> Option<ColumnVec> {
+    use SqlBinOp::*;
+    fn zip<T: Copy, U>(a: &[T], b: &[T], f: impl Fn(T, T) -> U) -> Vec<U> {
+        a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+    }
+    match (l, r) {
+        (ColumnVec::Int(a, va), ColumnVec::Int(b, vb)) if !va.any_null() && !vb.any_null() => {
+            let valid = colstore::Validity::all_valid(a.len());
+            // arith() routes integer math through f64 (as_f64) and back
+            // via `as i64` before the wrapping op; comparisons are f64
+            // too — replicate both exactly, quirks included.
+            let f = |x: i64| x as f64;
+            let iw = |x: i64| (x as f64) as i64;
+            match op {
+                Add => Some(ColumnVec::Int(zip(a, b, |x, y| iw(x).wrapping_add(iw(y))), valid)),
+                Sub => Some(ColumnVec::Int(zip(a, b, |x, y| iw(x).wrapping_sub(iw(y))), valid)),
+                Mul => Some(ColumnVec::Int(zip(a, b, |x, y| iw(x).wrapping_mul(iw(y))), valid)),
+                Eq => Some(ColumnVec::Bool(zip(a, b, |x, y| f(x) == f(y)), valid)),
+                Neq => Some(ColumnVec::Bool(zip(a, b, |x, y| f(x) != f(y)), valid)),
+                Lt => Some(ColumnVec::Bool(zip(a, b, |x, y| f(x) < f(y)), valid)),
+                Le => Some(ColumnVec::Bool(zip(a, b, |x, y| f(x) <= f(y)), valid)),
+                Gt => Some(ColumnVec::Bool(zip(a, b, |x, y| f(x) > f(y)), valid)),
+                Ge => Some(ColumnVec::Bool(zip(a, b, |x, y| f(x) >= f(y)), valid)),
+                _ => None,
+            }
+        }
+        (ColumnVec::Float(a, va), ColumnVec::Float(b, vb)) if !va.any_null() && !vb.any_null() => {
+            let valid = colstore::Validity::all_valid(a.len());
+            match op {
+                // IEEE arithmetic, no error paths (float÷0 is also IEEE
+                // but Div shares the both_int dispatch — keep it scalar).
+                Add => Some(ColumnVec::Float(zip(a, b, |x, y| x + y), valid)),
+                Sub => Some(ColumnVec::Float(zip(a, b, |x, y| x - y), valid)),
+                Mul => Some(ColumnVec::Float(zip(a, b, |x, y| x * y), valid)),
+                // eq_not_null's PG float rule: NaN equals NaN.
+                Eq => Some(ColumnVec::Bool(
+                    zip(a, b, |x, y| x == y || (x.is_nan() && y.is_nan())),
+                    valid,
+                )),
+                Neq => Some(ColumnVec::Bool(
+                    zip(a, b, |x, y| !(x == y || (x.is_nan() && y.is_nan()))),
+                    valid,
+                )),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// One side's join key, or `None` when a NULL key column under plain
+/// `=` disqualifies the row (the batch dual of `join_key`).
+fn batch_join_key(
+    columns: &[ColumnVec],
+    pairs: &[EquiPair],
+    right_side: bool,
+    i: usize,
+) -> Option<Vec<CellKey>> {
+    let mut key = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        let c = &columns[if right_side { p.right } else { p.left }];
+        if c.is_null(i) && !p.nulls_match {
+            return None;
+        }
+        key.push(c.key_at(i));
+    }
+    Some(key)
+}
+
+/// Evaluate a FROM item into a columnar frame.
+fn eval_from_batch(src: &dyn TableSource, item: &FromItem) -> Result<ColFrame, DbError> {
+    match item {
+        FromItem::Table { name, alias } => {
+            let mut batch =
+                src.get_table_batch(name).ok_or_else(|| DbError::undefined_table(name))?;
+            let q = alias.clone().or_else(|| Some(name.clone()));
+            let len = batch.rows();
+            let cols = batch
+                .schema
+                .iter()
+                .map(|c| BoundCol { qualifier: q.clone(), name: c.name.clone(), ty: c.ty })
+                .collect();
+            Ok(ColFrame { cols, columns: std::mem::take(&mut batch.columns), len })
+        }
+        FromItem::Subquery { query, alias } => {
+            let mut batch = run_select_batch(src, query)?;
+            let len = batch.rows();
+            let cols = batch
+                .schema
+                .iter()
+                .map(|c| BoundCol {
+                    qualifier: Some(alias.clone()),
+                    name: c.name.clone(),
+                    ty: c.ty,
+                })
+                .collect();
+            Ok(ColFrame { cols, columns: std::mem::take(&mut batch.columns), len })
+        }
+        FromItem::Values { rows, alias, columns } => {
+            let mut data = Vec::with_capacity(rows.len());
+            for r in rows {
+                let mut row = Vec::with_capacity(r.len());
+                for e in r {
+                    row.push(eval(e, &[], &[])?);
+                }
+                data.push(row);
+            }
+            let width = data.first().map(|r| r.len()).unwrap_or(columns.len());
+            let mut cols = Vec::with_capacity(width);
+            for i in 0..width {
+                let name =
+                    columns.get(i).cloned().unwrap_or_else(|| format!("column{}", i + 1));
+                let ty = data
+                    .iter()
+                    .map(|r| &r[i])
+                    .find(|c| !c.is_null())
+                    .map(|c| c.natural_type())
+                    .unwrap_or(PgType::Text);
+                cols.push(BoundCol { qualifier: Some(alias.clone()), name, ty });
+            }
+            Ok(ColFrame::from_parts(cols, data))
+        }
+        FromItem::Join { kind, left, right, on } => {
+            let l = eval_from_batch(src, left)?;
+            let r = eval_from_batch(src, right)?;
+            let mut cols = l.cols.clone();
+            cols.extend(r.cols.clone());
+            match kind {
+                JoinType::Cross => {
+                    let total = l.len * r.len;
+                    let mut lidx = Vec::with_capacity(total);
+                    let mut ridx = Vec::with_capacity(total);
+                    for li in 0..l.len {
+                        for ri in 0..r.len {
+                            lidx.push(li);
+                            ridx.push(ri);
+                        }
+                    }
+                    let mut columns: Vec<ColumnVec> =
+                        l.columns.iter().map(|c| c.take(&lidx)).collect();
+                    columns.extend(r.columns.iter().map(|c| c.take(&ridx)));
+                    Ok(ColFrame { cols, columns, len: total })
+                }
+                JoinType::Inner | JoinType::Left => {
+                    let cond =
+                        on.as_ref().ok_or_else(|| DbError::syntax("JOIN requires ON"))?;
+                    if let Some(pairs) = extract_equi_pairs(cond, &l.cols, &r.cols) {
+                        // Hash equi-join: build on the right, probe the
+                        // left in order, gather both sides by index
+                        // (left-major output, right insertion order —
+                        // identical to the row pipeline's hash_join).
+                        let mut index: HashMap<Vec<CellKey>, Vec<usize>> =
+                            HashMap::with_capacity(r.len);
+                        for ri in 0..r.len {
+                            if let Some(k) = batch_join_key(&r.columns, &pairs, true, ri) {
+                                index.entry(k).or_default().push(ri);
+                            }
+                        }
+                        let mut lidx = Vec::new();
+                        let mut ridx: Vec<Option<usize>> = Vec::new();
+                        for li in 0..l.len {
+                            if let Some(matches) = batch_join_key(&l.columns, &pairs, false, li)
+                                .and_then(|k| index.get(&k))
+                            {
+                                for &ri in matches {
+                                    lidx.push(li);
+                                    ridx.push(Some(ri));
+                                }
+                                continue;
+                            }
+                            if *kind == JoinType::Left {
+                                lidx.push(li);
+                                ridx.push(None);
+                            }
+                        }
+                        let mut columns: Vec<ColumnVec> =
+                            l.columns.iter().map(|c| c.take(&lidx)).collect();
+                        columns.extend(r.columns.iter().map(|c| c.take_opt(&ridx)));
+                        Ok(ColFrame { cols, columns, len: lidx.len() })
+                    } else {
+                        // Non-equi conditions: materialize and run the
+                        // row pipeline's exact nested loop.
+                        let lrows = l.materialize();
+                        let rrows = r.materialize();
+                        let mut rows = Vec::new();
+                        for lr in &lrows {
+                            let mut matched = false;
+                            for rr in &rrows {
+                                let mut row = lr.clone();
+                                row.extend(rr.clone());
+                                if matches!(eval(cond, &cols, &row)?, Cell::Bool(true)) {
+                                    rows.push(row);
+                                    matched = true;
+                                }
+                            }
+                            if !matched && *kind == JoinType::Left {
+                                let mut row = lr.clone();
+                                row.extend(std::iter::repeat_n(Cell::Null, r.cols.len()));
+                                rows.push(row);
+                            }
+                        }
+                        Ok(ColFrame::from_parts(cols, rows))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::Stmt;
+    use crate::sql::parse_statement;
+
+    /// A source with no tables at all — everything must project over
+    /// the unit relation.
+    struct NoTables;
+    impl TableSource for NoTables {
+        fn get_table(&self, _name: &str) -> Option<(Vec<Column>, Vec<Vec<Cell>>)> {
+            None
+        }
+    }
+
+    fn select(sql: &str) -> Batch {
+        match parse_statement(sql).unwrap() {
+            Stmt::Select(s) => run_select_batch(&NoTables, &s).unwrap(),
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    /// The FROM-less scalar source is the explicit zero-column, one-row
+    /// unit relation (`Batch::unit`), not the row pipeline's
+    /// `vec![vec![]]` hack — and it projects exactly one row.
+    #[test]
+    fn from_less_select_projects_over_the_unit_relation() {
+        assert_eq!(ColFrame::unit().len, 1);
+        assert!(ColFrame::unit().cols.is_empty());
+        assert_eq!(Batch::unit().rows(), 1);
+        assert!(Batch::unit().schema.is_empty());
+
+        let b = select("SELECT 1 + 1 AS two");
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.schema.len(), 1);
+        assert_eq!(b.columns[0].cell_at(0), Cell::Int(2));
+    }
+
+    /// A filtered-away unit row yields zero rows, still zero columns
+    /// worth of input — the count survives without any column storage.
+    #[test]
+    fn unit_relation_row_count_survives_where() {
+        let b = select("SELECT 1 AS one WHERE false");
+        assert_eq!(b.rows(), 0);
+        let b = select("SELECT 1 AS one WHERE true");
+        assert_eq!(b.rows(), 1);
+    }
+}

@@ -137,7 +137,7 @@ pub fn eval(expr: &SqlExpr, cols: &[BoundCol], row: &[Cell]) -> Result<Cell, DbE
 }
 
 /// Kleene three-valued AND/OR.
-fn kleene(op: SqlBinOp, l: &Cell, r: &Cell) -> Cell {
+pub(crate) fn kleene(op: SqlBinOp, l: &Cell, r: &Cell) -> Cell {
     let lb = match l {
         Cell::Bool(b) => Some(*b),
         _ => None,

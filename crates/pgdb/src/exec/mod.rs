@@ -1,5 +1,12 @@
 //! Query execution: SELECT evaluation over in-memory tables.
+//!
+//! Two executors share this module (DESIGN §10): the columnar
+//! batch-at-a-time engine in [`columnar`] is the default production
+//! path, while the original row-major pipeline ([`run_select_rows`])
+//! is retained verbatim as its differential oracle — debug builds
+//! cross-check every statement against it.
 
+pub mod columnar;
 pub mod expr;
 pub mod key;
 pub mod reference;
@@ -7,6 +14,7 @@ pub mod reference;
 use crate::engine::DbError;
 use crate::sql::ast::*;
 use crate::types::{Cell, Column, PgType, Rows};
+use colstore::Batch;
 use expr::{derive_type, eval, BoundCol};
 use key::{row_key, CellKey};
 use std::collections::hash_map::Entry;
@@ -17,6 +25,14 @@ use std::collections::{HashMap, HashSet};
 pub trait TableSource {
     /// Fetch a table's schema and rows by name.
     fn get_table(&self, name: &str) -> Option<(Vec<Column>, Vec<Vec<Cell>>)>;
+
+    /// Fetch a table as a columnar batch. The default transposes the
+    /// row form; sources with native columnar storage override this to
+    /// hand the batch over without per-cell work.
+    fn get_table_batch(&self, name: &str) -> Option<Batch> {
+        let (columns, rows) = self.get_table(name)?;
+        Some(Batch::from_rows(Rows { columns, data: rows }))
+    }
 }
 
 /// An intermediate result during execution.
@@ -28,8 +44,15 @@ pub struct Frame {
     pub rows: Vec<Vec<Cell>>,
 }
 
-/// Execute a SELECT statement.
+/// Execute a SELECT statement (columnar engine; see [`columnar`]).
 pub fn run_select(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> {
+    columnar::run_select_batch(src, stmt).map(Batch::into_rows)
+}
+
+/// Execute a SELECT statement on the retained row-major pipeline — the
+/// differential oracle for the columnar engine. Must not be "improved";
+/// behavior changes here must be deliberate semantics changes.
+pub fn run_select_rows(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> {
     let mut out = run_block(src, stmt)?;
     // Chained set operations, left-folded. A single block with no set
     // op short-circuits past all dedup work. Across a chain, `seen`
@@ -85,7 +108,7 @@ pub fn run_select(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbEr
     Ok(out)
 }
 
-fn contains_subquery(e: &SqlExpr) -> bool {
+pub(crate) fn contains_subquery(e: &SqlExpr) -> bool {
     match e {
         SqlExpr::InSubquery { .. } => true,
         SqlExpr::Binary { lhs, rhs, .. } => contains_subquery(lhs) || contains_subquery(rhs),
@@ -183,7 +206,7 @@ pub fn group_indices(keys: Vec<Vec<Cell>>) -> Vec<(Vec<Cell>, Vec<usize>)> {
 
 /// Replace uncorrelated `IN (SELECT ...)` subqueries with literal lists
 /// by executing each subquery once.
-fn resolve_subqueries(e: &SqlExpr, src: &dyn TableSource) -> Result<SqlExpr, DbError> {
+pub(crate) fn resolve_subqueries(e: &SqlExpr, src: &dyn TableSource) -> Result<SqlExpr, DbError> {
     Ok(match e {
         SqlExpr::InSubquery { expr, query, negated } => {
             let rows = run_select(src, query)?;
@@ -239,8 +262,8 @@ fn resolve_subqueries(e: &SqlExpr, src: &dyn TableSource) -> Result<SqlExpr, DbE
     })
 }
 
-/// Execute one SELECT block (no set ops).
-fn run_block(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> {
+/// Execute one SELECT block (no set ops), row-major.
+pub(crate) fn run_block(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> {
     // Uncorrelated subqueries are resolved up front.
     let resolved_where = match &stmt.where_clause {
         Some(p) if contains_subquery(p) => Some(resolve_subqueries(p, src)?),
@@ -384,7 +407,7 @@ fn run_block(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Rows, DbError> 
     Ok(Rows { columns: out_cols, data })
 }
 
-fn default_output_name(e: &SqlExpr, i: usize) -> String {
+pub(crate) fn default_output_name(e: &SqlExpr, i: usize) -> String {
     match e {
         SqlExpr::Column { name, .. } => name.clone(),
         SqlExpr::Func { name, .. } | SqlExpr::WindowFunc { name, .. } => name.clone(),
@@ -392,8 +415,9 @@ fn default_output_name(e: &SqlExpr, i: usize) -> String {
     }
 }
 
-/// Grouped / scalar aggregation.
-fn aggregate_block(stmt: &SelectStmt, frame: Frame) -> Result<Rows, DbError> {
+/// Grouped / scalar aggregation (row-major; also the columnar
+/// engine's fallback for aggregate shapes outside its fast path).
+pub(crate) fn aggregate_block(stmt: &SelectStmt, frame: Frame) -> Result<Rows, DbError> {
     // Group rows by key (hash aggregation; first-seen group order).
     let groups: Vec<(Vec<Cell>, Vec<usize>)> = if stmt.group_by.is_empty() {
         vec![(vec![], (0..frame.rows.len()).collect())]
@@ -874,8 +898,12 @@ pub struct EquiPair {
 
 /// Recognize a conjunction of cross-side column equalities. Returns
 /// `None` (→ nested loop) for anything more complex.
-fn extract_equi_pairs(cond: &SqlExpr, l: &Frame, r: &Frame) -> Option<Vec<EquiPair>> {
-    fn collect(cond: &SqlExpr, l: &Frame, r: &Frame, out: &mut Vec<EquiPair>) -> bool {
+pub(crate) fn extract_equi_pairs(
+    cond: &SqlExpr,
+    l: &[BoundCol],
+    r: &[BoundCol],
+) -> Option<Vec<EquiPair>> {
+    fn collect(cond: &SqlExpr, l: &[BoundCol], r: &[BoundCol], out: &mut Vec<EquiPair>) -> bool {
         match cond {
             SqlExpr::Binary { op: SqlBinOp::And, lhs, rhs } => {
                 collect(lhs, l, r, out) && collect(rhs, l, r, out)
@@ -889,8 +917,8 @@ fn extract_equi_pairs(cond: &SqlExpr, l: &Frame, r: &Frame) -> Option<Vec<EquiPa
                     return false;
                 };
                 let nulls_match = *op == SqlBinOp::IsNotDistinctFrom;
-                let try_side = |f: &Frame, q: &Option<String>, n: &str| {
-                    expr::resolve_column(&f.cols, q.as_deref(), n).ok()
+                let try_side = |f: &[BoundCol], q: &Option<String>, n: &str| {
+                    expr::resolve_column(f, q.as_deref(), n).ok()
                 };
                 if let (Some(li), Some(ri)) = (try_side(l, q1, n1), try_side(r, q2, n2)) {
                     out.push(EquiPair { left: li, right: ri, nulls_match });
@@ -1031,7 +1059,7 @@ fn eval_from(src: &dyn TableSource, item: &FromItem) -> Result<Frame, DbError> {
                     // Hash join fast path when the condition is a pure
                     // conjunction of column equalities across the two
                     // sides; otherwise nested loop.
-                    if let Some(pairs) = extract_equi_pairs(cond, &l, &r) {
+                    if let Some(pairs) = extract_equi_pairs(cond, &l.cols, &r.cols) {
                         hash_join(&l, &r, &pairs, *kind, &mut rows);
                     } else {
                         for lr in &l.rows {

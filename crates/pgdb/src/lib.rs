@@ -29,5 +29,6 @@ pub mod server;
 pub mod sql;
 pub mod types;
 
-pub use engine::{Db, DbError, QueryResult, Session};
+pub use colstore::{Batch, ColumnVec};
+pub use engine::{BatchQueryResult, Db, DbError, QueryResult, Session};
 pub use types::{Cell, Column, PgType, Rows};

@@ -12,7 +12,7 @@
 //! malformed frames are answered with an `08P01` protocol-violation
 //! error instead of killing the process or hanging the peer.
 
-use crate::engine::{Db, QueryResult};
+use crate::engine::{BatchQueryResult, Db};
 use crate::types::PgType;
 use bytes::BytesMut;
 use pgwire::codec::{encode_backend, MessageReader};
@@ -301,10 +301,13 @@ fn serve_connection(
                 queries_counter().inc();
                 // Multiple statements separated by ';'.
                 for stmt_sql in split_statements(trimmed) {
-                    match session.execute(&stmt_sql) {
-                        Ok(QueryResult::Rows(rows)) => {
-                            let fields: Vec<FieldDesc> = rows
-                                .columns
+                    // Results stay columnar until this point; cells are
+                    // realized one wire row at a time (the protocol's
+                    // representation boundary, DESIGN §10).
+                    match session.execute_batch(&stmt_sql) {
+                        Ok(BatchQueryResult::Batch(batch)) => {
+                            let fields: Vec<FieldDesc> = batch
+                                .schema
                                 .iter()
                                 .map(|c| FieldDesc {
                                     name: c.name.clone(),
@@ -312,10 +315,13 @@ fn serve_connection(
                                 })
                                 .collect();
                             send(&mut stream, &BackendMessage::RowDescription(fields))?;
-                            let count = rows.len();
-                            for row in &rows.data {
-                                let cells: Vec<Option<String>> =
-                                    row.iter().map(|c| c.to_wire_text()).collect();
+                            let count = batch.rows();
+                            for i in 0..count {
+                                let cells: Vec<Option<String>> = batch
+                                    .columns
+                                    .iter()
+                                    .map(|col| col.cell_at(i).to_wire_text())
+                                    .collect();
                                 send(&mut stream, &BackendMessage::DataRow(cells))?;
                             }
                             send(
@@ -323,7 +329,7 @@ fn serve_connection(
                                 &BackendMessage::CommandComplete(format!("SELECT {count}")),
                             )?;
                         }
-                        Ok(QueryResult::Command(tag)) => {
+                        Ok(BatchQueryResult::Command(tag)) => {
                             send(&mut stream, &BackendMessage::CommandComplete(tag))?;
                         }
                         Err(e) => {

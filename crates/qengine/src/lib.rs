@@ -36,6 +36,7 @@
 //! ```
 
 pub mod builtins;
+pub mod colbridge;
 pub mod env;
 pub mod hashkey;
 pub mod interp;

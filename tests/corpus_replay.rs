@@ -6,10 +6,11 @@
 //! to a self-contained script. Replaying them on every test run turns
 //! each past bug into a permanent regression gate.
 //!
-//! Files with the `found_` prefix are skipped: those are freshly-shrunk
-//! repros the fuzzer wrote for bugs that are *not fixed yet* (CI uploads
-//! them as artifacts). They graduate into pinned, prefix-free files once
-//! the underlying bug is fixed and the replay is clean.
+//! Every `.q` file in the corpus is replayed — there is no skip list.
+//! (Historically, `found_`-prefixed files parked freshly-shrunk repros
+//! for not-yet-fixed bugs; that backlog has been triaged to empty, and
+//! the fuzzer's outputs now live only in CI artifacts until their bug
+//! is fixed and a pinned, prefix-free repro lands here.)
 //!
 //! Replays are fully deterministic — data is inlined in each file and
 //! the harness runs in-process, so no network or wall-clock enters.
@@ -30,21 +31,22 @@ fn every_pinned_corpus_repro_replays_clean() {
         .filter(|p| p.extension().is_some_and(|x| x == "q"))
         .collect();
     entries.sort();
-    let pinned: Vec<&PathBuf> = entries
-        .iter()
-        .filter(|p| {
+    assert!(
+        !entries.is_empty(),
+        "corpus must contain at least the two pinned PR-3 repros"
+    );
+    assert!(
+        entries.iter().all(|p| {
             !p.file_name()
                 .and_then(|n| n.to_str())
                 .is_some_and(|n| n.starts_with("found_"))
-        })
-        .collect();
-    assert!(
-        !pinned.is_empty(),
-        "corpus must contain at least the two pinned PR-3 repros"
+        }),
+        "found_-prefixed repros are untriaged fuzzer output; fix the bug \
+         and pin a prefix-free repro instead of checking them in"
     );
 
     let mut failures = Vec::new();
-    for path in &pinned {
+    for path in &entries {
         let repro = match qgen::load_repro(path) {
             Ok(r) => r,
             Err(e) => {
