@@ -110,6 +110,20 @@ impl Validity {
         out
     }
 
+    /// Contiguous sub-range `[offset, offset + len)` of the slots.
+    pub fn slice(&self, offset: usize, len: usize) -> Validity {
+        assert!(offset + len <= self.len, "slice {offset}+{len} out of {}", self.len);
+        let mut out = Validity::all_valid(len);
+        if self.nulls.is_some() {
+            for i in 0..len {
+                if self.is_null(offset + i) {
+                    out.set_null(i);
+                }
+            }
+        }
+        out
+    }
+
     /// Concatenate `other` onto the end of `self`.
     pub fn append(&mut self, other: &Validity) {
         if other.nulls.is_none() {
@@ -379,6 +393,28 @@ impl ColumnVec {
         }
     }
 
+    /// Contiguous sub-range `[offset, offset + len)` — the morsel cut.
+    /// Copies the range (columns stay owned, workers stay independent);
+    /// the storage class is preserved exactly, so re-appending slices in
+    /// order reconstructs a column `PartialEq`-identical to the source.
+    pub fn slice(&self, offset: usize, len: usize) -> ColumnVec {
+        macro_rules! cut {
+            ($variant:ident, $d:expr, $v:expr) => {
+                ColumnVec::$variant($d[offset..offset + len].to_vec(), $v.slice(offset, len))
+            };
+        }
+        match self {
+            ColumnVec::Bool(d, v) => cut!(Bool, d, v),
+            ColumnVec::Int(d, v) => cut!(Int, d, v),
+            ColumnVec::Float(d, v) => cut!(Float, d, v),
+            ColumnVec::Text(d, v) => cut!(Text, d, v),
+            ColumnVec::Date(d, v) => cut!(Date, d, v),
+            ColumnVec::Time(d, v) => cut!(Time, d, v),
+            ColumnVec::Timestamp(d, v) => cut!(Timestamp, d, v),
+            ColumnVec::Cells(d) => ColumnVec::Cells(d[offset..offset + len].to_vec()),
+        }
+    }
+
     /// Null-filling gather: `None` slots become NULL (left-join padding).
     pub fn take_opt(&self, idx: &[Option<usize>]) -> ColumnVec {
         macro_rules! gather {
@@ -614,6 +650,16 @@ impl Batch {
             schema: self.schema.clone(),
             columns: self.columns.iter().map(|c| c.take(idx)).collect(),
             rows: idx.len(),
+        }
+    }
+
+    /// Contiguous sub-range of rows `[offset, offset + len)` — the
+    /// morsel cut used by the parallel executor and the batch stream.
+    pub fn slice(&self, offset: usize, len: usize) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.slice(offset, len)).collect(),
+            rows: len,
         }
     }
 

@@ -14,8 +14,10 @@
 
 pub mod batch;
 pub mod key;
+pub mod stream;
 pub mod types;
 
 pub use batch::{Batch, ColumnVec, Validity};
+pub use stream::BatchStream;
 pub use key::{row_key, CellKey};
 pub use types::{days_to_ymd, ymd_to_days, Cell, Column, PgType, Rows};

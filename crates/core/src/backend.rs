@@ -7,7 +7,7 @@
 //! indifference is the point of ADV.
 
 use crate::wire::WireError;
-use pgdb::{BatchQueryResult, QueryResult, Session};
+use pgdb::{BatchQueryResult, QueryResult, Session, StreamQueryResult};
 use std::sync::{Arc, Mutex};
 
 /// Something that executes SQL statements and returns rows.
@@ -34,6 +34,24 @@ pub trait Backend: Send {
     ) -> Result<Option<BatchQueryResult>, WireError> {
         Ok(None)
     }
+
+    /// Execute one SQL statement and stream the result back as bounded
+    /// columnar chunks, if this backend can. `Ok(None)` means "no
+    /// streaming" — the caller falls back to
+    /// [`Backend::execute_sql_batch`] / [`Backend::execute_sql`]. The
+    /// in-process backend overrides this so results flow executor →
+    /// pivot one morsel-sized chunk at a time (DESIGN §12).
+    fn execute_sql_stream(
+        &mut self,
+        _sql: &str,
+    ) -> Result<Option<StreamQueryResult>, WireError> {
+        Ok(None)
+    }
+
+    /// Pin the executor worker-pool width for this backend's session
+    /// (`None` = environment default). No-op for backends that execute
+    /// remotely — their parallelism is the remote server's business.
+    fn set_exec_threads(&mut self, _threads: Option<usize>) {}
 
     /// Human-readable description (for diagnostics).
     fn describe(&self) -> String {
@@ -71,6 +89,17 @@ impl Backend for DirectBackend {
         sql: &str,
     ) -> Result<Option<BatchQueryResult>, WireError> {
         self.session.execute_batch(sql).map(Some).map_err(WireError::from)
+    }
+
+    fn execute_sql_stream(
+        &mut self,
+        sql: &str,
+    ) -> Result<Option<StreamQueryResult>, WireError> {
+        self.session.execute_stream(sql).map(Some).map_err(WireError::from)
+    }
+
+    fn set_exec_threads(&mut self, threads: Option<usize>) {
+        self.session.set_exec_threads(threads);
     }
 
     fn describe(&self) -> String {

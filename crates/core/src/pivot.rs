@@ -229,6 +229,96 @@ pub fn pivot(rows: &Rows, shape: ResultShape) -> QResult<Value> {
     shape_value(rows_to_table(rows)?, shape)
 }
 
+/// Streaming pivot accumulator (DESIGN §12): drains a batch stream
+/// chunk-at-a-time, converting each chunk's columns into Q vectors and
+/// appending them — so peak resident *columnar* state is one chunk plus
+/// the growing Q vectors, never a second full materialized result.
+pub struct StreamPivot {
+    names: Vec<String>,
+    types: Vec<PgType>,
+    acc: Vec<Option<Value>>,
+    rows: u64,
+}
+
+impl StreamPivot {
+    /// An accumulator for a stream with the given schema.
+    pub fn new(schema: &[pgdb::Column]) -> Self {
+        StreamPivot {
+            names: schema.iter().map(|c| c.name.clone()).collect(),
+            types: schema.iter().map(|c| c.ty).collect(),
+            acc: schema.iter().map(|_| None).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Rows pivoted so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Pivot one chunk and append its columns to the accumulators.
+    pub fn push(&mut self, mut batch: Batch) {
+        self.rows += batch.rows() as u64;
+        let columns = std::mem::take(&mut batch.columns);
+        for ((vec, ty), slot) in columns.into_iter().zip(&self.types).zip(&mut self.acc) {
+            let (v, moved) = column_to_value(vec, *ty);
+            if moved {
+                zero_copy_counter().inc();
+            }
+            match slot {
+                None => *slot = Some(v),
+                Some(acc) => append_value(acc, v),
+            }
+        }
+    }
+
+    /// Shape the accumulated table as the translation promised. An empty
+    /// stream yields typed empty vectors from the schema alone.
+    pub fn finish(self, shape: ResultShape) -> QResult<Value> {
+        let mut t = Table::default();
+        for ((name, ty), slot) in self.names.into_iter().zip(self.types).zip(self.acc) {
+            if name == ORD_COL {
+                continue;
+            }
+            t.push_column(name, slot.unwrap_or_else(|| empty_vector(ty)))?;
+        }
+        shape_value(t, shape)
+    }
+}
+
+/// Append chunk vector `next` onto accumulated vector `acc`.
+/// Same-variant chunks extend in place (the common case — chunks of one
+/// stream share a schema); a representation mismatch re-atomizes both
+/// sides and rebuilds with [`Value::from_elements`], which is exactly
+/// what a whole-result pivot of the concatenated cells would produce.
+fn append_value(acc: &mut Value, next: Value) {
+    match (&mut *acc, next) {
+        (Value::Bools(a), Value::Bools(b)) => a.extend(b),
+        (Value::Shorts(a), Value::Shorts(b)) => a.extend(b),
+        (Value::Ints(a), Value::Ints(b)) => a.extend(b),
+        (Value::Longs(a), Value::Longs(b)) => a.extend(b),
+        (Value::Reals(a), Value::Reals(b)) => a.extend(b),
+        (Value::Floats(a), Value::Floats(b)) => a.extend(b),
+        (Value::Symbols(a), Value::Symbols(b)) => a.extend(b),
+        (Value::Dates(a), Value::Dates(b)) => a.extend(b),
+        (Value::Times(a), Value::Times(b)) => a.extend(b),
+        (Value::Timestamps(a), Value::Timestamps(b)) => a.extend(b),
+        (Value::Mixed(a), Value::Mixed(b)) => a.extend(b),
+        (a, b) => {
+            let an = a.len().unwrap_or(1);
+            let bn = b.len().unwrap_or(1);
+            let mut elems: Vec<Value> = Vec::with_capacity(an + bn);
+            for i in 0..an {
+                elems.push(a.index(i).unwrap_or_else(|| a.null_element()));
+            }
+            for i in 0..bn {
+                elems.push(b.index(i).unwrap_or_else(|| b.null_element()));
+            }
+            *a = Value::from_elements(elems);
+        }
+    }
+}
+
 /// Pivot a columnar result into the Q value shape the application
 /// expects: the batch counterpart of [`pivot`], used for the in-process
 /// backend where no row stream ever exists (DESIGN §10).

@@ -8,13 +8,13 @@
 
 use crate::backend::{share, DirectBackend, SharedBackend};
 use crate::mdi_backend::BackendMdi;
-use crate::pivot::{pivot, pivot_batch};
+use crate::pivot::{pivot, pivot_batch, StreamPivot};
 use crate::qcache::{CacheStats, TranslationCache};
 use crate::translate::{StageTimings, Translation, TranslationStats, Translator};
 use crate::wire::{RetryPolicy, WireTimeouts};
 use algebrizer::{CachingMdi, MaterializationPolicy, Scopes};
 use obs::{QueryTrace, SlowQueryRecord, Span, SpanEvent, Stage};
-use pgdb::{BatchQueryResult, QueryResult};
+use pgdb::{BatchQueryResult, QueryResult, StreamQueryResult};
 use qlang::{QError, QResult, Value};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,6 +44,12 @@ pub struct SessionConfig {
     /// (README knob `obs.slow_query_ms`). `Duration::ZERO` disables the
     /// log for this session.
     pub slow_query: Duration,
+    /// Executor worker-pool width for the in-process backend: `0`
+    /// defers to `HQ_EXEC_THREADS` / available parallelism, `1` forces
+    /// the serial path, `n > 1` caps the morsel pool at `n` workers
+    /// (README knob `HQ_EXEC_THREADS`, DESIGN §12). Remote backends
+    /// ignore it.
+    pub exec_threads: usize,
 }
 
 impl Default for SessionConfig {
@@ -56,6 +62,7 @@ impl Default for SessionConfig {
             wire: WireTimeouts::default(),
             retry: RetryPolicy::default(),
             slow_query: Duration::from_millis(250),
+            exec_threads: 0,
         }
     }
 }
@@ -98,8 +105,10 @@ impl SessionMetrics {
 }
 
 /// One statement's result in whichever representation the backend
-/// produced: columnar from the in-process engine, rows off the wire.
+/// produced: a chunk stream or full batch from the in-process engine,
+/// rows off the wire.
 enum StmtResult {
+    Stream(StreamQueryResult),
     Batch(BatchQueryResult),
     Rows(QueryResult),
 }
@@ -123,6 +132,12 @@ pub struct HyperQSession {
 impl HyperQSession {
     /// Open a session over a shared backend.
     pub fn new(backend: SharedBackend, config: SessionConfig) -> Self {
+        if let Ok(mut be) = backend.lock() {
+            be.set_exec_threads(match config.exec_threads {
+                0 => None,
+                n => Some(n),
+            });
+        }
         let mdi = CachingMdi::new(BackendMdi::new(backend.clone()), config.metadata_cache_ttl);
         HyperQSession {
             backend,
@@ -315,12 +330,17 @@ impl HyperQSession {
                     })?;
                     let reconnects_before = be.reconnects();
                     let t0 = Instant::now();
-                    // Prefer the columnar path; backends that only
-                    // stream rows (the PG v3 gateway) answer `None`
-                    // without executing and we fall back to rows.
-                    let result = match be.execute_sql_batch(&stmt.sql) {
-                        Ok(Some(r)) => Ok(StmtResult::Batch(r)),
-                        Ok(None) => be.execute_sql(&stmt.sql).map(StmtResult::Rows),
+                    // Prefer the chunk-streaming path, then whole-batch
+                    // columnar; backends that only stream rows (the
+                    // PG v3 gateway) answer `None` to both without
+                    // executing and we fall back to rows.
+                    let result = match be.execute_sql_stream(&stmt.sql) {
+                        Ok(Some(r)) => Ok(StmtResult::Stream(r)),
+                        Ok(None) => match be.execute_sql_batch(&stmt.sql) {
+                            Ok(Some(r)) => Ok(StmtResult::Batch(r)),
+                            Ok(None) => be.execute_sql(&stmt.sql).map(StmtResult::Rows),
+                            Err(e) => Err(e),
+                        },
                         Err(e) => Err(e),
                     };
                     child.duration = t0.elapsed();
@@ -359,6 +379,39 @@ impl HyperQSession {
                 };
                 if stmt.returns_rows {
                     let pivoted = match result {
+                        StmtResult::Stream(StreamQueryResult::Stream(batches)) => {
+                            // Drain chunk-at-a-time into the streaming
+                            // pivot: one morsel-sized chunk resident,
+                            // never the full columnar result (§12).
+                            let t0 = Instant::now();
+                            let mut pv = StreamPivot::new(&batches.schema);
+                            let mut stream_err = None;
+                            for item in batches {
+                                match item {
+                                    Ok(b) => pv.push(b),
+                                    Err(e) => {
+                                        stream_err = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            let n = pv.rows();
+                            child.rows = n;
+                            exec_span.rows += n;
+                            self.metrics.rows.add(n);
+                            let pivoted = match stream_err {
+                                Some(db) => Err(QError::new(
+                                    qlang::error::QErrorKind::Other,
+                                    format!(
+                                        "backend error {} while executing {:?}: {}",
+                                        db.code, stmt.sql, db.message
+                                    ),
+                                )),
+                                None => pv.finish(stmt.shape.unwrap()),
+                            };
+                            pivot_dur += t0.elapsed();
+                            pivoted.map(|v| (v, n))
+                        }
                         StmtResult::Batch(BatchQueryResult::Batch(batch)) => {
                             let n = batch.rows() as u64;
                             child.rows = n;
@@ -379,7 +432,8 @@ impl HyperQSession {
                             pivot_dur += t0.elapsed();
                             pivoted.map(|v| (v, n))
                         }
-                        StmtResult::Batch(BatchQueryResult::Command(tag))
+                        StmtResult::Stream(StreamQueryResult::Command(tag))
+                        | StmtResult::Batch(BatchQueryResult::Command(tag))
                         | StmtResult::Rows(QueryResult::Command(tag)) => {
                             exec_span.duration += child.duration;
                             exec_span.children.push(child);

@@ -9,11 +9,11 @@
 use crate::catalog;
 use crate::exec::columnar::run_select_batch;
 use crate::exec::expr::{cast, eval};
-use crate::exec::TableSource;
+use crate::exec::{parallel, stream, TableSource};
 use crate::sql::ast::Stmt;
 use crate::sql::parse_statement;
 use crate::types::{Cell, Column, Rows};
-use colstore::Batch;
+use colstore::{Batch, BatchStream};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -111,6 +111,19 @@ pub enum BatchQueryResult {
     Command(String),
 }
 
+/// Result of executing one statement, streaming: row sets arrive as an
+/// iterator of bounded batches (DESIGN §12). Statements that qualify
+/// for the true-streaming gate never materialize their full result;
+/// everything else runs on the materializing executor and is re-chunked
+/// so consumers see one bounded-batch shape either way.
+#[derive(Debug)]
+pub enum StreamQueryResult {
+    /// A streamed columnar row set (SELECT).
+    Stream(BatchStream<DbError>),
+    /// A command tag (DDL/DML): e.g. `CREATE TABLE`, `INSERT 0 3`.
+    Command(String),
+}
+
 impl Db {
     /// Create an empty database.
     pub fn new() -> Self {
@@ -119,12 +132,18 @@ impl Db {
 
     /// Open a session.
     pub fn session(&self) -> Session {
-        Session { db: self.clone(), temps: HashMap::new() }
+        Session { db: self.clone(), temps: HashMap::new(), exec_threads: None }
     }
 
     /// Host API: create (or replace) a global table directly.
     pub fn put_table(&self, name: &str, columns: Vec<Column>, rows: Vec<Vec<Cell>>) {
         let batch = Batch::from_rows(Rows { columns, data: rows });
+        self.tables.write().insert(name.to_string(), StoredTable { batch });
+    }
+
+    /// Host API: create (or replace) a global table from a columnar
+    /// batch directly — no row-major round trip (bench loaders).
+    pub fn put_table_batch(&self, name: &str, batch: Batch) {
         self.tables.write().insert(name.to_string(), StoredTable { batch });
     }
 
@@ -146,6 +165,9 @@ impl Db {
 pub struct Session {
     db: Db,
     temps: HashMap<String, StoredTable>,
+    /// Executor worker-pool width override; `None` defers to
+    /// `HQ_EXEC_THREADS` / available parallelism at query time.
+    exec_threads: Option<usize>,
 }
 
 impl TableSource for Session {
@@ -169,12 +191,22 @@ impl TableSource for Session {
         let (columns, rows) = catalog::virtual_table(self, name)?;
         Some(Batch::from_rows(Rows { columns, data: rows }))
     }
+
+    fn exec_threads(&self) -> usize {
+        self.exec_threads.unwrap_or_else(parallel::default_exec_threads)
+    }
 }
 
 impl Session {
     /// Access the shared database handle.
     pub fn db(&self) -> &Db {
         &self.db
+    }
+
+    /// Pin the executor worker-pool width for this session (`1` forces
+    /// the serial path); `None` restores the environment default.
+    pub fn set_exec_threads(&mut self, threads: Option<usize>) {
+        self.exec_threads = threads.map(|t| t.max(1));
     }
 
     /// Names of this session's temp tables, sorted.
@@ -204,6 +236,24 @@ impl Session {
         Ok(match self.execute_batch(sql)? {
             BatchQueryResult::Batch(b) => QueryResult::Rows(b.into_rows()),
             BatchQueryResult::Command(tag) => QueryResult::Command(tag),
+        })
+    }
+
+    /// Execute one SQL statement, streaming result: SELECTs inside the
+    /// streamable gate (see `exec::stream`) yield morsel-sized batches
+    /// without materializing; everything else executes on the
+    /// materializing path and is re-chunked for uniform consumption.
+    pub fn execute_stream(&mut self, sql: &str) -> Result<StreamQueryResult, DbError> {
+        if let Ok(Stmt::Select(s)) = parse_statement(sql) {
+            if let Some(stream) = stream::try_select_stream(self, &s) {
+                return Ok(StreamQueryResult::Stream(stream));
+            }
+        }
+        Ok(match self.execute_batch(sql)? {
+            BatchQueryResult::Batch(b) => {
+                StreamQueryResult::Stream(BatchStream::chunked(b, parallel::MORSEL_ROWS))
+            }
+            BatchQueryResult::Command(tag) => StreamQueryResult::Command(tag),
         })
     }
 

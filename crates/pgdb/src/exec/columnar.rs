@@ -21,7 +21,7 @@
 
 use super::expr::{self, derive_type, eval, kleene, resolve_column, BoundCol};
 use super::{
-    aggregate_block, contains_subquery, default_output_name, extract_equi_pairs,
+    aggregate_block, contains_subquery, default_output_name, extract_equi_pairs, parallel,
     resolve_subqueries, run_block, EquiPair, Frame, TableSource,
 };
 use crate::engine::DbError;
@@ -30,29 +30,30 @@ use crate::types::{Cell, Column, PgType};
 use colstore::{Batch, CellKey, ColumnVec};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Column-major intermediate result: the batch dual of [`Frame`].
 pub(crate) struct ColFrame {
     /// Bound columns (with source qualifiers).
-    cols: Vec<BoundCol>,
+    pub(crate) cols: Vec<BoundCol>,
     /// One vector per bound column.
-    columns: Vec<ColumnVec>,
+    pub(crate) columns: Vec<ColumnVec>,
     /// Explicit row count (meaningful with zero columns: the FROM-less
     /// unit relation is zero columns × one row).
-    len: usize,
+    pub(crate) len: usize,
 }
 
 impl ColFrame {
     /// The unit relation — one row to project expressions over, no
     /// columns to read. Replaces the row executor's
     /// `Frame { cols: vec![], rows: vec![vec![]] }` hack.
-    fn unit() -> ColFrame {
+    pub(crate) fn unit() -> ColFrame {
         ColFrame { cols: Vec::new(), columns: Vec::new(), len: 1 }
     }
 
     /// Gather rows by index (indices may repeat or reorder).
-    fn take(&self, idx: &[usize]) -> ColFrame {
+    pub(crate) fn take(&self, idx: &[usize]) -> ColFrame {
         ColFrame {
             cols: self.cols.clone(),
             columns: self.columns.iter().map(|c| c.take(idx)).collect(),
@@ -229,38 +230,42 @@ fn run_block_batch(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Batch, Db
         stmt
     };
 
+    let threads = src.exec_threads();
+
     // FROM.
     let mut frame = match &stmt.from {
         Some(item) => eval_from_batch(src, item)?,
         None => ColFrame::unit(),
     };
 
-    // WHERE (3VL: keep definite TRUE only).
+    // WHERE (3VL: keep definite TRUE only). Large inputs evaluate the
+    // predicate morsel-at-a-time over sliced views; per-morsel keep
+    // lists concatenate in morsel order, which is exactly the serial
+    // keep list.
     if let Some(pred) = &stmt.where_clause {
-        let mut rows_cache = None;
-        let mask = eval_vec(pred, &frame, &mut rows_cache)?;
-        let mut keep = Vec::with_capacity(frame.len);
-        match &mask {
-            ColumnVec::Bool(d, v) if !v.any_null() => {
-                for (i, &b) in d.iter().enumerate() {
-                    if b {
-                        keep.push(i);
-                    }
-                }
-            }
-            m => {
-                for i in 0..frame.len {
-                    if matches!(m.cell_at(i), Cell::Bool(true)) {
-                        keep.push(i);
-                    }
-                }
-            }
-        }
-        frame = frame.take(&keep);
+        let mut refs = HashSet::new();
+        let par = parallel::should_parallelize(frame.len, threads)
+            && collect_columns(pred, &frame.cols, &mut refs).is_some();
+        let keep: Vec<usize> = if par {
+            parallel::run_morsels(frame.len, threads, "filter", |_, range| {
+                let sub = slice_frame(&frame, &refs, &range);
+                let mask = eval_vec(pred, &sub)?;
+                let mut keep = Vec::new();
+                collect_keep(&mask, range.start, &mut keep);
+                Ok(keep)
+            })?
+            .concat()
+        } else {
+            let mask = eval_vec(pred, &frame)?;
+            let mut keep = Vec::with_capacity(frame.len);
+            collect_keep(&mask, 0, &mut keep);
+            keep
+        };
+        frame = take_frame(&frame, &keep, threads)?;
     }
 
     if has_agg {
-        return aggregate_batch(stmt, frame);
+        return aggregate_batch(stmt, frame, threads);
     }
 
     // Wildcard expansion.
@@ -288,15 +293,152 @@ fn run_block_batch(src: &dyn TableSource, stmt: &SelectStmt) -> Result<Batch, Db
             Column::new(name, derive_type(e, &frame.cols))
         })
         .collect();
-    let mut rows_cache = None;
     let mut out_columns = Vec::with_capacity(items.len());
     for (_, e) in &items {
-        out_columns.push(eval_vec(e, &frame, &mut rows_cache)?);
+        let mut refs = HashSet::new();
+        let par = parallel::should_parallelize(frame.len, threads)
+            && collect_columns(e, &frame.cols, &mut refs).is_some();
+        if par {
+            let chunks = parallel::run_morsels(frame.len, threads, "project", |_, range| {
+                eval_vec(e, &slice_frame(&frame, &refs, &range))
+            })?;
+            out_columns.push(concat_column(derive_type(e, &frame.cols), chunks));
+        } else {
+            out_columns.push(eval_vec(e, &frame)?);
+        }
     }
     let out = Batch::new(out_cols, out_columns, frame.len);
 
     // ORDER BY resolves output aliases first, then input columns.
     order_and_page(stmt, out, Some(&frame))
+}
+
+/// Collect the frame columns `e` reads into `out`. `None` means `e` is
+/// not morsel-eligible: either a node that would take `eval_vec`'s
+/// row-wise fallback (CASE, IN-list, subquery, star, window, aggregate
+/// call — lazy or error-producing shapes whose exact behavior the
+/// serial path owns), or a column reference that fails to resolve
+/// (the serial path must produce that error).
+pub(crate) fn collect_columns(
+    e: &SqlExpr,
+    cols: &[BoundCol],
+    out: &mut HashSet<usize>,
+) -> Option<()> {
+    match e {
+        SqlExpr::Column { qualifier, name } => {
+            out.insert(resolve_column(cols, qualifier.as_deref(), name).ok()?);
+        }
+        SqlExpr::Literal(_) => {}
+        SqlExpr::Binary { lhs, rhs, .. } => {
+            collect_columns(lhs, cols, out)?;
+            collect_columns(rhs, cols, out)?;
+        }
+        SqlExpr::Not(inner) | SqlExpr::Neg(inner) => collect_columns(inner, cols, out)?,
+        SqlExpr::Func { name, args, .. } if !is_aggregate_name(name) => {
+            for a in args {
+                collect_columns(a, cols, out)?;
+            }
+        }
+        SqlExpr::Cast { expr: inner, .. } => collect_columns(inner, cols, out)?,
+        SqlExpr::IsNull { expr: inner, .. } => collect_columns(inner, cols, out)?,
+        _ => return None,
+    }
+    Some(())
+}
+
+/// A morsel-local view of `f`: columns in `refs` are sliced to `range`,
+/// the rest become zero-length placeholders. Safe because `refs` is
+/// exactly the column set the expression reads (per
+/// [`collect_columns`]), and eligible expressions never materialize
+/// rows.
+pub(crate) fn slice_frame(f: &ColFrame, refs: &HashSet<usize>, range: &Range<usize>) -> ColFrame {
+    let columns = f
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if refs.contains(&i) {
+                c.slice(range.start, range.len())
+            } else {
+                ColumnVec::Cells(Vec::new())
+            }
+        })
+        .collect();
+    ColFrame { cols: f.cols.clone(), columns, len: range.len() }
+}
+
+/// Indices (offset by `base`) of mask slots that are definitely TRUE.
+pub(crate) fn collect_keep(mask: &ColumnVec, base: usize, keep: &mut Vec<usize>) {
+    match mask {
+        ColumnVec::Bool(d, v) if !v.any_null() => {
+            for (i, &b) in d.iter().enumerate() {
+                if b {
+                    keep.push(base + i);
+                }
+            }
+        }
+        m => {
+            for i in 0..m.len() {
+                if matches!(m.cell_at(i), Cell::Bool(true)) {
+                    keep.push(base + i);
+                }
+            }
+        }
+    }
+}
+
+/// Gather `idx` rows of every frame column, splitting large gathers
+/// across workers. Each chunk `take`s from the shared source columns,
+/// so chunk storage classes always match and in-order appends rebuild
+/// exactly the serial `take` result.
+fn take_frame(f: &ColFrame, idx: &[usize], threads: usize) -> Result<ColFrame, DbError> {
+    if !parallel::should_parallelize(idx.len(), threads) || f.columns.is_empty() {
+        return Ok(f.take(idx));
+    }
+    let chunks = parallel::run_morsels(idx.len(), threads, "gather", |_, range| {
+        let slice = &idx[range];
+        Ok(f.columns.iter().map(|c| c.take(slice)).collect::<Vec<_>>())
+    })?;
+    Ok(ColFrame { cols: f.cols.clone(), columns: concat_columns(chunks), len: idx.len() })
+}
+
+/// Concatenate per-chunk column sets (one `Vec<ColumnVec>` per morsel,
+/// all the same width) into whole columns, in chunk order.
+fn concat_columns(chunks: Vec<Vec<ColumnVec>>) -> Vec<ColumnVec> {
+    let mut it = chunks.into_iter();
+    let mut out = it.next().unwrap_or_default();
+    for chunk in it {
+        for (dst, src) in out.iter_mut().zip(chunk) {
+            dst.append(src);
+        }
+    }
+    out
+}
+
+/// Concatenate per-morsel evaluation results into one column with the
+/// *same storage class the serial path would pick*. Uniform chunks
+/// append directly (the common case: slices and kernels are
+/// class-stable). Mixed chunks — e.g. an all-NULL morsel typed from the
+/// declared type next to a value-typed morsel — re-atomize through one
+/// whole-column `from_cells`, which is byte-for-byte the serial
+/// construction.
+fn concat_column(ty: PgType, chunks: Vec<ColumnVec>) -> ColumnVec {
+    let uniform = chunks
+        .windows(2)
+        .all(|w| std::mem::discriminant(&w[0]) == std::mem::discriminant(&w[1]));
+    let mut it = chunks.into_iter();
+    let Some(mut first) = it.next() else { return ColumnVec::empty(ty) };
+    if uniform {
+        for c in it {
+            first.append(c);
+        }
+        return first;
+    }
+    let mut cells = first.into_cells();
+    for c in it {
+        cells.extend(c.into_cells());
+    }
+    ColumnVec::from_cells(ty, cells)
 }
 
 /// ORDER BY + OFFSET/LIMIT over an output batch. `input` supplies the
@@ -317,10 +459,9 @@ fn order_and_page(stmt: &SelectStmt, out: Batch, input: Option<&ColFrame>) -> Re
             columns.extend(f.columns.iter().cloned());
         }
         let combined = ColFrame { cols, columns, len: out.rows() };
-        let mut rows_cache = None;
         let mut key_cells: Vec<Vec<Cell>> = Vec::with_capacity(stmt.order_by.len());
         for (e, _) in &stmt.order_by {
-            key_cells.push(eval_vec(e, &combined, &mut rows_cache)?.to_cells());
+            key_cells.push(eval_vec(e, &combined)?.to_cells());
         }
         let mut idx: Vec<usize> = (0..out.rows()).collect();
         idx.sort_by(|&a, &b| {
@@ -352,8 +493,8 @@ fn order_and_page(stmt: &SelectStmt, out: Batch, input: Option<&ColFrame>) -> Re
 /// pipeline's [`aggregate_block`] (the semantics of aggregate laziness
 /// — HAVING gating item evaluation, empty groups skipping resolution —
 /// live there and are not worth duplicating).
-fn aggregate_batch(stmt: &SelectStmt, frame: ColFrame) -> Result<Batch, DbError> {
-    if let Some(out) = aggregate_batch_fast(stmt, &frame) {
+fn aggregate_batch(stmt: &SelectStmt, frame: ColFrame, threads: usize) -> Result<Batch, DbError> {
+    if let Some(out) = aggregate_batch_fast(stmt, &frame, threads) {
         return order_and_page(stmt, out, None);
     }
     aggregate_block(stmt, frame.to_frame()).map(Batch::from_rows)
@@ -366,8 +507,10 @@ enum FastAgg {
     Col(usize),
     Lit(Cell),
     CountStar,
-    /// count/sum/avg/min/max over a plain non-DISTINCT column.
-    Agg(AggKind, usize),
+    /// count/sum/avg/min/max over one plain column; `distinct` dedups
+    /// the group's non-NULL values by [`CellKey`] (retain-first) before
+    /// folding, exactly like the row pipeline's `dedup_cells`.
+    Agg { kind: AggKind, col: usize, distinct: bool },
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -381,11 +524,11 @@ enum AggKind {
 
 /// Vectorized aggregation for: no HAVING, bare-column group keys, and
 /// items that are bare columns, literals, `count(*)`, or
-/// count/sum/avg/min/max over one plain column of Int/Float storage
-/// (count: any storage). Returns `None` for anything else — including
-/// any resolution failure, whose error (or non-error over empty input)
-/// the row pipeline must produce.
-fn aggregate_batch_fast(stmt: &SelectStmt, frame: &ColFrame) -> Option<Batch> {
+/// count/sum/avg/min/max — plain or DISTINCT — over one column of
+/// Int/Float storage (count: any storage). Returns `None` for anything
+/// else — including any resolution failure, whose error (or non-error
+/// over empty input) the row pipeline must produce.
+fn aggregate_batch_fast(stmt: &SelectStmt, frame: &ColFrame, threads: usize) -> Option<Batch> {
     if stmt.having.is_some() {
         return None;
     }
@@ -408,7 +551,7 @@ fn aggregate_batch_fast(stmt: &SelectStmt, frame: &ColFrame) -> Option<Batch> {
                     // in the row pipeline too.
                     FastAgg::CountStar
                 } else {
-                    if *distinct || args.len() != 1 {
+                    if args.len() != 1 {
                         return None;
                     }
                     let SqlExpr::Column { qualifier, name: cname } = &args[0] else {
@@ -435,7 +578,7 @@ fn aggregate_batch_fast(stmt: &SelectStmt, frame: &ColFrame) -> Option<Batch> {
                     {
                         return None;
                     }
-                    FastAgg::Agg(kind, idx)
+                    FastAgg::Agg { kind, col: idx, distinct: *distinct }
                 }
             }
             _ => return None,
@@ -443,10 +586,16 @@ fn aggregate_batch_fast(stmt: &SelectStmt, frame: &ColFrame) -> Option<Batch> {
         items.push((alias.clone(), expr, fast));
     }
 
-    // Hash grouping on canonical keys (first-seen group order).
+    // Hash grouping on canonical keys (first-seen group order). Large
+    // inputs build per-morsel partial tables in parallel and merge them
+    // in morsel order — see [`parallel_groups`] for why that merge is
+    // bit-identical to the serial scan.
     let n = frame.len;
+    let par = parallel::should_parallelize(n, threads);
     let groups: Vec<Vec<usize>> = if stmt.group_by.is_empty() {
         vec![(0..n).collect()]
+    } else if par {
+        parallel_groups(frame, &key_cols, threads).ok()?
     } else {
         let mut groups: Vec<Vec<usize>> = Vec::new();
         let mut index: HashMap<Vec<CellKey>, usize> = HashMap::with_capacity(n);
@@ -474,13 +623,70 @@ fn aggregate_batch_fast(stmt: &SelectStmt, frame: &ColFrame) -> Option<Batch> {
         .collect();
     let mut out_columns = Vec::with_capacity(items.len());
     for (_, e, fast) in &items {
-        let mut cells = Vec::with_capacity(groups.len());
-        for group in &groups {
-            cells.push(compute_fast_agg(fast, frame, group));
-        }
+        // Folds are per-group; groups chunk across workers, and the
+        // group-ordered cell list feeds one whole-column `from_cells`,
+        // so both values (per-group ascending-index folds) and storage
+        // class match the serial construction exactly.
+        let cells: Vec<Cell> = if par && groups.len() > 1 {
+            let ranges = parallel::even_ranges(groups.len(), threads * 4);
+            parallel::run_ranges(ranges, threads, "aggregate", |_, range| {
+                Ok(groups[range]
+                    .iter()
+                    .map(|g| compute_fast_agg(fast, frame, g))
+                    .collect::<Vec<Cell>>())
+            })
+            .ok()?
+            .concat()
+        } else {
+            groups.iter().map(|g| compute_fast_agg(fast, frame, g)).collect()
+        };
         out_columns.push(ColumnVec::from_cells(derive_type(e, &frame.cols), cells));
     }
     Some(Batch::new(out_cols, out_columns, groups.len()))
+}
+
+/// Parallel hash grouping: each morsel builds a partial table mapping
+/// key → row indices *in local first-seen order*; the serial merge then
+/// walks partials in morsel order. Because morsels tile the input in
+/// row order, "first seen across morsel-ordered partials" is the same
+/// group order as "first seen in a serial scan", and extending group
+/// index lists in morsel order keeps every group's indices ascending —
+/// so downstream folds see rows in exactly the serial order.
+fn parallel_groups(
+    frame: &ColFrame,
+    key_cols: &[usize],
+    threads: usize,
+) -> Result<Vec<Vec<usize>>, DbError> {
+    let partials = parallel::run_morsels(frame.len, threads, "group", |_, range| {
+        let mut order: Vec<(Vec<CellKey>, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<Vec<CellKey>, usize> = HashMap::new();
+        for i in range {
+            let key: Vec<CellKey> =
+                key_cols.iter().map(|&c| frame.columns[c].key_at(i)).collect();
+            match index.entry(key) {
+                Entry::Occupied(e) => order[*e.get()].1.push(i),
+                Entry::Vacant(v) => {
+                    order.push((v.key().clone(), vec![i]));
+                    v.insert(order.len() - 1);
+                }
+            }
+        }
+        Ok(order)
+    })?;
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut index: HashMap<Vec<CellKey>, usize> = HashMap::new();
+    for part in partials {
+        for (key, idxs) in part {
+            match index.entry(key) {
+                Entry::Occupied(e) => groups[*e.get()].extend(idxs),
+                Entry::Vacant(v) => {
+                    v.insert(groups.len());
+                    groups.push(idxs);
+                }
+            }
+        }
+    }
+    Ok(groups)
 }
 
 /// One fast-path aggregate over one group, value-identical to the row
@@ -494,8 +700,33 @@ fn compute_fast_agg(fast: &FastAgg, frame: &ColFrame, group: &[usize]) -> Cell {
         },
         FastAgg::Lit(c) => c.clone(),
         FastAgg::CountStar => Cell::Int(group.len() as i64),
-        FastAgg::Agg(kind, idx) => {
-            let col = &frame.columns[*idx];
+        FastAgg::Agg { kind, col, distinct } => {
+            let col = &frame.columns[*col];
+            if *distinct {
+                // The row pipeline's DISTINCT order of operations:
+                // drop NULLs first, then dedup by canonical CellKey
+                // keeping each value's *first* occurrence, then fold in
+                // that (ascending-index) order.
+                let mut seen: HashSet<CellKey> = HashSet::new();
+                let mut kept: Vec<usize> = Vec::new();
+                for &i in group {
+                    if !col.is_null(i) && seen.insert(col.key_at(i)) {
+                        kept.push(i);
+                    }
+                }
+                if *kind == AggKind::Count {
+                    return Cell::Int(kept.len() as i64);
+                }
+                return match col {
+                    ColumnVec::Int(d, _) => {
+                        fold_numeric(*kind, kept.iter().map(|&i| d[i]), |x| x as f64, Cell::Int, true)
+                    }
+                    ColumnVec::Float(d, _) => {
+                        fold_numeric(*kind, kept.iter().map(|&i| d[i]), |x| x, Cell::Float, false)
+                    }
+                    _ => unreachable!("gated by aggregate_batch_fast"),
+                };
+            }
             if *kind == AggKind::Count {
                 return Cell::Int(group.iter().filter(|&&i| !col.is_null(i)).count() as i64);
             }
@@ -569,13 +800,9 @@ fn fold_numeric<T: Copy>(
 /// Eager nodes apply the row pipeline's scalar kernels per element
 /// (identical values; error *ordering* may differ column-major). The
 /// lazy nodes (`CASE`, `IN (list)`) and everything exotic fall back to
-/// row-wise [`eval`] over `rows_cache`, materialized at most once per
-/// block.
-fn eval_vec(
-    e: &SqlExpr,
-    f: &ColFrame,
-    rows_cache: &mut Option<Vec<Vec<Cell>>>,
-) -> Result<ColumnVec, DbError> {
+/// row-wise [`eval`] over one reused scratch row — no whole-frame
+/// row-major materialization, no per-row `Vec` allocation.
+pub(crate) fn eval_vec(e: &SqlExpr, f: &ColFrame) -> Result<ColumnVec, DbError> {
     let n = f.len;
     match e {
         SqlExpr::Column { qualifier, name } => {
@@ -584,8 +811,8 @@ fn eval_vec(
         }
         SqlExpr::Literal(c) => Ok(ColumnVec::broadcast(c, n)),
         SqlExpr::Binary { op, lhs, rhs } => {
-            let lv = eval_vec(lhs, f, rows_cache)?;
-            let rv = eval_vec(rhs, f, rows_cache)?;
+            let lv = eval_vec(lhs, f)?;
+            let rv = eval_vec(rhs, f)?;
             if *op == SqlBinOp::And || *op == SqlBinOp::Or {
                 let mut out = Vec::with_capacity(n);
                 for i in 0..n {
@@ -603,7 +830,7 @@ fn eval_vec(
             Ok(ColumnVec::from_cells(derive_type(e, &f.cols), out))
         }
         SqlExpr::Not(inner) => {
-            let v = eval_vec(inner, f, rows_cache)?;
+            let v = eval_vec(inner, f)?;
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
                 out.push(match v.cell_at(i) {
@@ -615,7 +842,7 @@ fn eval_vec(
             Ok(ColumnVec::from_cells(PgType::Bool, out))
         }
         SqlExpr::Neg(inner) => {
-            let v = eval_vec(inner, f, rows_cache)?;
+            let v = eval_vec(inner, f)?;
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
                 out.push(match v.cell_at(i) {
@@ -630,7 +857,7 @@ fn eval_vec(
         SqlExpr::Func { name, args, .. } if !is_aggregate_name(name) => {
             let mut avs = Vec::with_capacity(args.len());
             for a in args {
-                avs.push(eval_vec(a, f, rows_cache)?);
+                avs.push(eval_vec(a, f)?);
             }
             let mut out = Vec::with_capacity(n);
             let mut buf: Vec<Cell> = Vec::with_capacity(avs.len());
@@ -642,7 +869,7 @@ fn eval_vec(
             Ok(ColumnVec::from_cells(derive_type(e, &f.cols), out))
         }
         SqlExpr::Cast { expr: inner, ty } => {
-            let v = eval_vec(inner, f, rows_cache)?;
+            let v = eval_vec(inner, f)?;
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
                 out.push(expr::cast(&v.cell_at(i), *ty)?);
@@ -650,7 +877,7 @@ fn eval_vec(
             Ok(ColumnVec::from_cells(*ty, out))
         }
         SqlExpr::IsNull { expr: inner, negated } => {
-            let v = eval_vec(inner, f, rows_cache)?;
+            let v = eval_vec(inner, f)?;
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
                 out.push(Cell::Bool(v.is_null(i) != *negated));
@@ -659,12 +886,15 @@ fn eval_vec(
         }
         // CASE and IN (list) are lazy per row; Star/window/subquery
         // nodes and aggregate calls produce the row pipeline's exact
-        // errors. All take the row-wise fallback.
+        // errors. All take the row-wise fallback, assembling each row
+        // into one reused scratch buffer.
         other => {
-            let rows = rows_cache.get_or_insert_with(|| f.materialize());
             let mut out = Vec::with_capacity(n);
-            for row in rows.iter() {
-                out.push(eval(other, &f.cols, row)?);
+            let mut row: Vec<Cell> = Vec::with_capacity(f.columns.len());
+            for i in 0..n {
+                row.clear();
+                row.extend(f.columns.iter().map(|c| c.cell_at(i)));
+                out.push(eval(other, &f.cols, &row)?);
             }
             Ok(ColumnVec::from_cells(derive_type(other, &f.cols), out))
         }
@@ -823,10 +1053,15 @@ fn eval_from_batch(src: &dyn TableSource, item: &FromItem) -> Result<ColFrame, D
                     let cond =
                         on.as_ref().ok_or_else(|| DbError::syntax("JOIN requires ON"))?;
                     if let Some(pairs) = extract_equi_pairs(cond, &l.cols, &r.cols) {
-                        // Hash equi-join: build on the right, probe the
-                        // left in order, gather both sides by index
+                        // Hash equi-join: build on the right (serial —
+                        // the built table is shared read-only), probe
+                        // the left in order, gather both sides by index
                         // (left-major output, right insertion order —
                         // identical to the row pipeline's hash_join).
+                        // Large probe sides partition across workers;
+                        // per-morsel (lidx, ridx) runs concatenate in
+                        // morsel order, i.e. the serial probe output.
+                        let threads = src.exec_threads();
                         let mut index: HashMap<Vec<CellKey>, Vec<usize>> =
                             HashMap::with_capacity(r.len);
                         for ri in 0..r.len {
@@ -834,26 +1069,67 @@ fn eval_from_batch(src: &dyn TableSource, item: &FromItem) -> Result<ColFrame, D
                                 index.entry(k).or_default().push(ri);
                             }
                         }
-                        let mut lidx = Vec::new();
-                        let mut ridx: Vec<Option<usize>> = Vec::new();
-                        for li in 0..l.len {
-                            if let Some(matches) = batch_join_key(&l.columns, &pairs, false, li)
-                                .and_then(|k| index.get(&k))
-                            {
-                                for &ri in matches {
-                                    lidx.push(li);
-                                    ridx.push(Some(ri));
+                        let probe = |range: Range<usize>| {
+                            let mut lidx = Vec::new();
+                            let mut ridx: Vec<Option<usize>> = Vec::new();
+                            for li in range {
+                                if let Some(matches) =
+                                    batch_join_key(&l.columns, &pairs, false, li)
+                                        .and_then(|k| index.get(&k))
+                                {
+                                    for &ri in matches {
+                                        lidx.push(li);
+                                        ridx.push(Some(ri));
+                                    }
+                                    continue;
                                 }
-                                continue;
+                                if *kind == JoinType::Left {
+                                    lidx.push(li);
+                                    ridx.push(None);
+                                }
                             }
-                            if *kind == JoinType::Left {
-                                lidx.push(li);
-                                ridx.push(None);
+                            (lidx, ridx)
+                        };
+                        let (lidx, ridx) = if parallel::should_parallelize(l.len, threads) {
+                            let chunks = parallel::run_morsels(
+                                l.len,
+                                threads,
+                                "join_probe",
+                                |_, range| Ok(probe(range)),
+                            )?;
+                            let mut lidx = Vec::new();
+                            let mut ridx = Vec::new();
+                            for (lc, rc) in chunks {
+                                lidx.extend(lc);
+                                ridx.extend(rc);
                             }
-                        }
-                        let mut columns: Vec<ColumnVec> =
-                            l.columns.iter().map(|c| c.take(&lidx)).collect();
-                        columns.extend(r.columns.iter().map(|c| c.take_opt(&ridx)));
+                            (lidx, ridx)
+                        } else {
+                            probe(0..l.len)
+                        };
+                        let gather = |range: Range<usize>| {
+                            let mut columns: Vec<ColumnVec> = l
+                                .columns
+                                .iter()
+                                .map(|c| c.take(&lidx[range.clone()]))
+                                .collect();
+                            columns.extend(
+                                r.columns.iter().map(|c| c.take_opt(&ridx[range.clone()])),
+                            );
+                            columns
+                        };
+                        let columns = if parallel::should_parallelize(lidx.len(), threads)
+                            && !cols.is_empty()
+                        {
+                            concat_columns(parallel::run_morsels(
+                                lidx.len(),
+                                threads,
+                                "join_gather",
+                                |_, range| Ok(gather(range)),
+                            )?)
+                        } else {
+                            gather(0..lidx.len())
+                        };
                         Ok(ColFrame { cols, columns, len: lidx.len() })
                     } else {
                         // Non-equi conditions: materialize and run the

@@ -9,7 +9,9 @@
 pub mod columnar;
 pub mod expr;
 pub mod key;
+pub mod parallel;
 pub mod reference;
+pub mod stream;
 
 use crate::engine::DbError;
 use crate::sql::ast::*;
@@ -32,6 +34,14 @@ pub trait TableSource {
     fn get_table_batch(&self, name: &str) -> Option<Batch> {
         let (columns, rows) = self.get_table(name)?;
         Some(Batch::from_rows(Rows { columns, data: rows }))
+    }
+
+    /// Worker count for morsel-driven operators (DESIGN §12). `1` is
+    /// the serial path. The default defers to `HQ_EXEC_THREADS` / the
+    /// machine's parallelism; sessions override this with their
+    /// configured knob.
+    fn exec_threads(&self) -> usize {
+        parallel::default_exec_threads()
     }
 }
 

@@ -1,0 +1,178 @@
+//! True streaming SELECT execution (DESIGN §12).
+//!
+//! The narrow-but-hot shape — a single-block scan/filter/project over
+//! one stored table, no aggregation, no ordering, no paging — can
+//! answer without ever materializing its result: each pull evaluates
+//! one ~64K-row morsel of the source (slice → filter → project) and
+//! yields it as a bounded [`Batch`] chunk. Peak resident *result* state
+//! is one chunk, so the 64 MiB wire-frame ceiling becomes flow control
+//! rather than a failure mode.
+//!
+//! Everything outside the gate falls back to the materializing executor
+//! and is re-chunked for transport (bounded frames, not bounded peak
+//! memory) — see `Session::execute_stream`.
+
+use super::columnar::{collect_columns, collect_keep, eval_vec, slice_frame, ColFrame};
+use super::expr::{derive_type, BoundCol};
+use super::parallel::MORSEL_ROWS;
+use super::{default_output_name, TableSource};
+use crate::engine::DbError;
+use crate::sql::ast::*;
+use crate::types::Column;
+use colstore::{Batch, BatchStream, ColumnVec};
+use std::collections::HashSet;
+
+/// Build a true-streaming plan for `stmt`, or `None` when the statement
+/// is outside the streamable gate (the caller falls back to the
+/// materializing path, which also owns producing any resolution error).
+///
+/// The gate: single block (no set ops), no aggregates / GROUP BY /
+/// HAVING / window functions, no ORDER BY / LIMIT / OFFSET (all three
+/// need the full result), FROM is exactly one stored table, and every
+/// projected or filtered expression is morsel-eligible per
+/// [`collect_columns`] (vectorizable and fully resolvable).
+pub(crate) fn try_select_stream(
+    src: &dyn TableSource,
+    stmt: &SelectStmt,
+) -> Option<BatchStream<DbError>> {
+    if stmt.set_op.is_some()
+        || !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || !stmt.order_by.is_empty()
+        || stmt.limit.is_some()
+        || stmt.offset.is_some()
+    {
+        return None;
+    }
+    let Some(FromItem::Table { name, alias }) = &stmt.from else { return None };
+    let has_agg_or_window = stmt.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate() || expr.contains_window(),
+        SelectItem::Wildcard => false,
+    });
+    if has_agg_or_window {
+        return None;
+    }
+
+    let mut batch = src.get_table_batch(name)?;
+    let q = alias.clone().or_else(|| Some(name.clone()));
+    let len = batch.rows();
+    let cols: Vec<BoundCol> = batch
+        .schema
+        .iter()
+        .map(|c| BoundCol { qualifier: q.clone(), name: c.name.clone(), ty: c.ty })
+        .collect();
+
+    // Wildcard expansion, identical to the materializing block.
+    let mut items: Vec<(Option<String>, SqlExpr)> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for c in &cols {
+                    items.push((
+                        Some(c.name.clone()),
+                        SqlExpr::Column { qualifier: c.qualifier.clone(), name: c.name.clone() },
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => items.push((alias.clone(), expr.clone())),
+        }
+    }
+
+    // Every expression must be morsel-eligible; `refs` accumulates the
+    // union of referenced source columns so unused ones never slice.
+    let mut refs = HashSet::new();
+    if let Some(pred) = &stmt.where_clause {
+        collect_columns(pred, &cols, &mut refs)?;
+    }
+    for (_, e) in &items {
+        collect_columns(e, &cols, &mut refs)?;
+    }
+
+    let schema: Vec<Column> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (alias, e))| {
+            let name = alias.clone().unwrap_or_else(|| default_output_name(e, i));
+            Column::new(name, derive_type(e, &cols))
+        })
+        .collect();
+    let exprs: Vec<SqlExpr> = items.into_iter().map(|(_, e)| e).collect();
+
+    let stream = SelectStream {
+        frame: ColFrame { cols, columns: std::mem::take(&mut batch.columns), len },
+        where_clause: stmt.where_clause.clone(),
+        exprs,
+        refs,
+        schema: schema.clone(),
+        pos: 0,
+        done: false,
+    };
+    Some(BatchStream::new(schema, stream))
+}
+
+/// The pull-based morsel pipeline behind [`try_select_stream`].
+struct SelectStream {
+    frame: ColFrame,
+    where_clause: Option<SqlExpr>,
+    exprs: Vec<SqlExpr>,
+    refs: HashSet<usize>,
+    schema: Vec<Column>,
+    pos: usize,
+    done: bool,
+}
+
+impl SelectStream {
+    /// Evaluate one source morsel into an output chunk.
+    fn chunk(&self, start: usize, len: usize) -> Result<Batch, DbError> {
+        let mut sub = slice_frame(&self.frame, &self.refs, &(start..start + len));
+        if let Some(pred) = &self.where_clause {
+            let mask = eval_vec(pred, &sub)?;
+            let mut keep = Vec::new();
+            collect_keep(&mask, 0, &mut keep);
+            if keep.len() < sub.len {
+                // Gather referenced columns only; the placeholders for
+                // unreferenced ones are zero-length and must stay
+                // untouched (nothing downstream reads them).
+                let columns = sub
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if self.refs.contains(&i) {
+                            c.take(&keep)
+                        } else {
+                            ColumnVec::Cells(Vec::new())
+                        }
+                    })
+                    .collect();
+                sub = ColFrame { cols: sub.cols, columns, len: keep.len() };
+            }
+        }
+        let mut columns: Vec<ColumnVec> = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            columns.push(eval_vec(e, &sub)?);
+        }
+        Ok(Batch::new(self.schema.clone(), columns, sub.len))
+    }
+}
+
+impl Iterator for SelectStream {
+    type Item = Result<Batch, DbError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done && self.pos < self.frame.len {
+            let start = self.pos;
+            let len = MORSEL_ROWS.min(self.frame.len - start);
+            self.pos += len;
+            match self.chunk(start, len) {
+                Ok(b) if b.rows() == 0 => continue, // fully filtered morsel
+                Ok(b) => return Some(Ok(b)),
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        None
+    }
+}

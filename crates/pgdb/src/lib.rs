@@ -29,6 +29,7 @@ pub mod server;
 pub mod sql;
 pub mod types;
 
-pub use colstore::{Batch, ColumnVec};
-pub use engine::{BatchQueryResult, Db, DbError, QueryResult, Session};
+pub use colstore::{Batch, BatchStream, ColumnVec};
+pub use engine::{BatchQueryResult, Db, DbError, QueryResult, Session, StreamQueryResult};
+pub use exec::parallel::{default_exec_threads, MORSEL_ROWS};
 pub use types::{Cell, Column, PgType, Rows};

@@ -12,7 +12,7 @@
 //! malformed frames are answered with an `08P01` protocol-violation
 //! error instead of killing the process or hanging the peer.
 
-use crate::engine::{BatchQueryResult, Db};
+use crate::engine::{Db, StreamQueryResult};
 use crate::types::PgType;
 use bytes::BytesMut;
 use pgwire::codec::{encode_backend, MessageReader};
@@ -301,12 +301,14 @@ fn serve_connection(
                 queries_counter().inc();
                 // Multiple statements separated by ';'.
                 for stmt_sql in split_statements(trimmed) {
-                    // Results stay columnar until this point; cells are
-                    // realized one wire row at a time (the protocol's
-                    // representation boundary, DESIGN §10).
-                    match session.execute_batch(&stmt_sql) {
-                        Ok(BatchQueryResult::Batch(batch)) => {
-                            let fields: Vec<FieldDesc> = batch
+                    // Results stream as bounded batches until this
+                    // point; cells are realized one wire row at a time
+                    // (the protocol's representation boundary, DESIGN
+                    // §10/§12). Peak resident result state is one
+                    // morsel-sized chunk, not the full row set.
+                    match session.execute_stream(&stmt_sql) {
+                        Ok(StreamQueryResult::Stream(batches)) => {
+                            let fields: Vec<FieldDesc> = batches
                                 .schema
                                 .iter()
                                 .map(|c| FieldDesc {
@@ -315,21 +317,47 @@ fn serve_connection(
                                 })
                                 .collect();
                             send(&mut stream, &BackendMessage::RowDescription(fields))?;
-                            let count = batch.rows();
-                            for i in 0..count {
-                                let cells: Vec<Option<String>> = batch
-                                    .columns
-                                    .iter()
-                                    .map(|col| col.cell_at(i).to_wire_text())
-                                    .collect();
-                                send(&mut stream, &BackendMessage::DataRow(cells))?;
+                            let mut count = 0usize;
+                            let mut failed = false;
+                            for item in batches {
+                                match item {
+                                    Ok(batch) => {
+                                        for i in 0..batch.rows() {
+                                            let cells: Vec<Option<String>> = batch
+                                                .columns
+                                                .iter()
+                                                .map(|col| col.cell_at(i).to_wire_text())
+                                                .collect();
+                                            send(&mut stream, &BackendMessage::DataRow(cells))?;
+                                        }
+                                        count += batch.rows();
+                                    }
+                                    // Mid-stream failure: the protocol
+                                    // allows ErrorResponse after partial
+                                    // DataRows — the client discards them.
+                                    Err(e) => {
+                                        send(
+                                            &mut stream,
+                                            &BackendMessage::ErrorResponse {
+                                                severity: "ERROR".into(),
+                                                code: e.code.clone(),
+                                                message: e.message.clone(),
+                                            },
+                                        )?;
+                                        failed = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if failed {
+                                break;
                             }
                             send(
                                 &mut stream,
                                 &BackendMessage::CommandComplete(format!("SELECT {count}")),
                             )?;
                         }
-                        Ok(BatchQueryResult::Command(tag)) => {
+                        Ok(StreamQueryResult::Command(tag)) => {
                             send(&mut stream, &BackendMessage::CommandComplete(tag))?;
                         }
                         Err(e) => {

@@ -8,6 +8,11 @@
 //! Afterwards the process-global metrics registry must show the total
 //! query count increment with a zero error delta — concurrency must not
 //! manufacture failures.
+//!
+//! The server runs with a 4-worker executor pool (`HQ_EXEC_THREADS=4`,
+//! DESIGN §12): eight concurrent sessions over morsel-parallel
+//! execution is exactly the oversubscription shape a production gateway
+//! sees, and results must be indistinguishable from serial ones.
 
 use hyperq::backend;
 use hyperq::gateway::{Credentials, PgWireBackend};
@@ -33,6 +38,9 @@ fn trades() -> Table {
 
 #[test]
 fn eight_parallel_gateway_sessions_stay_isolated_with_clean_metrics() {
+    // Set before any session thread spawns; this file holds a single
+    // test, so no concurrent test observes the change.
+    std::env::set_var("HQ_EXEC_THREADS", "4");
     let db = pgdb::Db::new();
     let mut bootstrap = HyperQSession::with_direct(&db);
     loader::load_table(&mut bootstrap, "trades", &trades()).unwrap();
