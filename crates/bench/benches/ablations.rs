@@ -93,7 +93,7 @@ fn ablation_materialization(c: &mut Criterion) {
         b.iter(|| {
             // Fresh session per run: temp tables are per-session and
             // re-creating HQ_TEMP_n in one session would collide.
-            let mut s = HyperQSession::with_direct_config(&db2, phys_cfg);
+            let mut s = HyperQSession::with_direct_config(&db2, phys_cfg.clone());
             s.execute(program).unwrap()
         });
     });

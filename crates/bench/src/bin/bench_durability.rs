@@ -1,0 +1,174 @@
+//! Emit `BENCH_durability.json`: what durability costs on the ingest
+//! path, and what recovery costs on restart (DESIGN §13).
+//!
+//!     cargo run --release --bin bench_durability
+//!
+//! Ingest: the same batched `INSERT` stream (1000-row VALUES lists)
+//! through four engine configurations —
+//!
+//! * `baseline` — in-memory engine, durability compiled out of the path;
+//! * `off` — WAL written, never fsynced (survives process death, not
+//!   power loss);
+//! * `group_5ms` — group commit: one fsync per 5 ms window covers every
+//!   commit in it;
+//! * `always` — fsync before every acknowledgement.
+//!
+//! Recovery: the `off` run leaves a WAL tail holding the entire ingest
+//! (checkpoints disabled); reopening the engine replays it all — the
+//! worst-case restart — and the wall clock is recorded.
+//!
+//! `BENCH_DURABILITY_ROWS` overrides the 1M default for smoke runs.
+
+use pgdb::{Db, DurabilityOptions, FsyncPolicy};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const DEFAULT_ROWS: usize = 1_000_000;
+const BATCH_ROWS: usize = 1_000;
+
+fn rows_target() -> usize {
+    std::env::var("BENCH_DURABILITY_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(DEFAULT_ROWS)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hq-bench-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Drive `rows` through batched INSERTs and return the ingest wall
+/// clock (table creation excluded).
+fn ingest(db: &Db, rows: usize) -> Duration {
+    let mut session = db.session();
+    session.execute("CREATE TABLE t (x bigint, v float8)").expect("create");
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    let mut sql = String::with_capacity(BATCH_ROWS * 16);
+    while done < rows {
+        let n = BATCH_ROWS.min(rows - done);
+        sql.clear();
+        sql.push_str("INSERT INTO t VALUES ");
+        for k in 0..n {
+            let id = (done + k) as i64;
+            if k > 0 {
+                sql.push(',');
+            }
+            let _ = write!(sql, "({id}, {}.25)", id % 97);
+        }
+        session.execute(&sql).expect("insert batch");
+        done += n;
+    }
+    t0.elapsed()
+}
+
+struct IngestEntry {
+    policy: &'static str,
+    seconds: f64,
+    rows_per_s: f64,
+}
+
+fn main() {
+    let rows = rows_target();
+    eprintln!("ingesting {rows} rows per policy...");
+
+    let policies: [(&'static str, Option<FsyncPolicy>); 4] = [
+        ("baseline", None),
+        ("off", Some(FsyncPolicy::Off)),
+        ("group_5ms", Some(FsyncPolicy::Group(Duration::from_millis(5)))),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+
+    let mut entries = Vec::new();
+    let mut recovery_dir: Option<PathBuf> = None;
+    for (name, policy) in policies {
+        let (db, dir) = match policy {
+            None => (Db::new(), None),
+            Some(fsync) => {
+                let dir = fresh_dir(name);
+                let opts = DurabilityOptions {
+                    data_dir: dir.clone(),
+                    fsync,
+                    // No checkpoints: the recovery leg below wants the
+                    // whole ingest as a WAL tail, the worst case.
+                    checkpoint_every: 0,
+                };
+                (Db::open(&opts).expect("open durable engine"), Some(dir))
+            }
+        };
+        let took = ingest(&db, rows);
+        drop(db);
+        let e = IngestEntry {
+            policy: name,
+            seconds: took.as_secs_f64(),
+            rows_per_s: rows as f64 / took.as_secs_f64().max(1e-9),
+        };
+        println!(
+            "ingest {:<10} {:>8.3}s   {:>12.0} rows/s",
+            e.policy, e.seconds, e.rows_per_s
+        );
+        entries.push(e);
+        match (name, dir) {
+            ("off", Some(d)) => recovery_dir = Some(d), // kept for the recovery leg
+            (_, Some(d)) => {
+                let _ = std::fs::remove_dir_all(&d);
+            }
+            _ => {}
+        }
+    }
+
+    // Recovery: reopen the engine over the full WAL tail and prove the
+    // data came back before timing is trusted.
+    let dir = recovery_dir.expect("off policy ran");
+    let t0 = Instant::now();
+    let recovered = Db::open(&DurabilityOptions {
+        data_dir: dir.clone(),
+        fsync: FsyncPolicy::Off,
+        checkpoint_every: 0,
+    })
+    .expect("recovery");
+    let recovery = t0.elapsed();
+    let got_rows = recovered
+        .get_table_snapshot("t")
+        .map(|t| t.batch.rows())
+        .unwrap_or(0);
+    assert_eq!(got_rows, rows, "recovery lost rows");
+    drop(recovered);
+    println!(
+        "recovery: {rows}-row WAL tail replayed in {:.3}s ({:.0} rows/s)",
+        recovery.as_secs_f64(),
+        rows as f64 / recovery.as_secs_f64().max(1e-9),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let baseline = entries[0].rows_per_s;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"batch_rows\": {BATCH_ROWS},");
+    json.push_str("  \"ingest\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"policy\": \"{}\", \"seconds\": {:.6}, \"rows_per_s\": {:.0}, \"vs_baseline\": {:.3}}}{}",
+            e.policy,
+            e.seconds,
+            e.rows_per_s,
+            e.rows_per_s / baseline.max(1e-9),
+            if i + 1 < entries.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"wal_rows\": {rows}, \"seconds\": {:.6}, \"rows_per_s\": {:.0}}}",
+        recovery.as_secs_f64(),
+        rows as f64 / recovery.as_secs_f64().max(1e-9),
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+    println!("wrote BENCH_durability.json");
+}

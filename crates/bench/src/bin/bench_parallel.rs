@@ -219,6 +219,9 @@ fn main() {
     json.push_str(&format!("  \"shapes_at_2_5x_or_better\": {at_bar},\n"));
     json.push_str(&format!("  \"speedup_gate_enforced\": {speedup_gate_enforced},\n"));
     if !speedup_gate_enforced {
+        // Machine-readable marker so downstream tooling can tell "the
+        // gate passed" apart from "the gate could not run here".
+        json.push_str("  \"skipped_reason\": \"insufficient_cores\",\n");
         json.push_str(&format!(
             "  \"speedup_gate_note\": \"hardware-skipped: {available_cores} core(s) < {PARALLEL_WORKERS}\",\n"
         ));

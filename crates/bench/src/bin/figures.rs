@@ -147,7 +147,7 @@ fn main() {
         let cfg = SessionConfig { policy, ..Default::default() };
         let mut best = Duration::MAX;
         for _ in 0..reps {
-            let mut s = HyperQSession::with_direct_config(&db, cfg);
+            let mut s = HyperQSession::with_direct_config(&db, cfg.clone());
             let t0 = std::time::Instant::now();
             s.execute(program).unwrap();
             best = best.min(t0.elapsed());
@@ -173,7 +173,7 @@ fn main() {
             xform: XformConfig { ordering, ..XformConfig::default() },
             ..Default::default()
         };
-        let mut s = HyperQSession::with_direct_config(&db, cfg);
+        let mut s = HyperQSession::with_direct_config(&db, cfg.clone());
         let mut best = Duration::MAX;
         for _ in 0..reps {
             let t0 = std::time::Instant::now();

@@ -65,6 +65,15 @@ pub trait Backend: Send {
     fn reconnects(&self) -> u64 {
         0
     }
+
+    /// Whether committed mutations on this backend survive a crash
+    /// (WAL + recovery). The gateway consults this when a connection
+    /// dies mid-mutation: against a durable backend the refusal to
+    /// blind-replay becomes "reconnect and report, effects preserved",
+    /// because a committed statement cannot have been lost.
+    fn durable(&self) -> bool {
+        false
+    }
 }
 
 /// In-process backend: a `pgdb` session (temp tables and all).
@@ -104,6 +113,10 @@ impl Backend for DirectBackend {
 
     fn describe(&self) -> String {
         "pgdb (in-process)".to_string()
+    }
+
+    fn durable(&self) -> bool {
+        self.session.db().is_durable()
     }
 }
 

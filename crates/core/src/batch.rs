@@ -210,7 +210,7 @@ impl BatchDriver {
     pub fn with_config(tables: &[(String, Table)], config: SessionConfig) -> QResult<Self> {
         let cold_db = pgdb::Db::new();
         let warm_db = pgdb::Db::new();
-        let cold_cfg = SessionConfig { translation_cache: 0, ..config };
+        let cold_cfg = SessionConfig { translation_cache: 0, ..config.clone() };
         let warm_cfg = if config.translation_cache == 0 {
             SessionConfig { translation_cache: 256, ..config }
         } else {

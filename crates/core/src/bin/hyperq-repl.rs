@@ -18,7 +18,12 @@ use hyperq_workload::taq::{generate_quotes, generate_trades, TaqConfig};
 use std::io::{BufRead, Write};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let db = pgdb::Db::new();
+    // HQ_DATA_DIR (plus HQ_FSYNC / HQ_CHECKPOINT_EVERY) turns on the
+    // durability layer: tables survive a restart of the console.
+    let db = pgdb::Db::open_from_env()?;
+    if db.is_durable() {
+        println!("durability: on (HQ_DATA_DIR)");
+    }
     let mut session = HyperQSession::with_direct(&db);
     let cfg = TaqConfig { rows: 1000, symbols: 6, days: 2, seed: 2016 };
     loader::load_table(&mut session, "trades", &generate_trades(&cfg))?;

@@ -198,7 +198,7 @@ fn serve_connection(
     // Q application its connection — queries are answered with error
     // frames naming the failure instead.
     let mut session: Result<HyperQSession, String> = match factory() {
-        Ok(backend) => Ok(HyperQSession::new(backend, config.session)),
+        Ok(backend) => Ok(HyperQSession::new(backend, config.session.clone())),
         Err(e) => Err(format!("'backend: unavailable ({e})")),
     };
     let auth = config.authenticator;

@@ -41,6 +41,10 @@ use std::sync::{Arc, OnceLock};
 struct WireMetrics {
     reconnects: Arc<obs::Counter>,
     retries: Arc<obs::Counter>,
+    /// Mid-flight connection losses under a non-idempotent statement
+    /// where the backend is durable: the replay is skipped (not
+    /// refused fatally) because a committed mutation survived on disk.
+    replay_skipped_durable: Arc<obs::Counter>,
 }
 
 fn wire_metrics() -> &'static WireMetrics {
@@ -50,6 +54,7 @@ fn wire_metrics() -> &'static WireMetrics {
         WireMetrics {
             reconnects: reg.counter("wire_reconnects_total"),
             retries: reg.counter("wire_retries_total"),
+            replay_skipped_durable: reg.counter("wire_replay_skipped_durable_total"),
         }
     })
 }
@@ -152,6 +157,10 @@ pub struct PgWireBackend {
     /// Number of reconnects performed over the life of this backend
     /// (diagnostics; the chaos tests assert on it).
     reconnects: u64,
+    /// Did the server advertise crash durability (`hyperq_durability`
+    /// parameter status) during session establishment? Decides how a
+    /// mid-flight connection loss under a mutation is handled.
+    durable: bool,
 }
 
 impl PgWireBackend {
@@ -168,7 +177,7 @@ impl PgWireBackend {
         timeouts: WireTimeouts,
         retry: RetryPolicy,
     ) -> Result<Self, WireError> {
-        let (stream, reader) = Self::open_stream(addr, creds, &timeouts)?;
+        let (stream, reader, durable) = Self::open_stream(addr, creds, &timeouts)?;
         Ok(PgWireBackend {
             stream,
             reader,
@@ -178,6 +187,7 @@ impl PgWireBackend {
             retry,
             journal: Vec::new(),
             reconnects: 0,
+            durable,
         })
     }
 
@@ -193,12 +203,14 @@ impl PgWireBackend {
 
     /// Establish one authenticated connection: TCP connect under the
     /// connect deadline, the start-up/authentication exchange, then
-    /// drain to `ReadyForQuery`.
+    /// drain to `ReadyForQuery`. The returned flag is whether the
+    /// server advertised crash durability (`hyperq_durability`
+    /// parameter status) along the way.
     fn open_stream(
         addr: &str,
         creds: &Credentials,
         timeouts: &WireTimeouts,
-    ) -> Result<(TcpStream, MessageReader), WireError> {
+    ) -> Result<(TcpStream, MessageReader, bool), WireError> {
         let stream = match timeouts.connect {
             Some(deadline) => {
                 let sock = addr
@@ -223,7 +235,9 @@ impl PgWireBackend {
                 ("database".to_string(), creds.database.clone()),
             ],
         })?;
-        // Authentication loop, then drain to ReadyForQuery.
+        // Authentication loop, then drain to ReadyForQuery, noting the
+        // durability advertisement if the server sends one.
+        let mut durable = false;
         loop {
             match recv_on(&mut stream, &mut reader)? {
                 BackendMessage::Authentication(AuthRequest::Ok) => break,
@@ -234,6 +248,9 @@ impl PgWireBackend {
                     let hashed = pgwire::md5_password(&creds.user, &creds.password, salt);
                     send_on(&mut stream, &FrontendMessage::Password(hashed))?;
                 }
+                BackendMessage::ParameterStatus { name, value } if name == "hyperq_durability" => {
+                    durable = value == "on";
+                }
                 BackendMessage::ErrorResponse { code, message, .. } => {
                     return Err(connect_rejection(code, message));
                 }
@@ -243,21 +260,25 @@ impl PgWireBackend {
         loop {
             match recv_on(&mut stream, &mut reader)? {
                 BackendMessage::ReadyForQuery(_) => break,
+                BackendMessage::ParameterStatus { name, value } if name == "hyperq_durability" => {
+                    durable = value == "on";
+                }
                 BackendMessage::ErrorResponse { code, message, .. } => {
                     return Err(connect_rejection(code, message));
                 }
                 _ => {}
             }
         }
-        Ok((stream, reader))
+        Ok((stream, reader, durable))
     }
 
     /// Tear down the current connection, establish a fresh one and
     /// replay the session-establishment journal on it.
     fn reconnect(&mut self) -> Result<(), WireError> {
-        let (stream, reader) = Self::open_stream(&self.addr, &self.creds, &self.timeouts)?;
+        let (stream, reader, durable) = Self::open_stream(&self.addr, &self.creds, &self.timeouts)?;
         self.stream = stream;
         self.reader = reader;
+        self.durable = durable;
         self.reconnects += 1;
         wire_metrics().reconnects.inc();
         // Replay the journal; temp tables are session-scoped on the
@@ -406,11 +427,39 @@ impl Backend for PgWireBackend {
                 }
                 Err(e) if e.retryable() => {
                     if !class.replayable() {
+                        if self.durable {
+                            // The backend journals every committed
+                            // mutation to a WAL: if the statement
+                            // committed before the connection died, its
+                            // effects survived on disk, so the only
+                            // ambiguity is *whether* it committed —
+                            // which a blind replay would not resolve
+                            // (it could apply the mutation twice).
+                            // Skip the replay, re-establish the
+                            // session so it stays usable, and tell the
+                            // caller to verify and re-issue.
+                            wire_metrics().replay_skipped_durable.inc();
+                            let _ = self.reconnect();
+                            return Err(WireError::new(
+                                WireErrorKind::NonIdempotent,
+                                format!(
+                                    "connection failed while a non-idempotent statement \
+                                     ({}) was in flight; replay skipped — the backend is \
+                                     durable, so if the statement committed its effects \
+                                     are preserved on disk; verify and re-issue: {e}",
+                                    summarize(sql)
+                                ),
+                            ));
+                        }
                         return Err(WireError::new(
                             WireErrorKind::NonIdempotent,
                             format!(
                                 "connection failed while a non-idempotent statement \
-                                 ({}) was in flight; not retrying: {e}",
+                                 ({}) was in flight; not retrying — the backend is not \
+                                 durable, so a committed result may already be lost and \
+                                 a replay could apply the mutation twice (enable \
+                                 durability on the backend with HQ_DATA_DIR to preserve \
+                                 committed effects across crashes): {e}",
                                 summarize(sql)
                             ),
                         ));
@@ -452,6 +501,10 @@ impl Backend for PgWireBackend {
 
     fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    fn durable(&self) -> bool {
+        self.durable
     }
 }
 
@@ -564,6 +617,21 @@ mod tests {
     fn fake_server_once(
         responses: impl FnOnce(&mut TcpStream) + Send + 'static,
     ) -> std::net::SocketAddr {
+        fake_server(false, responses)
+    }
+
+    /// Like [`fake_server_once`], but advertising crash durability
+    /// during session establishment.
+    fn fake_durable_server_once(
+        responses: impl FnOnce(&mut TcpStream) + Send + 'static,
+    ) -> std::net::SocketAddr {
+        fake_server(true, responses)
+    }
+
+    fn fake_server(
+        durable: bool,
+        responses: impl FnOnce(&mut TcpStream) + Send + 'static,
+    ) -> std::net::SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         std::thread::spawn(move || {
@@ -571,9 +639,18 @@ mod tests {
             // Swallow the startup packet.
             let mut buf = [0u8; 4096];
             let _ = stream.read(&mut buf).unwrap();
-            // Auth OK + ReadyForQuery.
+            // Auth OK (+ durability advertisement) + ReadyForQuery.
             let mut out = BytesMut::new();
             encode_backend(&BackendMessage::Authentication(AuthRequest::Ok), &mut out);
+            if durable {
+                encode_backend(
+                    &BackendMessage::ParameterStatus {
+                        name: "hyperq_durability".into(),
+                        value: "on".into(),
+                    },
+                    &mut out,
+                );
+            }
             encode_backend(
                 &BackendMessage::ReadyForQuery(TransactionStatus::Idle),
                 &mut out,
@@ -705,5 +782,87 @@ mod tests {
         };
         assert_eq!(err.kind, WireErrorKind::ConnectFailed, "{err}");
         assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn durability_advertisement_is_parsed_from_parameter_status() {
+        // A non-durable pgdb server advertises "off" → false.
+        let db = pgdb::Db::new();
+        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let backend = PgWireBackend::connect(&server.addr.to_string(), &creds).unwrap();
+        assert!(!Backend::durable(&backend));
+        server.detach();
+
+        // A fake server advertising "on" → true.
+        let addr = fake_durable_server_once(|stream| {
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+        });
+        let backend = PgWireBackend::connect_with(
+            &addr.to_string(),
+            &creds,
+            WireTimeouts::default(),
+            RetryPolicy::no_retry(),
+        )
+        .unwrap();
+        assert!(Backend::durable(&backend));
+    }
+
+    #[test]
+    fn durable_server_advertises_on_over_the_wire() {
+        let dir = std::env::temp_dir().join(format!("hq-gw-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = pgdb::Db::open(&pgdb::DurabilityOptions::new(&dir)).unwrap();
+        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let backend = PgWireBackend::connect(&server.addr.to_string(), &creds).unwrap();
+        assert!(Backend::durable(&backend));
+        server.detach();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_idempotent_loss_on_durable_backend_is_a_replay_skip() {
+        // The server advertises durability, then dies mid-mutation.
+        let addr = fake_durable_server_once(|stream| {
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf).unwrap(); // the INSERT
+            // Drop the connection without answering.
+        });
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let mut backend = PgWireBackend::connect_with(
+            &addr.to_string(),
+            &creds,
+            WireTimeouts::default(),
+            RetryPolicy::no_retry(),
+        )
+        .unwrap();
+        let before = wire_metrics().replay_skipped_durable.get();
+        let err = backend.execute_sql("INSERT INTO t VALUES (1)").unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::NonIdempotent, "{err}");
+        assert!(err.message.contains("replay skipped"), "{err}");
+        assert!(err.message.contains("preserved on disk"), "{err}");
+        assert_eq!(wire_metrics().replay_skipped_durable.get(), before + 1);
+    }
+
+    #[test]
+    fn non_idempotent_loss_on_volatile_backend_points_at_durability() {
+        let addr = fake_server_once(|stream| {
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf).unwrap();
+        });
+        let creds = Credentials { user: "x".into(), ..Default::default() };
+        let mut backend = PgWireBackend::connect_with(
+            &addr.to_string(),
+            &creds,
+            WireTimeouts::default(),
+            RetryPolicy::no_retry(),
+        )
+        .unwrap();
+        let err = backend.execute_sql("INSERT INTO t VALUES (1)").unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::NonIdempotent, "{err}");
+        assert!(err.message.contains("not durable"), "{err}");
+        assert!(err.message.contains("HQ_DATA_DIR"), "{err}");
     }
 }

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use xformer::XformConfig;
 
 /// Session configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// Materialization policy for Q variable assignments.
     pub policy: MaterializationPolicy,
@@ -50,6 +50,14 @@ pub struct SessionConfig {
     /// (README knob `HQ_EXEC_THREADS`, DESIGN §12). Remote backends
     /// ignore it.
     pub exec_threads: usize,
+    /// Durability for the in-process backend: `Some` recovers the
+    /// catalog from the data directory on open and WAL-logs every
+    /// committed mutation (README knobs `HQ_DATA_DIR`, `HQ_FSYNC`,
+    /// `HQ_CHECKPOINT_EVERY`; DESIGN §13). `None` keeps the pure
+    /// in-memory engine. Only honoured where this config *opens* the
+    /// database ([`SessionConfig::open_db`]); remote backends manage
+    /// their own durability and advertise it over the wire.
+    pub durability: Option<pgdb::DurabilityOptions>,
 }
 
 impl Default for SessionConfig {
@@ -63,6 +71,28 @@ impl Default for SessionConfig {
             retry: RetryPolicy::default(),
             slow_query: Duration::from_millis(250),
             exec_threads: 0,
+            durability: None,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Environment-driven defaults: everything from `Default`, plus
+    /// durability per `HQ_DATA_DIR` / `HQ_FSYNC` / `HQ_CHECKPOINT_EVERY`.
+    pub fn from_env() -> Self {
+        SessionConfig {
+            durability: pgdb::DurabilityOptions::from_env(),
+            ..SessionConfig::default()
+        }
+    }
+
+    /// Open the in-process database this configuration describes:
+    /// durable (with recovery) when `durability` is set, plain
+    /// in-memory otherwise.
+    pub fn open_db(&self) -> Result<pgdb::Db, pgdb::DbError> {
+        match &self.durability {
+            Some(opts) => pgdb::Db::open(opts),
+            None => Ok(pgdb::Db::new()),
         }
     }
 }

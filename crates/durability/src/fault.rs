@@ -1,0 +1,79 @@
+//! Deterministic crash injection for the chaos suite.
+//!
+//! The durability layer calls [`crash_point`] at the handful of moments
+//! where dying is interesting (mid-append, between segment writes,
+//! before the checkpoint rename). In production the calls are two
+//! relaxed atomic loads and nothing else. Under test, setting
+//!
+//! ```text
+//! HQ_DUR_CRASH=<point>[:<n>]
+//! ```
+//!
+//! makes the process kill itself with SIGKILL the `n`-th time (default
+//! first) execution reaches `<point>` — the same "no destructors, no
+//! flushes, no goodbyes" death the acceptance criteria demand, but
+//! placed deterministically instead of raced from outside.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+struct Armed {
+    point: String,
+    /// Remaining hits before the crash fires.
+    countdown: AtomicU32,
+}
+
+fn armed() -> &'static Option<Armed> {
+    static ARMED: OnceLock<Option<Armed>> = OnceLock::new();
+    ARMED.get_or_init(|| {
+        let spec = std::env::var("HQ_DUR_CRASH").ok()?;
+        let (point, n) = match spec.rsplit_once(':') {
+            Some((p, n)) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
+                (p.to_string(), n.parse().unwrap_or(1))
+            }
+            _ => (spec, 1),
+        };
+        Some(Armed { point, countdown: AtomicU32::new(n.max(1)) })
+    })
+}
+
+/// Die here if `HQ_DUR_CRASH` targets this point (and its countdown has
+/// run out). No-op otherwise.
+pub fn crash_point(point: &str) {
+    let Some(a) = armed() else { return };
+    if a.point != point {
+        return;
+    }
+    if a.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
+        die();
+    }
+}
+
+/// Consume one hit of a *cooperative* fault point: returns true when
+/// this hit is the one armed to crash. The WAL appender uses it for
+/// `wal.partial-append` — it must write half a frame before dying,
+/// which only the writer can arrange, so it asks first, damages the
+/// file, then calls [`crash_now`].
+pub fn about_to_crash(point: &str) -> bool {
+    match armed() {
+        Some(a) if a.point == point => a.countdown.fetch_sub(1, Ordering::SeqCst) == 1,
+        _ => false,
+    }
+}
+
+/// Unconditional SIGKILL — the second half of a cooperative fault site
+/// that [`about_to_crash`] said yes to.
+pub fn crash_now() -> ! {
+    die()
+}
+
+/// SIGKILL self: the OS reaps the process with no user-space cleanup —
+/// exactly what a power cut or OOM kill looks like to the data
+/// directory. `abort()` as fallback if `kill` cannot be spawned.
+fn die() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill").args(["-9", &pid]).status();
+    // Unreachable when the SIGKILL lands; abort covers exotic setups
+    // with no `kill` binary.
+    std::process::abort();
+}

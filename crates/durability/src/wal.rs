@@ -1,0 +1,504 @@
+//! Append-only, CRC-framed write-ahead log with group-commit fsync.
+//!
+//! Every committed mutation becomes one *typed* record — not SQL text.
+//! Replay is deterministic batch application with no dependence on
+//! parser behaviour or session temp tables (a `CREATE TABLE AS` logs
+//! the *computed* result, so recovery never re-runs the query).
+//!
+//! ## Frame format
+//!
+//! ```text
+//! ┌─────────┬─────────┬─────────────┬──────────────────┐
+//! │ len u32 │ crc u32 │   lsn u64   │ payload (len-8 B)│
+//! └─────────┴─────────┴─────────────┴──────────────────┘
+//!            crc32 over [lsn..payload]; len = 8 + payload
+//! ```
+//!
+//! Files are named `wal-%016x.log` by the LSN of their first record and
+//! rotate at every checkpoint, so retention is file-granular.
+//!
+//! ## Commit protocol
+//!
+//! The engine appends under its table write lock (so LSN order equals
+//! apply order), releases the lock, then calls [`Wal::wait_durable`]
+//! before acknowledging the client:
+//!
+//! * `always` — fsync inline before the ack returns;
+//! * `group(ms)` — block on a condvar until the background flusher's
+//!   next cadence covers this LSN (one fsync amortized across every
+//!   commit that arrived in the window — classic group commit);
+//! * `off` — return immediately (fsync only at rotation/shutdown).
+
+use crate::codec::{self, CodecError, Cursor};
+use crate::metrics::metrics;
+use crate::{crc, fault, DurError};
+use colstore::types::Column;
+use colstore::Batch;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// When the ack is allowed to outrun the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before every acknowledgement.
+    Always,
+    /// Group commit: one fsync per interval covers every commit that
+    /// arrived during it; commits block until their LSN is covered.
+    Group(Duration),
+    /// Never fsync on commit (data still reaches the OS; a process
+    /// crash loses nothing, a power cut may lose the tail).
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Parse the `HQ_FSYNC` knob: `always`, `off`, `group` (default
+    /// 5 ms) or `group(<n>ms)`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "always" => Some(FsyncPolicy::Always),
+            "off" => Some(FsyncPolicy::Off),
+            "group" => Some(FsyncPolicy::Group(Duration::from_millis(5))),
+            _ => {
+                let inner = s.strip_prefix("group(")?.strip_suffix(')')?;
+                let ms: u64 = inner.trim().strip_suffix("ms").unwrap_or(inner).trim().parse().ok()?;
+                Some(FsyncPolicy::Group(Duration::from_millis(ms.max(1))))
+            }
+        }
+    }
+
+    /// Stable label for diagnostics and bench output.
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".into(),
+            FsyncPolicy::Group(d) => format!("group({}ms)", d.as_millis()),
+            FsyncPolicy::Off => "off".into(),
+        }
+    }
+}
+
+/// One logical mutation, replayable without a SQL parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// `CREATE TABLE` — empty table with this schema.
+    CreateTable { name: String, schema: Vec<Column> },
+    /// `INSERT` — append these rows (already cast to the table schema).
+    InsertBatch { table: String, batch: Batch },
+    /// `DROP TABLE`.
+    DropTable { name: String },
+    /// Create-or-replace with materialized contents (`CREATE TABLE AS`
+    /// results, host-API loads).
+    PutTable { name: String, batch: Batch },
+}
+
+impl WalRecord {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::CreateTable { name, schema } => {
+                out.push(0);
+                codec::put_string(out, name);
+                codec::encode_schema(out, schema);
+            }
+            WalRecord::InsertBatch { table, batch } => {
+                out.push(1);
+                codec::put_string(out, table);
+                codec::encode_batch(out, batch);
+            }
+            WalRecord::DropTable { name } => {
+                out.push(2);
+                codec::put_string(out, name);
+            }
+            WalRecord::PutTable { name, batch } => {
+                out.push(3);
+                codec::put_string(out, name);
+                codec::encode_batch(out, batch);
+            }
+        }
+    }
+
+    pub fn decode(c: &mut Cursor) -> Result<WalRecord, CodecError> {
+        Ok(match c.u8()? {
+            0 => WalRecord::CreateTable { name: c.string()?, schema: codec::decode_schema(c)? },
+            1 => WalRecord::InsertBatch { table: c.string()?, batch: codec::decode_batch(c)? },
+            2 => WalRecord::DropTable { name: c.string()? },
+            3 => WalRecord::PutTable { name: c.string()?, batch: codec::decode_batch(c)? },
+            other => return Err(CodecError(format!("unknown WAL record tag {other}"))),
+        })
+    }
+}
+
+/// Name of the WAL file whose first record carries `start_lsn`.
+pub fn wal_file_name(start_lsn: u64) -> String {
+    format!("wal-{start_lsn:016x}.log")
+}
+
+/// Parse a WAL file name back to its starting LSN.
+pub fn parse_wal_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+struct WalState {
+    file: File,
+    /// LSN the next append will receive.
+    next_lsn: u64,
+    /// Highest LSN handed to the OS.
+    appended_lsn: u64,
+    /// Highest LSN known fsynced.
+    durable_lsn: u64,
+}
+
+struct WalShared {
+    state: Mutex<WalState>,
+    durable: Condvar,
+}
+
+/// The live appender over a WAL directory.
+pub struct Wal {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    shared: Arc<WalShared>,
+    shutdown: Arc<AtomicBool>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Wal {
+    /// Start a fresh WAL file at `next_lsn` inside `dir` (created if
+    /// missing). Recovery always hands us the LSN after the last one it
+    /// saw, so the new file's name never collides with replayed ones.
+    pub fn create(dir: &Path, policy: FsyncPolicy, next_lsn: u64) -> Result<Wal, DurError> {
+        std::fs::create_dir_all(dir)?;
+        let file = open_segment(dir, next_lsn)?;
+        let shared = Arc::new(WalShared {
+            state: Mutex::new(WalState {
+                file,
+                next_lsn,
+                appended_lsn: next_lsn - 1,
+                durable_lsn: next_lsn - 1,
+            }),
+            durable: Condvar::new(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flusher = match policy {
+            FsyncPolicy::Group(interval) => {
+                let shared = Arc::clone(&shared);
+                let shutdown = Arc::clone(&shutdown);
+                Some(std::thread::spawn(move || group_flusher(shared, shutdown, interval)))
+            }
+            _ => None,
+        };
+        Ok(Wal { dir: dir.to_path_buf(), policy, shared, shutdown, flusher })
+    }
+
+    /// Append one record; returns its LSN. The caller decides when to
+    /// wait for durability (see [`Wal::wait_durable`]).
+    pub fn append(&self, rec: &WalRecord) -> Result<u64, DurError> {
+        let mut payload = Vec::new();
+        rec.encode(&mut payload);
+        let mut state = self.shared.state.lock().unwrap();
+        let lsn = state.next_lsn;
+
+        let mut frame = Vec::with_capacity(payload.len() + 20);
+        codec::put_u32(&mut frame, (payload.len() + 8) as u32);
+        let mut body = Vec::with_capacity(payload.len() + 8);
+        codec::put_u64(&mut body, lsn);
+        body.extend_from_slice(&payload);
+        codec::put_u32(&mut frame, crc::crc32(&body));
+        frame.extend_from_slice(&body);
+
+        fault::crash_point("wal.before-append");
+        if fault::about_to_crash("wal.partial-append") {
+            // Write a deliberately torn frame, force it to the device,
+            // then die — the canonical mid-commit power cut.
+            let half = &frame[..frame.len() / 2];
+            let _ = state.file.write_all(half);
+            let _ = state.file.sync_data();
+            fault::crash_now();
+        }
+        state.file.write_all(&frame)?;
+        state.next_lsn = lsn + 1;
+        state.appended_lsn = lsn;
+        metrics().wal_appends.inc();
+        fault::crash_point("wal.after-append");
+        Ok(lsn)
+    }
+
+    /// Block until `lsn` is durable per the configured policy.
+    pub fn wait_durable(&self, lsn: u64) -> Result<(), DurError> {
+        match self.policy {
+            FsyncPolicy::Off => Ok(()),
+            FsyncPolicy::Always => {
+                // The fsync runs here, not in `append`: the engine
+                // appends under its table write lock and waits after
+                // releasing it, so the disk never stalls readers. One
+                // sync covers every record appended so far.
+                let mut state = self.shared.state.lock().unwrap();
+                if state.durable_lsn < lsn {
+                    sync_timed(&state.file)?;
+                    state.durable_lsn = state.appended_lsn;
+                    fault::crash_point("wal.after-fsync");
+                }
+                Ok(())
+            }
+            FsyncPolicy::Group(interval) => {
+                let mut state = self.shared.state.lock().unwrap();
+                while state.durable_lsn < lsn {
+                    let (next, timeout) = self
+                        .shared
+                        .durable
+                        .wait_timeout(state, interval.max(Duration::from_millis(1)) * 8)
+                        .unwrap();
+                    state = next;
+                    // Self-heal from a missed wakeup: fsync inline.
+                    if timeout.timed_out() && state.durable_lsn < lsn {
+                        sync_timed(&state.file)?;
+                        state.durable_lsn = state.appended_lsn;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Highest LSN ever appended (the checkpoint's high-water mark).
+    pub fn appended_lsn(&self) -> u64 {
+        self.shared.state.lock().unwrap().appended_lsn
+    }
+
+    /// Sync the current file and switch appends to a fresh one. Returns
+    /// the last LSN of the closed file. Called with the engine's table
+    /// lock held, so no append can interleave.
+    pub fn rotate(&self) -> Result<u64, DurError> {
+        let mut state = self.shared.state.lock().unwrap();
+        state.file.sync_data()?;
+        let last = state.appended_lsn;
+        state.file = open_segment(&self.dir, state.next_lsn)?;
+        state.durable_lsn = last;
+        self.shared.durable.notify_all();
+        Ok(last)
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+        // Clean-shutdown durability regardless of policy.
+        if let Ok(state) = self.shared.state.lock() {
+            let _ = state.file.sync_data();
+        }
+    }
+}
+
+fn open_segment(dir: &Path, start_lsn: u64) -> std::io::Result<File> {
+    OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(wal_file_name(start_lsn)))
+}
+
+fn sync_timed(file: &File) -> std::io::Result<()> {
+    let t0 = Instant::now();
+    file.sync_data()?;
+    metrics().wal_fsync_seconds.observe_secs(t0.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn group_flusher(shared: Arc<WalShared>, shutdown: Arc<AtomicBool>, interval: Duration) {
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let (file, target) = {
+            let state = shared.state.lock().unwrap();
+            if state.appended_lsn <= state.durable_lsn {
+                continue;
+            }
+            match state.file.try_clone() {
+                Ok(f) => (f, state.appended_lsn),
+                Err(_) => continue,
+            }
+        };
+        // fsync outside the lock: appenders keep making progress while
+        // the disk works.
+        if sync_timed(&file).is_ok() {
+            let mut state = shared.state.lock().unwrap();
+            state.durable_lsn = state.durable_lsn.max(target);
+            drop(state);
+            shared.durable.notify_all();
+        }
+    }
+}
+
+// ------------------------------------------------------------- reading
+
+/// Result of scanning one WAL file.
+pub struct WalScan {
+    /// Records in LSN order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte offset just past the last valid frame.
+    pub valid_end: u64,
+    /// Set when bytes after `valid_end` failed to parse: the torn-tail
+    /// candidate (only legitimate in the *final* WAL file).
+    pub failure: Option<String>,
+}
+
+/// Scan a WAL file's bytes. Never panics: damage is reported through
+/// `failure`, and `resync_finds_valid_frame` distinguishes a torn tail
+/// from mid-file corruption.
+pub fn scan_wal_bytes(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos == bytes.len() {
+            return WalScan { records, valid_end: pos as u64, failure: None };
+        }
+        match parse_frame_at(bytes, pos) {
+            Ok((lsn, rec, next)) => {
+                records.push((lsn, rec));
+                pos = next;
+            }
+            Err(msg) => {
+                return WalScan { records, valid_end: pos as u64, failure: Some(msg) };
+            }
+        }
+    }
+}
+
+fn parse_frame_at(bytes: &[u8], pos: usize) -> Result<(u64, WalRecord, usize), String> {
+    let remaining = bytes.len() - pos;
+    if remaining < 8 {
+        return Err(format!("{remaining} trailing bytes, frame header needs 8"));
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    let crc_want = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    if len < 9 {
+        return Err(format!("frame length {len} below minimum"));
+    }
+    if remaining - 8 < len {
+        return Err(format!("frame declares {len} bytes, {} remain", remaining - 8));
+    }
+    let body = &bytes[pos + 8..pos + 8 + len];
+    if crc::crc32(body) != crc_want {
+        return Err("frame checksum mismatch".into());
+    }
+    let mut c = Cursor::new(body);
+    let lsn = c.u64().map_err(|e| e.to_string())?;
+    let rec = WalRecord::decode(&mut c).map_err(|e| e.to_string())?;
+    if !c.is_done() {
+        return Err("frame has trailing bytes after its record".into());
+    }
+    Ok((lsn, rec, pos + 8 + len))
+}
+
+/// After a parse failure at `from`, look for any complete, checksummed,
+/// decodable frame later in the file. Finding one means the damage is
+/// *followed by* committed data — that is corruption, not a torn tail,
+/// and recovery must refuse to silently drop the survivors.
+pub fn resync_finds_valid_frame(bytes: &[u8], from: usize) -> bool {
+    let start = from + 1;
+    if start >= bytes.len() {
+        return false;
+    }
+    (start..bytes.len()).any(|off| parse_frame_at(bytes, off).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colstore::types::PgType;
+
+    fn rec(n: i64) -> WalRecord {
+        WalRecord::CreateTable {
+            name: format!("t{n}"),
+            schema: vec![Column::new("x", PgType::Int8)],
+        }
+    }
+
+    fn frames(records: &[(u64, WalRecord)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (lsn, r) in records {
+            let mut payload = Vec::new();
+            r.encode(&mut payload);
+            let mut body = Vec::new();
+            codec::put_u64(&mut body, *lsn);
+            body.extend_from_slice(&payload);
+            codec::put_u32(&mut out, body.len() as u32);
+            codec::put_u32(&mut out, crc::crc32(&body));
+            out.extend_from_slice(&body);
+        }
+        out
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("OFF"), Some(FsyncPolicy::Off));
+        assert_eq!(
+            FsyncPolicy::parse("group"),
+            Some(FsyncPolicy::Group(Duration::from_millis(5)))
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group(25ms)"),
+            Some(FsyncPolicy::Group(Duration::from_millis(25)))
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group(3)"),
+            Some(FsyncPolicy::Group(Duration::from_millis(3)))
+        );
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn wal_file_names_round_trip() {
+        assert_eq!(parse_wal_file_name(&wal_file_name(1)), Some(1));
+        assert_eq!(parse_wal_file_name(&wal_file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_wal_file_name("wal-zz.log"), None);
+        assert_eq!(parse_wal_file_name("MANIFEST"), None);
+    }
+
+    #[test]
+    fn scan_round_trips_and_stops_clean() {
+        let bytes = frames(&[(1, rec(1)), (2, rec(2)), (3, rec(3))]);
+        let scan = scan_wal_bytes(&bytes);
+        assert!(scan.failure.is_none());
+        assert_eq!(scan.valid_end, bytes.len() as u64);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[2].0, 3);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_at_every_truncation_point() {
+        let bytes = frames(&[(1, rec(1)), (2, rec(2))]);
+        let first_len = frames(&[(1, rec(1))]).len();
+        for cut in first_len + 1..bytes.len() {
+            let scan = scan_wal_bytes(&bytes[..cut]);
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_end as usize, first_len);
+            assert!(scan.failure.is_some());
+            assert!(!resync_finds_valid_frame(&bytes[..cut], scan.valid_end as usize));
+        }
+    }
+
+    #[test]
+    fn corruption_before_valid_records_is_not_a_torn_tail() {
+        let mut bytes = frames(&[(1, rec(1)), (2, rec(2)), (3, rec(3))]);
+        let first_len = frames(&[(1, rec(1))]).len();
+        // Flip a bit inside record 2's body.
+        bytes[first_len + 10] ^= 0x40;
+        let scan = scan_wal_bytes(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.failure.is_some());
+        assert!(
+            resync_finds_valid_frame(&bytes, scan.valid_end as usize),
+            "record 3 is intact after the damage — must be found"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Standalone pgdb server, configured entirely from the environment —
+//! the process the durability chaos suite spawns and SIGKILLs:
+//!
+//! * `HQ_DATA_DIR` — data directory; set → durable (recover on start)
+//! * `HQ_FSYNC` — `always` | `group` | `group(<n>ms)` | `off`
+//! * `HQ_CHECKPOINT_EVERY` — mutations between checkpoints (0 = never)
+//! * `HQ_LISTEN` — bind address (default `127.0.0.1:0`)
+//! * `HQ_DUR_CRASH` — deterministic fault point (see `durability::fault`)
+//!
+//! Prints `pgdb listening on <addr>` on stdout once ready, then blocks.
+
+use pgdb::server::{PgServer, ServerConfig};
+use pgdb::Db;
+use std::io::Write;
+
+fn main() {
+    let addr = std::env::var("HQ_LISTEN").unwrap_or_else(|_| "127.0.0.1:0".into());
+    let db = match Db::open_from_env() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("pgdb-server: cannot open database: {e}");
+            std::process::exit(2);
+        }
+    };
+    let durable = db.is_durable();
+    let server = match PgServer::start(db, &addr, ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pgdb-server: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("pgdb listening on {} (durability {})", server.addr, if durable { "on" } else { "off" });
+    // The spawning test reads the line to learn the port; make sure it
+    // is not sitting in a stdio buffer when we get SIGKILLed.
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}

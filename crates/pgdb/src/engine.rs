@@ -14,6 +14,7 @@ use crate::sql::ast::Stmt;
 use crate::sql::parse_statement;
 use crate::types::{Cell, Column, Rows};
 use colstore::{Batch, BatchStream};
+use durability::{Durability, WalRecord};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -67,13 +68,24 @@ impl std::error::Error for DbError {}
 /// A stored table. Storage is columnar (DESIGN §10): scans hand the
 /// executor typed vectors without per-cell work, and `CREATE TABLE AS`
 /// stores the executor's result batch without transposing it.
+///
+/// The batch sits behind an `Arc` so snapshots — [`Db::get_table_snapshot`],
+/// checkpoint captures — are reference-count bumps, not deep copies;
+/// in-place mutation goes through `Arc::make_mut` (copy-on-write, and
+/// the copy only happens while a snapshot is actually outstanding).
 #[derive(Debug, Clone, Default)]
 pub struct StoredTable {
-    /// Columnar data (schema + typed column vectors).
-    pub batch: Batch,
+    /// Columnar data (schema + typed column vectors), shared with any
+    /// outstanding snapshots.
+    pub batch: Arc<Batch>,
 }
 
 impl StoredTable {
+    /// Wrap a batch for storage.
+    pub fn new(batch: Batch) -> Self {
+        StoredTable { batch: Arc::new(batch) }
+    }
+
     /// Column definitions.
     pub fn columns(&self) -> &[Column] {
         &self.batch.schema
@@ -89,6 +101,15 @@ impl StoredTable {
 #[derive(Debug, Clone, Default)]
 pub struct Db {
     tables: Arc<RwLock<HashMap<String, StoredTable>>>,
+    /// Durability manager; `None` keeps the pure in-memory hot path —
+    /// no WAL, no fsync, byte-for-byte the pre-durability behaviour.
+    dur: Option<Arc<Durability>>,
+}
+
+/// Map a durability failure onto the SQLSTATE surface (`XX000`): the
+/// statement did not commit.
+fn dur_err(e: durability::DurError) -> DbError {
+    DbError::exec(format!("durability: {e}"))
 }
 
 /// Result of executing one statement.
@@ -125,9 +146,36 @@ pub enum StreamQueryResult {
 }
 
 impl Db {
-    /// Create an empty database.
+    /// Create an empty, in-memory-only database.
     pub fn new() -> Self {
         Db::default()
+    }
+
+    /// Open a durable database: recover the catalog from the data
+    /// directory (newest valid checkpoint + WAL tail), then WAL-log
+    /// every committed mutation from here on.
+    pub fn open(options: &durability::Options) -> Result<Db, DbError> {
+        let (dur, tables) = Durability::open(options).map_err(dur_err)?;
+        let map = tables.into_iter().map(|(n, b)| (n, StoredTable::new(b))).collect();
+        Ok(Db {
+            tables: Arc::new(RwLock::new(map)),
+            dur: Some(Arc::new(dur)),
+        })
+    }
+
+    /// Open per `HQ_DATA_DIR` / `HQ_FSYNC` / `HQ_CHECKPOINT_EVERY`;
+    /// falls back to a plain in-memory database when `HQ_DATA_DIR` is
+    /// unset.
+    pub fn open_from_env() -> Result<Db, DbError> {
+        match durability::Options::from_env() {
+            Some(opts) => Db::open(&opts),
+            None => Ok(Db::new()),
+        }
+    }
+
+    /// Whether committed mutations survive process death.
+    pub fn is_durable(&self) -> bool {
+        self.dur.is_some()
     }
 
     /// Open a session.
@@ -135,19 +183,85 @@ impl Db {
         Session { db: self.clone(), temps: HashMap::new(), exec_threads: None }
     }
 
+    /// WAL-log one record. Must be called with the table write lock
+    /// held so LSN order equals apply order — a checkpoint snapshots
+    /// under the same lock and must never capture LSN `n` before the
+    /// commit carrying `n-1` has applied. No-op when not durable.
+    fn log(&self, rec: impl FnOnce() -> WalRecord) -> Result<Option<u64>, DbError> {
+        match &self.dur {
+            Some(d) => Ok(Some(d.append(&rec()).map_err(dur_err)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// After the table lock is released: block until the logged record
+    /// is durable per the fsync policy, then checkpoint if due. The
+    /// client ack happens strictly after this returns.
+    fn finish_commit(&self, lsn: Option<u64>) -> Result<(), DbError> {
+        if let (Some(d), Some(lsn)) = (&self.dur, lsn) {
+            d.wait_durable(lsn).map_err(dur_err)?;
+            self.maybe_checkpoint();
+        }
+        Ok(())
+    }
+
+    /// Spill all tables as a checkpoint when enough mutations have
+    /// accumulated. The snapshot (Arc bumps) and the WAL rotation
+    /// happen atomically with respect to commits — the read lock
+    /// excludes writers; segment writing runs outside any lock.
+    fn maybe_checkpoint(&self) {
+        let Some(d) = &self.dur else { return };
+        if !d.should_checkpoint() || !d.try_begin_checkpoint() {
+            return;
+        }
+        let (snapshot, lsn) = {
+            let guard = self.tables.read();
+            let snap: Vec<(String, Arc<Batch>)> =
+                guard.iter().map(|(n, t)| (n.clone(), Arc::clone(&t.batch))).collect();
+            match d.rotate_for_checkpoint() {
+                Ok(lsn) => (snap, lsn),
+                Err(e) => {
+                    eprintln!("pgdb: wal rotation for checkpoint failed: {e}");
+                    d.abandon_checkpoint();
+                    return;
+                }
+            }
+        };
+        if let Err(e) = d.write_checkpoint(lsn, &snapshot) {
+            // Best effort: the WAL retains everything the checkpoint
+            // would have captured, so durability is unaffected.
+            eprintln!("pgdb: checkpoint at lsn {lsn} failed: {e}");
+        }
+    }
+
     /// Host API: create (or replace) a global table directly.
     pub fn put_table(&self, name: &str, columns: Vec<Column>, rows: Vec<Vec<Cell>>) {
         let batch = Batch::from_rows(Rows { columns, data: rows });
-        self.tables.write().insert(name.to_string(), StoredTable { batch });
+        self.put_table_batch(name, batch);
     }
 
     /// Host API: create (or replace) a global table from a columnar
     /// batch directly — no row-major round trip (bench loaders).
+    /// Panics on a durability failure; hosts that need to handle that
+    /// use [`Db::try_put_table_batch`].
     pub fn put_table_batch(&self, name: &str, batch: Batch) {
-        self.tables.write().insert(name.to_string(), StoredTable { batch });
+        self.try_put_table_batch(name, batch)
+            .expect("durable put_table failed");
     }
 
-    /// Host API: fetch a snapshot of a global table.
+    /// Fallible form of [`Db::put_table_batch`].
+    pub fn try_put_table_batch(&self, name: &str, batch: Batch) -> Result<(), DbError> {
+        let mut guard = self.tables.write();
+        let lsn = self.log(|| WalRecord::PutTable { name: name.to_string(), batch: batch.clone() })?;
+        guard.insert(name.to_string(), StoredTable::new(batch));
+        drop(guard);
+        self.finish_commit(lsn)
+    }
+
+    /// Host API: fetch a snapshot of a global table. Cheap — the
+    /// returned handle shares the stored batch (copy-on-write), so this
+    /// is a map lookup plus a reference-count bump regardless of table
+    /// size.
     pub fn get_table_snapshot(&self, name: &str) -> Option<StoredTable> {
         self.tables.read().get(name).cloned()
     }
@@ -182,11 +296,14 @@ impl TableSource for Session {
     }
 
     fn get_table_batch(&self, name: &str) -> Option<Batch> {
+        // The executor consumes the batch (`mem::take` on its columns),
+        // so this hands out an owned deep copy — same cost as before
+        // the store went copy-on-write.
         if let Some(t) = self.temps.get(name) {
-            return Some(t.batch.clone());
+            return Some(t.batch.as_ref().clone());
         }
         if let Some(t) = self.db.tables.read().get(name) {
-            return Some(t.batch.clone());
+            return Some(t.batch.as_ref().clone());
         }
         let (columns, rows) = catalog::virtual_table(self, name)?;
         Some(Batch::from_rows(Rows { columns, data: rows }))
@@ -271,7 +388,7 @@ impl Session {
                 }
                 let batch = run_select_batch(self, &query)?;
                 let count = batch.rows();
-                self.store(name, StoredTable { batch }, temp);
+                self.store(name, batch, temp)?;
                 Ok(BatchQueryResult::Command(format!("SELECT {count}")))
             }
             Stmt::CreateTable { name, columns, temp } => {
@@ -280,8 +397,7 @@ impl Session {
                 }
                 let schema: Vec<Column> =
                     columns.into_iter().map(|(n, t)| Column::new(n, t)).collect();
-                let stored = StoredTable { batch: Batch::empty(schema) };
-                self.store(name, stored, temp);
+                self.store(name, Batch::empty(schema), temp)?;
                 Ok(BatchQueryResult::Command("CREATE TABLE".into()))
             }
             Stmt::Insert { table, columns, rows } => {
@@ -318,8 +434,17 @@ impl Session {
                 Ok(BatchQueryResult::Command(format!("INSERT 0 {count}")))
             }
             Stmt::DropTable { name, if_exists } => {
-                let existed = self.temps.remove(&name).is_some()
-                    || self.db.tables.write().remove(&name).is_some();
+                let mut existed = self.temps.remove(&name).is_some();
+                if !existed {
+                    let mut guard = self.db.tables.write();
+                    if guard.contains_key(&name) {
+                        let lsn = self.db.log(|| WalRecord::DropTable { name: name.clone() })?;
+                        guard.remove(&name);
+                        drop(guard);
+                        self.db.finish_commit(lsn)?;
+                        existed = true;
+                    }
+                }
                 if !existed && !if_exists {
                     return Err(DbError::undefined_table(&name));
                 }
@@ -333,31 +458,45 @@ impl Session {
         self.temps.contains_key(name) || self.db.tables.read().contains_key(name)
     }
 
-    fn store(&mut self, name: String, table: StoredTable, temp: bool) {
+    /// Store a table. Temp tables are session-local and never logged;
+    /// global tables commit through the WAL when durable.
+    fn store(&mut self, name: String, batch: Batch, temp: bool) -> Result<(), DbError> {
         if temp {
-            self.temps.insert(name, table);
-        } else {
-            self.db.tables.write().insert(name, table);
-        }
-    }
-
-    fn append_rows(&mut self, name: &str, rows: Vec<Vec<Cell>>) -> Result<(), DbError> {
-        fn extend(t: &mut StoredTable, rows: Vec<Vec<Cell>>) {
-            let add = Batch::from_rows(Rows { columns: t.batch.schema.clone(), data: rows });
-            t.batch.append(add);
-        }
-        if let Some(t) = self.temps.get_mut(name) {
-            extend(t, rows);
+            self.temps.insert(name, StoredTable::new(batch));
             return Ok(());
         }
         let mut guard = self.db.tables.write();
-        match guard.get_mut(name) {
-            Some(t) => {
-                extend(t, rows);
-                Ok(())
+        // CREATE TABLE AS logs the *computed* result, so replay never
+        // re-runs the query; a plain empty CREATE logs just the schema.
+        let lsn = self.db.log(|| {
+            if batch.rows() == 0 {
+                WalRecord::CreateTable { name: name.clone(), schema: batch.schema.clone() }
+            } else {
+                WalRecord::PutTable { name: name.clone(), batch: batch.clone() }
             }
-            None => Err(DbError::undefined_table(name)),
+        })?;
+        guard.insert(name, StoredTable::new(batch));
+        drop(guard);
+        self.db.finish_commit(lsn)
+    }
+
+    fn append_rows(&mut self, name: &str, rows: Vec<Vec<Cell>>) -> Result<(), DbError> {
+        if let Some(t) = self.temps.get_mut(name) {
+            let add = Batch::from_rows(Rows { columns: t.batch.schema.clone(), data: rows });
+            Arc::make_mut(&mut t.batch).append(add);
+            return Ok(());
         }
+        let mut guard = self.db.tables.write();
+        let Some(t) = guard.get_mut(name) else {
+            return Err(DbError::undefined_table(name));
+        };
+        let add = Batch::from_rows(Rows { columns: t.batch.schema.clone(), data: rows });
+        let lsn = self
+            .db
+            .log(|| WalRecord::InsertBatch { table: name.to_string(), batch: add.clone() })?;
+        Arc::make_mut(&mut t.batch).append(add);
+        drop(guard);
+        self.db.finish_commit(lsn)
     }
 }
 
@@ -716,6 +855,49 @@ mod tests {
         let mut s = setup();
         let r = rows(s.execute("SELECT count(DISTINCT \"Symbol\") AS n FROM trades").unwrap());
         assert_eq!(r.data[0][0], Cell::Int(2));
+    }
+
+    #[test]
+    fn durable_db_recovers_sql_mutations_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("hq-engine-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = durability::Options::new(&dir);
+        {
+            let db = Db::open(&opts).unwrap();
+            assert!(db.is_durable());
+            let mut s = db.session();
+            s.execute("CREATE TABLE t (x bigint, s varchar)").unwrap();
+            s.execute("INSERT INTO t VALUES (1, 'a'), (2, NULL)").unwrap();
+            s.execute("CREATE TABLE dropped (y bigint)").unwrap();
+            s.execute("DROP TABLE dropped").unwrap();
+            s.execute("CREATE TABLE derived AS SELECT x * 2 AS d FROM t").unwrap();
+            // Temp tables must NOT be logged.
+            s.execute("CREATE TEMPORARY TABLE tmp AS SELECT x FROM t").unwrap();
+        }
+        let db = Db::open(&opts).unwrap();
+        assert_eq!(db.table_names(), vec!["derived".to_string(), "t".to_string()]);
+        let mut s = db.session();
+        let r = match s.execute("SELECT x, s FROM t ORDER BY x ASC").unwrap() {
+            QueryResult::Rows(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r.data[0], vec![Cell::Int(1), Cell::Text("a".into())]);
+        assert_eq!(r.data[1], vec![Cell::Int(2), Cell::Null]);
+        let r = rows(s.execute("SELECT d FROM derived ORDER BY d ASC").unwrap());
+        assert_eq!(r.data[1][0], Cell::Int(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_is_cheap_and_isolated_from_later_writes() {
+        let mut s = setup();
+        let snap = s.db().get_table_snapshot("trades").unwrap();
+        // The snapshot shares storage with the live table...
+        assert!(Arc::ptr_eq(&snap.batch, &s.db().tables.read()["trades"].batch));
+        // ...until a mutation copies-on-write underneath it.
+        s.execute("INSERT INTO trades VALUES (4, 'MSFT', 70.0, 5)").unwrap();
+        assert_eq!(snap.batch.rows(), 3, "snapshot unaffected by later insert");
+        assert_eq!(s.db().get_table_snapshot("trades").unwrap().batch.rows(), 4);
     }
 
     #[test]

@@ -275,6 +275,15 @@ fn serve_connection(
         &mut stream,
         &BackendMessage::ParameterStatus { name: "server_version".into(), value: "9.2-hyperq-pgdb".into() },
     )?;
+    // Advertise durability so gateways know committed effects survive a
+    // crash (they adjust their non-idempotent replay policy on it).
+    send(
+        &mut stream,
+        &BackendMessage::ParameterStatus {
+            name: "hyperq_durability".into(),
+            value: if db.is_durable() { "on" } else { "off" }.into(),
+        },
+    )?;
     send(&mut stream, &BackendMessage::BackendKeyData { pid: std::process::id() as i32, secret: 0 })?;
     send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
 
