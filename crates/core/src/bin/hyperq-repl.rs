@@ -12,8 +12,13 @@
 //! * `\t <q>`   — run and print per-stage translation timings
 //! * `\tables`  — list backend tables
 //! * `\\`       — quit
+//!
+//! `HQ_SHARDS=N` (N > 1) virtualizes an N-way MPP cluster in-process:
+//! the session routes through the scatter-gather `ShardRouter` instead
+//! of a single backend, with `HQ_SHARD_KEY` / `HQ_SHARD_BROADCAST` /
+//! `HQ_SHARD_FLOAT_AGG` controlling placement and merge planning.
 
-use hyperq::{loader, HyperQSession};
+use hyperq::{backend, env_shards, loader, HyperQSession, SessionConfig, ShardCluster};
 use hyperq_workload::taq::{generate_quotes, generate_trades, TaqConfig};
 use std::io::{BufRead, Write};
 
@@ -21,10 +26,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // HQ_DATA_DIR (plus HQ_FSYNC / HQ_CHECKPOINT_EVERY) turns on the
     // durability layer: tables survive a restart of the console.
     let db = pgdb::Db::open_from_env()?;
-    if db.is_durable() {
-        println!("durability: on (HQ_DATA_DIR)");
-    }
-    let mut session = HyperQSession::with_direct(&db);
+    let shards = env_shards(1);
+    let cluster = (shards > 1).then(|| ShardCluster::in_process(shards));
+    let mut session = match &cluster {
+        Some(c) => {
+            println!("sharding: {shards}-way scatter-gather (HQ_SHARDS)");
+            if db.is_durable() {
+                println!("note: durability (HQ_DATA_DIR) applies to single-node mode only");
+            }
+            HyperQSession::new(backend::share(c.router()?), SessionConfig::default())
+        }
+        None => {
+            if db.is_durable() {
+                println!("durability: on (HQ_DATA_DIR)");
+            }
+            HyperQSession::with_direct(&db)
+        }
+    };
     let cfg = TaqConfig { rows: 1000, symbols: 6, days: 2, seed: 2016 };
     loader::load_table(&mut session, "trades", &generate_trades(&cfg))?;
     loader::load_table(&mut session, "quotes", &generate_quotes(&TaqConfig { rows: 4000, ..cfg }))?;
@@ -49,8 +67,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
         if line == "\\tables" {
-            for name in db.table_names() {
-                println!("{name}");
+            // In sharded mode the coordinator holds a full copy of
+            // every routed table, so its catalog is the authority.
+            let names = match &cluster {
+                Some(c) => c
+                    .in_process_dbs()
+                    .map(|(coord, _)| coord.table_names())
+                    .unwrap_or_default(),
+                None => db.table_names(),
+            };
+            for name in names {
+                match cluster.as_ref().and_then(|c| c.table_meta(&name)) {
+                    Some(meta) => println!("{name}  [{:?}, {} rows]", meta.mode, meta.rows),
+                    None => println!("{name}"),
+                }
             }
             continue;
         }

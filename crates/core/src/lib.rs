@@ -84,6 +84,7 @@ pub mod mdi_backend;
 pub mod pivot;
 pub mod qcache;
 pub mod session;
+pub mod shard;
 pub mod side_by_side;
 pub mod translate;
 pub mod wire;
@@ -94,5 +95,6 @@ pub use batch::{BatchDriver, BatchReport, DivergenceKind, Outcome, StatementOutc
 pub use obs::{QueryTrace, Span, SpanEvent, Stage};
 pub use qcache::{CacheStats, TranslationCache};
 pub use session::{HyperQSession, SessionConfig};
+pub use shard::{env_shards, ShardCluster, ShardOpts, ShardRouter};
 pub use translate::{StageTimings, Translation, TranslationStats, Translator};
-pub use wire::{RetryPolicy, WireError, WireErrorKind, WireTimeouts};
+pub use wire::{RetryPolicy, ShardFailure, WireError, WireErrorKind, WireTimeouts};

@@ -53,6 +53,12 @@ pub enum WireErrorKind {
     /// The backend executed the statement and returned a SQL error.
     /// Fatal at the wire level — the connection itself is healthy.
     Db,
+    /// A scatter-gather fan-out lost one or more shards mid-query while
+    /// others answered. Fatal as a whole-statement outcome — but the
+    /// attached [`ShardFailure`] says exactly which shards failed and
+    /// which partials arrived, so callers can degrade deliberately
+    /// instead of treating the cluster as down.
+    ShardPartial,
 }
 
 impl WireErrorKind {
@@ -68,7 +74,34 @@ impl WireErrorKind {
             WireErrorKind::NonIdempotent => "non-idempotent",
             WireErrorKind::Rejected => "rejected",
             WireErrorKind::Db => "backend",
+            WireErrorKind::ShardPartial => "shard-partial",
         }
+    }
+}
+
+/// Structured detail for a [`WireErrorKind::ShardPartial`] failure:
+/// which shards of a scatter-gather fan-out failed (with the underlying
+/// cause) and which shards' partial results did arrive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Failed shards: `(shard index, cause)`, ascending by index.
+    pub failed: Vec<(usize, String)>,
+    /// Shards whose partial results arrived, ascending by index.
+    pub arrived: Vec<usize>,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lost: Vec<String> =
+            self.failed.iter().map(|(i, cause)| format!("shard {i}: {cause}")).collect();
+        write!(
+            f,
+            "{} of {} shards failed [{}]; partials arrived from shards {:?}",
+            self.failed.len(),
+            self.failed.len() + self.arrived.len(),
+            lost.join("; "),
+            self.arrived,
+        )
     }
 }
 
@@ -81,12 +114,25 @@ pub struct WireError {
     pub message: String,
     /// The backend SQL error, when `kind` is [`WireErrorKind::Db`].
     pub db: Option<DbError>,
+    /// Per-shard failure detail, when `kind` is
+    /// [`WireErrorKind::ShardPartial`].
+    pub shard: Option<Box<ShardFailure>>,
 }
 
 impl WireError {
     /// Build an error of the given kind.
     pub fn new(kind: WireErrorKind, message: impl Into<String>) -> Self {
-        WireError { kind, message: message.into(), db: None }
+        WireError { kind, message: message.into(), db: None, shard: None }
+    }
+
+    /// Typed partial failure of a scatter-gather fan-out.
+    pub fn shard_partial(detail: ShardFailure) -> Self {
+        WireError {
+            kind: WireErrorKind::ShardPartial,
+            message: detail.to_string(),
+            db: None,
+            shard: Some(Box::new(detail)),
+        }
     }
 
     /// Connection-establishment failure.
@@ -139,6 +185,7 @@ impl From<DbError> for WireError {
             kind: WireErrorKind::Db,
             message: e.message.clone(),
             db: Some(e),
+            shard: None,
         }
     }
 }

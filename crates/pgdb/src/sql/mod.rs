@@ -3,6 +3,8 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod render;
 
 pub use ast::{FromItem, JoinType, SelectItem, SelectStmt, SetOp, SqlExpr, Stmt};
 pub use parser::parse_statement;
+pub use render::{render_expr, render_select, render_stmt};

@@ -1,0 +1,362 @@
+//! AST → SQL rendering: turn a parsed [`Stmt`] back into the PG dialect
+//! the parser accepts.
+//!
+//! The shard router rewrites statements per shard (appending hidden
+//! ordinal columns, decomposing aggregates into partials) and needs to
+//! re-serialize the rewritten trees. Rendering is the exact inverse of
+//! parsing: every identifier is double-quoted, every literal round-trips
+//! through the same textual forms the lexer produces, so
+//! `parse_statement(render_stmt(&s))` reproduces `s` for every shape
+//! the parser can emit.
+
+use super::ast::{FromItem, JoinType, SelectItem, SelectStmt, SetOp, SqlBinOp, SqlExpr, Stmt};
+use crate::types::{Cell, PgType};
+use std::fmt::Write;
+
+/// Double-quote an identifier, escaping embedded quotes.
+pub fn ident(name: &str) -> String {
+    format!("\"{}\"", name.replace('"', "\"\""))
+}
+
+/// Render a literal cell as a SQL literal expression.
+pub fn literal(c: &Cell) -> String {
+    match c {
+        Cell::Null => "NULL".to_string(),
+        Cell::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Cell::Int(i) => i.to_string(),
+        Cell::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a decimal point / exponent, so the value
+                // re-parses as a float (never silently an int).
+                format!("{f:?}")
+            } else {
+                // NaN / ±inf have no literal form; round-trip via text.
+                format!("'{f}'::double precision")
+            }
+        }
+        Cell::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Cell::Date(_) | Cell::Time(_) | Cell::Timestamp(_) => {
+            let ty = c.natural_type().sql_name();
+            match c.to_wire_text() {
+                Some(t) => format!("'{t}'::{ty}"),
+                None => "NULL".to_string(),
+            }
+        }
+    }
+}
+
+fn bin_op(op: SqlBinOp) -> &'static str {
+    match op {
+        SqlBinOp::Add => "+",
+        SqlBinOp::Sub => "-",
+        SqlBinOp::Mul => "*",
+        SqlBinOp::Div => "/",
+        SqlBinOp::Mod => "%",
+        SqlBinOp::Eq => "=",
+        SqlBinOp::Neq => "<>",
+        SqlBinOp::Lt => "<",
+        SqlBinOp::Le => "<=",
+        SqlBinOp::Gt => ">",
+        SqlBinOp::Ge => ">=",
+        SqlBinOp::And => "AND",
+        SqlBinOp::Or => "OR",
+        SqlBinOp::IsNotDistinctFrom => "IS NOT DISTINCT FROM",
+        SqlBinOp::IsDistinctFrom => "IS DISTINCT FROM",
+        SqlBinOp::Concat => "||",
+        SqlBinOp::Like => "LIKE",
+    }
+}
+
+/// Render an expression. Every compound sub-expression is parenthesized,
+/// so operator precedence never has to be reconstructed.
+pub fn render_expr(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Column { qualifier, name } => match qualifier {
+            Some(q) => format!("{}.{}", ident(q), ident(name)),
+            None => ident(name),
+        },
+        SqlExpr::Literal(c) => literal(c),
+        SqlExpr::Star => "*".to_string(),
+        SqlExpr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", render_expr(lhs), bin_op(*op), render_expr(rhs))
+        }
+        SqlExpr::Not(inner) => format!("(NOT {})", render_expr(inner)),
+        SqlExpr::Neg(inner) => format!("(- {})", render_expr(inner)),
+        SqlExpr::Func { name, args, distinct } => {
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            format!(
+                "{}({}{})",
+                name,
+                if *distinct { "DISTINCT " } else { "" },
+                args.join(", ")
+            )
+        }
+        SqlExpr::WindowFunc { name, args, partition_by, order_by } => {
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            let mut over = String::new();
+            if !partition_by.is_empty() {
+                let keys: Vec<String> = partition_by.iter().map(render_expr).collect();
+                write!(over, "PARTITION BY {}", keys.join(", ")).unwrap();
+            }
+            if !order_by.is_empty() {
+                if !over.is_empty() {
+                    over.push(' ');
+                }
+                write!(over, "ORDER BY {}", render_order(order_by)).unwrap();
+            }
+            format!("{}({}) OVER ({})", name, args.join(", "), over)
+        }
+        SqlExpr::Case { branches, else_result } => {
+            let mut s = String::from("CASE");
+            for (cond, res) in branches {
+                write!(s, " WHEN {} THEN {}", render_expr(cond), render_expr(res)).unwrap();
+            }
+            if let Some(e) = else_result {
+                write!(s, " ELSE {}", render_expr(e)).unwrap();
+            }
+            s.push_str(" END");
+            s
+        }
+        SqlExpr::Cast { expr, ty } => {
+            format!("({}::{})", render_expr(expr), type_name(*ty))
+        }
+        SqlExpr::InList { expr, list, negated } => {
+            let items: Vec<String> = list.iter().map(render_expr).collect();
+            format!(
+                "({} {}IN ({}))",
+                render_expr(expr),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        SqlExpr::IsNull { expr, negated } => {
+            format!(
+                "({} IS {}NULL)",
+                render_expr(expr),
+                if *negated { "NOT " } else { "" }
+            )
+        }
+        SqlExpr::InSubquery { expr, query, negated } => {
+            format!(
+                "({} {}IN ({}))",
+                render_expr(expr),
+                if *negated { "NOT " } else { "" },
+                render_select(query)
+            )
+        }
+    }
+}
+
+/// SQL spelling for a type in DDL / cast position.
+pub fn type_name(ty: PgType) -> &'static str {
+    ty.sql_name()
+}
+
+fn render_order(order_by: &[(SqlExpr, bool)]) -> String {
+    order_by
+        .iter()
+        .map(|(e, desc)| {
+            format!("{}{}", render_expr(e), if *desc { " DESC" } else { " ASC" })
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render_from(f: &FromItem) -> String {
+    match f {
+        FromItem::Table { name, alias } => match alias {
+            // Schema-qualified names (`information_schema.columns`) are
+            // stored dotted and must not be quoted as one identifier.
+            Some(a) => format!("{} AS {}", render_table_name(name), ident(a)),
+            None => render_table_name(name),
+        },
+        FromItem::Subquery { query, alias } => {
+            format!("({}) AS {}", render_select(query), ident(alias))
+        }
+        FromItem::Values { rows, alias, columns } => {
+            let rows: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    let cells: Vec<String> = r.iter().map(render_expr).collect();
+                    format!("({})", cells.join(", "))
+                })
+                .collect();
+            let cols: Vec<String> = columns.iter().map(|c| ident(c)).collect();
+            format!("(VALUES {}) AS {} ({})", rows.join(", "), ident(alias), cols.join(", "))
+        }
+        FromItem::Join { kind, left, right, on } => {
+            let kw = match kind {
+                JoinType::Inner => "INNER JOIN",
+                JoinType::Left => "LEFT JOIN",
+                JoinType::Cross => "CROSS JOIN",
+            };
+            let mut s = format!("{} {} {}", render_from(left), kw, render_from(right));
+            if let Some(cond) = on {
+                write!(s, " ON {}", render_expr(cond)).unwrap();
+            }
+            s
+        }
+    }
+}
+
+fn render_table_name(name: &str) -> String {
+    match name.split_once('.') {
+        Some((schema, table)) => format!("{}.{}", ident(schema), ident(table)),
+        None => ident(name),
+    }
+}
+
+/// Render a full SELECT (including chained set operations).
+pub fn render_select(s: &SelectStmt) -> String {
+    let mut out = String::from("SELECT ");
+    let items: Vec<String> = s
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => format!("{} AS {}", render_expr(expr), ident(a)),
+                None => render_expr(expr),
+            },
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    if let Some(f) = &s.from {
+        write!(out, " FROM {}", render_from(f)).unwrap();
+    }
+    if let Some(w) = &s.where_clause {
+        write!(out, " WHERE {}", render_expr(w)).unwrap();
+    }
+    if !s.group_by.is_empty() {
+        let keys: Vec<String> = s.group_by.iter().map(render_expr).collect();
+        write!(out, " GROUP BY {}", keys.join(", ")).unwrap();
+    }
+    if let Some(h) = &s.having {
+        write!(out, " HAVING {}", render_expr(h)).unwrap();
+    }
+    if let Some((op, rhs)) = &s.set_op {
+        let kw = match op {
+            SetOp::UnionAll => "UNION ALL",
+            SetOp::Union => "UNION",
+            SetOp::Except => "EXCEPT",
+            SetOp::Intersect => "INTERSECT",
+        };
+        write!(out, " {} {}", kw, render_select(rhs)).unwrap();
+    }
+    if !s.order_by.is_empty() {
+        write!(out, " ORDER BY {}", render_order(&s.order_by)).unwrap();
+    }
+    if let Some(l) = s.limit {
+        write!(out, " LIMIT {l}").unwrap();
+    }
+    if let Some(o) = s.offset {
+        write!(out, " OFFSET {o}").unwrap();
+    }
+    out
+}
+
+/// Render any statement.
+pub fn render_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Select(s) => render_select(s),
+        Stmt::CreateTable { name, columns, temp } => {
+            let cols: Vec<String> = columns
+                .iter()
+                .map(|(n, ty)| format!("{} {}", ident(n), type_name(*ty)))
+                .collect();
+            format!(
+                "CREATE {}TABLE {} ({})",
+                if *temp { "TEMPORARY " } else { "" },
+                ident(name),
+                cols.join(", ")
+            )
+        }
+        Stmt::CreateTableAs { name, query, temp } => format!(
+            "CREATE {}TABLE {} AS {}",
+            if *temp { "TEMPORARY " } else { "" },
+            ident(name),
+            render_select(query)
+        ),
+        Stmt::Insert { table, columns, rows } => {
+            let cols = match columns {
+                Some(cs) => {
+                    let cs: Vec<String> = cs.iter().map(|c| ident(c)).collect();
+                    format!(" ({})", cs.join(", "))
+                }
+                None => String::new(),
+            };
+            let rows: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    let cells: Vec<String> = r.iter().map(render_expr).collect();
+                    format!("({})", cells.join(", "))
+                })
+                .collect();
+            format!("INSERT INTO {}{} VALUES {}", ident(table), cols, rows.join(", "))
+        }
+        Stmt::DropTable { name, if_exists } => format!(
+            "DROP TABLE {}{}",
+            if *if_exists { "IF EXISTS " } else { "" },
+            ident(name)
+        ),
+        Stmt::NoOp(raw) => raw.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse_statement;
+
+    /// Round-trip: parse → render → parse must be a fixed point.
+    fn round_trip(sql: &str) {
+        let first = parse_statement(sql).expect(sql);
+        let rendered = render_stmt(&first);
+        let second = parse_statement(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of {rendered:?} failed: {e}"));
+        assert_eq!(first, second, "round-trip diverged for {sql:?} → {rendered:?}");
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        for sql in [
+            "SELECT 1",
+            "SELECT * FROM t",
+            r#"SELECT "a" AS "x", b + 1 FROM "t" WHERE a > 1.5 AND s = 'it''s' ORDER BY a DESC, b LIMIT 3 OFFSET 1"#,
+            "SELECT count(*), sum(x), avg(x) FROM t GROUP BY k HAVING count(*) > 2",
+            "SELECT x FROM t WHERE x IN (1, 2, 3) AND y IS NOT NULL",
+            "SELECT x FROM t WHERE x NOT IN (SELECT y FROM u)",
+            "SELECT a, row_number() OVER (PARTITION BY k ORDER BY a DESC) FROM t",
+            "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t",
+            "SELECT a::double precision, CAST(b AS bigint) FROM t",
+            "SELECT t.a, u.b FROM t INNER JOIN u ON t.k = u.k",
+            "SELECT a FROM (SELECT a FROM t) AS s LEFT JOIN (SELECT b FROM u) AS r ON s.a = r.b",
+            "SELECT * FROM (VALUES (1, 'a'), (2, 'b')) AS v (n, s)",
+            "SELECT a FROM t UNION ALL SELECT b FROM u",
+            "SELECT column_name FROM information_schema.columns WHERE table_name = 't'",
+            "SELECT sum(DISTINCT x) FROM t",
+            "SELECT x FROM t WHERE s LIKE 'a%' OR s IS DISTINCT FROM 'b'",
+            "SELECT -x, NOT b, least(a, b) FROM t",
+            "CREATE TABLE t (a bigint, b varchar, c double precision, d date)",
+            "CREATE TEMPORARY TABLE tmp AS SELECT a FROM t",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (NULL, 'y')",
+            "INSERT INTO t VALUES (1.25, TRUE)",
+            "DROP TABLE IF EXISTS t",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn literal_rendering_round_trips_floats() {
+        // A float literal must re-parse as a float even when integral.
+        assert_eq!(literal(&Cell::Float(3.0)), "3.0");
+        assert_eq!(literal(&Cell::Float(0.1)), "0.1");
+        assert!(literal(&Cell::Float(f64::NAN)).contains("NaN"));
+    }
+
+    #[test]
+    fn quoted_identifiers_escape() {
+        assert_eq!(ident(r#"we"ird"#), r#""we""ird""#);
+    }
+}

@@ -318,3 +318,165 @@ fn degraded_endpoint_answers_queries_with_backend_errors() {
     }
     ep.detach();
 }
+
+// ---------------------------------------------------------------------
+// Degraded-shard scenarios: chaosnet in front of ONE shard of a remote
+// scatter-gather cluster (ISSUE 8). A lost shard must surface as a
+// typed partial-failure error naming exactly which shard died and which
+// partials arrived — and sessions not touching that shard must keep
+// answering normally throughout.
+// ---------------------------------------------------------------------
+
+use hyperq::shard::{Mode, ShardCluster, ShardOpts};
+use hyperq::ShardFailure;
+use pgdb::BatchQueryResult;
+use std::collections::HashMap;
+
+/// Remote 2-shard cluster whose shard 1 is reached through a chaos
+/// proxy: (servers, proxy, cluster). `fact` (100 rows) partitions
+/// across both shards; `dim` (4 rows) broadcasts.
+fn chaotic_cluster(
+    timeouts: WireTimeouts,
+) -> (Vec<PgServer>, ChaosProxy, std::sync::Arc<ShardCluster>) {
+    let mut servers: Vec<PgServer> = (0..3)
+        .map(|_| PgServer::start(pgdb::Db::new(), "127.0.0.1:0", ServerConfig::default()).unwrap())
+        .collect();
+    let proxy = ChaosProxy::start(&servers[1].addr.to_string()).unwrap();
+    let shard_addrs = vec![servers[0].addr.to_string(), proxy.addr().to_string()];
+    let coord_addr = servers[2].addr.to_string();
+    let cluster = ShardCluster::remote(
+        shard_addrs,
+        coord_addr,
+        creds(),
+        timeouts,
+        RetryPolicy::no_retry(),
+    );
+    {
+        let mut r = cluster.router().unwrap();
+        r.execute_sql("CREATE TABLE fact (id bigint, v bigint)").unwrap();
+        let rows: Vec<String> = (0..100).map(|i| format!("({i}, {})", i * 3)).collect();
+        r.execute_sql(&format!("INSERT INTO fact VALUES {}", rows.join(", "))).unwrap();
+        r.execute_sql("CREATE TABLE dim (k bigint)").unwrap();
+        r.execute_sql("INSERT INTO dim VALUES (1), (2), (3), (4)").unwrap();
+    }
+    assert_eq!(cluster.table_meta("fact").unwrap().mode, Mode::Partitioned);
+    assert_eq!(cluster.table_meta("dim").unwrap().mode, Mode::Broadcast);
+    // The env-derived default broadcast threshold (64) is what the
+    // fixture sizes assume; pin it so an ambient HQ_SHARD_BROADCAST
+    // cannot silently change what this suite tests.
+    let _ = ShardOpts { broadcast_threshold: 64, float_agg: false, keys: HashMap::new() };
+    servers.shrink_to_fit();
+    (servers, proxy, cluster)
+}
+
+fn shard_count_rows(r: &mut hyperq::ShardRouter, sql: &str) -> Vec<Vec<Cell>> {
+    match r.execute_sql_batch(sql).unwrap().unwrap() {
+        BatchQueryResult::Batch(b) => b.into_rows().data,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn severed_shard_yields_typed_partial_failure_naming_the_shard() {
+    let (servers, proxy, cluster) = chaotic_cluster(WireTimeouts::default());
+    let mut victim = cluster.router().unwrap();
+    // A session that only ever touches broadcast/coordinator state,
+    // opened while the cluster is healthy.
+    let mut bystander = cluster.router().unwrap();
+
+    let reg = obs::global_registry();
+    let degraded_before = reg.counter_value("shard_degraded_total");
+
+    // Shard 1 goes down hard: every live connection through the proxy
+    // dies now, and every reconnect attempt dies immediately.
+    proxy.set_default_plan(FaultPlan {
+        to_upstream: LegFaults::sever_immediately(),
+        ..FaultPlan::clean()
+    });
+    proxy.sever_active();
+
+    let err = victim.execute_sql("SELECT count(*) AS n FROM fact").unwrap_err();
+    assert_eq!(err.kind, WireErrorKind::ShardPartial, "{err}");
+    let detail: &ShardFailure = err.shard.as_deref().expect("typed shard detail missing");
+    assert_eq!(
+        detail.failed.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+        vec![1],
+        "wrong shard blamed: {err}"
+    );
+    assert_eq!(detail.arrived, vec![0], "healthy shard's partial must have arrived: {err}");
+    assert!(err.to_string().contains("shard 1"), "error must name the lost shard: {err}");
+    assert_eq!(reg.counter_value("shard_degraded_total"), degraded_before + 1);
+
+    // The bystander's statements never route to shard 1 (dim is
+    // broadcast → coordinator-local), so it is completely unaffected
+    // while the shard is down.
+    let rows = shard_count_rows(&mut bystander, "SELECT k FROM dim ORDER BY k");
+    assert_eq!(rows.len(), 4);
+
+    // Shard 1 comes back: a fresh router over the same cluster answers
+    // the exact query that just failed, correctly.
+    proxy.set_default_plan(FaultPlan::clean());
+    let mut recovered = cluster.router().unwrap();
+    let rows = shard_count_rows(&mut recovered, "SELECT count(*) AS n FROM fact");
+    assert_eq!(rows[0][0], Cell::Int(100));
+
+    for s in servers {
+        s.detach();
+    }
+}
+
+#[test]
+fn stalled_shard_trips_the_deadline_into_a_partial_failure() {
+    let timeouts = WireTimeouts { read: Some(Duration::from_millis(80)), ..WireTimeouts::default() };
+    let (servers, proxy, cluster) = chaotic_cluster(timeouts);
+
+    // Shard 1 stalls mid-query: bytes flow for the handshake, then every
+    // later frame is delayed far past the router's read deadline. The
+    // plan lands on connections opened from here on, so the router below
+    // handshakes fine and starves on its first scatter.
+    proxy.set_default_plan(FaultPlan {
+        to_upstream: LegFaults {
+            delay: Some(Duration::from_millis(500)),
+            delay_after: startup_len(),
+            ..LegFaults::clean()
+        },
+        ..FaultPlan::clean()
+    });
+    let mut r = cluster.router().unwrap();
+
+    let err = r.execute_sql("SELECT id FROM fact ORDER BY id").unwrap_err();
+    assert_eq!(err.kind, WireErrorKind::ShardPartial, "{err}");
+    let detail = err.shard.as_deref().expect("typed shard detail missing");
+    assert_eq!(detail.failed.len(), 1);
+    assert_eq!(detail.failed[0].0, 1, "the stalled shard must be the one named: {err}");
+    assert!(
+        detail.failed[0].1.contains("timeout") || detail.failed[0].1.contains("deadline"),
+        "cause should reflect the deadline: {err}"
+    );
+
+    for s in servers {
+        s.detach();
+    }
+}
+
+#[test]
+fn delayed_but_healthy_shard_still_merges_correctly() {
+    // A slow shard inside the deadline degrades latency, never results.
+    let (servers, proxy, cluster) = chaotic_cluster(WireTimeouts::default());
+    let mut r = cluster.router().unwrap();
+    proxy.set_default_plan(FaultPlan {
+        to_upstream: LegFaults { delay: Some(Duration::from_millis(30)), ..LegFaults::clean() },
+        ..FaultPlan::clean()
+    });
+    let mut slow = cluster.router().unwrap();
+    let fast_rows = shard_count_rows(&mut r, "SELECT id, v FROM fact ORDER BY id");
+    let slow_rows = shard_count_rows(&mut slow, "SELECT id, v FROM fact ORDER BY id");
+    assert_eq!(fast_rows, slow_rows, "a delayed shard must not change the merged result");
+    assert_eq!(slow_rows.len(), 100);
+    for (i, row) in slow_rows.iter().enumerate() {
+        assert_eq!(row[0], Cell::Int(i as i64));
+    }
+    for s in servers {
+        s.detach();
+    }
+}

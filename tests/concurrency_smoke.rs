@@ -1,29 +1,34 @@
-//! Concurrency smoke test: eight parallel translated sessions against a
-//! single pgdb wire server, checking per-session isolation and clean
-//! observability counters.
+//! Concurrency smoke test: sixty-four parallel translated sessions
+//! against one 4-shard scatter-gather cluster, checking per-session
+//! isolation and clean per-shard observability counters.
 //!
-//! Each thread owns a full Gateway stack (PG v3 TCP connection +
-//! `HyperQSession`), runs a mixed workload of reads and per-session
-//! variable definitions, and asserts it only ever sees its own state.
-//! Afterwards the process-global metrics registry must show the total
-//! query count increment with a zero error delta — concurrency must not
-//! manufacture failures.
+//! Each thread owns a full session stack (`ShardRouter` over the shared
+//! cluster + `HyperQSession`), runs a mixed workload of reads,
+//! per-session variable definitions and an explicit scatter query, and
+//! asserts it only ever sees its own state. Afterwards the
+//! process-global metrics registry must show:
 //!
-//! The server runs with a 4-worker executor pool (`HQ_EXEC_THREADS=4`,
-//! DESIGN §12): eight concurrent sessions over morsel-parallel
-//! execution is exactly the oversubscription shape a production gateway
-//! sees, and results must be indistinguishable from serial ones.
+//! * every shard's `shard_statements_total{shard="i"}` advanced by the
+//!   SAME amount — a fan-out touches all shards exactly once, so any
+//!   skew means a lost or duplicated scatter leg;
+//! * a zero `shard_degraded_total` delta — concurrency must not
+//!   manufacture partial failures;
+//! * an error delta of exactly one per session (the deliberate
+//!   isolation probe).
 
-use hyperq::backend;
-use hyperq::gateway::{Credentials, PgWireBackend};
-use hyperq::{loader, HyperQSession, SessionConfig};
+use hyperq::shard::{Mode, ShardCluster, ShardOpts};
+use hyperq::{backend, loader, HyperQSession, SessionConfig};
+use pgdb::BatchQueryResult;
 use qlang::value::{Table, Value};
+use std::collections::HashMap;
 
-const SESSIONS: usize = 8;
-const QUERIES_PER_SESSION: u64 = 5;
+const SESSIONS: usize = 64;
+const SHARDS: usize = 4;
 
 fn trades() -> Table {
-    let n = 64;
+    // 256 rows: comfortably past the broadcast threshold (64), so the
+    // table hash-partitions and session queries genuinely fan out.
+    let n = 256;
     let syms = ["GOOG", "IBM", "AAPL", "MSFT"];
     Table::new(
         vec!["Symbol".into(), "Price".into(), "Size".into()],
@@ -36,41 +41,34 @@ fn trades() -> Table {
     .unwrap()
 }
 
+fn opts() -> ShardOpts {
+    ShardOpts { broadcast_threshold: 64, float_agg: false, keys: HashMap::new() }
+}
+
 #[test]
-fn eight_parallel_gateway_sessions_stay_isolated_with_clean_metrics() {
-    // Set before any session thread spawns; this file holds a single
-    // test, so no concurrent test observes the change.
-    std::env::set_var("HQ_EXEC_THREADS", "4");
-    let db = pgdb::Db::new();
-    let mut bootstrap = HyperQSession::with_direct(&db);
-    loader::load_table(&mut bootstrap, "trades", &trades()).unwrap();
-    let pg = pgdb::server::PgServer::start(
-        db,
-        "127.0.0.1:0",
-        pgdb::server::ServerConfig { max_connections: SESSIONS + 4, ..Default::default() },
-    )
-    .unwrap();
-    let addr = pg.addr.to_string();
+fn sixty_four_parallel_sessions_share_a_shard_cluster_with_clean_metrics() {
+    let cluster = ShardCluster::in_process_with(SHARDS, opts());
+    {
+        let mut bootstrap =
+            HyperQSession::new(backend::share(cluster.router().unwrap()), SessionConfig::default());
+        loader::load_table(&mut bootstrap, "trades", &trades()).unwrap();
+    }
+    assert_eq!(cluster.table_meta("trades").unwrap().mode, Mode::Partitioned);
 
     let reg = obs::global_registry();
-    let queries_before = reg.counter_value("hyperq_queries_total");
+    let shard_counter = |i: usize| format!("shard_statements_total{{shard=\"{i}\"}}");
+    let per_shard_before: Vec<u64> =
+        (0..SHARDS).map(|i| reg.counter_value(&shard_counter(i))).collect();
+    let fanout_before = reg.counter_value("shard_fanout_total");
+    let degraded_before = reg.counter_value("shard_degraded_total");
     let errors_before = reg.counter_value("hyperq_query_errors_total");
 
     let handles: Vec<_> = (0..SESSIONS)
         .map(|i| {
-            let addr = addr.clone();
+            let cluster = std::sync::Arc::clone(&cluster);
             std::thread::spawn(move || {
-                let gateway = PgWireBackend::connect(
-                    &addr,
-                    &Credentials {
-                        user: format!("fuzz{i}"),
-                        password: String::new(),
-                        database: "hist".into(),
-                    },
-                )
-                .unwrap();
-                let mut s =
-                    HyperQSession::new(backend::share(gateway), SessionConfig::default());
+                let router = cluster.router().unwrap();
+                let mut s = HyperQSession::new(backend::share(router), SessionConfig::default());
 
                 // 1: a per-session variable no other session defines.
                 s.execute(&format!("mine{i}: {i} + 100")).unwrap();
@@ -96,12 +94,21 @@ fn eight_parallel_gateway_sessions_stay_isolated_with_clean_metrics() {
                     other => panic!("session {i}: expected count atom, got {other:?}"),
                 }
                 // 5: a by-aggregation all sessions agree on.
-                let agg = s
-                    .execute("select mx: max Price by Symbol from trades")
-                    .unwrap();
+                let agg = s.execute("select mx: max Price by Symbol from trades").unwrap();
                 match agg {
                     Value::KeyedTable(k) => assert_eq!(k.key.rows(), 4),
                     other => panic!("session {i}: expected keyed table, got {other:?}"),
+                }
+                // 6: one guaranteed scatter straight at the Backend seam
+                // (Q translation may route statements above through the
+                // coordinator; this one provably fans out to all shards).
+                let backend = s.backend().clone();
+                let mut guard = backend.lock().unwrap();
+                match guard.execute_sql_batch("SELECT count(*) AS n FROM \"trades\"").unwrap() {
+                    Some(BatchQueryResult::Batch(b)) => {
+                        assert_eq!(b.to_rows().data[0][0], pgdb::Cell::Int(256))
+                    }
+                    other => panic!("session {i}: expected count batch, got {other:?}"),
                 }
             })
         })
@@ -110,22 +117,33 @@ fn eight_parallel_gateway_sessions_stay_isolated_with_clean_metrics() {
         h.join().unwrap();
     }
 
-    // The error-counter check below reads process-global state, so the
-    // count would be polluted if other tests shared this binary; this
-    // file deliberately holds a single test.
-    let queries_after = reg.counter_value("hyperq_queries_total");
-    let errors_after = reg.counter_value("hyperq_query_errors_total");
-    // The isolation probe (step 3) errors by design — one per session.
+    // The metric checks below read process-global state, so the deltas
+    // would be polluted if other tests shared this binary; this file
+    // deliberately holds a single test.
+    let per_shard_after: Vec<u64> =
+        (0..SHARDS).map(|i| reg.counter_value(&shard_counter(i))).collect();
+    let deltas: Vec<u64> =
+        per_shard_after.iter().zip(&per_shard_before).map(|(a, b)| a - b).collect();
+    assert!(
+        deltas[0] >= SESSIONS as u64,
+        "each shard must see at least one statement per session, got {deltas:?}"
+    );
+    assert!(
+        deltas.iter().all(|d| *d == deltas[0]),
+        "per-shard statement deltas skewed — a scatter lost or duplicated a leg: {deltas:?}"
+    );
+    assert!(
+        reg.counter_value("shard_fanout_total") - fanout_before >= SESSIONS as u64,
+        "expected at least one counted fan-out per session"
+    );
     assert_eq!(
-        errors_after - errors_before,
+        reg.counter_value("shard_degraded_total"),
+        degraded_before,
+        "concurrency must not manufacture degraded shards"
+    );
+    assert_eq!(
+        reg.counter_value("hyperq_query_errors_total") - errors_before,
         SESSIONS as u64,
         "only the {SESSIONS} deliberate isolation probes may error"
     );
-    assert!(
-        queries_after - queries_before >= SESSIONS as u64 * QUERIES_PER_SESSION,
-        "expected at least {} queries counted, got {}",
-        SESSIONS as u64 * QUERIES_PER_SESSION,
-        queries_after - queries_before
-    );
-    pg.detach();
 }
