@@ -7,21 +7,30 @@
 //!
 //! Each accepted connection gets a [`ProtocolTranslator`] FSM and its own
 //! Hyper-Q session (scopes, temp tables, metadata cache) over a backend
-//! session — mirroring one kdb+ client connection.
+//! session — mirroring one kdb+ client connection. The per-connection
+//! protocol logic lives in the sans-io [`QipcConnMachine`]; two drivers
+//! run it, selected by [`EndpointConfig::io_model`]: the legacy
+//! thread-per-connection loop, and the `netpool` readiness scheduler
+//! (the default), which parks idle sessions without a thread and
+//! dispatches them to a bounded worker pool when they speak. Both
+//! drivers feed the same machine, so they are byte-identical on the
+//! wire — pinned by the session-park differential suite.
 //!
 //! Robustness (see `DESIGN.md`, "Fault tolerance"): the accept loop
-//! survives transient `accept()` errors; a connection cap turns overload
-//! into a clean kdb+-style error frame instead of a reset; the client
-//! leg runs under the session's [`WireTimeouts`] read deadline, but only
-//! a peer stalled *mid-frame* is dropped — an idle Q application owes us
-//! nothing and is left alone; and when the backend cannot be reached the
-//! Endpoint degrades gracefully: the Q connection stays up and every
-//! query is answered with an error frame naming the backend failure.
+//! survives transient `accept()` errors with a capped backoff; a
+//! connection cap turns overload into a clean kdb+-style error frame
+//! instead of a reset; the client leg runs under the session's
+//! [`crate::wire::WireTimeouts`] read deadline, but only a peer stalled
+//! *mid-frame* is dropped — an idle Q application owes us nothing and is
+//! left alone; and when the backend cannot be reached the Endpoint
+//! degrades gracefully: the Q connection stays up and every query is
+//! answered with an error frame naming the backend failure.
 
 use crate::backend::{share, DirectBackend, SharedBackend};
 use crate::session::{HyperQSession, SessionConfig};
 use crate::wire::WireError;
 use crate::xc::{ProtocolTranslator, PtAction};
+use netpool::{AcceptBackoff, HandlerControl, IoModel, NetPool, SessionHandler};
 use qipc::{Message, MsgType};
 use qlang::{QResult, Value};
 use std::io::{Read, Write};
@@ -70,6 +79,12 @@ pub struct EndpointConfig {
     pub max_connections: usize,
     /// Inbound QIPC frame-length ceiling.
     pub max_frame: usize,
+    /// Connection layer: thread-per-conn or readiness-multiplexed.
+    /// Defaults from `HQ_IO_MODEL` (multiplexed when unset).
+    pub io_model: IoModel,
+    /// Dispatch threads for the multiplexed model; `0` defers to
+    /// `HQ_NET_WORKERS` (then a small built-in default).
+    pub net_workers: usize,
 }
 
 impl Default for EndpointConfig {
@@ -79,6 +94,8 @@ impl Default for EndpointConfig {
             session: SessionConfig::default(),
             max_connections: 64,
             max_frame: qipc::DEFAULT_MAX_MESSAGE,
+            io_model: IoModel::from_env(),
+            net_workers: 0,
         }
     }
 }
@@ -103,7 +120,9 @@ impl QipcEndpoint {
     }
 
     /// Start the endpoint with an explicit backend factory — e.g. one
-    /// that opens a [`crate::gateway::PgWireBackend`] per connection.
+    /// that checks connections out of a [`crate::pool::BackendPool`]
+    /// per statement, or opens a [`crate::gateway::PgWireBackend`] per
+    /// connection.
     pub fn start_with(
         bind_addr: &str,
         config: EndpointConfig,
@@ -111,29 +130,49 @@ impl QipcEndpoint {
     ) -> std::io::Result<QipcEndpoint> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
+        let pool = match config.io_model {
+            IoModel::Multiplexed => Some(NetPool::start(config.net_workers)?),
+            IoModel::ThreadPerConn => None,
+        };
         let active = Arc::new(AtomicUsize::new(0));
-        let handle = std::thread::spawn(move || loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let config = config.clone();
-                    let factory = Arc::clone(&factory);
-                    let active = Arc::clone(&active);
-                    let slot = active.fetch_add(1, Ordering::SeqCst);
-                    std::thread::spawn(move || {
-                        if slot >= config.max_connections {
-                            let _ = reject_connection(stream, &config);
-                        } else {
-                            let _ = serve_connection(stream, factory, config);
+        let handle = std::thread::spawn(move || {
+            let mut backoff = AcceptBackoff::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        backoff.reset();
+                        let slot = active.fetch_add(1, Ordering::SeqCst);
+                        let reject = slot >= config.max_connections;
+                        let machine = QipcConnMachine::new(
+                            &factory,
+                            &config,
+                            reject,
+                            ConnGuard(Arc::clone(&active)),
+                        );
+                        match &pool {
+                            Some(pool) => {
+                                // Registration failure drops the machine,
+                                // whose guard releases the slot.
+                                let _ = pool.register(
+                                    stream,
+                                    Box::new(machine),
+                                    config.session.wire.read,
+                                );
+                            }
+                            None => {
+                                let wire = config.session.wire;
+                                std::thread::spawn(move || {
+                                    let _ = serve_connection(stream, machine, &wire);
+                                });
+                            }
                         }
-                        active.fetch_sub(1, Ordering::SeqCst);
-                    });
+                    }
+                    // One failed accept() (peer reset in the backlog, fd
+                    // pressure, a signal) must not kill the listener —
+                    // and must not spin the core while the fault lasts.
+                    Err(e) if netpool::transient_accept_error(&e) => backoff.sleep(),
+                    Err(_) => break,
                 }
-                // One failed accept() (peer reset in the backlog, fd
-                // pressure, a signal) must not kill the listener.
-                Err(e) if transient_accept_error(&e) => {
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
-                Err(_) => break,
             }
         });
         Ok(QipcEndpoint { addr, handle: Some(handle) })
@@ -145,111 +184,97 @@ impl QipcEndpoint {
     }
 }
 
-fn transient_accept_error(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::ConnectionAborted
-            | std::io::ErrorKind::ConnectionReset
-            | std::io::ErrorKind::Interrupted
-            | std::io::ErrorKind::WouldBlock
-            | std::io::ErrorKind::TimedOut
-    )
+/// Releases the connection-cap slot when the connection ends, whichever
+/// driver ran it.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
-/// Over the cap: complete the handshake (QIPC has no earlier error
-/// channel), answer the first synchronous request with a kdb+ error
-/// frame, then close.
-fn reject_connection(mut stream: TcpStream, config: &EndpointConfig) -> std::io::Result<()> {
-    let mut pt = ProtocolTranslator::with_max_frame(config.max_frame);
-    let auth = Arc::clone(&config.authenticator);
-    let mut chunk = [0u8; 4096];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(());
-        }
-        let Ok(actions) = pt.on_bytes(&chunk[..n], &*auth) else { return Ok(()) };
-        for action in actions {
-            match action {
-                PtAction::Send(bytes) => stream.write_all(&bytes)?,
-                PtAction::Close => return Ok(()),
-                PtAction::ForwardQuery { respond, .. } => {
-                    if respond {
-                        if let PtAction::Send(bytes) =
-                            pt.on_error("'limit: too many connections")
-                        {
-                            stream.write_all(&bytes)?;
-                        }
-                        return Ok(());
-                    }
-                }
+/// The QIPC conversation as a sans-io state machine: raw bytes in,
+/// response bytes out. Wraps the [`ProtocolTranslator`] framing FSM and
+/// the per-connection Hyper-Q session (or its degraded-mode error).
+/// Both the blocking and the multiplexed drivers run this, which is what
+/// keeps the two io models byte-identical on the wire.
+pub struct QipcConnMachine {
+    pt: ProtocolTranslator,
+    /// Graceful degradation: a backend we cannot reach does not cost
+    /// the Q application its connection — queries are answered with
+    /// error frames naming the failure instead.
+    session: Result<HyperQSession, String>,
+    auth: Authenticator,
+    /// Over the cap: complete the handshake (QIPC has no earlier error
+    /// channel), answer the first synchronous request with a kdb+ error
+    /// frame, then close.
+    reject: bool,
+    _guard: Option<ConnGuard>,
+}
+
+impl QipcConnMachine {
+    fn new(
+        factory: &BackendFactory,
+        config: &EndpointConfig,
+        reject: bool,
+        guard: ConnGuard,
+    ) -> QipcConnMachine {
+        let session = if reject {
+            Err("'limit: too many connections".to_string())
+        } else {
+            match factory() {
+                Ok(backend) => Ok(HyperQSession::new(backend, config.session.clone())),
+                Err(e) => Err(format!("'backend: unavailable ({e})")),
             }
+        };
+        QipcConnMachine {
+            pt: ProtocolTranslator::with_max_frame(config.max_frame),
+            session,
+            auth: Arc::clone(&config.authenticator),
+            reject,
+            _guard: Some(guard),
         }
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    factory: BackendFactory,
-    config: EndpointConfig,
-) -> std::io::Result<()> {
-    let mut pt = ProtocolTranslator::with_max_frame(config.max_frame);
-    // Graceful degradation: a backend we cannot reach does not cost the
-    // Q application its connection — queries are answered with error
-    // frames naming the failure instead.
-    let mut session: Result<HyperQSession, String> = match factory() {
-        Ok(backend) => Ok(HyperQSession::new(backend, config.session.clone())),
-        Err(e) => Err(format!("'backend: unavailable ({e})")),
-    };
-    let auth = config.authenticator;
-    let mut chunk = [0u8; 16384];
-    // The client leg runs under the session's read deadline, but an
-    // *idle* Q application (no frame in progress) is never dropped —
-    // only a peer that stalls mid-frame.
-    let _ = stream.set_read_timeout(config.session.wire.read);
-    let _ = stream.set_write_timeout(config.session.wire.write);
-
-    loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(n) => n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-                ) =>
-            {
-                if pt.has_partial() {
-                    // Mid-frame stall: the peer is gone.
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        if n == 0 {
-            return Ok(());
-        }
-        let actions = match pt.on_bytes(&chunk[..n], &*auth) {
+impl SessionHandler for QipcConnMachine {
+    fn on_bytes(&mut self, bytes: &[u8], out: &mut Vec<u8>) -> HandlerControl {
+        let actions = match self.pt.on_bytes(bytes, &*self.auth) {
             Ok(a) => a,
             Err(e) => {
-                // Malformed framing: tell the peer why before dropping.
-                if let PtAction::Send(bytes) = pt.on_error(&format!("'ipc: {e}")) {
-                    let _ = stream.write_all(&bytes);
+                // Malformed framing: tell the peer why before dropping
+                // (unless it is a doomed over-cap connection).
+                if !self.reject {
+                    if let PtAction::Send(bytes) = self.pt.on_error(&format!("'ipc: {e}")) {
+                        out.extend_from_slice(&bytes);
+                    }
                 }
-                return Ok(());
+                return HandlerControl::Close;
             }
         };
         for action in actions {
             match action {
                 PtAction::Send(bytes) => {
                     response_bytes_counter().add(bytes.len() as u64);
-                    stream.write_all(&bytes)?;
+                    out.extend_from_slice(&bytes);
                 }
-                PtAction::Close => return Ok(()),
+                PtAction::Close => return HandlerControl::Close,
                 PtAction::ForwardQuery { text, respond } => {
+                    if self.reject {
+                        if respond {
+                            if let PtAction::Send(bytes) =
+                                self.pt.on_error("'limit: too many connections")
+                            {
+                                out.extend_from_slice(&bytes);
+                            }
+                            return HandlerControl::Close;
+                        }
+                        continue;
+                    }
                     let result = match admin_command(&text) {
                         Some(body) => Ok(Value::Chars(body)),
-                        None => match &mut session {
+                        None => match &mut self.session {
                             Ok(s) => s.execute(&text),
                             Err(reason) => Err(qlang::QError::new(
                                 qlang::error::QErrorKind::Other,
@@ -259,18 +284,69 @@ fn serve_connection(
                     };
                     if respond {
                         let reply = match result {
-                            Ok(value) => pt.on_results(value).unwrap_or_else(|e| {
-                                pt.on_error(&e.to_string())
-                            }),
-                            Err(e) => pt.on_error(&e.to_string()),
+                            Ok(value) => self
+                                .pt
+                                .on_results(value)
+                                .unwrap_or_else(|e| self.pt.on_error(&e.to_string())),
+                            Err(e) => self.pt.on_error(&e.to_string()),
                         };
                         if let PtAction::Send(bytes) = reply {
                             response_bytes_counter().add(bytes.len() as u64);
-                            stream.write_all(&bytes)?;
+                            out.extend_from_slice(&bytes);
                         }
                     }
                 }
             }
+        }
+        HandlerControl::Continue
+    }
+
+    fn mid_frame(&self) -> bool {
+        self.pt.has_partial()
+    }
+}
+
+/// The thread-per-connection driver: a blocking read → machine → write
+/// loop over the same state machine the multiplexed scheduler runs. The
+/// read deadline only fires on a peer stalled *mid-frame*; an idle Q
+/// application parks for as long as it likes.
+fn serve_connection(
+    mut stream: TcpStream,
+    mut machine: QipcConnMachine,
+    wire: &crate::wire::WireTimeouts,
+) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(wire.read);
+    let _ = stream.set_write_timeout(wire.write);
+    let mut chunk = [0u8; 16384];
+    let mut out = Vec::new();
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if machine.mid_frame() {
+                    // Mid-frame stall: the peer is gone.
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let control = if n == 0 {
+            HandlerControl::Close
+        } else {
+            machine.on_bytes(&chunk[..n], &mut out)
+        };
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+            out.clear();
+        }
+        if control == HandlerControl::Close {
+            return Ok(());
         }
     }
 }
@@ -364,6 +440,10 @@ mod tests {
     use qlang::value::Table;
 
     fn start_with_trades() -> (QipcEndpoint, pgdb::Db) {
+        start_with_trades_io(IoModel::from_env())
+    }
+
+    fn start_with_trades_io(io_model: IoModel) -> (QipcEndpoint, pgdb::Db) {
         let db = pgdb::Db::new();
         // Load through a throwaway session.
         let mut s = HyperQSession::with_direct(&db);
@@ -376,22 +456,25 @@ mod tests {
         )
         .unwrap();
         loader::load_table(&mut s, "trades", &trades).unwrap();
-        let ep = QipcEndpoint::start(db.clone(), "127.0.0.1:0", EndpointConfig::default()).unwrap();
+        let config = EndpointConfig { io_model, ..EndpointConfig::default() };
+        let ep = QipcEndpoint::start(db.clone(), "127.0.0.1:0", config).unwrap();
         (ep, db)
     }
 
     #[test]
     fn q_application_runs_unchanged_over_the_wire() {
-        let (ep, _db) = start_with_trades();
-        let mut client = QipcClient::connect(&ep.addr.to_string(), "trader", "").unwrap();
-        let v = client.query("select Price from trades where Symbol=`GOOG").unwrap();
-        match v {
-            Value::Table(t) => {
-                assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0])));
+        for io_model in [IoModel::ThreadPerConn, IoModel::Multiplexed] {
+            let (ep, _db) = start_with_trades_io(io_model);
+            let mut client = QipcClient::connect(&ep.addr.to_string(), "trader", "").unwrap();
+            let v = client.query("select Price from trades where Symbol=`GOOG").unwrap();
+            match v {
+                Value::Table(t) => {
+                    assert!(t.column("Price").unwrap().q_eq(&Value::Floats(vec![100.0])));
+                }
+                other => panic!("expected table, got {other:?}"),
             }
-            other => panic!("expected table, got {other:?}"),
+            ep.detach();
         }
-        ep.detach();
     }
 
     #[test]

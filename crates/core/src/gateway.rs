@@ -89,7 +89,7 @@ pub struct Credentials {
 
 /// How a statement behaves when its connection dies mid-flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StatementClass {
+pub(crate) enum StatementClass {
     /// Row-returning and side-effect-free: safe to re-run on a fresh
     /// connection.
     Read,
@@ -103,7 +103,7 @@ enum StatementClass {
 }
 
 impl StatementClass {
-    fn of(sql: &str) -> StatementClass {
+    pub(crate) fn of(sql: &str) -> StatementClass {
         let head: String = sql
             .trim_start()
             .chars()
@@ -127,13 +127,13 @@ impl StatementClass {
     }
 
     /// Safe to re-run after a reconnect?
-    fn replayable(self) -> bool {
+    pub(crate) fn replayable(self) -> bool {
         !matches!(self, StatementClass::Mutation)
     }
 }
 
 /// First few words of a statement, for error messages.
-fn summarize(sql: &str) -> String {
+pub(crate) fn summarize(sql: &str) -> String {
     let mut s: String = sql.trim().chars().take(48).collect();
     if s.len() < sql.trim().len() {
         s.push('…');
@@ -298,6 +298,35 @@ impl PgWireBackend {
         Ok(())
     }
 
+    /// Replace the TCP connection with a brand-new authenticated one
+    /// and forget this connection's own journal. On the backend a fresh
+    /// TCP connection is a fresh session — temp tables from the old one
+    /// are gone — which is exactly what the pool wants when handing a
+    /// previously tainted connection to a different gateway session.
+    /// Not counted as a reconnect (it is hygiene, not fault recovery).
+    pub(crate) fn reset_connection(&mut self) -> Result<(), WireError> {
+        let (stream, reader, durable) = Self::open_stream(&self.addr, &self.creds, &self.timeouts)?;
+        self.stream = stream;
+        self.reader = reader;
+        self.durable = durable;
+        self.journal.clear();
+        Ok(())
+    }
+
+    /// Health check under an explicit deadline: `SELECT 1` must answer
+    /// within `deadline` or the connection is presumed bad. The normal
+    /// read deadline is restored afterwards.
+    pub(crate) fn ping(&mut self, deadline: Option<std::time::Duration>) -> Result<(), WireError> {
+        if deadline.is_some() {
+            let _ = self.stream.set_read_timeout(deadline);
+        }
+        let result = self.run_statement("SELECT 1").map(|_| ());
+        if deadline.is_some() {
+            let _ = self.stream.set_read_timeout(self.timeouts.read);
+        }
+        result
+    }
+
     fn send(&mut self, msg: &FrontendMessage) -> Result<(), WireError> {
         send_on(&mut self.stream, msg)
     }
@@ -309,8 +338,10 @@ impl PgWireBackend {
     /// Run one statement on the *current* connection: no retry, no
     /// journaling. The response stream is always drained to
     /// `ReadyForQuery` (when the connection survives), so a decode
-    /// error poisons the result, not the connection.
-    fn run_statement(&mut self, sql: &str) -> Result<QueryResult, WireError> {
+    /// error poisons the result, not the connection. The backend pool
+    /// drives pooled connections through this directly — journaling and
+    /// retry live per *session* there, not per connection.
+    pub(crate) fn run_statement(&mut self, sql: &str) -> Result<QueryResult, WireError> {
         self.send(&FrontendMessage::Query(sql.to_string()))?;
         let mut columns: Vec<Column> = Vec::new();
         let mut data: Vec<Vec<Cell>> = Vec::new();
@@ -404,6 +435,47 @@ fn recv_on(stream: &mut TcpStream, reader: &mut MessageReader) -> Result<Backend
     }
 }
 
+/// The typed error for a connection lost under a non-idempotent
+/// statement. Shared by the per-connection gateway retry loop and the
+/// backend pool so both paths surface the *identical* message (the
+/// differential suites compare error strings verbatim). Increments the
+/// durable-replay-skip counter when `durable` (the caller re-establishes
+/// the session separately).
+pub(crate) fn non_idempotent_error(sql: &str, durable: bool, e: &WireError) -> WireError {
+    if durable {
+        // The backend journals every committed mutation to a WAL: if
+        // the statement committed before the connection died, its
+        // effects survived on disk, so the only ambiguity is *whether*
+        // it committed — which a blind replay would not resolve (it
+        // could apply the mutation twice). Skip the replay and tell the
+        // caller to verify and re-issue.
+        wire_metrics().replay_skipped_durable.inc();
+        WireError::new(
+            WireErrorKind::NonIdempotent,
+            format!(
+                "connection failed while a non-idempotent statement \
+                 ({}) was in flight; replay skipped — the backend is \
+                 durable, so if the statement committed its effects \
+                 are preserved on disk; verify and re-issue: {e}",
+                summarize(sql)
+            ),
+        )
+    } else {
+        WireError::new(
+            WireErrorKind::NonIdempotent,
+            format!(
+                "connection failed while a non-idempotent statement \
+                 ({}) was in flight; not retrying — the backend is not \
+                 durable, so a committed result may already be lost and \
+                 a replay could apply the mutation twice (enable \
+                 durability on the backend with HQ_DATA_DIR to preserve \
+                 committed effects across crashes): {e}",
+                summarize(sql)
+            ),
+        )
+    }
+}
+
 /// Classify an `ErrorResponse` received during session establishment.
 fn connect_rejection(code: String, message: String) -> WireError {
     if code == "53300" {
@@ -427,42 +499,13 @@ impl Backend for PgWireBackend {
                 }
                 Err(e) if e.retryable() => {
                     if !class.replayable() {
+                        let err = non_idempotent_error(sql, self.durable, &e);
                         if self.durable {
-                            // The backend journals every committed
-                            // mutation to a WAL: if the statement
-                            // committed before the connection died, its
-                            // effects survived on disk, so the only
-                            // ambiguity is *whether* it committed —
-                            // which a blind replay would not resolve
-                            // (it could apply the mutation twice).
-                            // Skip the replay, re-establish the
-                            // session so it stays usable, and tell the
-                            // caller to verify and re-issue.
-                            wire_metrics().replay_skipped_durable.inc();
+                            // Re-establish the session so it stays
+                            // usable for the verify-and-re-issue.
                             let _ = self.reconnect();
-                            return Err(WireError::new(
-                                WireErrorKind::NonIdempotent,
-                                format!(
-                                    "connection failed while a non-idempotent statement \
-                                     ({}) was in flight; replay skipped — the backend is \
-                                     durable, so if the statement committed its effects \
-                                     are preserved on disk; verify and re-issue: {e}",
-                                    summarize(sql)
-                                ),
-                            ));
                         }
-                        return Err(WireError::new(
-                            WireErrorKind::NonIdempotent,
-                            format!(
-                                "connection failed while a non-idempotent statement \
-                                 ({}) was in flight; not retrying — the backend is not \
-                                 durable, so a committed result may already be lost and \
-                                 a replay could apply the mutation twice (enable \
-                                 durability on the backend with HQ_DATA_DIR to preserve \
-                                 committed effects across crashes): {e}",
-                                summarize(sql)
-                            ),
-                        ));
+                        return Err(err);
                     }
                     e
                 }

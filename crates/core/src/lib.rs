@@ -82,6 +82,7 @@ pub mod gateway;
 pub mod loader;
 pub mod mdi_backend;
 pub mod pivot;
+pub mod pool;
 pub mod qcache;
 pub mod session;
 pub mod shard;
@@ -93,6 +94,7 @@ pub mod xc;
 pub use backend::{share, Backend, DirectBackend, SharedBackend};
 pub use batch::{BatchDriver, BatchReport, DivergenceKind, Outcome, StatementOutcome};
 pub use obs::{QueryTrace, Span, SpanEvent, Stage};
+pub use pool::{BackendPool, PoolConfig, PooledBackend};
 pub use qcache::{CacheStats, TranslationCache};
 pub use session::{HyperQSession, SessionConfig};
 pub use shard::{env_shards, ShardCluster, ShardOpts, ShardRouter};

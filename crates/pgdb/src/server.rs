@@ -1,20 +1,34 @@
 //! PG v3 TCP server.
 //!
-//! One thread per connection, simple-query protocol: start-up →
-//! authentication (trust, clear text or MD5 — the mechanisms paper §4.2
-//! lists) → `ReadyForQuery` → a loop of `Query` messages answered with
-//! `RowDescription` + streamed `DataRow`s + `CommandComplete` (the
-//! row-oriented stream of Figure 5).
+//! Simple-query protocol: start-up → authentication (trust, clear text
+//! or MD5 — the mechanisms paper §4.2 lists) → `ReadyForQuery` → a loop
+//! of `Query` messages answered with `RowDescription` + streamed
+//! `DataRow`s + `CommandComplete` (the row-oriented stream of Figure 5).
 //!
-//! Robustness: the accept loop survives transient `accept()` errors, a
-//! configurable connection cap turns overload into a clean
-//! protocol-level rejection (SQLSTATE 53300, like PostgreSQL), and
-//! malformed frames are answered with an `08P01` protocol-violation
-//! error instead of killing the process or hanging the peer.
+//! The protocol itself lives in a sans-io state machine,
+//! [`PgConnMachine`]: bytes in, bytes out, no socket in sight. Two
+//! drivers run it, selected by [`ServerConfig::io_model`]:
+//!
+//! * **thread-per-connection** — the legacy model, one blocking thread
+//!   per accepted socket;
+//! * **multiplexed** (the default) — sockets registered with the
+//!   `netpool` readiness scheduler, sessions parked while idle and
+//!   dispatched to a bounded worker pool when the peer speaks.
+//!
+//! Because both drivers feed the *same* machine, they are byte-identical
+//! on the wire — which the session-park differential suite pins.
+//!
+//! Robustness: the accept loop survives transient `accept()` errors
+//! with a capped exponential backoff, a configurable connection cap
+//! turns overload into a clean protocol-level rejection (SQLSTATE
+//! 53300, like PostgreSQL), and malformed frames are answered with an
+//! `08P01` protocol-violation error instead of killing the process or
+//! hanging the peer.
 
-use crate::engine::{Db, StreamQueryResult};
+use crate::engine::{Db, Session, StreamQueryResult};
 use crate::types::PgType;
 use bytes::BytesMut;
+use netpool::{AcceptBackoff, HandlerControl, IoModel, NetPool, SessionHandler};
 use pgwire::codec::{encode_backend, MessageReader};
 use pgwire::messages::{AuthRequest, BackendMessage, FieldDesc, FrontendMessage, TransactionStatus, TypeOid};
 use std::collections::HashMap;
@@ -45,11 +59,22 @@ pub struct ServerConfig {
     /// rejected with SQLSTATE 53300 ("too many connections") after the
     /// start-up packet, mirroring PostgreSQL.
     pub max_connections: usize,
+    /// Connection layer: thread-per-conn or readiness-multiplexed.
+    /// Defaults from `HQ_IO_MODEL` (multiplexed when unset).
+    pub io_model: IoModel,
+    /// Dispatch threads for the multiplexed model; `0` defers to
+    /// `HQ_NET_WORKERS` (then a small built-in default).
+    pub net_workers: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { auth: AuthMode::default(), max_connections: 64 }
+        ServerConfig {
+            auth: AuthMode::default(),
+            max_connections: 64,
+            io_model: IoModel::from_env(),
+            net_workers: 0,
+        }
     }
 }
 
@@ -65,31 +90,46 @@ impl PgServer {
     pub fn start(db: Db, bind_addr: &str, config: ServerConfig) -> std::io::Result<PgServer> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
+        let pool = match config.io_model {
+            IoModel::Multiplexed => Some(NetPool::start(config.net_workers)?),
+            IoModel::ThreadPerConn => None,
+        };
         let cfg = Arc::new(config);
         let active = Arc::new(AtomicUsize::new(0));
-        let handle = std::thread::spawn(move || loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let db = db.clone();
-                    let cfg = Arc::clone(&cfg);
-                    let active = Arc::clone(&active);
-                    let slot = active.fetch_add(1, Ordering::SeqCst);
-                    std::thread::spawn(move || {
-                        if slot >= cfg.max_connections {
-                            let _ = reject_connection(stream);
-                        } else {
-                            let _ = serve_connection(stream, db, &cfg);
+        let handle = std::thread::spawn(move || {
+            let mut backoff = AcceptBackoff::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        backoff.reset();
+                        let slot = active.fetch_add(1, Ordering::SeqCst);
+                        let reject = slot >= cfg.max_connections;
+                        let machine = PgConnMachine::new(
+                            db.clone(),
+                            cfg.auth.clone(),
+                            reject,
+                            ConnGuard(Arc::clone(&active)),
+                        );
+                        match &pool {
+                            Some(pool) => {
+                                // Registration failure drops the machine,
+                                // whose guard releases the slot.
+                                let _ = pool.register(stream, Box::new(machine), None);
+                            }
+                            None => {
+                                std::thread::spawn(move || {
+                                    let _ = serve_connection(stream, machine);
+                                });
+                            }
                         }
-                        active.fetch_sub(1, Ordering::SeqCst);
-                    });
+                    }
+                    // A failed accept() of one connection (peer reset the
+                    // socket while it sat in the backlog, fd pressure, a
+                    // signal) must not take the listener down with it —
+                    // and must not spin the core while the fault lasts.
+                    Err(e) if netpool::transient_accept_error(&e) => backoff.sleep(),
+                    Err(_) => break,
                 }
-                // A failed accept() of one connection (peer reset the
-                // socket while it sat in the backlog, fd pressure, a
-                // signal) must not take the listener down with it.
-                Err(e) if transient_accept_error(&e) => {
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
-                Err(_) => break,
             }
         });
         Ok(PgServer { addr, handle: Some(handle) })
@@ -106,21 +146,20 @@ fn queries_counter() -> &'static Arc<obs::Counter> {
     COUNTER.get_or_init(|| obs::global_registry().counter("pgdb_queries_total"))
 }
 
-fn transient_accept_error(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::ConnectionAborted
-            | std::io::ErrorKind::ConnectionReset
-            | std::io::ErrorKind::Interrupted
-            | std::io::ErrorKind::WouldBlock
-            | std::io::ErrorKind::TimedOut
-    )
+/// Releases the connection-cap slot when the connection ends, whichever
+/// driver ran it.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
-fn send(stream: &mut TcpStream, msg: &BackendMessage) -> std::io::Result<()> {
+fn emit(out: &mut Vec<u8>, msg: &BackendMessage) {
     let mut buf = BytesMut::new();
     encode_backend(msg, &mut buf);
-    stream.write_all(&buf)
+    out.extend_from_slice(&buf);
 }
 
 /// Admin path (observability): `\metrics` or `SHOW metrics` answers with
@@ -131,20 +170,20 @@ fn is_metrics_query(sql: &str) -> bool {
     sql == "\\metrics" || sql.eq_ignore_ascii_case("show metrics")
 }
 
-fn send_metrics_dump(stream: &mut TcpStream) -> std::io::Result<()> {
+fn emit_metrics_dump(out: &mut Vec<u8>) {
     let dump = obs::global_registry().render_prometheus();
-    send(
-        stream,
+    emit(
+        out,
         &BackendMessage::RowDescription(vec![FieldDesc {
             name: "metrics".into(),
             type_oid: TypeOid::Text,
         }]),
-    )?;
+    );
     let count = dump.lines().count();
     for line in dump.lines() {
-        send(stream, &BackendMessage::DataRow(vec![Some(line.to_string())]))?;
+        emit(out, &BackendMessage::DataRow(vec![Some(line.to_string())]));
     }
-    send(stream, &BackendMessage::CommandComplete(format!("SELECT {count}")))
+    emit(out, &BackendMessage::CommandComplete(format!("SELECT {count}")));
 }
 
 fn pg_type_oid(ty: PgType) -> TypeOid {
@@ -163,243 +202,293 @@ fn pg_type_oid(ty: PgType) -> TypeOid {
     }
 }
 
-/// Pull the next frontend message off the wire. `Ok(None)` means the
-/// conversation is over: the peer closed cleanly, or it sent a malformed
-/// frame and has already been answered with an `08P01` error.
-fn recv_frontend(
-    stream: &mut TcpStream,
-    reader: &mut MessageReader,
-    chunk: &mut [u8],
-) -> std::io::Result<Option<FrontendMessage>> {
-    loop {
-        match reader.next_frontend() {
-            Ok(Some(m)) => return Ok(Some(m)),
-            Ok(None) => {}
-            Err(e) => {
-                let _ = send(
-                    stream,
-                    &BackendMessage::ErrorResponse {
-                        severity: "FATAL".into(),
-                        code: "08P01".into(),
-                        message: e.to_string(),
-                    },
-                );
-                return Ok(None);
-            }
-        }
-        let n = stream.read(chunk)?;
-        if n == 0 {
-            return Ok(None);
-        }
-        reader.feed(&chunk[..n]);
-    }
+/// Where the conversation stands.
+enum ConnState {
+    /// Waiting for the start-up packet.
+    Startup,
+    /// Password requested, waiting for the `Password` message.
+    AwaitPassword { user: String, md5_salt: Option<[u8; 4]> },
+    /// Authenticated; `Query` messages drive the engine session.
+    Ready(Box<Session>),
 }
 
-/// Over the cap: accept the start-up packet, answer with 53300, close.
-fn reject_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = MessageReader::new(true);
-    let mut chunk = [0u8; 8192];
-    // Wait for the start-up packet so the client sees a protocol-level
-    // error rather than a connection reset mid-handshake.
-    while recv_frontend(&mut stream, &mut reader, &mut chunk)?
-        .map(|m| !matches!(m, FrontendMessage::Startup { .. }))
-        .unwrap_or(false)
-    {}
-    send(
-        &mut stream,
-        &BackendMessage::ErrorResponse {
-            severity: "FATAL".into(),
-            code: "53300".into(),
-            message: "too many connections".into(),
-        },
-    )
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
+/// The PG v3 protocol as a sans-io state machine: raw bytes in,
+/// response bytes out, a [`HandlerControl`] verdict per dispatch. The
+/// blocking and multiplexed drivers both run this — the per-connection
+/// engine session (and its temp tables) lives inside, so parking a
+/// session preserves its state exactly like a dedicated thread would.
+pub struct PgConnMachine {
     db: Db,
-    cfg: &ServerConfig,
-) -> std::io::Result<()> {
-    let mut reader = MessageReader::new(true);
-    let mut chunk = [0u8; 8192];
+    auth: AuthMode,
+    /// Over the connection cap: answer the start-up packet with 53300
+    /// and close (a protocol-level rejection, not a TCP reset).
+    reject: bool,
+    reader: MessageReader,
+    state: ConnState,
+    _guard: Option<ConnGuard>,
+}
 
-    // Start-up.
-    let params = loop {
-        match recv_frontend(&mut stream, &mut reader, &mut chunk)? {
-            Some(FrontendMessage::Startup { params }) => break params,
-            Some(_) => {}
-            None => return Ok(()),
+impl PgConnMachine {
+    fn new(db: Db, auth: AuthMode, reject: bool, guard: ConnGuard) -> PgConnMachine {
+        PgConnMachine {
+            db,
+            auth,
+            reject,
+            reader: MessageReader::new(true),
+            state: ConnState::Startup,
+            _guard: Some(guard),
         }
-    };
-    let user = params
-        .iter()
-        .find(|(k, _)| k == "user")
-        .map(|(_, v)| v.clone())
-        .unwrap_or_default();
-
-    // Authentication.
-    let authenticated = match &cfg.auth {
-        AuthMode::Trust => true,
-        AuthMode::Cleartext(creds) => {
-            send(&mut stream, &BackendMessage::Authentication(AuthRequest::CleartextPassword))?;
-            match read_password(&mut stream, &mut reader, &mut chunk)? {
-                Some(pw) => creds.get(&user).map(|expect| *expect == pw).unwrap_or(false),
-                None => return Ok(()),
-            }
-        }
-        AuthMode::Md5(creds) => {
-            let salt = [0x13, 0x37, 0xBE, 0xEF];
-            send(&mut stream, &BackendMessage::Authentication(AuthRequest::Md5Password { salt }))?;
-            match read_password(&mut stream, &mut reader, &mut chunk)? {
-                Some(pw) => creds
-                    .get(&user)
-                    .map(|expect| pgwire::md5_password(&user, expect, salt) == pw)
-                    .unwrap_or(false),
-                None => return Ok(()),
-            }
-        }
-    };
-    if !authenticated {
-        send(
-            &mut stream,
-            &BackendMessage::ErrorResponse {
-                severity: "FATAL".into(),
-                code: "28P01".into(),
-                message: format!("password authentication failed for user \"{user}\""),
-            },
-        )?;
-        return Ok(());
     }
-    send(&mut stream, &BackendMessage::Authentication(AuthRequest::Ok))?;
-    send(
-        &mut stream,
-        &BackendMessage::ParameterStatus { name: "server_version".into(), value: "9.2-hyperq-pgdb".into() },
-    )?;
-    // Advertise durability so gateways know committed effects survive a
-    // crash (they adjust their non-idempotent replay policy on it).
-    send(
-        &mut stream,
-        &BackendMessage::ParameterStatus {
-            name: "hyperq_durability".into(),
-            value: if db.is_durable() { "on" } else { "off" }.into(),
-        },
-    )?;
-    send(&mut stream, &BackendMessage::BackendKeyData { pid: std::process::id() as i32, secret: 0 })?;
-    send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
 
-    let mut session = db.session();
+    fn handle_msg(&mut self, msg: FrontendMessage, out: &mut Vec<u8>) -> HandlerControl {
+        match std::mem::replace(&mut self.state, ConnState::Startup) {
+            ConnState::Startup => match msg {
+                FrontendMessage::Startup { params } => {
+                    if self.reject {
+                        emit(
+                            out,
+                            &BackendMessage::ErrorResponse {
+                                severity: "FATAL".into(),
+                                code: "53300".into(),
+                                message: "too many connections".into(),
+                            },
+                        );
+                        return HandlerControl::Close;
+                    }
+                    let user = params
+                        .iter()
+                        .find(|(k, _)| k == "user")
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default();
+                    match &self.auth {
+                        AuthMode::Trust => self.complete_auth(out),
+                        AuthMode::Cleartext(_) => {
+                            emit(out, &BackendMessage::Authentication(AuthRequest::CleartextPassword));
+                            self.state = ConnState::AwaitPassword { user, md5_salt: None };
+                        }
+                        AuthMode::Md5(_) => {
+                            let salt = [0x13, 0x37, 0xBE, 0xEF];
+                            emit(out, &BackendMessage::Authentication(AuthRequest::Md5Password { salt }));
+                            self.state = ConnState::AwaitPassword { user, md5_salt: Some(salt) };
+                        }
+                    }
+                    HandlerControl::Continue
+                }
+                // Anything else before start-up is ignored.
+                _ => HandlerControl::Continue,
+            },
+            ConnState::AwaitPassword { user, md5_salt } => match msg {
+                FrontendMessage::Password(pw) => {
+                    let ok = match (&self.auth, md5_salt) {
+                        (AuthMode::Cleartext(creds), _) => {
+                            creds.get(&user).map(|expect| *expect == pw).unwrap_or(false)
+                        }
+                        (AuthMode::Md5(creds), Some(salt)) => creds
+                            .get(&user)
+                            .map(|expect| pgwire::md5_password(&user, expect, salt) == pw)
+                            .unwrap_or(false),
+                        _ => false,
+                    };
+                    if !ok {
+                        emit(
+                            out,
+                            &BackendMessage::ErrorResponse {
+                                severity: "FATAL".into(),
+                                code: "28P01".into(),
+                                message: format!(
+                                    "password authentication failed for user \"{user}\""
+                                ),
+                            },
+                        );
+                        return HandlerControl::Close;
+                    }
+                    self.complete_auth(out);
+                    HandlerControl::Continue
+                }
+                FrontendMessage::Terminate => HandlerControl::Close,
+                _ => {
+                    self.state = ConnState::AwaitPassword { user, md5_salt };
+                    HandlerControl::Continue
+                }
+            },
+            ConnState::Ready(mut session) => match msg {
+                FrontendMessage::Query(sql) => {
+                    let control = run_query(&mut session, &sql, out);
+                    self.state = ConnState::Ready(session);
+                    control
+                }
+                FrontendMessage::Terminate => HandlerControl::Close,
+                _ => {
+                    self.state = ConnState::Ready(session);
+                    HandlerControl::Continue
+                }
+            },
+        }
+    }
 
-    // Query loop.
-    loop {
-        let Some(msg) = recv_frontend(&mut stream, &mut reader, &mut chunk)? else {
-            return Ok(());
-        };
-        match msg {
-            FrontendMessage::Query(sql) => {
-                let trimmed = sql.trim();
-                if trimmed.is_empty() {
-                    send(&mut stream, &BackendMessage::EmptyQueryResponse)?;
-                    send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
-                    continue;
+    fn complete_auth(&mut self, out: &mut Vec<u8>) {
+        emit(out, &BackendMessage::Authentication(AuthRequest::Ok));
+        emit(
+            out,
+            &BackendMessage::ParameterStatus {
+                name: "server_version".into(),
+                value: "9.2-hyperq-pgdb".into(),
+            },
+        );
+        // Advertise durability so gateways know committed effects
+        // survive a crash (they adjust their non-idempotent replay
+        // policy on it).
+        emit(
+            out,
+            &BackendMessage::ParameterStatus {
+                name: "hyperq_durability".into(),
+                value: if self.db.is_durable() { "on" } else { "off" }.into(),
+            },
+        );
+        emit(
+            out,
+            &BackendMessage::BackendKeyData { pid: std::process::id() as i32, secret: 0 },
+        );
+        emit(out, &BackendMessage::ReadyForQuery(TransactionStatus::Idle));
+        self.state = ConnState::Ready(Box::new(self.db.session()));
+    }
+}
+
+impl SessionHandler for PgConnMachine {
+    fn on_bytes(&mut self, bytes: &[u8], out: &mut Vec<u8>) -> HandlerControl {
+        self.reader.feed(bytes);
+        loop {
+            match self.reader.next_frontend() {
+                Ok(Some(msg)) => {
+                    if self.handle_msg(msg, out) == HandlerControl::Close {
+                        return HandlerControl::Close;
+                    }
                 }
-                if is_metrics_query(trimmed) {
-                    send_metrics_dump(&mut stream)?;
-                    send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
-                    continue;
+                Ok(None) => return HandlerControl::Continue,
+                Err(e) => {
+                    emit(
+                        out,
+                        &BackendMessage::ErrorResponse {
+                            severity: "FATAL".into(),
+                            code: "08P01".into(),
+                            message: e.to_string(),
+                        },
+                    );
+                    return HandlerControl::Close;
                 }
-                queries_counter().inc();
-                // Multiple statements separated by ';'.
-                for stmt_sql in split_statements(trimmed) {
-                    // Results stream as bounded batches until this
-                    // point; cells are realized one wire row at a time
-                    // (the protocol's representation boundary, DESIGN
-                    // §10/§12). Peak resident result state is one
-                    // morsel-sized chunk, not the full row set.
-                    match session.execute_stream(&stmt_sql) {
-                        Ok(StreamQueryResult::Stream(batches)) => {
-                            let fields: Vec<FieldDesc> = batches
-                                .schema
-                                .iter()
-                                .map(|c| FieldDesc {
-                                    name: c.name.clone(),
-                                    type_oid: pg_type_oid(c.ty),
-                                })
-                                .collect();
-                            send(&mut stream, &BackendMessage::RowDescription(fields))?;
-                            let mut count = 0usize;
-                            let mut failed = false;
-                            for item in batches {
-                                match item {
-                                    Ok(batch) => {
-                                        for i in 0..batch.rows() {
-                                            let cells: Vec<Option<String>> = batch
-                                                .columns
-                                                .iter()
-                                                .map(|col| col.cell_at(i).to_wire_text())
-                                                .collect();
-                                            send(&mut stream, &BackendMessage::DataRow(cells))?;
-                                        }
-                                        count += batch.rows();
-                                    }
-                                    // Mid-stream failure: the protocol
-                                    // allows ErrorResponse after partial
-                                    // DataRows — the client discards them.
-                                    Err(e) => {
-                                        send(
-                                            &mut stream,
-                                            &BackendMessage::ErrorResponse {
-                                                severity: "ERROR".into(),
-                                                code: e.code.clone(),
-                                                message: e.message.clone(),
-                                            },
-                                        )?;
-                                        failed = true;
-                                        break;
-                                    }
-                                }
+            }
+        }
+    }
+
+    fn mid_frame(&self) -> bool {
+        self.reader.has_partial()
+    }
+}
+
+/// One `Query` message: split, execute, stream rows, `ReadyForQuery`.
+fn run_query(session: &mut Session, sql: &str, out: &mut Vec<u8>) -> HandlerControl {
+    let trimmed = sql.trim();
+    if trimmed.is_empty() {
+        emit(out, &BackendMessage::EmptyQueryResponse);
+        emit(out, &BackendMessage::ReadyForQuery(TransactionStatus::Idle));
+        return HandlerControl::Continue;
+    }
+    if is_metrics_query(trimmed) {
+        emit_metrics_dump(out);
+        emit(out, &BackendMessage::ReadyForQuery(TransactionStatus::Idle));
+        return HandlerControl::Continue;
+    }
+    queries_counter().inc();
+    // Multiple statements separated by ';'.
+    for stmt_sql in split_statements(trimmed) {
+        // Results stream as bounded batches until this point; cells are
+        // realized one wire row at a time (the protocol's
+        // representation boundary, DESIGN §10/§12). Peak resident
+        // result state is one morsel-sized chunk, not the full row set.
+        match session.execute_stream(&stmt_sql) {
+            Ok(StreamQueryResult::Stream(batches)) => {
+                let fields: Vec<FieldDesc> = batches
+                    .schema
+                    .iter()
+                    .map(|c| FieldDesc { name: c.name.clone(), type_oid: pg_type_oid(c.ty) })
+                    .collect();
+                emit(out, &BackendMessage::RowDescription(fields));
+                let mut count = 0usize;
+                let mut failed = false;
+                for item in batches {
+                    match item {
+                        Ok(batch) => {
+                            for i in 0..batch.rows() {
+                                let cells: Vec<Option<String>> = batch
+                                    .columns
+                                    .iter()
+                                    .map(|col| col.cell_at(i).to_wire_text())
+                                    .collect();
+                                emit(out, &BackendMessage::DataRow(cells));
                             }
-                            if failed {
-                                break;
-                            }
-                            send(
-                                &mut stream,
-                                &BackendMessage::CommandComplete(format!("SELECT {count}")),
-                            )?;
+                            count += batch.rows();
                         }
-                        Ok(StreamQueryResult::Command(tag)) => {
-                            send(&mut stream, &BackendMessage::CommandComplete(tag))?;
-                        }
+                        // Mid-stream failure: the protocol allows
+                        // ErrorResponse after partial DataRows — the
+                        // client discards them.
                         Err(e) => {
-                            send(
-                                &mut stream,
+                            emit(
+                                out,
                                 &BackendMessage::ErrorResponse {
                                     severity: "ERROR".into(),
                                     code: e.code.clone(),
                                     message: e.message.clone(),
                                 },
-                            )?;
+                            );
+                            failed = true;
                             break;
                         }
                     }
                 }
-                send(&mut stream, &BackendMessage::ReadyForQuery(TransactionStatus::Idle))?;
+                if failed {
+                    break;
+                }
+                emit(out, &BackendMessage::CommandComplete(format!("SELECT {count}")));
             }
-            FrontendMessage::Terminate => return Ok(()),
-            _ => {}
+            Ok(StreamQueryResult::Command(tag)) => {
+                emit(out, &BackendMessage::CommandComplete(tag));
+            }
+            Err(e) => {
+                emit(
+                    out,
+                    &BackendMessage::ErrorResponse {
+                        severity: "ERROR".into(),
+                        code: e.code.clone(),
+                        message: e.message.clone(),
+                    },
+                );
+                break;
+            }
         }
     }
+    emit(out, &BackendMessage::ReadyForQuery(TransactionStatus::Idle));
+    HandlerControl::Continue
 }
 
-fn read_password(
-    stream: &mut TcpStream,
-    reader: &mut MessageReader,
-    chunk: &mut [u8],
-) -> std::io::Result<Option<String>> {
+/// The thread-per-connection driver: a blocking read → machine → write
+/// loop over the same state machine the multiplexed scheduler runs.
+fn serve_connection(mut stream: TcpStream, mut machine: PgConnMachine) -> std::io::Result<()> {
+    let mut chunk = [0u8; 8192];
+    let mut out = Vec::new();
     loop {
-        match recv_frontend(stream, reader, chunk)? {
-            Some(FrontendMessage::Password(p)) => return Ok(Some(p)),
-            Some(_) => {}
-            None => return Ok(None),
+        let n = stream.read(&mut chunk)?;
+        let control = if n == 0 {
+            machine.on_eof(&mut out);
+            HandlerControl::Close
+        } else {
+            machine.on_bytes(&chunk[..n], &mut out)
+        };
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+            out.clear();
+        }
+        if control == HandlerControl::Close {
+            return Ok(());
         }
     }
 }
@@ -488,10 +577,13 @@ mod tests {
         }
     }
 
-    #[test]
-    fn full_wire_session_with_trust_auth() {
+    fn config_for(io_model: IoModel) -> ServerConfig {
+        ServerConfig { io_model, ..ServerConfig::default() }
+    }
+
+    fn full_wire_session(io_model: IoModel) {
         let db = Db::new();
-        let server = PgServer::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let server = PgServer::start(db, "127.0.0.1:0", config_for(io_model)).unwrap();
         let mut client = TestClient::connect(server.addr, "trader");
         let startup = client.recv_until_ready();
         assert!(matches!(startup[0], BackendMessage::Authentication(AuthRequest::Ok)));
@@ -509,6 +601,16 @@ mod tests {
         }
         client.send(&FrontendMessage::Terminate);
         server.detach();
+    }
+
+    #[test]
+    fn full_wire_session_with_trust_auth() {
+        full_wire_session(IoModel::Multiplexed);
+    }
+
+    #[test]
+    fn full_wire_session_thread_per_conn() {
+        full_wire_session(IoModel::ThreadPerConn);
     }
 
     #[test]
@@ -627,6 +729,28 @@ mod tests {
                 "{admin}: {lines:?}"
             );
             assert!(lines.iter().any(|l| l.starts_with("# TYPE")), "{admin}: {lines:?}");
+        }
+        server.detach();
+    }
+
+    #[test]
+    fn metrics_expose_multiplexed_sessions() {
+        let db = Db::new();
+        let server =
+            PgServer::start(db, "127.0.0.1:0", config_for(IoModel::Multiplexed)).unwrap();
+        let mut client = TestClient::connect(server.addr, "ops");
+        client.recv_until_ready();
+        client.send(&FrontendMessage::Query("SHOW metrics".into()));
+        let msgs = client.recv_until_ready();
+        let lines: Vec<String> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                BackendMessage::DataRow(cells) => cells[0].clone(),
+                _ => None,
+            })
+            .collect();
+        for metric in ["net_sessions_active", "net_sessions_parked", "net_worker_busy"] {
+            assert!(lines.iter().any(|l| l.starts_with(metric)), "missing {metric}");
         }
         server.detach();
     }
