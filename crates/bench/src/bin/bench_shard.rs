@@ -130,6 +130,7 @@ fn main() {
     let opts = || ShardOpts {
         broadcast_threshold: join_keys as u64,
         float_agg: false,
+        stats: true,
         keys: HashMap::new(),
     };
     let available_cores = std::thread::available_parallelism().map_or(1, |n| n.get());

@@ -1,0 +1,309 @@
+//! Collate every `BENCH_*.json` at the repo root into one
+//! `BENCH_summary.json`: suite name → headline numbers →
+//! skipped_reason. The per-suite emitters write heterogeneous shapes
+//! (flat scalars, nested sections, benchmark arrays), so the summary
+//! flattens scalars into dotted keys and reduces arrays to counts and
+//! min/max speedups — enough for a machine-readable perf trajectory
+//! across PRs without fixing every emitter's schema.
+//!
+//! The tree has no JSON dependency, so this carries a minimal
+//! recursive-descent parser. Number lexemes are kept verbatim (never
+//! re-formatted through f64) so the summary reproduces the source
+//! digits exactly.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers keep their source lexeme.
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { b: s.as_bytes(), i: 0 }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.ws();
+        self.b.get(self.i).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        Ok(Json::Num(String::from_utf8_lossy(&self.b[start..self.i]).into_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i).ok_or("unterminated string")?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i).ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.i += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => out.push(c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] but found {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} but found {:?}", other as char)),
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Flatten a suite's report into `(dotted_key, raw_json_scalar)` pairs:
+/// scalars pass through, nested objects flatten one dot level per
+/// depth, and arrays reduce to a count plus min/max of any per-entry
+/// `speedup` and a pass count of any per-entry `meets_target`.
+fn headline(prefix: &str, v: &Json, out: &mut Vec<(String, String)>) {
+    match v {
+        Json::Num(n) => out.push((prefix.to_string(), n.clone())),
+        Json::Bool(b) => out.push((prefix.to_string(), b.to_string())),
+        Json::Str(s) => out.push((prefix.to_string(), format!("\"{}\"", escape(s)))),
+        Json::Null => out.push((prefix.to_string(), "null".to_string())),
+        Json::Obj(fields) => {
+            for (k, fv) in fields {
+                let key = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                headline(&key, fv, out);
+            }
+        }
+        Json::Arr(items) => {
+            out.push((format!("{prefix}.count"), items.len().to_string()));
+            let speedups: Vec<f64> = items
+                .iter()
+                .filter_map(|it| match it {
+                    Json::Obj(fields) => fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                        ("speedup", Json::Num(n)) => n.parse::<f64>().ok(),
+                        _ => None,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            if !speedups.is_empty() {
+                let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                out.push((format!("{prefix}.speedup_min"), format!("{min:.2}")));
+                out.push((format!("{prefix}.speedup_max"), format!("{max:.2}")));
+            }
+            let gated: Vec<bool> = items
+                .iter()
+                .filter_map(|it| match it {
+                    Json::Obj(fields) => fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                        ("meets_target", Json::Bool(b)) => Some(*b),
+                        _ => None,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            if !gated.is_empty() {
+                let met = gated.iter().filter(|b| **b).count();
+                out.push((
+                    format!("{prefix}.targets_met"),
+                    format!("\"{met}/{}\"", gated.len()),
+                ));
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut suites: Vec<(String, String)> = Vec::new(); // (name, rendered entry)
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(".").expect("read repo root") {
+        let name = entry.expect("dir entry").file_name().to_string_lossy().into_owned();
+        if let Some(suite) = name.strip_prefix("BENCH_").and_then(|n| n.strip_suffix(".json")) {
+            if suite != "summary" {
+                names.push(suite.to_string());
+            }
+        }
+    }
+    names.sort();
+
+    for suite in &names {
+        let path = format!("BENCH_{suite}.json");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("skipping {path}: {e}");
+                continue;
+            }
+        };
+        let parsed = match Parser::new(&text).value() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("skipping {path}: parse error: {e}");
+                continue;
+            }
+        };
+        let mut pairs = Vec::new();
+        headline("", &parsed, &mut pairs);
+        let skipped = pairs
+            .iter()
+            .find(|(k, _)| k == "skipped_reason")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| "null".to_string());
+        let mut entry = String::new();
+        let _ = write!(entry, "    {{\n      \"name\": \"{}\",\n      \"headline\": {{", suite);
+        let mut first = true;
+        for (k, v) in &pairs {
+            if k == "skipped_reason" {
+                continue;
+            }
+            if !first {
+                entry.push(',');
+            }
+            first = false;
+            let _ = write!(entry, "\n        \"{}\": {v}", escape(k));
+        }
+        let _ = write!(entry, "\n      }},\n      \"skipped_reason\": {skipped}\n    }}");
+        println!("{suite}: {} headline numbers, skipped_reason={skipped}", pairs.len());
+        suites.push((suite.clone(), entry));
+    }
+
+    let mut out = String::from("{\n  \"suites\": [\n");
+    out.push_str(
+        &suites.iter().map(|(_, e)| e.as_str()).collect::<Vec<_>>().join(",\n"),
+    );
+    out.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_summary.json", &out).expect("write BENCH_summary.json");
+    println!("wrote BENCH_summary.json ({} suites)", suites.len());
+}

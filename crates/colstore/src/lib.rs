@@ -14,10 +14,12 @@
 
 pub mod batch;
 pub mod key;
+pub mod stats;
 pub mod stream;
 pub mod types;
 
 pub use batch::{Batch, ColumnVec, Validity};
+pub use stats::{ColStats, DistinctSketch, TableStats};
 pub use stream::BatchStream;
 pub use key::{row_key, CellKey};
 pub use types::{days_to_ymd, ymd_to_days, Cell, Column, PgType, Rows};

@@ -11,7 +11,7 @@ use crate::mdi_backend::BackendMdi;
 use crate::pivot::{pivot, pivot_batch, StreamPivot};
 use crate::qcache::{CacheStats, TranslationCache};
 use crate::translate::{StageTimings, Translation, TranslationStats, Translator};
-use crate::wire::{RetryPolicy, WireTimeouts};
+use crate::wire::{RetryPolicy, WireError, WireTimeouts};
 use algebrizer::{CachingMdi, MaterializationPolicy, Scopes};
 use obs::{QueryTrace, SlowQueryRecord, Span, SpanEvent, Stage};
 use pgdb::{BatchQueryResult, QueryResult, StreamQueryResult};
@@ -199,6 +199,21 @@ impl HyperQSession {
     /// Borrow the shared backend (e.g. to load data).
     pub fn backend(&self) -> &SharedBackend {
         &self.backend
+    }
+
+    /// Explain how the shard layer would route a SQL statement:
+    /// executes `EXPLAIN SHARD <sql>` against the backend and returns
+    /// the `(kind, reason, detail)` rows. Against an unsharded backend
+    /// the statement surfaces the engine's parse error — EXPLAIN SHARD
+    /// is a router-level admin query, not SQL.
+    pub fn explain_shard(&mut self, sql: &str) -> Result<pgdb::Rows, WireError> {
+        let mut be = self.backend.lock().expect("backend lock poisoned");
+        match be.execute_sql(&format!("EXPLAIN SHARD {sql}"))? {
+            QueryResult::Rows(rows) => Ok(rows),
+            QueryResult::Command(t) => {
+                Err(WireError::protocol(format!("EXPLAIN SHARD returned a command tag ({t})")))
+            }
+        }
     }
 
     /// Metadata cache statistics.

@@ -1,0 +1,1305 @@
+//! Sharded scatter-gather backend: MPP emulation over N pgdb instances.
+//!
+//! The paper's Hyper-Q fronted a Greenplum cluster; this module closes
+//! that gap by hash-partitioning stored tables across N shards (plus a
+//! coordinator holding a full copy of everything) and fanning translated
+//! SQL per shard through the same [`Backend`] seam the single-node paths
+//! use. The work splits across three layers:
+//!
+//! - **stats** — the storage engine maintains per-table statistics
+//!   (row counts, distinct-key sketches, null fractions) surfaced
+//!   through [`Backend::table_stats`]; placement consults them.
+//! - **plan** ([`planner`]) — a pure function from (statement, catalog
+//!   snapshot, knobs) to a typed [`planner::ShardPlan`] carrying a
+//!   machine-readable reason. `EXPLAIN SHARD <stmt>` renders the
+//!   decision; `shard_plan_total{kind,reason}` counts them.
+//! - **execute** (this module + [`merge`]) — [`ShardRouter`] interprets
+//!   the plan: coordinator-local, scatter + k-way ordered merge (a
+//!   hidden global insertion ordinal `__hq_ord` breaks ties so shard
+//!   interleaving is bit-identical to single-node frame order), or
+//!   two-phase aggregation re-folded on a scratch engine instance.
+//!
+//! Placement is statistics-driven: small tables broadcast (equi-joins
+//! against them stay shard-local), tables whose partition key shows
+//! fewer distinct values than there are shards stay broadcast a while
+//! longer, and everything else hash-partitions. Placement is *not*
+//! sticky: a broadcast table that outgrows the boundary is re-planned —
+//! logged, counted in `shard_reshard_total`, and re-partitioned in
+//! place, never silently left stale. Joins between partitioned tables
+//! whose partition keys are equated in the join condition are proven
+//! co-located and stay sharded instead of falling back.
+//!
+//! Anything the planner cannot *prove* shard-safe (windows, subquery
+//! predicates, DISTINCT aggregates, unproven join shapes, set ops,
+//! OFFSET scans, float aggregates under reordering) falls back to the
+//! coordinator, which holds a full copy of every table — so a fallback
+//! is exactly single-node execution, errors included. Fallbacks are
+//! counted in `shard_fallback_total`, never silent, and the reason is
+//! recorded per plan.
+//!
+//! Float `sum`/`avg`/`min`/`max` deserve a note: two-level f64 addition
+//! is not associative, and the engine's min/max fold is first-seen-wins
+//! on incomparable values (NaN), so re-aggregating float partials can
+//! diverge from single-node results in the last bit (or pick a
+//! different NaN). They therefore fall back unless `HQ_SHARD_FLOAT_AGG=1`
+//! opts into the (documented, slightly inexact) distributed form.
+//! Integer sums stay exact: i64-valued doubles below 2^53 add exactly in
+//! any order. For the same representation-vs-value reason, float-typed
+//! partition keys never prove join co-location.
+
+pub mod merge;
+pub mod planner;
+
+use crate::backend::{Backend, DirectBackend};
+use crate::gateway::{Credentials, PgWireBackend};
+use crate::wire::{RetryPolicy, WireError, WireTimeouts};
+use pgdb::exec::expr::{cast, eval};
+use pgdb::sql::ast::{FromItem, SelectItem, SelectStmt, SqlExpr, Stmt};
+use pgdb::sql::render;
+use pgdb::{
+    Batch, BatchQueryResult, Cell, Column, PgType, QueryResult, Rows, StreamQueryResult,
+    TableStats,
+};
+use planner::{col, item, ShardPlan};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Hidden per-row global insertion ordinal column on shard tables.
+pub(crate) const ORD: &str = "__hq_ord";
+/// Reserved identifier prefix; user SQL mentioning it is refused a
+/// scatter plan (it would collide with router-internal columns).
+pub(crate) const RESERVED: &str = "__hq_";
+/// Scratch table name for the re-aggregation merge.
+pub(crate) const PARTIALS: &str = "__hq_partials";
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+/// How a table is laid out across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Created but empty: no placement decision yet. Safe to treat as
+    /// broadcast for reads (every shard agrees it has zero rows).
+    Undecided,
+    /// Full copy on every shard (small/dimension tables): joins against
+    /// it stay shard-local.
+    Broadcast,
+    /// Hash-partitioned by the partition key; the coordinator still
+    /// holds a full copy for fallback execution.
+    Partitioned,
+}
+
+/// Per-table shard metadata.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Logical column definitions (without the hidden ordinal).
+    pub cols: Vec<(String, PgType)>,
+    /// Partition key as an index into `cols`; `None` = round-robin.
+    pub key: Option<usize>,
+    /// Current placement.
+    pub mode: Mode,
+    /// Rows inserted through the router so far.
+    pub rows: u64,
+    /// Latest observed engine statistics (refreshed from the
+    /// coordinator on every routed insert; `None` until then or when
+    /// the backend does not track stats).
+    pub stats: Option<TableStats>,
+    /// Round-robin cursor for keyless/unhashable rows.
+    rr: u64,
+}
+
+impl TableMeta {
+    /// Construct metadata (catalog registration and planner tests).
+    pub fn new(cols: Vec<(String, PgType)>, key: Option<usize>, mode: Mode, rows: u64) -> TableMeta {
+        TableMeta { cols, key, mode, rows, stats: None, rr: 0 }
+    }
+}
+
+/// Placement / planning knobs (env-derived by default).
+#[derive(Debug, Clone)]
+pub struct ShardOpts {
+    /// Tables whose total row count stays at or below this after an
+    /// insert are broadcast instead of partitioned (`HQ_SHARD_BROADCAST`,
+    /// default 64). Growth past the boundary triggers a re-partition —
+    /// see [`planner::decide_placement`].
+    pub broadcast_threshold: u64,
+    /// Allow distributed float aggregates (`HQ_SHARD_FLOAT_AGG=1`).
+    /// Off by default because two-level float folds are not exactly
+    /// associative; see the module docs.
+    pub float_agg: bool,
+    /// Use observed statistics for placement (`HQ_SHARD_STATS`, default
+    /// on; `0` disables). Off restores the legacy behavior: a pure
+    /// row-count threshold with sticky broadcast placement.
+    pub stats: bool,
+    /// Partition-key overrides, table name → column name
+    /// (`HQ_SHARD_KEY="trades:sym,quotes:sym"`). Default is the first
+    /// column.
+    pub keys: HashMap<String, String>,
+}
+
+impl ShardOpts {
+    /// Read the knobs from the environment.
+    pub fn from_env() -> ShardOpts {
+        let broadcast_threshold = std::env::var("HQ_SHARD_BROADCAST")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let float_agg = std::env::var("HQ_SHARD_FLOAT_AGG").map(|v| v == "1").unwrap_or(false);
+        let stats = std::env::var("HQ_SHARD_STATS").map(|v| v != "0").unwrap_or(true);
+        let mut keys = HashMap::new();
+        if let Ok(spec) = std::env::var("HQ_SHARD_KEY") {
+            for part in spec.split(',') {
+                if let Some((t, c)) = part.split_once(':') {
+                    keys.insert(t.trim().to_string(), c.trim().to_string());
+                }
+            }
+        }
+        ShardOpts { broadcast_threshold, float_agg, stats, keys }
+    }
+}
+
+impl Default for ShardOpts {
+    fn default() -> Self {
+        ShardOpts::from_env()
+    }
+}
+
+/// Shard count from `HQ_SHARDS`, clamped to at least 1.
+pub fn env_shards(default: usize) -> usize {
+    std::env::var("HQ_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+enum Topology {
+    /// N in-process pgdb instances plus a coordinator instance.
+    InProcess { coord: pgdb::Db, shards: Vec<pgdb::Db> },
+    /// Over-the-wire shards reached through the PG v3 gateway.
+    Remote {
+        coord: String,
+        shards: Vec<String>,
+        creds: Credentials,
+        timeouts: WireTimeouts,
+        retry: RetryPolicy,
+    },
+}
+
+/// A shard cluster: topology plus the shared placement catalog. Open
+/// per-connection routers with [`ShardCluster::router`]; all routers on
+/// one cluster share the catalog and the global insertion ordinal.
+pub struct ShardCluster {
+    topo: Topology,
+    catalog: RwLock<HashMap<String, TableMeta>>,
+    /// Global insertion ordinal: every row routed through any router on
+    /// this cluster gets a unique, monotonically assigned `__hq_ord`.
+    ordinal: AtomicI64,
+    /// Serializes DDL/DML so coordinator apply order matches ordinal
+    /// order (reads never take this).
+    mutation: Mutex<()>,
+    opts: ShardOpts,
+}
+
+impl ShardCluster {
+    /// In-process cluster: `n` shard instances plus a coordinator,
+    /// knobs from the environment.
+    pub fn in_process(n: usize) -> Arc<ShardCluster> {
+        ShardCluster::in_process_with(n, ShardOpts::from_env())
+    }
+
+    /// In-process cluster with explicit knobs.
+    pub fn in_process_with(n: usize, opts: ShardOpts) -> Arc<ShardCluster> {
+        let n = n.max(1);
+        Arc::new(ShardCluster {
+            topo: Topology::InProcess {
+                coord: pgdb::Db::new(),
+                shards: (0..n).map(|_| pgdb::Db::new()).collect(),
+            },
+            catalog: RwLock::new(HashMap::new()),
+            ordinal: AtomicI64::new(0),
+            mutation: Mutex::new(()),
+            opts,
+        })
+    }
+
+    /// Remote cluster over the PG v3 gateway: one address per shard plus
+    /// the coordinator's address, knobs from the environment.
+    pub fn remote(
+        shard_addrs: Vec<String>,
+        coord_addr: String,
+        creds: Credentials,
+        timeouts: WireTimeouts,
+        retry: RetryPolicy,
+    ) -> Arc<ShardCluster> {
+        assert!(!shard_addrs.is_empty(), "remote cluster needs at least one shard");
+        Arc::new(ShardCluster {
+            topo: Topology::Remote { coord: coord_addr, shards: shard_addrs, creds, timeouts, retry },
+            catalog: RwLock::new(HashMap::new()),
+            ordinal: AtomicI64::new(0),
+            mutation: Mutex::new(()),
+            opts: ShardOpts::from_env(),
+        })
+    }
+
+    /// Number of shards (excluding the coordinator).
+    pub fn shard_count(&self) -> usize {
+        match &self.topo {
+            Topology::InProcess { shards, .. } => shards.len(),
+            Topology::Remote { shards, .. } => shards.len(),
+        }
+    }
+
+    /// Open a router: one backend connection per shard plus one to the
+    /// coordinator.
+    pub fn router(self: &Arc<ShardCluster>) -> Result<ShardRouter, WireError> {
+        let (coord, shards): (Box<dyn Backend>, Vec<Box<dyn Backend>>) = match &self.topo {
+            Topology::InProcess { coord, shards } => (
+                Box::new(DirectBackend::new(coord)),
+                shards.iter().map(|db| Box::new(DirectBackend::new(db)) as Box<dyn Backend>).collect(),
+            ),
+            Topology::Remote { coord, shards, creds, timeouts, retry } => {
+                let mut conns: Vec<Box<dyn Backend>> = Vec::with_capacity(shards.len());
+                for addr in shards {
+                    conns.push(Box::new(PgWireBackend::connect_with(
+                        addr,
+                        creds,
+                        *timeouts,
+                        *retry,
+                    )?));
+                }
+                let c = PgWireBackend::connect_with(coord, creds, *timeouts, *retry)?;
+                (Box::new(c), conns)
+            }
+        };
+        Ok(ShardRouter { cluster: Arc::clone(self), coord, shards })
+    }
+
+    /// Placement metadata for a table (tests/diagnostics).
+    pub fn table_meta(&self, name: &str) -> Option<TableMeta> {
+        self.catalog.read().unwrap().get(name).cloned()
+    }
+
+    /// The in-process instances (coordinator, shards); `None` for
+    /// remote topologies. Test introspection.
+    pub fn in_process_dbs(&self) -> Option<(&pgdb::Db, &[pgdb::Db])> {
+        match &self.topo {
+            Topology::InProcess { coord, shards } => Some((coord, shards)),
+            Topology::Remote { .. } => None,
+        }
+    }
+
+    /// Bulk-load a columnar batch into an in-process cluster, bypassing
+    /// per-row INSERT rendering — the fixture fast path for benchmarks
+    /// and large tests. Lands in exactly the state a routed
+    /// `CREATE TABLE` + `INSERT` reaches: the coordinator holds the
+    /// full copy, every shard table carries the hidden `__hq_ord`
+    /// ordinal, placement follows [`planner::decide_placement`] over the
+    /// engine's observed statistics, and the catalog records it.
+    ///
+    /// Panics on a remote topology (there is no columnar wire path) or
+    /// when the table is already registered.
+    pub fn put_table_batch(&self, name: &str, batch: Batch) {
+        let (coord, shards) = match &self.topo {
+            Topology::InProcess { coord, shards } => (coord, shards),
+            Topology::Remote { .. } => panic!("put_table_batch requires an in-process cluster"),
+        };
+        let _m = self.mutation.lock().unwrap();
+        assert!(!self.has_table(name), "put_table_batch: table {name:?} already registered");
+
+        let cols: Vec<(String, PgType)> =
+            batch.schema.iter().map(|c| (c.name.clone(), c.ty)).collect();
+        let mut shard_schema = batch.schema.clone();
+        shard_schema.push(Column::new(ORD, PgType::Int8));
+        let n = batch.rows();
+        let data = batch.to_rows().data;
+        coord.put_table_batch(name, batch);
+        let stats = coord.table_stats(name);
+
+        self.register(name, cols);
+        let nshards = shards.len();
+        let base = self.ordinal.fetch_add(n as i64, Ordering::Relaxed);
+        let (mode, key_pos) = {
+            let mut cat = self.catalog.write().unwrap();
+            let meta = cat.get_mut(name).expect("just registered");
+            let kd = key_distinct(meta, stats.as_ref());
+            meta.mode = planner::decide_placement(n as u64, kd, nshards, &self.opts).mode;
+            meta.rows = n as u64;
+            meta.stats = stats;
+            (meta.mode, meta.key)
+        };
+
+        let mut per_shard: Vec<Vec<Vec<Cell>>> = vec![Vec::new(); nshards];
+        for (ri, mut row) in data.into_iter().enumerate() {
+            row.push(Cell::Int(base + ri as i64));
+            if mode == Mode::Broadcast {
+                for dst in &mut per_shard {
+                    dst.push(row.clone());
+                }
+            } else {
+                let s = match key_pos.and_then(|p| row.get(p)) {
+                    Some(Cell::Null) | None => 0,
+                    Some(c) => (hash_cell(c) % nshards as u64) as usize,
+                };
+                per_shard[s].push(row);
+            }
+        }
+        for (db, rows) in shards.iter().zip(per_shard) {
+            db.put_table_batch(
+                name,
+                Batch::from_rows(Rows { columns: shard_schema.clone(), data: rows }),
+            );
+        }
+    }
+
+    fn catalog_snapshot(&self) -> HashMap<String, TableMeta> {
+        self.catalog.read().unwrap().clone()
+    }
+
+    fn register(&self, name: &str, cols: Vec<(String, PgType)>) {
+        let key = match self.opts.keys.get(name) {
+            Some(k) => cols.iter().position(|(n, _)| n == k),
+            None if cols.is_empty() => None,
+            None => Some(0),
+        };
+        self.catalog
+            .write()
+            .unwrap()
+            .insert(name.to_string(), TableMeta::new(cols, key, Mode::Undecided, 0));
+    }
+
+    fn deregister(&self, name: &str) {
+        self.catalog.write().unwrap().remove(name);
+    }
+
+    fn has_table(&self, name: &str) -> bool {
+        self.catalog.read().unwrap().contains_key(name)
+    }
+}
+
+/// Observed distinct count of a table's partition key, if stats exist.
+fn key_distinct(meta: &TableMeta, stats: Option<&TableStats>) -> Option<u64> {
+    meta.key
+        .and_then(|k| meta.cols.get(k))
+        .and_then(|(kn, _)| stats.and_then(|s| s.distinct(kn)))
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a canonical byte encoding of the cell.
+pub(crate) fn hash_cell(c: &Cell) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match c {
+        Cell::Null => eat(&[0]),
+        Cell::Bool(b) => eat(&[1, u8::from(*b)]),
+        Cell::Int(i) => {
+            eat(&[2]);
+            eat(&i.to_le_bytes());
+        }
+        Cell::Float(f) => {
+            eat(&[3]);
+            eat(&f.to_bits().to_le_bytes());
+        }
+        Cell::Text(s) => {
+            eat(&[4]);
+            eat(s.as_bytes());
+        }
+        Cell::Date(d) => {
+            eat(&[5]);
+            eat(&d.to_le_bytes());
+        }
+        Cell::Time(t) => {
+            eat(&[6]);
+            eat(&t.to_le_bytes());
+        }
+        Cell::Timestamp(t) => {
+            eat(&[7]);
+            eat(&t.to_le_bytes());
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Execution helpers
+// ---------------------------------------------------------------------------
+
+fn exec_any(b: &mut dyn Backend, sql: &str) -> Result<BatchQueryResult, WireError> {
+    match b.execute_sql_batch(sql)? {
+        Some(r) => Ok(r),
+        None => Ok(match b.execute_sql(sql)? {
+            QueryResult::Rows(r) => BatchQueryResult::Batch(Batch::from_rows(r)),
+            QueryResult::Command(t) => BatchQueryResult::Command(t),
+        }),
+    }
+}
+
+/// Execute on one shard with per-shard metrics and latency observation.
+fn shard_exec(i: usize, b: &mut dyn Backend, sql: &str) -> Result<BatchQueryResult, WireError> {
+    let reg = obs::global_registry();
+    let t0 = Instant::now();
+    let r = exec_any(b, sql);
+    reg.histogram(&format!("shard_exec_seconds{{shard=\"{i}\"}}")).observe(t0.elapsed());
+    reg.counter(&format!("shard_statements_total{{shard=\"{i}\"}}")).inc();
+    if let Ok(BatchQueryResult::Batch(batch)) = &r {
+        reg.counter("shard_partial_rows").add(batch.rows() as u64);
+    }
+    r
+}
+
+/// Strip one leading keyword (case-insensitive, whole-word).
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let t = s.trim_start();
+    if t.len() >= kw.len() && t[..kw.len()].eq_ignore_ascii_case(kw) {
+        let rest = &t[kw.len()..];
+        if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+/// `EXPLAIN SHARD <stmt>` → the inner statement, if this is one.
+fn strip_explain_shard(sql: &str) -> Option<&str> {
+    strip_keyword(sql, "EXPLAIN")
+        .and_then(|rest| strip_keyword(rest, "SHARD"))
+        .map(str::trim)
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+/// One routed connection to a [`ShardCluster`]: a backend per shard plus
+/// a coordinator backend. Implements [`Backend`], so it drops in
+/// anywhere a single pgdb connection does — `HyperQSession`, the batch
+/// driver, the bench harness. Routing itself is a thin interpreter over
+/// [`planner::ShardPlan`].
+pub struct ShardRouter {
+    cluster: Arc<ShardCluster>,
+    coord: Box<dyn Backend>,
+    shards: Vec<Box<dyn Backend>>,
+}
+
+impl ShardRouter {
+    /// Number of shards this router fans out to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn coordinator(&mut self, sql: &str) -> Result<BatchQueryResult, WireError> {
+        let reg = obs::global_registry();
+        reg.counter("shard_statements_total{shard=\"coord\"}").inc();
+        exec_any(self.coord.as_mut(), sql)
+    }
+
+    fn fallback(&mut self, sql: &str) -> Result<BatchQueryResult, WireError> {
+        obs::global_registry().counter("shard_fallback_total").inc();
+        self.coordinator(sql)
+    }
+
+    /// Fan one SELECT to every shard in parallel.
+    fn scatter(&mut self, sql: &str) -> Result<Vec<Batch>, WireError> {
+        obs::global_registry().counter("shard_fanout_total").inc();
+        let results: Vec<Result<Batch, WireError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| {
+                    s.spawn(move || shard_exec(i, b.as_mut(), sql).and_then(merge::expect_batch))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(WireError::protocol("shard worker panicked")))
+                })
+                .collect()
+        });
+        merge::gather(results)
+    }
+
+    /// Run per-shard mutation statements (sequentially — mutation order
+    /// must match the coordinator's) and collapse the outcomes.
+    fn fan_mutation(&mut self, stmts: &[(usize, String)]) -> Result<(), WireError> {
+        if stmts.len() > 1 {
+            obs::global_registry().counter("shard_fanout_total").inc();
+        }
+        let mut results: Vec<Result<(), WireError>> = Vec::with_capacity(stmts.len());
+        for (i, sql) in stmts {
+            results.push(shard_exec(*i, self.shards[*i].as_mut(), sql).map(|_| ()));
+        }
+        merge::gather(results).map(|_| ())
+    }
+
+    fn route(&mut self, sql: &str) -> Result<BatchQueryResult, WireError> {
+        if let Some(inner) = strip_explain_shard(sql) {
+            return Ok(BatchQueryResult::Batch(self.explain_shard(inner)));
+        }
+        if sql.contains(RESERVED) {
+            // Router-internal namespace: refuse to plan around it.
+            planner::record_plan("fallback", planner::FB_RESERVED);
+            return self.fallback(sql);
+        }
+        let stmt = match pgdb::sql::parse_statement(sql) {
+            Ok(s) => s,
+            // Unparseable here — let the coordinator produce the exact
+            // single-node error surface.
+            Err(_) => return self.coordinator(sql),
+        };
+        match stmt {
+            Stmt::Select(sel) => self.route_select(sql, &sel),
+            Stmt::CreateTable { name, columns, temp } => {
+                self.route_create(sql, &name, &columns, temp)
+            }
+            Stmt::Insert { table, columns, rows } => {
+                self.route_insert(sql, &table, &columns, &rows)
+            }
+            Stmt::DropTable { name, .. } => self.route_drop(sql, &name),
+            // CTAS products and session commands live on the
+            // coordinator only.
+            Stmt::CreateTableAs { .. } | Stmt::NoOp(_) => self.coordinator(sql),
+        }
+    }
+
+    /// `EXPLAIN SHARD <stmt>`: render the routing decision as rows
+    /// (kind, reason, detail) — never an error; even unparseable input
+    /// gets a fallback row naming the parse failure.
+    fn explain_shard(&mut self, sql: &str) -> Batch {
+        let rows: Vec<(String, String, String)> = if sql.is_empty() {
+            vec![("fallback".to_string(), "empty_statement".to_string(), String::new())]
+        } else if sql.contains(RESERVED) {
+            vec![("fallback".to_string(), planner::FB_RESERVED.to_string(), String::new())]
+        } else {
+            match pgdb::sql::parse_statement(sql) {
+                Ok(stmt) => {
+                    let cat = self.cluster.catalog_snapshot();
+                    planner::explain_statement(&stmt, &cat, &self.cluster.opts)
+                }
+                Err(e) => vec![("fallback".to_string(), "unparseable".to_string(), e.to_string())],
+            }
+        };
+        Batch::from_rows(Rows {
+            columns: vec![
+                Column::new("kind", PgType::Text),
+                Column::new("reason", PgType::Text),
+                Column::new("detail", PgType::Text),
+            ],
+            data: rows
+                .into_iter()
+                .map(|(k, r, d)| vec![Cell::Text(k), Cell::Text(r), Cell::Text(d)])
+                .collect(),
+        })
+    }
+
+    fn route_select(&mut self, sql: &str, sel: &SelectStmt) -> Result<BatchQueryResult, WireError> {
+        let cat = self.cluster.catalog_snapshot();
+        let plan = planner::plan_select(sel, &cat, &self.cluster.opts);
+        planner::record_plan(plan.kind(), plan.reason());
+        match plan {
+            ShardPlan::Local { .. } | ShardPlan::Broadcast { .. } => self.coordinator(sql),
+            ShardPlan::Fallback { .. } => self.fallback(sql),
+            ShardPlan::Gather { tables, .. } => self.gather_exec(sql, &tables),
+            ShardPlan::Scatter { spec, .. } | ShardPlan::ShardLocal { spec, .. } => {
+                let batches = self.scatter(&spec.shard_sql)?;
+                merge::merge_scan(batches, &spec).map(BatchQueryResult::Batch)
+            }
+            ShardPlan::TwoPhaseAgg { spec, .. } => {
+                let batches = self.scatter(&spec.shard_sql)?;
+                merge::merge_agg(batches, &spec).map(BatchQueryResult::Batch)
+            }
+        }
+    }
+
+    /// Execute a gather-motion plan: rebuild each input table exactly —
+    /// scatter plus ordinal merge for partitioned tables, a single
+    /// replica read for broadcast ones — then evaluate the whole
+    /// statement over the gathered inputs on a scratch engine instance.
+    /// The ordinal merge reconstructs global insertion order, which is
+    /// the engine's scan order, so the scratch tables are cell- and
+    /// order-identical to the coordinator's copies (minus the hidden
+    /// ordinal, which is stripped — gathered statements can even
+    /// `SELECT *` safely) and any statement evaluates exactly as it
+    /// would single-node, errors included.
+    fn gather_exec(
+        &mut self,
+        sql: &str,
+        tables: &[planner::GatherTable],
+    ) -> Result<BatchQueryResult, WireError> {
+        obs::global_registry().counter("shard_gather_total").inc();
+        let db = pgdb::Db::new();
+        for t in tables {
+            let mut items: Vec<SelectItem> = t
+                .cols
+                .iter()
+                .map(|(n, _)| SelectItem::Expr { expr: col(n), alias: None })
+                .collect();
+            items.push(item(col(ORD), ORD));
+            let sel = SelectStmt {
+                items,
+                from: Some(FromItem::Table { name: t.name.clone(), alias: None }),
+                order_by: vec![(col(ORD), false)],
+                ..SelectStmt::default()
+            };
+            let leaf_sql = render::render_select(&sel);
+            let visible = t.cols.len();
+            let batch = if t.partitioned {
+                let spec = merge::ScanSpec {
+                    shard_sql: leaf_sql,
+                    visible,
+                    keys: Vec::new(),
+                    ord_idx: visible,
+                    limit: None,
+                };
+                let batches = self.scatter(&spec.shard_sql)?;
+                merge::merge_scan(batches, &spec)?
+            } else {
+                // Replicated copies are identical; read shard 0's.
+                let b = shard_exec(0, self.shards[0].as_mut(), &leaf_sql)
+                    .and_then(merge::expect_batch)?;
+                let rows = b.to_rows();
+                Batch::from_rows(Rows {
+                    columns: rows.columns[..visible].to_vec(),
+                    data: rows
+                        .data
+                        .into_iter()
+                        .map(|mut r| {
+                            r.truncate(visible);
+                            r
+                        })
+                        .collect(),
+                })
+            };
+            let rows = batch.to_rows();
+            db.put_table(&t.name, rows.columns, rows.data);
+        }
+        let mut sess = db.session();
+        sess.set_exec_threads(Some(1));
+        sess.execute_batch(sql).map_err(WireError::from)
+    }
+
+    fn route_create(
+        &mut self,
+        sql: &str,
+        name: &str,
+        columns: &[(String, PgType)],
+        temp: bool,
+    ) -> Result<BatchQueryResult, WireError> {
+        if temp || columns.iter().any(|(n, _)| n.starts_with(RESERVED)) {
+            return self.coordinator(sql);
+        }
+        let cluster = Arc::clone(&self.cluster);
+        let _m = cluster.mutation.lock().unwrap();
+        // Coordinator first, verbatim: if it refuses (duplicate table,
+        // bad DDL) nothing was fanned out and the error is single-node.
+        let out = self.coordinator(sql)?;
+        let mut shard_cols = columns.to_vec();
+        shard_cols.push((ORD.to_string(), PgType::Int8));
+        let ddl = render::render_stmt(&Stmt::CreateTable {
+            name: name.to_string(),
+            columns: shard_cols,
+            temp: false,
+        });
+        let stmts: Vec<(usize, String)> =
+            (0..self.shards.len()).map(|i| (i, ddl.clone())).collect();
+        self.fan_mutation(&stmts)?;
+        self.cluster.register(name, columns.to_vec());
+        Ok(out)
+    }
+
+    fn route_insert(
+        &mut self,
+        sql: &str,
+        table: &str,
+        columns: &Option<Vec<String>>,
+        rows: &[Vec<SqlExpr>],
+    ) -> Result<BatchQueryResult, WireError> {
+        if !self.cluster.has_table(table) {
+            // Temp tables, CTAS products, unknown names: single-node.
+            return self.coordinator(sql);
+        }
+        let cluster = Arc::clone(&self.cluster);
+        let _m = cluster.mutation.lock().unwrap();
+        // Coordinator first: INSERT is atomic there (every row is
+        // validated before any is applied), so a failure leaves the
+        // cluster untouched and surfaces the single-node error.
+        let out = self.coordinator(sql)?;
+        // Refresh observed statistics now that the coordinator holds
+        // the post-insert state (None on stat-less backends).
+        let stats = self.coord.table_stats(table);
+
+        let n = rows.len();
+        let base = self.cluster.ordinal.fetch_add(n as i64, Ordering::Relaxed);
+        let nshards = self.shards.len();
+        let mut needs_reshard = false;
+
+        // Assign rows to shards under the catalog lock (the placement
+        // decision and the round-robin cursor both live there).
+        let (col_list, assignments): (Vec<String>, Vec<Option<usize>>) = {
+            let mut cat = self.cluster.catalog.write().unwrap();
+            let meta = cat.get_mut(table).expect("insert raced a drop despite the mutation lock");
+            meta.rows += n as u64;
+            meta.stats = stats;
+            let kd = key_distinct(meta, meta.stats.as_ref());
+            match meta.mode {
+                Mode::Undecided => {
+                    meta.mode =
+                        planner::decide_placement(meta.rows, kd, nshards, &self.cluster.opts).mode;
+                }
+                // Re-plan placement as the table grows: a broadcast
+                // table crossing the boundary is re-partitioned after
+                // this insert lands (no silent staleness). Gated on the
+                // stats knob so `HQ_SHARD_STATS=0` keeps the legacy
+                // sticky placement.
+                Mode::Broadcast if self.cluster.opts.stats => {
+                    let p = planner::decide_placement(meta.rows, kd, nshards, &self.cluster.opts);
+                    if p.mode == Mode::Partitioned {
+                        needs_reshard = true;
+                    }
+                }
+                _ => {}
+            }
+            let col_list: Vec<String> = match columns {
+                Some(c) => c.clone(),
+                None => meta.cols.iter().map(|(n, _)| n.clone()).collect(),
+            };
+            let key = meta.key.and_then(|k| meta.cols.get(k)).cloned();
+            let key_pos =
+                key.as_ref().and_then(|(kn, _)| col_list.iter().position(|c| c == kn));
+            let key_ty = key.map(|(_, t)| t);
+            let assignments: Vec<Option<usize>> = rows
+                .iter()
+                .map(|row| {
+                    if meta.mode == Mode::Broadcast {
+                        return None; // every shard
+                    }
+                    // Evaluate the key literal, then cast it to the
+                    // key's column type — the stored cell is what the
+                    // engine keeps, so hashing anything else (say, an
+                    // integer literal bound for a float column) would
+                    // break co-location with bulk-loaded rows.
+                    let cell = key_pos
+                        .and_then(|p| row.get(p))
+                        .and_then(|e| eval(e, &[], &[]).ok())
+                        .and_then(|v| key_ty.and_then(|t| cast(&v, t).ok()));
+                    Some(match cell {
+                        Some(Cell::Null) => 0,
+                        Some(c) => (hash_cell(&c) % nshards as u64) as usize,
+                        None => {
+                            let s = (meta.rr % nshards as u64) as usize;
+                            meta.rr += 1;
+                            s
+                        }
+                    })
+                })
+                .collect();
+            (col_list, assignments)
+        };
+
+        let mut shard_cols = col_list;
+        shard_cols.push(ORD.to_string());
+        let mut per_shard: Vec<Vec<Vec<SqlExpr>>> = vec![Vec::new(); nshards];
+        for (ri, (row, target)) in rows.iter().zip(&assignments).enumerate() {
+            let mut r2 = row.clone();
+            r2.push(SqlExpr::Literal(Cell::Int(base + ri as i64)));
+            match target {
+                Some(s) => per_shard[*s].push(r2),
+                None => {
+                    for dst in &mut per_shard {
+                        dst.push(r2.clone());
+                    }
+                }
+            }
+        }
+        let stmts: Vec<(usize, String)> = per_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, rws)| !rws.is_empty())
+            .map(|(i, rws)| {
+                let stmt = Stmt::Insert {
+                    table: table.to_string(),
+                    columns: Some(shard_cols.clone()),
+                    rows: rws,
+                };
+                (i, render::render_stmt(&stmt))
+            })
+            .collect();
+        self.fan_mutation(&stmts)?;
+        if needs_reshard {
+            self.reshard_to_partitioned(table)?;
+            obs::global_registry().counter("shard_reshard_total").inc();
+            eprintln!(
+                "[shard] table {table:?} outgrew broadcast placement; \
+                 re-partitioned across {nshards} shards"
+            );
+        }
+        Ok(out)
+    }
+
+    /// Move a table that outgrew broadcast placement to hash-partitioned
+    /// layout: pull the full copy (ordinals included) from shard 0,
+    /// rehash every *stored* row — so rows land exactly where a fresh
+    /// partitioned load would put them — and rebuild each shard's slice.
+    /// Runs under the caller's mutation lock; the catalog flips to
+    /// `Partitioned` only after the data has moved, so concurrent reads
+    /// keep planning against the coordinator's full copy meanwhile
+    /// (the same read-vs-DDL window `DROP TABLE` already has).
+    fn reshard_to_partitioned(&mut self, table: &str) -> Result<(), WireError> {
+        let (cols, key_pos) = {
+            let cat = self.cluster.catalog.read().unwrap();
+            let m = &cat[table];
+            (m.cols.clone(), m.key)
+        };
+        let nshards = self.shards.len();
+
+        // Broadcast copies are identical; read shard 0's, ordinal last.
+        let mut items: Vec<SelectItem> = cols
+            .iter()
+            .map(|(n, _)| SelectItem::Expr { expr: col(n), alias: None })
+            .collect();
+        items.push(item(col(ORD), ORD));
+        let sel = SelectStmt {
+            items,
+            from: Some(FromItem::Table { name: table.to_string(), alias: None }),
+            order_by: vec![(col(ORD), false)],
+            ..SelectStmt::default()
+        };
+        let batch = shard_exec(0, self.shards[0].as_mut(), &render::render_select(&sel))
+            .and_then(merge::expect_batch)?;
+        let schema = batch.schema.clone();
+
+        let mut per_shard: Vec<Vec<Vec<Cell>>> = vec![Vec::new(); nshards];
+        for (ri, row) in batch.to_rows().data.into_iter().enumerate() {
+            let s = match key_pos.and_then(|p| row.get(p)) {
+                Some(Cell::Null) => 0,
+                Some(c) => (hash_cell(c) % nshards as u64) as usize,
+                None => ri % nshards,
+            };
+            per_shard[s].push(row);
+        }
+
+        if self.cluster.in_process_dbs().is_some() {
+            let cluster = Arc::clone(&self.cluster);
+            let (_, shard_dbs) = cluster.in_process_dbs().expect("in-process topology");
+            for (db, rows) in shard_dbs.iter().zip(per_shard) {
+                db.put_table_batch(
+                    table,
+                    Batch::from_rows(Rows { columns: schema.clone(), data: rows }),
+                );
+            }
+        } else {
+            // Remote topology: rebuild through rendered SQL.
+            let mut shard_cols = cols.clone();
+            shard_cols.push((ORD.to_string(), PgType::Int8));
+            let col_names: Vec<String> = shard_cols.iter().map(|(n, _)| n.clone()).collect();
+            let drop =
+                render::render_stmt(&Stmt::DropTable { name: table.to_string(), if_exists: true });
+            let create = render::render_stmt(&Stmt::CreateTable {
+                name: table.to_string(),
+                columns: shard_cols,
+                temp: false,
+            });
+            let mut stmts: Vec<(usize, String)> = Vec::new();
+            for (i, rows) in per_shard.iter().enumerate() {
+                stmts.push((i, drop.clone()));
+                stmts.push((i, create.clone()));
+                for chunk in rows.chunks(500) {
+                    let stmt = Stmt::Insert {
+                        table: table.to_string(),
+                        columns: Some(col_names.clone()),
+                        rows: chunk
+                            .iter()
+                            .map(|r| r.iter().map(|c| SqlExpr::Literal(c.clone())).collect())
+                            .collect(),
+                    };
+                    stmts.push((i, render::render_stmt(&stmt)));
+                }
+            }
+            self.fan_mutation(&stmts)?;
+        }
+
+        let mut cat = self.cluster.catalog.write().unwrap();
+        if let Some(meta) = cat.get_mut(table) {
+            meta.mode = Mode::Partitioned;
+        }
+        Ok(())
+    }
+
+    fn route_drop(&mut self, sql: &str, name: &str) -> Result<BatchQueryResult, WireError> {
+        if !self.cluster.has_table(name) {
+            return self.coordinator(sql);
+        }
+        let cluster = Arc::clone(&self.cluster);
+        let _m = cluster.mutation.lock().unwrap();
+        let out = self.coordinator(sql)?;
+        self.cluster.deregister(name);
+        let ddl = render::render_stmt(&Stmt::DropTable { name: name.to_string(), if_exists: true });
+        let stmts: Vec<(usize, String)> =
+            (0..self.shards.len()).map(|i| (i, ddl.clone())).collect();
+        self.fan_mutation(&stmts)?;
+        Ok(out)
+    }
+}
+
+impl Backend for ShardRouter {
+    fn execute_sql(&mut self, sql: &str) -> Result<QueryResult, WireError> {
+        Ok(match self.route(sql)? {
+            BatchQueryResult::Batch(b) => QueryResult::Rows(b.into_rows()),
+            BatchQueryResult::Command(t) => QueryResult::Command(t),
+        })
+    }
+
+    fn execute_sql_batch(&mut self, sql: &str) -> Result<Option<BatchQueryResult>, WireError> {
+        self.route(sql).map(Some)
+    }
+
+    fn execute_sql_stream(&mut self, _sql: &str) -> Result<Option<StreamQueryResult>, WireError> {
+        // Scatter-gather has to materialize partials before merging;
+        // callers fall back to the batch path.
+        Ok(None)
+    }
+
+    fn set_exec_threads(&mut self, threads: Option<usize>) {
+        self.coord.set_exec_threads(threads);
+        for s in &mut self.shards {
+            s.set_exec_threads(threads);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("shard router ({} shards + coordinator)", self.shards.len())
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.coord.reconnects() + self.shards.iter().map(|s| s.reconnects()).sum::<u64>()
+    }
+
+    fn durable(&self) -> bool {
+        self.coord.durable() && self.shards.iter().all(|s| s.durable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireErrorKind;
+
+    fn opts(threshold: u64) -> ShardOpts {
+        ShardOpts {
+            broadcast_threshold: threshold,
+            float_agg: false,
+            stats: true,
+            keys: HashMap::new(),
+        }
+    }
+
+    fn rows_of(r: BatchQueryResult) -> Rows {
+        match r {
+            BatchQueryResult::Batch(b) => b.into_rows(),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    fn seed(router: &mut ShardRouter) {
+        router
+            .execute_sql_batch("CREATE TABLE t (k bigint, v bigint)")
+            .unwrap();
+        let values: Vec<String> = (0..20).map(|i| format!("({i}, {})", i * 10)).collect();
+        router
+            .execute_sql_batch(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+
+    #[test]
+    fn partitioned_scan_matches_insertion_order() {
+        let cluster = ShardCluster::in_process_with(3, opts(4));
+        let mut router = cluster.router().unwrap();
+        seed(&mut router);
+        assert_eq!(cluster.table_meta("t").unwrap().mode, Mode::Partitioned);
+        let rows = rows_of(router.execute_sql_batch("SELECT k, v FROM t").unwrap().unwrap());
+        assert_eq!(rows.data.len(), 20);
+        for (i, row) in rows.data.iter().enumerate() {
+            assert_eq!(row[0], Cell::Int(i as i64));
+        }
+        // Data is genuinely spread: no shard holds everything.
+        let (_, shards) = cluster.in_process_dbs().unwrap();
+        for db in shards {
+            let t = db.get_table_snapshot("t").unwrap();
+            assert!(t.rows().len() < 20, "shard holds all rows — not partitioned");
+            // Shard copies carry the hidden ordinal.
+            assert!(t.columns().iter().any(|c| c.name == ORD));
+        }
+    }
+
+    #[test]
+    fn small_tables_broadcast() {
+        let cluster = ShardCluster::in_process_with(3, opts(64));
+        let mut router = cluster.router().unwrap();
+        router.execute_sql_batch("CREATE TABLE dim (id bigint, label text)").unwrap();
+        router
+            .execute_sql_batch("INSERT INTO dim VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        assert_eq!(cluster.table_meta("dim").unwrap().mode, Mode::Broadcast);
+        let (_, shards) = cluster.in_process_dbs().unwrap();
+        for db in shards {
+            assert_eq!(db.get_table_snapshot("dim").unwrap().rows().len(), 2);
+        }
+    }
+
+    #[test]
+    fn distributive_aggregation_merges() {
+        let cluster = ShardCluster::in_process_with(4, opts(0));
+        let mut router = cluster.router().unwrap();
+        seed(&mut router);
+        let rows = rows_of(
+            router
+                .execute_sql_batch("SELECT count(*), sum(v), min(k), max(v), avg(v) FROM t")
+                .unwrap()
+                .unwrap(),
+        );
+        assert_eq!(
+            rows.data[0],
+            vec![
+                Cell::Int(20),
+                Cell::Int((0..20).map(|i| i * 10).sum()),
+                Cell::Int(0),
+                Cell::Int(190),
+                Cell::Float(95.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn columnar_bulk_load_matches_routed_inserts() {
+        // The same 20 rows loaded two ways — rendered INSERT through a
+        // router vs. the columnar fast path — must leave the cluster in
+        // an equivalent state: same placement mode, same scan output,
+        // same merged aggregates.
+        let routed = ShardCluster::in_process_with(3, opts(4));
+        let mut via_sql = routed.router().unwrap();
+        seed(&mut via_sql);
+
+        let bulk = ShardCluster::in_process_with(3, opts(4));
+        let batch = Batch::from_rows(Rows {
+            columns: vec![Column::new("k", PgType::Int8), Column::new("v", PgType::Int8)],
+            data: (0..20).map(|i| vec![Cell::Int(i), Cell::Int(i * 10)]).collect(),
+        });
+        bulk.put_table_batch("t", batch);
+        assert_eq!(bulk.table_meta("t").unwrap().mode, Mode::Partitioned);
+        assert_eq!(bulk.table_meta("t").unwrap().rows, 20);
+
+        let mut via_bulk = bulk.router().unwrap();
+        for sql in
+            ["SELECT k, v FROM t", "SELECT count(*), sum(v), min(k), max(v), avg(v) FROM t"]
+        {
+            let want = rows_of(via_sql.execute_sql_batch(sql).unwrap().unwrap());
+            let got = rows_of(via_bulk.execute_sql_batch(sql).unwrap().unwrap());
+            assert_eq!(want.data, got.data, "bulk load diverged for {sql}");
+        }
+        // Small batches broadcast, exactly like routed inserts.
+        let dim = Batch::from_rows(Rows {
+            columns: vec![Column::new("id", PgType::Int8)],
+            data: (0..3).map(|i| vec![Cell::Int(i)]).collect(),
+        });
+        bulk.put_table_batch("dim", dim);
+        assert_eq!(bulk.table_meta("dim").unwrap().mode, Mode::Broadcast);
+    }
+
+    #[test]
+    fn unprovable_statements_fall_back_and_are_counted() {
+        let cluster = ShardCluster::in_process_with(2, opts(0));
+        let mut router = cluster.router().unwrap();
+        seed(&mut router);
+        let reg = obs::global_registry();
+        let before = reg.counter_value("shard_fallback_total");
+        // OFFSET skips rows globally — shards cannot skip locally, and
+        // there is no exact decomposition, so the statement runs on the
+        // coordinator's full copy and the fallback is counted.
+        let rows = rows_of(
+            router
+                .execute_sql_batch("SELECT k FROM t ORDER BY k LIMIT 3 OFFSET 2")
+                .unwrap()
+                .unwrap(),
+        );
+        assert_eq!(rows.data.len(), 3);
+        assert_eq!(rows.data[0][0], Cell::Int(2));
+        assert_eq!(reg.counter_value("shard_fallback_total"), before + 1);
+    }
+
+    #[test]
+    fn window_functions_gather_instead_of_falling_back() {
+        let cluster = ShardCluster::in_process_with(3, opts(0));
+        let mut router = cluster.router().unwrap();
+        seed(&mut router);
+        let reg = obs::global_registry();
+        let gathers = reg.counter_value("shard_gather_total");
+        // Window frames span shards, so the inputs are gathered (exact
+        // ordinal-merge reconstruction) and the statement evaluates
+        // whole — a distributed plan, not a coordinator fallback.
+        let rows = rows_of(
+            router
+                .execute_sql_batch(
+                    "SELECT k, row_number() OVER (ORDER BY k) FROM t ORDER BY k LIMIT 3",
+                )
+                .unwrap()
+                .unwrap(),
+        );
+        assert_eq!(rows.data.len(), 3);
+        assert_eq!(rows.data[1], vec![Cell::Int(1), Cell::Int(2)]);
+        assert_eq!(reg.counter_value("shard_gather_total"), gathers + 1);
+    }
+
+    #[test]
+    fn drop_deregisters_everywhere() {
+        let cluster = ShardCluster::in_process_with(2, opts(0));
+        let mut router = cluster.router().unwrap();
+        seed(&mut router);
+        router.execute_sql_batch("DROP TABLE t").unwrap();
+        assert!(cluster.table_meta("t").is_none());
+        let (_, shards) = cluster.in_process_dbs().unwrap();
+        for db in shards {
+            assert!(db.get_table_snapshot("t").is_none());
+        }
+        let err = router.execute_sql_batch("SELECT * FROM t").unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Db);
+    }
+
+    #[test]
+    fn co_partitioned_self_join_stays_sharded() {
+        let cluster = ShardCluster::in_process_with(3, opts(0));
+        let mut router = cluster.router().unwrap();
+        seed(&mut router);
+        let reg = obs::global_registry();
+        let key = format!(
+            "shard_plan_total{{kind=\"shard_local\",reason=\"{}\"}}",
+            planner::OK_CO_PART
+        );
+        let before = reg.counter_value(&key);
+        let rows = rows_of(
+            router
+                .execute_sql_batch(
+                    "SELECT a.k, b.v FROM t AS a INNER JOIN t AS b ON a.k = b.k ORDER BY a.k",
+                )
+                .unwrap()
+                .unwrap(),
+        );
+        assert_eq!(rows.data.len(), 20);
+        for (i, row) in rows.data.iter().enumerate() {
+            assert_eq!(row[0], Cell::Int(i as i64));
+            assert_eq!(row[1], Cell::Int(i as i64 * 10));
+        }
+        assert_eq!(reg.counter_value(&key), before + 1, "join did not plan shard-local");
+    }
+
+    #[test]
+    fn broadcast_growth_reshards_to_partitioned() {
+        let cluster = ShardCluster::in_process_with(3, opts(4));
+        let mut router = cluster.router().unwrap();
+        router.execute_sql_batch("CREATE TABLE g (k bigint, v bigint)").unwrap();
+        router.execute_sql_batch("INSERT INTO g VALUES (0, 0), (1, 10)").unwrap();
+        assert_eq!(cluster.table_meta("g").unwrap().mode, Mode::Broadcast);
+        let reg = obs::global_registry();
+        let before = reg.counter_value("shard_reshard_total");
+        let values: Vec<String> = (2..20).map(|i| format!("({i}, {})", i * 10)).collect();
+        router
+            .execute_sql_batch(&format!("INSERT INTO g VALUES {}", values.join(", ")))
+            .unwrap();
+        // The table crossed the boundary: placement re-planned, data
+        // re-partitioned, counter bumped.
+        assert_eq!(cluster.table_meta("g").unwrap().mode, Mode::Partitioned);
+        assert_eq!(reg.counter_value("shard_reshard_total"), before + 1);
+        let (_, shards) = cluster.in_process_dbs().unwrap();
+        let total: usize =
+            shards.iter().map(|db| db.get_table_snapshot("g").unwrap().rows().len()).sum();
+        assert_eq!(total, 20, "reshard must keep exactly one copy of each row");
+        for db in shards {
+            assert!(db.get_table_snapshot("g").unwrap().rows().len() < 20);
+        }
+        // Scan order survives the move (ordinals travelled with rows).
+        let rows = rows_of(router.execute_sql_batch("SELECT k, v FROM g").unwrap().unwrap());
+        assert_eq!(rows.data.len(), 20);
+        for (i, row) in rows.data.iter().enumerate() {
+            assert_eq!(row[0], Cell::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn low_cardinality_key_stays_broadcast_until_it_grows() {
+        let cluster = ShardCluster::in_process_with(3, opts(4));
+        let mut router = cluster.router().unwrap();
+        router.execute_sql_batch("CREATE TABLE lc (g bigint, v bigint)").unwrap();
+        // 10 rows over 2 distinct partition-key values: past the row
+        // threshold, but hashing 2 keys across 3 shards would leave
+        // shards empty — observed stats keep it broadcast.
+        let values: Vec<String> = (0..10).map(|i| format!("({}, {i})", i % 2)).collect();
+        router
+            .execute_sql_batch(&format!("INSERT INTO lc VALUES {}", values.join(", ")))
+            .unwrap();
+        assert_eq!(cluster.table_meta("lc").unwrap().mode, Mode::Broadcast);
+        // Past 4x the threshold the table partitions regardless.
+        let more: Vec<String> = (10..20).map(|i| format!("({}, {i})", i % 2)).collect();
+        router
+            .execute_sql_batch(&format!("INSERT INTO lc VALUES {}", more.join(", ")))
+            .unwrap();
+        assert_eq!(cluster.table_meta("lc").unwrap().mode, Mode::Partitioned);
+        let rows = rows_of(router.execute_sql_batch("SELECT v FROM lc ORDER BY v").unwrap().unwrap());
+        assert_eq!(rows.data.len(), 20);
+    }
+
+    #[test]
+    fn explain_shard_reports_kind_reason_and_stats() {
+        let cluster = ShardCluster::in_process_with(2, opts(4));
+        let mut router = cluster.router().unwrap();
+        seed(&mut router);
+        let rows = rows_of(
+            router
+                .execute_sql_batch("EXPLAIN SHARD SELECT k FROM t ORDER BY k")
+                .unwrap()
+                .unwrap(),
+        );
+        assert_eq!(rows.data[0][0], Cell::Text("scatter".to_string()));
+        assert_eq!(rows.data[0][1], Cell::Text(planner::OK_SCAN.to_string()));
+        // Table rows carry placement and observed statistics.
+        assert_eq!(rows.data[1][0], Cell::Text("table:t".to_string()));
+        assert_eq!(rows.data[1][1], Cell::Text("partitioned".to_string()));
+        match &rows.data[1][2] {
+            Cell::Text(d) => assert!(d.starts_with("rows=20 key=k ndv~"), "detail was {d:?}"),
+            other => panic!("expected text detail, got {other:?}"),
+        }
+        // Keyword matching is case-insensitive; window statements name
+        // the gather strategy and the family that forced it.
+        let rows = rows_of(
+            router
+                .execute_sql_batch("explain shard SELECT k, row_number() OVER (ORDER BY k) FROM t")
+                .unwrap()
+                .unwrap(),
+        );
+        assert_eq!(rows.data[0][0], Cell::Text("gather".to_string()));
+        assert_eq!(rows.data[0][1], Cell::Text(planner::FB_WINDOW.to_string()));
+        assert_eq!(rows.data[0][2], Cell::Text("gather: t(merge)".to_string()));
+        // Even unparseable input explains instead of erroring.
+        let rows = rows_of(
+            router.execute_sql_batch("EXPLAIN SHARD not really sql").unwrap().unwrap(),
+        );
+        assert_eq!(rows.data[0][1], Cell::Text("unparseable".to_string()));
+    }
+}

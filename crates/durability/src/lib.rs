@@ -44,7 +44,7 @@ pub mod wal;
 
 pub use wal::{FsyncPolicy, WalRecord};
 
-use colstore::Batch;
+use colstore::{Batch, TableStats};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -135,6 +135,11 @@ impl Options {
 pub struct Recovered {
     /// Full table contents at the recovered LSN.
     pub tables: HashMap<String, Batch>,
+    /// Per-table statistics at the recovered LSN: the checkpoint's
+    /// persisted sidecar (when present) carried forward through WAL
+    /// replay, recomputed from the batches otherwise. Always has one
+    /// entry per recovered table.
+    pub stats: HashMap<String, TableStats>,
     /// LSN the next append must use.
     pub next_lsn: u64,
     /// WAL records replayed on top of the checkpoint.
@@ -143,11 +148,20 @@ pub struct Recovered {
     pub truncated_tail: bool,
 }
 
-/// Apply one replayed record to the recovered table map. Mirrors the
-/// engine's in-memory application exactly — this *is* the redo path.
-fn apply_record(tables: &mut HashMap<String, Batch>, lsn: u64, rec: wal::WalRecord) -> Result<(), DurError> {
+/// Apply one replayed record to the recovered table map, maintaining
+/// the statistics alongside. Mirrors the engine's in-memory application
+/// exactly — this *is* the redo path, and because the distinct sketch
+/// is order-independent the replayed stats equal the stats the engine
+/// held at commit time.
+fn apply_record(
+    tables: &mut HashMap<String, Batch>,
+    stats: &mut HashMap<String, TableStats>,
+    lsn: u64,
+    rec: wal::WalRecord,
+) -> Result<(), DurError> {
     match rec {
         wal::WalRecord::CreateTable { name, schema } => {
+            stats.insert(name.clone(), TableStats::empty(&schema));
             tables.insert(name, Batch::empty(schema));
         }
         wal::WalRecord::InsertBatch { table, batch } => {
@@ -156,12 +170,18 @@ fn apply_record(tables: &mut HashMap<String, Batch>, lsn: u64, rec: wal::WalReco
                     "wal lsn {lsn}: insert into unknown table \"{table}\""
                 )));
             };
+            stats
+                .entry(table)
+                .or_insert_with(|| TableStats::empty(&t.schema))
+                .observe_batch(&batch);
             t.append(batch);
         }
         wal::WalRecord::DropTable { name } => {
+            stats.remove(&name);
             tables.remove(&name);
         }
         wal::WalRecord::PutTable { name, batch } => {
+            stats.insert(name.clone(), TableStats::from_batch(&batch));
             tables.insert(name, batch);
         }
     }
@@ -178,17 +198,28 @@ pub fn recover(options: &Options) -> Result<Recovered, DurError> {
     // skipped (its WAL is still retained, so nothing is lost).
     let mut base_lsn = 0u64;
     let mut tables: HashMap<String, Batch> = HashMap::new();
+    let mut stats: HashMap<String, TableStats> = HashMap::new();
     let mut skipped: Vec<String> = Vec::new();
     for (lsn, path) in checkpoint::list_checkpoints(&cps_dir) {
         match checkpoint::load_checkpoint(&path) {
             Ok((cp_lsn, loaded)) => {
                 base_lsn = cp_lsn;
                 tables = loaded.into_iter().collect();
+                // The stats sidecar is advisory: prefer the persisted
+                // copy, recompute any table it is missing (older
+                // checkpoints, or a damaged sidecar).
+                stats = checkpoint::load_stats(&path).unwrap_or_default();
                 break;
             }
             Err(e) => skipped.push(format!("{}: {e}", checkpoint::checkpoint_dir_name(lsn))),
         }
     }
+    for (name, batch) in &tables {
+        if !stats.contains_key(name) {
+            stats.insert(name.clone(), TableStats::from_batch(batch));
+        }
+    }
+    stats.retain(|name, _| tables.contains_key(name));
 
     let mut wal_files: Vec<(u64, PathBuf)> = Vec::new();
     if let Ok(entries) = std::fs::read_dir(&wal_dir) {
@@ -228,7 +259,7 @@ pub fn recover(options: &Options) -> Result<Recovered, DurError> {
             }
             prev_lsn = lsn;
             if lsn > base_lsn {
-                apply_record(&mut tables, lsn, rec)?;
+                apply_record(&mut tables, &mut stats, lsn, rec)?;
                 replayed += 1;
             }
         }
@@ -256,6 +287,7 @@ pub fn recover(options: &Options) -> Result<Recovered, DurError> {
     metrics::metrics().wal_replayed_records.add(replayed);
     Ok(Recovered {
         tables,
+        stats,
         next_lsn: prev_lsn.max(base_lsn) + 1,
         replayed,
         truncated_tail,
@@ -282,6 +314,13 @@ impl fmt::Debug for Durability {
 impl Durability {
     /// Recover the catalog from disk and start accepting appends.
     pub fn open(options: &Options) -> Result<(Durability, HashMap<String, Batch>), DurError> {
+        let (dur, recovered) = Durability::open_full(options)?;
+        Ok((dur, recovered.tables))
+    }
+
+    /// Like [`Durability::open`] but hands back the whole [`Recovered`]
+    /// state, including the per-table statistics.
+    pub fn open_full(options: &Options) -> Result<(Durability, Recovered), DurError> {
         std::fs::create_dir_all(&options.data_dir)?;
         let recovered = recover(options)?;
         let wal = wal::Wal::create(&options.wal_dir(), options.fsync, recovered.next_lsn)?;
@@ -291,7 +330,7 @@ impl Durability {
             since_checkpoint: AtomicU64::new(0),
             checkpointing: AtomicBool::new(false),
         };
-        Ok((dur, recovered.tables))
+        Ok((dur, recovered))
     }
 
     pub fn options(&self) -> &Options {
@@ -346,8 +385,9 @@ impl Durability {
         &self,
         lsn: u64,
         tables: &[(String, Arc<Batch>)],
+        stats: &HashMap<String, TableStats>,
     ) -> Result<u64, DurError> {
-        let result = checkpoint::write_checkpoint(&self.options.checkpoints_dir(), lsn, tables);
+        let result = checkpoint::write_checkpoint(&self.options.checkpoints_dir(), lsn, tables, stats);
         if result.is_ok() {
             self.since_checkpoint.store(0, Ordering::Relaxed);
             let _ = checkpoint::prune(&self.options.checkpoints_dir(), &self.options.wal_dir());
@@ -437,14 +477,40 @@ mod tests {
                     ("t".to_string(), Arc::new(batch(&[1]))),
                     ("u".to_string(), Arc::new(batch(&[2, 3]))),
                 ],
+                &HashMap::new(),
             )
             .unwrap();
             // Tail after the checkpoint.
             dur.append(&WalRecord::InsertBatch { table: "t".into(), batch: batch(&[9]) }).unwrap();
         }
-        let (_, tables) = open_dir(&dir).unwrap();
-        assert_eq!(tables["t"].rows(), 2);
-        assert_eq!(tables["u"].rows(), 2);
+        let (_, rec) = Durability::open_full(&Options::new(&dir)).unwrap();
+        assert_eq!(rec.tables["t"].rows(), 2);
+        assert_eq!(rec.tables["u"].rows(), 2);
+        // Stats were recomputed from the checkpoint (no sidecar here)
+        // and carried through the WAL tail replay.
+        assert_eq!(rec.stats["t"], TableStats::from_batch(&rec.tables["t"]));
+        assert_eq!(rec.stats["u"], TableStats::from_batch(&rec.tables["u"]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_stats_identical_to_recompute() {
+        let dir = tmp_dir("stats");
+        {
+            let (dur, _) = open_dir(&dir).unwrap();
+            dur.append(&WalRecord::CreateTable {
+                name: "t".into(),
+                schema: vec![Column::new("x", PgType::Int8)],
+            })
+            .unwrap();
+            dur.append(&WalRecord::InsertBatch { table: "t".into(), batch: batch(&[1, 2]) })
+                .unwrap();
+            dur.append(&WalRecord::InsertBatch { table: "t".into(), batch: batch(&[2, 3]) })
+                .unwrap();
+        }
+        let (_, rec) = Durability::open_full(&Options::new(&dir)).unwrap();
+        assert_eq!(rec.stats["t"], TableStats::from_batch(&rec.tables["t"]));
+        assert_eq!(rec.stats["t"].rows, 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -456,11 +522,17 @@ mod tests {
             dur.append(&WalRecord::PutTable { name: "t".into(), batch: batch(&[1]) }).unwrap();
             assert!(dur.try_begin_checkpoint());
             let lsn = dur.rotate_for_checkpoint().unwrap();
-            dur.write_checkpoint(lsn, &[("t".to_string(), Arc::new(batch(&[1])))]).unwrap();
+            dur.write_checkpoint(lsn, &[("t".to_string(), Arc::new(batch(&[1])))], &HashMap::new())
+                .unwrap();
             dur.append(&WalRecord::InsertBatch { table: "t".into(), batch: batch(&[2]) }).unwrap();
             assert!(dur.try_begin_checkpoint());
             let lsn = dur.rotate_for_checkpoint().unwrap();
-            dur.write_checkpoint(lsn, &[("t".to_string(), Arc::new(batch(&[1, 2])))]).unwrap();
+            dur.write_checkpoint(
+                lsn,
+                &[("t".to_string(), Arc::new(batch(&[1, 2])))],
+                &HashMap::new(),
+            )
+            .unwrap();
         }
         // Damage the newest checkpoint's segment.
         let cps = checkpoint::list_checkpoints(&Options::new(&dir).checkpoints_dir());

@@ -13,7 +13,7 @@ use crate::exec::{parallel, stream, TableSource};
 use crate::sql::ast::Stmt;
 use crate::sql::parse_statement;
 use crate::types::{Cell, Column, Rows};
-use colstore::{Batch, BatchStream};
+use colstore::{Batch, BatchStream, TableStats};
 use durability::{Durability, WalRecord};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -101,6 +101,11 @@ impl StoredTable {
 #[derive(Debug, Clone, Default)]
 pub struct Db {
     tables: Arc<RwLock<HashMap<String, StoredTable>>>,
+    /// Per-table statistics (row counts, null counts, distinct
+    /// sketches), maintained incrementally on every global-table
+    /// mutation and persisted in checkpoints. Lock order: `tables`
+    /// first, then `stats` — never the reverse.
+    stats: Arc<RwLock<HashMap<String, TableStats>>>,
     /// Durability manager; `None` keeps the pure in-memory hot path —
     /// no WAL, no fsync, byte-for-byte the pre-durability behaviour.
     dur: Option<Arc<Durability>>,
@@ -155,10 +160,15 @@ impl Db {
     /// directory (newest valid checkpoint + WAL tail), then WAL-log
     /// every committed mutation from here on.
     pub fn open(options: &durability::Options) -> Result<Db, DbError> {
-        let (dur, tables) = Durability::open(options).map_err(dur_err)?;
-        let map = tables.into_iter().map(|(n, b)| (n, StoredTable::new(b))).collect();
+        let (dur, recovered) = Durability::open_full(options).map_err(dur_err)?;
+        let map = recovered
+            .tables
+            .into_iter()
+            .map(|(n, b)| (n, StoredTable::new(b)))
+            .collect();
         Ok(Db {
             tables: Arc::new(RwLock::new(map)),
+            stats: Arc::new(RwLock::new(recovered.stats)),
             dur: Some(Arc::new(dur)),
         })
     }
@@ -214,12 +224,13 @@ impl Db {
         if !d.should_checkpoint() || !d.try_begin_checkpoint() {
             return;
         }
-        let (snapshot, lsn) = {
+        let (snapshot, stats_snapshot, lsn) = {
             let guard = self.tables.read();
             let snap: Vec<(String, Arc<Batch>)> =
                 guard.iter().map(|(n, t)| (n.clone(), Arc::clone(&t.batch))).collect();
+            let stats_snap = self.stats.read().clone();
             match d.rotate_for_checkpoint() {
-                Ok(lsn) => (snap, lsn),
+                Ok(lsn) => (snap, stats_snap, lsn),
                 Err(e) => {
                     eprintln!("pgdb: wal rotation for checkpoint failed: {e}");
                     d.abandon_checkpoint();
@@ -227,7 +238,7 @@ impl Db {
                 }
             }
         };
-        if let Err(e) = d.write_checkpoint(lsn, &snapshot) {
+        if let Err(e) = d.write_checkpoint(lsn, &snapshot, &stats_snapshot) {
             // Best effort: the WAL retains everything the checkpoint
             // would have captured, so durability is unaffected.
             eprintln!("pgdb: checkpoint at lsn {lsn} failed: {e}");
@@ -251,11 +262,18 @@ impl Db {
 
     /// Fallible form of [`Db::put_table_batch`].
     pub fn try_put_table_batch(&self, name: &str, batch: Batch) -> Result<(), DbError> {
+        let stats = TableStats::from_batch(&batch);
         let mut guard = self.tables.write();
         let lsn = self.log(|| WalRecord::PutTable { name: name.to_string(), batch: batch.clone() })?;
         guard.insert(name.to_string(), StoredTable::new(batch));
+        self.stats.write().insert(name.to_string(), stats);
         drop(guard);
         self.finish_commit(lsn)
+    }
+
+    /// Current statistics for a global table, if it exists.
+    pub fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.stats.read().get(name).cloned()
     }
 
     /// Host API: fetch a snapshot of a global table. Cheap — the
@@ -440,6 +458,7 @@ impl Session {
                     if guard.contains_key(&name) {
                         let lsn = self.db.log(|| WalRecord::DropTable { name: name.clone() })?;
                         guard.remove(&name);
+                        self.db.stats.write().remove(&name);
                         drop(guard);
                         self.db.finish_commit(lsn)?;
                         existed = true;
@@ -465,6 +484,7 @@ impl Session {
             self.temps.insert(name, StoredTable::new(batch));
             return Ok(());
         }
+        let stats = TableStats::from_batch(&batch);
         let mut guard = self.db.tables.write();
         // CREATE TABLE AS logs the *computed* result, so replay never
         // re-runs the query; a plain empty CREATE logs just the schema.
@@ -475,6 +495,7 @@ impl Session {
                 WalRecord::PutTable { name: name.clone(), batch: batch.clone() }
             }
         })?;
+        self.db.stats.write().insert(name.clone(), stats);
         guard.insert(name, StoredTable::new(batch));
         drop(guard);
         self.db.finish_commit(lsn)
@@ -494,6 +515,12 @@ impl Session {
         let lsn = self
             .db
             .log(|| WalRecord::InsertBatch { table: name.to_string(), batch: add.clone() })?;
+        self.db
+            .stats
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| TableStats::empty(&add.schema))
+            .observe_batch(&add);
         Arc::make_mut(&mut t.batch).append(add);
         drop(guard);
         self.db.finish_commit(lsn)
@@ -885,6 +912,36 @@ mod tests {
         assert_eq!(r.data[1], vec![Cell::Int(2), Cell::Null]);
         let r = rows(s.execute("SELECT d FROM derived ORDER BY d ASC").unwrap());
         assert_eq!(r.data[1][0], Cell::Int(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_track_mutations_and_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("hq-engine-stats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = durability::Options::new(&dir);
+        {
+            let db = Db::open(&opts).unwrap();
+            let mut s = db.session();
+            s.execute("CREATE TABLE t (x bigint, s varchar)").unwrap();
+            s.execute("INSERT INTO t VALUES (1, 'a'), (2, NULL), (2, 'b')").unwrap();
+            let st = db.table_stats("t").unwrap();
+            assert_eq!(st.rows, 3);
+            assert_eq!(st.col("s").unwrap().nulls, 1);
+            assert_eq!(st.distinct("x"), Some(2));
+            // Temp tables are session-local and never tracked.
+            s.execute("CREATE TEMPORARY TABLE tmp AS SELECT x FROM t").unwrap();
+            assert!(db.table_stats("tmp").is_none());
+        }
+        // Recovery (pure WAL replay here) restores identical stats.
+        let db = Db::open(&opts).unwrap();
+        let st = db.table_stats("t").unwrap();
+        assert_eq!(st.rows, 3);
+        assert_eq!(st.distinct("x"), Some(2));
+        assert_eq!(st, TableStats::from_batch(&db.get_table_snapshot("t").unwrap().batch));
+        let mut s = db.session();
+        s.execute("DROP TABLE t").unwrap();
+        assert!(db.table_stats("t").is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -364,7 +364,7 @@ fn chaotic_cluster(
     // The env-derived default broadcast threshold (64) is what the
     // fixture sizes assume; pin it so an ambient HQ_SHARD_BROADCAST
     // cannot silently change what this suite tests.
-    let _ = ShardOpts { broadcast_threshold: 64, float_agg: false, keys: HashMap::new() };
+    let _ = ShardOpts { broadcast_threshold: 64, float_agg: false, stats: true, keys: HashMap::new() };
     servers.shrink_to_fit();
     (servers, proxy, cluster)
 }

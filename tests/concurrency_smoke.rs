@@ -59,7 +59,7 @@ fn trades() -> Table {
 }
 
 fn opts() -> ShardOpts {
-    ShardOpts { broadcast_threshold: 64, float_agg: false, keys: HashMap::new() }
+    ShardOpts { broadcast_threshold: 64, float_agg: false, stats: true, keys: HashMap::new() }
 }
 
 fn spawn_client(

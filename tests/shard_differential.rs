@@ -34,7 +34,7 @@ use std::collections::HashMap;
 
 /// Deterministic knobs: tests must not depend on ambient `HQ_SHARD_*`.
 fn opts() -> ShardOpts {
-    ShardOpts { broadcast_threshold: 64, float_agg: false, keys: HashMap::new() }
+    ShardOpts { broadcast_threshold: 64, float_agg: false, stats: true, keys: HashMap::new() }
 }
 
 fn router(shards: usize) -> hyperq::ShardRouter {
@@ -219,12 +219,17 @@ fn differential_fixture_really_scatters() {
     run_sql(&mut r, "SELECT grp, sum(qty) AS s FROM fact GROUP BY grp ORDER BY grp");
     assert_eq!(reg.counter_value("shard_fanout_total"), fanout + 2, "scans/aggs must scatter");
     assert_eq!(reg.counter_value("shard_fallback_total"), fallback, "no silent fallback");
+    // DISTINCT aggregates do not decompose into partials, but their
+    // inputs are shard-managed: they gather (exact input
+    // reconstruction) instead of falling back to the coordinator.
+    let gathers = reg.counter_value("shard_gather_total");
     run_sql(&mut r, "SELECT count(DISTINCT sym) AS d FROM fact");
     assert_eq!(
-        reg.counter_value("shard_fallback_total"),
-        fallback + 1,
-        "DISTINCT aggregates must be counted as fallbacks"
+        reg.counter_value("shard_gather_total"),
+        gathers + 1,
+        "DISTINCT aggregates must execute via gather"
     );
+    assert_eq!(reg.counter_value("shard_fallback_total"), fallback, "no silent fallback");
 }
 
 // ---------------------------------------------------------------------

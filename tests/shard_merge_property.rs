@@ -109,7 +109,7 @@ fn batch_of(b: &mut dyn Backend, sql: &str) -> Batch {
 /// Zero broadcast threshold: every table partitions, however small, so
 /// low row counts genuinely leave shards empty.
 fn partition_everything() -> ShardOpts {
-    ShardOpts { broadcast_threshold: 0, float_agg: false, keys: HashMap::new() }
+    ShardOpts { broadcast_threshold: 0, float_agg: false, stats: true, keys: HashMap::new() }
 }
 
 fn load(b: &mut dyn Backend, rows: &[Row]) {
